@@ -1,0 +1,75 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one of the paper's tables or figures and writes
+its rendered output to ``benchmarks/out/<name>.txt`` (and stdout), so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from a
+single ``pytest benchmarks/ --benchmark-only`` run.
+
+Campaign sizes default to laptop scale; environment variables scale them
+toward the paper's 12-13k trials per experiment:
+
+- ``REPRO_TRIALS_ARCH``  (default 210)  trials/workload for Figure 2
+- ``REPRO_TRIALS_UARCH`` (default 84)   trials/workload for Figures 4-6
+- ``REPRO_POINTS_UARCH`` (default 28)   injection points/workload
+- ``REPRO_WINDOW_CYCLES`` (default 2500) post-injection window
+- ``REPRO_PERF_WORKLOADS`` (default a 4-kernel subset) for Figure 7
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table and archive it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    print(f"\n{text}\n")
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def arch_campaign():
+    """The Figure 2 campaign (shared by fig2 and the headline bench)."""
+    from repro.faults import ArchCampaignConfig, run_arch_campaign
+
+    config = ArchCampaignConfig(
+        trials_per_workload=env_int("REPRO_TRIALS_ARCH", 210),
+        injection_points=env_int("REPRO_POINTS_ARCH", 70),
+    )
+    return run_arch_campaign(config)
+
+
+_UARCH_CACHE: dict[str, object] = {}
+
+
+def run_shared_uarch_campaign():
+    """One microarchitectural campaign serving Figures 4, 5, 6 and §5.1.2."""
+    if "result" not in _UARCH_CACHE:
+        from repro.faults import UarchCampaignConfig, run_uarch_campaign
+
+        config = UarchCampaignConfig(
+            trials_per_workload=env_int("REPRO_TRIALS_UARCH", 84),
+            injection_points=env_int("REPRO_POINTS_UARCH", 28),
+            window_cycles=env_int("REPRO_WINDOW_CYCLES", 2500),
+        )
+        _UARCH_CACHE["result"] = run_uarch_campaign(config)
+    return _UARCH_CACHE["result"]
+
+
+@pytest.fixture(scope="session")
+def uarch_campaign():
+    return run_shared_uarch_campaign()
+
+
+def perf_workloads() -> tuple[str, ...]:
+    names = os.environ.get("REPRO_PERF_WORKLOADS", "gcc,gzip,mcf,vortex")
+    return tuple(name.strip() for name in names.split(",") if name.strip())

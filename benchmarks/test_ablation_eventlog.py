@@ -1,0 +1,60 @@
+"""Ablation: the branch-outcome event log during re-execution.
+
+Paper (Section 3.2.3 and 5.2.3): the event log provides "perfect
+prediction of control flow, eliminating control misspeculations during
+re-execution". We measure ReStore's cycle overhead with and without the
+log and the misprediction count during re-executed windows.
+"""
+
+from repro.restore import ReStoreController
+from repro.uarch import load_pipeline
+from repro.util.tables import format_table
+from repro.workloads import build_workload
+
+from .conftest import emit
+
+
+WORKLOAD = "bzip2"  # the most rollback-prone kernel
+INTERVAL = 50
+
+
+def run_config(use_event_log: bool):
+    bundle = build_workload(WORKLOAD)
+    pipeline = load_pipeline(bundle.program)
+    controller = ReStoreController(
+        pipeline, interval=INTERVAL, use_event_log=use_event_log
+    )
+    pipeline.run(2_000_000)
+    assert pipeline.halted and bundle.check(pipeline.memory) == []
+    return pipeline, controller
+
+
+def test_event_log_accelerates_reexecution(benchmark):
+    def run_both():
+        with_log = run_config(True)
+        without_log = run_config(False)
+        return with_log, without_log
+
+    (with_pipe, with_ctl), (without_pipe, without_ctl) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    text = format_table(
+        ["configuration", "cycles", "rollbacks", "mispredicts"],
+        [
+            ["event log on", with_pipe.cycle_count, with_ctl.stats.rollbacks,
+             with_pipe.mispredict_count],
+            ["event log off", without_pipe.cycle_count,
+             without_ctl.stats.rollbacks, without_pipe.mispredict_count],
+        ],
+        title=(
+            f"Event-log ablation ({WORKLOAD}, interval {INTERVAL}): "
+            "perfect replay prediction vs none"
+        ),
+    )
+    emit("ablation_eventlog", text)
+
+    # The oracle must not make things worse; typically it removes the
+    # re-executed windows' mispredictions entirely.
+    assert with_pipe.mispredict_count <= without_pipe.mispredict_count
+    assert with_pipe.cycle_count <= without_pipe.cycle_count * 1.05

@@ -1,0 +1,60 @@
+"""Figure 2 + Table 1: virtual-machine fault injection.
+
+Paper numbers to compare against (Section 3.1):
+
+- average injected fault masked ~59% of the time;
+- ~24% of all injections raise an ISA exception within 100 instructions;
+- ~8% cause incorrect control flow within the same latency;
+- "nearly 80% of the failure inducing faults ... result in an exception or
+  control flow violation within 100 instructions".
+"""
+
+from repro.faults import ARCH_CATEGORY_DESCRIPTIONS
+from repro.faults.arch_campaign import FIGURE2_WINDOWS
+from repro.util.tables import format_table
+
+from .conftest import emit
+
+
+def test_fig2_category_vs_latency(benchmark, arch_campaign):
+    result = benchmark.pedantic(lambda: arch_campaign, rounds=1, iterations=1)
+
+    table1 = format_table(
+        ["category", "observed error symptom"],
+        list(ARCH_CATEGORY_DESCRIPTIONS.items()),
+        title="Table 1: Figure 2 category descriptions",
+    )
+    masked = result.masked_estimate
+    coverage = result.failure_coverage(100)
+    exception_100 = result.counter(100).proportion("exception")
+    cfv_100 = result.counter(100).proportion("cfv")
+    headline = format_table(
+        ["metric", "paper", "measured"],
+        [
+            ["masked fraction", "~59%", f"{masked.proportion:.1%} ±{masked.margin:.1%}"],
+            ["exception share @100", "~24%", f"{exception_100:.1%}"],
+            ["cfv share @100", "~8%", f"{cfv_100:.1%}"],
+            ["failure coverage @100 (exc+cfv)", "~80%",
+             f"{coverage.proportion:.1%} ±{coverage.margin:.1%}"],
+        ],
+        title="Figure 2 headline comparison",
+    )
+    emit(
+        "fig2_arch_injection",
+        "\n\n".join([table1, result.table(FIGURE2_WINDOWS), headline]),
+    )
+
+    # Shape assertions: the paper's qualitative structure must hold.
+    assert 0.25 < masked.proportion < 0.75
+    assert coverage.proportion > 0.5, "exceptions+cfv must cover most failures"
+    assert exception_100 > cfv_100 * 0.8, "exceptions should dominate or rival cfv"
+    # Coverage grows with the detection window.
+    assert (
+        result.failure_coverage(25).proportion
+        <= result.failure_coverage(100).proportion
+        <= result.failure_coverage(None).proportion
+    )
+    # The register category must drain away at long latencies.
+    assert result.counter(None).proportion("register") < result.counter(
+        25
+    ).proportion("register") + 1e-9

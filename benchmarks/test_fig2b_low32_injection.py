@@ -1,0 +1,52 @@
+"""Section 3.1's second campaign: flips restricted to the low 32 bits.
+
+Paper: "the exception category did indeed become smaller, losing about 25%
+of its size. The slack was consumed by the cfv and mem-addr categories,
+with the cfv category picking up the majority."
+"""
+
+from repro.faults import ArchCampaignConfig, ArchResultBitFlip, run_arch_campaign
+from repro.util.tables import format_table
+
+from .conftest import emit, env_int
+
+
+def test_low32_flips_shift_exceptions_to_cfv(benchmark, arch_campaign):
+    def run_low32():
+        config = ArchCampaignConfig(
+            trials_per_workload=env_int("REPRO_TRIALS_ARCH", 210),
+            injection_points=env_int("REPRO_POINTS_ARCH", 70),
+            fault_model=ArchResultBitFlip(low32_only=True),
+        )
+        return run_arch_campaign(config)
+
+    low32 = benchmark.pedantic(run_low32, rounds=1, iterations=1)
+    full = arch_campaign
+
+    rows = []
+    for label, campaign in (("full 64-bit flips", full), ("low-32 flips", low32)):
+        counter = campaign.counter(100)
+        rows.append(
+            [
+                label,
+                f"{counter.proportion('exception'):.1%}",
+                f"{counter.proportion('cfv'):.1%}",
+                f"{counter.proportion('mem-addr'):.1%}",
+                f"{counter.proportion('masked'):.1%}",
+            ]
+        )
+    text = format_table(
+        ["fault model", "exception@100", "cfv@100", "mem-addr@100", "masked"],
+        rows,
+        title="Section 3.1 ablation: restricting flips to the bottom 32 bits",
+    )
+    emit("fig2b_low32_injection", text)
+
+    full_exc = full.counter(100).proportion("exception")
+    low_exc = low32.counter(100).proportion("exception")
+    full_cfv = full.counter(100).proportion("cfv")
+    low_cfv = low32.counter(100).proportion("cfv")
+    # Exceptions shrink: fewer wild high-bit pointer corruptions.
+    assert low_exc < full_exc
+    # Control-flow symptoms pick up share.
+    assert low_cfv > full_cfv * 0.9

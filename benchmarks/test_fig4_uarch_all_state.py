@@ -1,0 +1,80 @@
+"""Figure 4 + Table 2: microarchitectural injection into all state,
+with perfect identification of control-flow violations.
+
+Paper numbers (Sections 5.1.1 and 7):
+
+- "only 8% of all trials ... are failures" (intrinsic masking ~92-93%);
+- "with a moderate checkpointing interval of 100 instructions,
+  approximately half of all failures are covered by the deadlock,
+  exception, and cfv categories";
+- "a large fraction of the covered failures are covered by the easier to
+  detect deadlock and exception categories".
+"""
+
+from repro.faults import UARCH_CATEGORY_DESCRIPTIONS
+from repro.faults.classify import classify_uarch_trial
+from repro.faults.uarch_campaign import FIGURE46_INTERVALS
+from repro.util.tables import format_table
+
+from .conftest import emit, run_shared_uarch_campaign
+
+
+def test_fig4_coverage_vs_interval(benchmark):
+    result = benchmark.pedantic(run_shared_uarch_campaign, rounds=1, iterations=1)
+
+    table2 = format_table(
+        ["category", "description"],
+        list(UARCH_CATEGORY_DESCRIPTIONS.items()),
+        title="Table 2: Figure 4-6 category descriptions",
+    )
+    benign = result.masked_estimate()
+    failures = result.baseline_failure_estimate()
+    coverage_100 = result.coverage_of_failures(100)
+    headline = format_table(
+        ["metric", "paper", "measured"],
+        [
+            ["masked+other (benign)", "~92-93%",
+             f"{benign.proportion:.1%} ±{benign.margin:.1%}"],
+            ["failing trials", "~7-8%",
+             f"{failures.proportion:.1%} ±{failures.margin:.1%}"],
+            ["failure coverage @100 (perfect cfv)", "~50%",
+             f"{coverage_100.proportion:.1%} ±{coverage_100.margin:.1%}"],
+            ["eligible state bits", "~46,000", f"{result.total_bits:,}"],
+        ],
+        title="Figure 4 headline comparison",
+    )
+    emit(
+        "fig4_uarch_all_state",
+        "\n\n".join(
+            [
+                table2,
+                result.table(
+                    FIGURE46_INTERVALS,
+                    title="Figure 4: coverage vs checkpoint interval (all state)",
+                ),
+                headline,
+            ]
+        ),
+    )
+
+    assert 0.80 < benign.proportion < 0.99
+    assert 0.25 < coverage_100.proportion < 0.80
+    # Deadlock+exception must carry a large share of covered failures.
+    covered = [
+        trial
+        for trial in result.trials
+        if trial.failing
+        and classify_uarch_trial(trial, 100) in ("deadlock", "exception", "cfv")
+    ]
+    easy = [
+        trial
+        for trial in covered
+        if classify_uarch_trial(trial, 100) in ("deadlock", "exception")
+    ]
+    assert len(easy) >= len(covered) * 0.4
+    # Coverage grows with the interval.
+    fractions = [
+        result.coverage_of_failures(interval).proportion
+        for interval in (25, 100, 1000)
+    ]
+    assert fractions == sorted(fractions)

@@ -1,0 +1,60 @@
+"""Figure 5: ReStore coverage with JRS-gated control-flow symptoms.
+
+Paper (Section 5.2.1): with the conservative JRS confidence predictor the
+cfv category covers "only 5%" at a 100-instruction interval (a perfect
+confidence predictor "would yield nearly twice the error coverage"), and
+ReStore overall halves the failure rate: ~7% -> ~3.5% at interval 100,
+i.e. a 2x MTBF improvement.
+"""
+
+from repro.faults.uarch_campaign import FIGURE46_INTERVALS
+from repro.util.tables import format_table
+
+from .conftest import emit, run_shared_uarch_campaign
+
+
+def test_fig5_jrs_gated_coverage(benchmark):
+    result = benchmark.pedantic(run_shared_uarch_campaign, rounds=1, iterations=1)
+
+    baseline_failure = result.baseline_failure_estimate()
+    restore_failure = result.failure_estimate(100, require_confident_cfv=True)
+    improvement = (
+        baseline_failure.proportion / restore_failure.proportion
+        if restore_failure.proportion
+        else float("inf")
+    )
+    jrs_cfv = result.counter(100, require_confident_cfv=True).proportion("cfv")
+    perfect_cfv = result.counter(100).proportion("cfv")
+    headline = format_table(
+        ["metric", "paper", "measured"],
+        [
+            ["baseline failure rate", "~7%", f"{baseline_failure.proportion:.1%}"],
+            ["ReStore failure rate @100", "~3.5%",
+             f"{restore_failure.proportion:.1%}"],
+            ["MTBF improvement", "~2x", f"{improvement:.1f}x"],
+            ["cfv coverage @100 (JRS)", "low (~5% of failures)",
+             f"{jrs_cfv:.1%} of trials"],
+            ["cfv coverage @100 (perfect)", "~2x the JRS coverage",
+             f"{perfect_cfv:.1%} of trials"],
+        ],
+        title="Figure 5 headline comparison",
+    )
+    emit(
+        "fig5_restore_baseline",
+        "\n\n".join(
+            [
+                result.table(
+                    FIGURE46_INTERVALS,
+                    require_confident_cfv=True,
+                    title="Figure 5: ReStore coverage (JRS-gated cfv) vs interval",
+                ),
+                headline,
+            ]
+        ),
+    )
+
+    # ReStore must reduce failures, and meaningfully so at interval 100.
+    assert restore_failure.proportion < baseline_failure.proportion
+    assert improvement > 1.3
+    # JRS is conservative: it detects at most what perfect identification does.
+    assert jrs_cfv <= perfect_cfv

@@ -1,0 +1,92 @@
+"""Figure 8: silent-data-corruption FIT rates under device scaling.
+
+Paper (Section 5.3): raw FIT of 0.001/bit; designs from ~46k bits (the
+model) up to 25.6M bits; a 1000-year-MTBF goal line at 115 FIT; and
+"the lhf+ReStore configuration yields a MTBF comparable to a design 1/7th
+the size".
+"""
+
+from repro.reliability import (
+    FIGURE8_DESIGN_SIZES,
+    MTBF_GOAL_FIT,
+    PAPER_FAILURE_FRACTIONS,
+    ConfigFailureFractions,
+    equivalent_design_factor,
+    fit_rate,
+    fit_scaling_table,
+    max_bits_within_goal,
+)
+from repro.restore.hardened import ProtectionMap
+from repro.util.tables import format_table
+
+from .conftest import emit, run_shared_uarch_campaign
+
+
+def test_fig8_fit_vs_design_size(benchmark):
+    campaign = run_shared_uarch_campaign()
+    pmap = ProtectionMap()
+
+    def build_fractions():
+        return ConfigFailureFractions(
+            baseline=campaign.baseline_failure_estimate().proportion,
+            restore=campaign.failure_estimate(
+                100, require_confident_cfv=True
+            ).proportion,
+            lhf=campaign.failure_estimate(
+                0, require_confident_cfv=True, protection=pmap
+            ).proportion,
+            lhf_restore=campaign.failure_estimate(
+                100, require_confident_cfv=True, protection=pmap
+            ).proportion,
+        )
+
+    measured = benchmark.pedantic(build_fractions, rounds=1, iterations=1)
+
+    goals = format_table(
+        ["configuration", "max bits within 115-FIT goal (measured)"],
+        [
+            [name, f"{max_bits_within_goal(measured.of(name)):,.0f}"]
+            for name in ("baseline", "ReStore", "lhf", "lhf+ReStore")
+        ],
+        title="Design-size budget at the 1000-year-MTBF goal",
+    )
+    factor_measured = equivalent_design_factor(measured)
+    trials = len(campaign.trials)
+    if factor_measured == float("inf"):
+        # Rule-of-three lower bound when no residual failures were sampled.
+        factor_text = (
+            f">{measured.of('baseline') / (3 / trials):.0f}x (0/{trials})"
+        )
+    else:
+        factor_text = f"{factor_measured:.1f}x"
+    factor_paper = equivalent_design_factor(PAPER_FAILURE_FRACTIONS)
+    emit(
+        "fig8_fit_scaling",
+        "\n\n".join(
+            [
+                fit_scaling_table(
+                    PAPER_FAILURE_FRACTIONS
+                ).replace("Figure 8:", "Figure 8 (paper fractions):"),
+                fit_scaling_table(measured).replace(
+                    "Figure 8:", "Figure 8 (measured fractions):"
+                ),
+                goals,
+                (
+                    f"equivalent-design factor (lhf+ReStore vs baseline): "
+                    f"paper {factor_paper:.1f}x, measured {factor_text}"
+                ),
+            ]
+        ),
+    )
+
+    # Structural checks on the scaling model.
+    assert fit_rate(46_000, measured.of("baseline")) < MTBF_GOAL_FIT
+    assert fit_rate(FIGURE8_DESIGN_SIZES[-1], measured.of("baseline")) > MTBF_GOAL_FIT
+    # Protection ordering: every layer extends the design budget.
+    budgets = [
+        max_bits_within_goal(measured.of(name))
+        for name in ("baseline", "ReStore", "lhf+ReStore")
+    ]
+    assert budgets == sorted(budgets)
+    # The combined configuration buys a multiple of the baseline design size.
+    assert factor_measured > 2.5

@@ -1,0 +1,5 @@
+"""Setuptools shim so legacy installs work in offline environments."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""ReStore: symptom-based soft error detection in microprocessors.
+
+A full reproduction of Wang & Patel (DSN 2005): an Alpha-like ISA and
+architectural simulator, a cycle-level out-of-order pipeline with
+bit-addressable state, the ReStore checkpoint/symptom/rollback architecture,
+statistical fault-injection campaigns, a performance model for
+false-positive symptoms, and FIT/MTBF reliability scaling.
+
+Typical entry points:
+
+>>> from repro.workloads import build_workload
+>>> from repro.uarch import load_pipeline
+>>> from repro.restore import ReStoreController
+>>> bundle = build_workload("gcc")
+>>> pipeline = load_pipeline(bundle.program)
+>>> controller = ReStoreController(pipeline, interval=100)
+>>> pipeline.run(100_000)
+>>> pipeline.halted
+True
+"""
+
+__version__ = "1.0.0"

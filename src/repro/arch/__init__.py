@@ -1,0 +1,39 @@
+"""Architectural (ISA-level) simulator — the paper's "virtual machine".
+
+This level abstracts away the processor implementation: one instruction
+executes per step against architectural state (registers, PC, memory). The
+paper uses exactly such a simulator for the Figure 2 fault-injection study
+("we abstract away the processor implementation by assuming that a soft
+error has already corrupted architectural state") and as the golden reference
+the detailed pipeline model is compared against.
+"""
+
+from repro.arch.exceptions import (
+    AccessViolation,
+    AlignmentFault,
+    ArithmeticTrap,
+    ExceptionKind,
+    IllegalOpcode,
+    IsaException,
+)
+from repro.arch.memory import PageProtection, SparseMemory
+from repro.arch.simulator import ArchSimulator, StopReason, load_program
+from repro.arch.state import ArchState
+from repro.arch.tracing import ExecutionTrace, MemoryOp
+
+__all__ = [
+    "AccessViolation",
+    "AlignmentFault",
+    "ArchSimulator",
+    "ArchState",
+    "ArithmeticTrap",
+    "ExceptionKind",
+    "ExecutionTrace",
+    "IllegalOpcode",
+    "IsaException",
+    "MemoryOp",
+    "PageProtection",
+    "SparseMemory",
+    "StopReason",
+    "load_program",
+]

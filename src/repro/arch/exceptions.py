@@ -1,0 +1,84 @@
+"""ISA-defined exceptions.
+
+These are the paper's primary soft-error symptom: "About 24% of all fault
+injections ... result in an ISA defined exception within 100 instructions.
+Most of these are memory access faults ... while a small portion consist of
+arithmetic overflow or memory alignment exceptions."
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ExceptionKind(Enum):
+    """The exception classes the machine can raise."""
+
+    ACCESS_VIOLATION = "access_violation"  # unmapped page or protection
+    ALIGNMENT_FAULT = "alignment_fault"
+    ARITHMETIC_TRAP = "arithmetic_trap"  # signed overflow in *V opcodes
+    ILLEGAL_OPCODE = "illegal_opcode"
+
+
+class IsaException(Exception):
+    """Base class for ISA-defined exceptions raised during execution."""
+
+    kind: ExceptionKind
+
+    def __init__(self, message: str, pc: int | None = None, address: int | None = None):
+        super().__init__(message)
+        self.pc = pc
+        self.address = address
+
+    def located(self, pc: int) -> "IsaException":
+        """Attach the faulting PC (used when raised below the simulator)."""
+        self.pc = pc
+        return self
+
+
+class AccessViolation(IsaException):
+    """Access to an unmapped page or a write to a read-only page."""
+
+    kind = ExceptionKind.ACCESS_VIOLATION
+
+    def __init__(self, address: int, operation: str, pc: int | None = None):
+        super().__init__(
+            f"access violation: {operation} at 0x{address:016x}",
+            pc=pc,
+            address=address,
+        )
+        self.operation = operation
+
+
+class AlignmentFault(IsaException):
+    """A memory access whose address is not a multiple of its size."""
+
+    kind = ExceptionKind.ALIGNMENT_FAULT
+
+    def __init__(self, address: int, size: int, pc: int | None = None):
+        super().__init__(
+            f"alignment fault: {size}-byte access at 0x{address:016x}",
+            pc=pc,
+            address=address,
+        )
+        self.size = size
+
+
+class ArithmeticTrap(IsaException):
+    """Signed overflow in a trapping arithmetic instruction."""
+
+    kind = ExceptionKind.ARITHMETIC_TRAP
+
+    def __init__(self, mnemonic: str, pc: int | None = None):
+        super().__init__(f"arithmetic trap in {mnemonic}", pc=pc)
+        self.mnemonic = mnemonic
+
+
+class IllegalOpcode(IsaException):
+    """An instruction word with no defined decoding."""
+
+    kind = ExceptionKind.ILLEGAL_OPCODE
+
+    def __init__(self, word: int, pc: int | None = None):
+        super().__init__(f"illegal opcode 0x{word:08x}", pc=pc)
+        self.word = word

@@ -1,0 +1,345 @@
+"""Functional (architectural) simulator.
+
+Executes one instruction per :meth:`ArchSimulator.step`. Instruction words
+are compiled once into small closures keyed by word value, so the hot loop
+is a memory read, a dictionary lookup, and one call — fast enough for
+fault-injection campaigns with thousands of trials.
+
+The simulator stops (rather than unwinding) on ISA exceptions: the paper's
+virtual-machine study treats an exception as the terminal symptom of a
+trial, and the ReStore pipeline model performs its own rollback handling at
+a lower level.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable
+
+from repro.arch.exceptions import (
+    AlignmentFault,
+    ArithmeticTrap,
+    IllegalOpcode,
+    IsaException,
+)
+from repro.arch.memory import PageProtection
+from repro.arch.state import ArchState
+from repro.arch.tracing import ExecutionTrace
+from repro.isa import opcodes as op
+from repro.isa import semantics
+from repro.isa.encoding import IllegalInstructionError, decode_word
+from repro.isa.program import STACK_BYTES, STACK_TOP, Program
+from repro.isa.registers import REG_GP, REG_SP
+from repro.util.bitops import MASK64
+
+
+class StopReason(Enum):
+    """Why execution is (or is not) stopped."""
+
+    RUNNING = "running"
+    HALTED = "halted"
+    EXCEPTION = "exception"
+    LIMIT = "limit"
+
+
+_Closure = Callable[["ArchSimulator"], None]
+
+
+class ArchSimulator:
+    """One-instruction-per-step functional simulator."""
+
+    def __init__(
+        self, state: ArchState, shared_closures: dict[int, _Closure] | None = None
+    ):
+        self.state = state
+        self.retired = 0
+        self.stop_reason = StopReason.RUNNING
+        self.exception: IsaException | None = None
+        # Per-step output for external comparators: ("L"|"S", address, value).
+        self.last_memop: tuple[str, int, int] | None = None
+        # Per-step destination register written (or -1).
+        self.last_dest = -1
+        # Compiled closures are pure per-word functions, so campaigns share
+        # one cache across the thousands of simulator instances they create.
+        self._closures = shared_closures if shared_closures is not None else {}
+
+    def fork(self) -> "ArchSimulator":
+        """An independent copy of the current machine (for fault trials)."""
+        state = ArchState(
+            regs=list(self.state.regs),
+            pc=self.state.pc,
+            memory=self.state.memory.clone(),
+        )
+        return ArchSimulator(state, shared_closures=self._closures)
+
+    # ------------------------------------------------------------- running
+
+    @property
+    def running(self) -> bool:
+        return self.stop_reason is StopReason.RUNNING
+
+    def step(self) -> int:
+        """Execute one instruction; returns its PC (or -1 when stopped)."""
+        if self.stop_reason is not StopReason.RUNNING:
+            return -1
+        state = self.state
+        pc = state.pc
+        self.last_memop = None
+        self.last_dest = -1
+        try:
+            if pc & 3:
+                raise AlignmentFault(pc, 4, pc=pc)
+            word = state.memory.read(pc, 4)
+            closure = self._closures.get(word)
+            if closure is None:
+                closure = self._compile(word)
+                self._closures[word] = closure
+            closure(self)
+        except IsaException as exc:
+            if exc.pc is None:
+                exc.pc = pc
+            self.exception = exc
+            self.stop_reason = StopReason.EXCEPTION
+            return pc
+        self.retired += 1
+        return pc
+
+    def run(self, max_instructions: int) -> StopReason:
+        """Run until halt, exception, or the instruction budget is spent."""
+        budget = max_instructions
+        while budget > 0 and self.stop_reason is StopReason.RUNNING:
+            self.step()
+            budget -= 1
+        if self.stop_reason is StopReason.RUNNING:
+            self.stop_reason = StopReason.LIMIT
+        return self.stop_reason
+
+    def resume(self) -> None:
+        """Clear a LIMIT stop so the simulator can continue."""
+        if self.stop_reason is StopReason.LIMIT:
+            self.stop_reason = StopReason.RUNNING
+
+    def run_with_trace(self, max_instructions: int) -> ExecutionTrace:
+        """Run while recording the golden trace used by fault campaigns."""
+        trace = ExecutionTrace()
+        pcs = trace.pcs
+        memops = trace.memops
+        writers = trace.writer_steps
+        budget = max_instructions
+        while budget > 0 and self.stop_reason is StopReason.RUNNING:
+            pc = self.step()
+            if pc < 0:
+                break
+            if self.stop_reason is StopReason.EXCEPTION:
+                break
+            pcs.append(pc)
+            if self.last_memop is not None:
+                memops.append(self.last_memop)
+            if self.last_dest >= 0:
+                trace_step = len(pcs) - 1
+                writers.append(trace_step)
+            budget -= 1
+        if self.stop_reason is StopReason.RUNNING:
+            self.stop_reason = StopReason.LIMIT
+        trace.final_regs = tuple(self.state.regs)
+        trace.final_memory = self.state.memory.clone()
+        trace.exception = self.exception
+        trace.halted = self.stop_reason is StopReason.HALTED
+        return trace
+
+    # ------------------------------------------------------------ compiler
+
+    def _compile(self, word: int) -> _Closure:
+        try:
+            inst = decode_word(word)
+        except IllegalInstructionError:
+
+            def illegal(sim: "ArchSimulator", word: int = word) -> None:
+                raise IllegalOpcode(word)
+
+            return illegal
+
+        if inst.is_halt:
+
+            def halt(sim: "ArchSimulator") -> None:
+                sim.stop_reason = StopReason.HALTED
+
+            return halt
+
+        if inst.format is op.Format.OPERATE:
+            return self._compile_operate(inst)
+        if inst.is_lda:
+            return self._compile_lda(inst)
+        if inst.is_load:
+            return self._compile_load(inst)
+        if inst.is_store:
+            return self._compile_store(inst)
+        if inst.is_cond_branch:
+            return self._compile_cond_branch(inst)
+        if inst.is_uncond_branch:
+            return self._compile_uncond_branch(inst)
+        if inst.is_jump:
+            return self._compile_jump(inst)
+        raise AssertionError(f"unhandled instruction {inst.mnemonic}")
+
+    @staticmethod
+    def _compile_operate(inst) -> _Closure:
+        ra, rb, rc = inst.ra, inst.rb, inst.rc
+        literal = inst.literal if inst.is_literal else None
+        mnemonic = inst.mnemonic
+        if inst.is_cmov:
+
+            def run_cmov(sim: "ArchSimulator") -> None:
+                state = sim.state
+                regs = state.regs
+                a = regs[ra]
+                b = literal if literal is not None else regs[rb]
+                result = semantics.execute_cmov(inst, a, b, regs[rc])
+                if rc != 31:
+                    regs[rc] = result.value
+                    sim.last_dest = rc
+                state.pc = (state.pc + 4) & MASK64
+
+            return run_cmov
+
+        def run_operate(sim: "ArchSimulator") -> None:
+            state = sim.state
+            regs = state.regs
+            a = regs[ra]
+            b = literal if literal is not None else regs[rb]
+            result = semantics.execute_operate(inst, a, b)
+            if result.overflow:
+                raise ArithmeticTrap(mnemonic)
+            if rc != 31:
+                regs[rc] = result.value
+                sim.last_dest = rc
+            state.pc = (state.pc + 4) & MASK64
+
+        return run_operate
+
+    @staticmethod
+    def _compile_lda(inst) -> _Closure:
+        ra, rb = inst.ra, inst.rb
+
+        def run_lda(sim: "ArchSimulator") -> None:
+            state = sim.state
+            regs = state.regs
+            value = semantics.lda_value(inst, regs[rb])
+            if ra != 31:
+                regs[ra] = value
+                sim.last_dest = ra
+            state.pc = (state.pc + 4) & MASK64
+
+        return run_lda
+
+    @staticmethod
+    def _compile_load(inst) -> _Closure:
+        ra, rb = inst.ra, inst.rb
+        size = inst.access_size
+
+        def run_load(sim: "ArchSimulator") -> None:
+            state = sim.state
+            regs = state.regs
+            address = semantics.effective_address(inst, regs[rb])
+            if size > 1 and address % size:
+                raise AlignmentFault(address, size)
+            raw = state.memory.read(address, size)
+            value = semantics.extend_loaded(inst, raw)
+            if ra != 31:
+                regs[ra] = value
+                sim.last_dest = ra
+            sim.last_memop = ("L", address, value)
+            state.pc = (state.pc + 4) & MASK64
+
+        return run_load
+
+    @staticmethod
+    def _compile_store(inst) -> _Closure:
+        ra, rb = inst.ra, inst.rb
+        size = inst.access_size
+
+        def run_store(sim: "ArchSimulator") -> None:
+            state = sim.state
+            regs = state.regs
+            address = semantics.effective_address(inst, regs[rb])
+            if size > 1 and address % size:
+                raise AlignmentFault(address, size)
+            value = semantics.store_value(inst, regs[ra])
+            state.memory.write(address, size, value)
+            sim.last_memop = ("S", address, value)
+            state.pc = (state.pc + 4) & MASK64
+
+        return run_store
+
+    @staticmethod
+    def _compile_cond_branch(inst) -> _Closure:
+        ra = inst.ra
+
+        def run_branch(sim: "ArchSimulator") -> None:
+            state = sim.state
+            if semantics.branch_taken(inst, state.regs[ra]):
+                state.pc = inst.branch_target(state.pc)
+            else:
+                state.pc = (state.pc + 4) & MASK64
+
+        return run_branch
+
+    @staticmethod
+    def _compile_uncond_branch(inst) -> _Closure:
+        ra = inst.ra
+
+        def run_br(sim: "ArchSimulator") -> None:
+            state = sim.state
+            target = inst.branch_target(state.pc)
+            if ra != 31:
+                state.regs[ra] = (state.pc + 4) & MASK64
+                sim.last_dest = ra
+            state.pc = target
+
+        return run_br
+
+    @staticmethod
+    def _compile_jump(inst) -> _Closure:
+        ra, rb = inst.ra, inst.rb
+
+        def run_jump(sim: "ArchSimulator") -> None:
+            state = sim.state
+            regs = state.regs
+            target = semantics.jump_target(regs[rb])
+            if ra != 31:
+                regs[ra] = (state.pc + 4) & MASK64
+                sim.last_dest = ra
+            state.pc = target
+
+        return run_jump
+
+
+def load_program(program: Program, stack_bytes: int = STACK_BYTES) -> ArchSimulator:
+    """Build a simulator with the program loaded per the ABI conventions.
+
+    Text pages are mapped read-only (a corrupted store targeting the text
+    segment raises an access violation, as on a real OS); data and stack are
+    read-write. ``SP`` starts at :data:`~repro.isa.program.STACK_TOP`, ``GP``
+    at the data base, and the PC at the program entry point.
+    """
+    state = ArchState()
+    memory = state.memory
+    text = program.text_segment
+    memory.map_region(text.base, max(len(text.data), 1), PageProtection.READ_ONLY)
+    memory.load_bytes(text.base, text.data)
+    data = program.data_segment
+    if data.data:
+        memory.map_region(data.base, len(data.data), PageProtection.READ_WRITE)
+        memory.load_bytes(data.base, data.data)
+    else:
+        memory.map_region(data.base, 1, PageProtection.READ_WRITE)
+    memory.map_region(STACK_TOP - stack_bytes, stack_bytes, PageProtection.READ_WRITE)
+    state.pc = program.entry_point
+    state.write_reg(REG_SP, STACK_TOP - 64)
+    state.write_reg(REG_GP, program.data_base)
+    return state_simulator(state)
+
+
+def state_simulator(state: ArchState) -> ArchSimulator:
+    """Wrap an existing :class:`ArchState` in a simulator."""
+    return ArchSimulator(state)

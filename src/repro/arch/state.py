@@ -1,0 +1,50 @@
+"""Architectural machine state: register file, PC, and memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.memory import SparseMemory
+from repro.isa.registers import NUM_REGS, REG_ZERO
+from repro.util.bitops import MASK64
+
+
+@dataclass
+class ArchState:
+    """The software-visible state of the machine.
+
+    ``regs[31]`` is kept at zero by construction: the simulator never writes
+    it (writes to R31 are discarded at decode time via ``dest_reg``).
+    """
+
+    regs: list[int] = field(default_factory=lambda: [0] * NUM_REGS)
+    pc: int = 0
+    memory: SparseMemory = field(default_factory=SparseMemory)
+
+    def read_reg(self, number: int) -> int:
+        return self.regs[number]
+
+    def write_reg(self, number: int, value: int) -> None:
+        if number != REG_ZERO:
+            self.regs[number] = value & MASK64
+
+    def snapshot_regs(self) -> tuple[int, ...]:
+        """An immutable copy of the register file plus PC."""
+        return tuple(self.regs) + (self.pc,)
+
+    def restore_regs(self, snapshot: tuple[int, ...]) -> None:
+        if len(snapshot) != NUM_REGS + 1:
+            raise ValueError("bad register snapshot length")
+        self.regs[:] = snapshot[:NUM_REGS]
+        self.pc = snapshot[NUM_REGS]
+
+    def regs_equal(self, other: "ArchState") -> bool:
+        return self.regs == other.regs
+
+    def diff_regs(self, other: "ArchState") -> list[int]:
+        """Register numbers whose values differ from ``other``."""
+        return [
+            number
+            for number in range(NUM_REGS)
+            if self.regs[number] != other.regs[number]
+        ]

@@ -1,0 +1,42 @@
+"""Execution traces captured from golden (fault-free) runs.
+
+A trace records exactly what the fault-injection comparators need: the
+retired PC stream (control-flow divergence detection), the memory-operation
+stream (address/data divergence detection), which dynamic instructions wrote
+a register (eligible fault-injection points for the paper's
+"bit flip in the result of a randomly chosen instruction" model), and the
+final architectural state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.arch.exceptions import IsaException
+    from repro.arch.memory import SparseMemory
+
+# A memory operation: ("L" | "S", effective address, value).
+MemoryOp = tuple[str, int, int]
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything recorded from one golden run."""
+
+    pcs: list[int] = field(default_factory=list)
+    memops: list[MemoryOp] = field(default_factory=list)
+    writer_steps: list[int] = field(default_factory=list)
+    final_regs: tuple[int, ...] | None = None
+    final_memory: "SparseMemory | None" = None
+    exception: "IsaException | None" = None
+    halted: bool = False
+
+    @property
+    def length(self) -> int:
+        """Number of retired instructions."""
+        return len(self.pcs)
+
+    def pc_at(self, step: int) -> int:
+        return self.pcs[step]

@@ -1,0 +1,252 @@
+"""Command-line interface.
+
+Exposes the library's main flows without writing Python::
+
+    repro run gcc                        # run a kernel on the pipeline
+    repro run gcc --restore --interval 50
+    repro inject mcf --seed 7 --cycle 900
+    repro campaign arch --trials 60
+    repro campaign uarch --trials 48 --workloads gcc,mcf
+    repro perf --intervals 50,100,500
+    repro fit --baseline 0.07 --restore 0.035 --lhf 0.03 --combined 0.01
+    repro workloads
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults import (
+    ArchCampaignConfig,
+    UarchCampaignConfig,
+    run_arch_campaign,
+    run_uarch_campaign,
+)
+from repro.perfmodel import measure_restore_performance
+from repro.reliability import (
+    ConfigFailureFractions,
+    equivalent_design_factor,
+    fit_scaling_table,
+)
+from repro.restore import ReStoreController
+from repro.restore.controller import RollbackPolicy
+from repro.uarch import load_pipeline
+from repro.uarch.latches import LATCH_CLASSES
+from repro.util.rng import DeterministicRng
+from repro.util.tables import format_table
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+
+def _parse_workloads(text: str) -> tuple[str, ...]:
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    for name in names:
+        if name not in WORKLOAD_NAMES:
+            raise SystemExit(f"unknown workload {name!r}; know {WORKLOAD_NAMES}")
+    return names
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        bundle = build_workload(name, scale=args.scale)
+        pipeline = load_pipeline(bundle.program)
+        pipeline.run(5_000_000)
+        rows.append(
+            [
+                name,
+                pipeline.retired_count,
+                pipeline.cycle_count,
+                f"{pipeline.retired_count / pipeline.cycle_count:.2f}",
+                f"{pipeline.mispredict_count / max(1, pipeline.branch_count):.1%}",
+            ]
+        )
+    print(format_table(
+        ["workload", "instructions", "cycles", "IPC", "mispredict rate"],
+        rows,
+        title=f"Workload kernels (scale {args.scale})",
+    ))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    bundle = build_workload(args.workload, scale=args.scale)
+    pipeline = load_pipeline(bundle.program)
+    controller = None
+    if args.restore:
+        controller = ReStoreController(
+            pipeline,
+            interval=args.interval,
+            policy=RollbackPolicy(args.policy),
+        )
+    pipeline.run(args.max_cycles)
+    status = "halted" if pipeline.halted else (
+        f"stopped ({pipeline.exception_name() or 'deadlock'})"
+        if pipeline.stopped else "cycle budget exhausted"
+    )
+    print(f"{args.workload}: {status} after {pipeline.cycle_count} cycles, "
+          f"{pipeline.retired_count} instructions "
+          f"(IPC {pipeline.retired_count / max(1, pipeline.cycle_count):.2f})")
+    wrong = bundle.check(pipeline.memory) if pipeline.halted else ["n/a"]
+    print(f"outputs: {'correct' if not wrong else wrong}")
+    if controller is not None:
+        for key, value in controller.summary().items():
+            print(f"  {key}: {value}")
+    return 0 if pipeline.halted and not wrong else 1
+
+
+def cmd_inject(args: argparse.Namespace) -> int:
+    bundle = build_workload(args.workload, scale=args.scale)
+    pipeline = load_pipeline(bundle.program)
+    controller = None
+    if args.restore:
+        controller = ReStoreController(pipeline, interval=args.interval)
+    pipeline.run(args.cycle)
+    if not pipeline.running:
+        raise SystemExit("the program ended before the injection cycle")
+    rng = DeterministicRng(args.seed)
+    classes = LATCH_CLASSES if args.latches_only else None
+    field, bit = pipeline.registry.pick_bit(rng, classes=classes)
+    field.flip(bit)
+    print(f"flipped bit {bit} of {field.name} "
+          f"({field.state_class} state) at cycle {args.cycle}")
+    pipeline.run(args.max_cycles)
+    if pipeline.halted:
+        wrong = bundle.check(pipeline.memory)
+        print("outcome: " + ("correct output (masked or recovered)"
+                             if not wrong else f"silent corruption: {wrong[0]}"))
+    else:
+        print(f"outcome: crash "
+              f"({pipeline.exception_name() or 'deadlock/livelock'})")
+    if controller is not None:
+        for key, value in controller.summary().items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    workloads = _parse_workloads(args.workloads)
+    if args.level == "arch":
+        result = run_arch_campaign(
+            ArchCampaignConfig(
+                trials_per_workload=args.trials,
+                injection_points=max(4, args.trials // 3),
+                workloads=workloads,
+                seed=args.seed,
+            )
+        )
+        print(result.table())
+        print(f"\nmasked: {result.masked_estimate}")
+        print(f"failure coverage @100 (exc+cfv): {result.failure_coverage(100)}")
+    else:
+        result = run_uarch_campaign(
+            UarchCampaignConfig(
+                trials_per_workload=args.trials,
+                injection_points=max(4, args.trials // 3),
+                workloads=workloads,
+                seed=args.seed,
+            )
+        )
+        print(result.table(title="coverage vs checkpoint interval (all state)"))
+        print(f"\nbenign (masked+other): {result.masked_estimate()}")
+        print(f"baseline failures:     {result.baseline_failure_estimate()}")
+        print(f"coverage @100:         {result.coverage_of_failures(100)}")
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    intervals = tuple(int(piece) for piece in args.intervals.split(","))
+    points = measure_restore_performance(
+        intervals=intervals, workloads=_parse_workloads(args.workloads)
+    )
+    rows = [
+        [point.interval, point.policy, f"{point.speedup:.3f}",
+         point.rollbacks, point.false_positives]
+        for point in points
+    ]
+    print(format_table(
+        ["interval", "policy", "speedup", "rollbacks", "false positives"],
+        rows,
+        title="ReStore performance vs baseline (Figure 7)",
+    ))
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    fractions = ConfigFailureFractions(
+        baseline=args.baseline,
+        restore=args.restore,
+        lhf=args.lhf,
+        lhf_restore=args.combined,
+    )
+    print(fit_scaling_table(fractions))
+    print(f"\nequivalent-design factor (lhf+ReStore vs baseline): "
+          f"{equivalent_design_factor(fractions):.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ReStore (DSN 2005) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workloads", help="list kernels with pipeline stats")
+    p.add_argument("--scale", type=int, default=1)
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("run", help="run a kernel on the pipeline")
+    p.add_argument("workload", choices=WORKLOAD_NAMES)
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--restore", action="store_true",
+                   help="attach a ReStore controller")
+    p.add_argument("--interval", type=int, default=100)
+    p.add_argument("--policy", choices=["imm", "delayed"], default="imm")
+    p.add_argument("--max-cycles", type=int, default=5_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("inject", help="inject one bit flip into a live run")
+    p.add_argument("workload", choices=WORKLOAD_NAMES)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cycle", type=int, default=500)
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--latches-only", action="store_true")
+    p.add_argument("--restore", action="store_true")
+    p.add_argument("--interval", type=int, default=100)
+    p.add_argument("--max-cycles", type=int, default=5_000_000)
+    p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser("campaign", help="run a fault-injection campaign")
+    p.add_argument("level", choices=["arch", "uarch"])
+    p.add_argument("--trials", type=int, default=30,
+                   help="trials per workload")
+    p.add_argument("--workloads", default=",".join(WORKLOAD_NAMES))
+    p.add_argument("--seed", type=int, default=2005)
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("perf", help="measure Figure 7 performance points")
+    p.add_argument("--intervals", default="50,100,500")
+    p.add_argument("--workloads", default="gcc,gzip,mcf")
+    p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser("fit", help="print the Figure 8 FIT scaling table")
+    p.add_argument("--baseline", type=float, default=0.07)
+    p.add_argument("--restore", type=float, default=0.035)
+    p.add_argument("--lhf", type=float, default=0.03)
+    p.add_argument("--combined", type=float, default=0.01)
+    p.set_defaults(func=cmd_fit)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

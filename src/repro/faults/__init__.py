@@ -1,0 +1,52 @@
+"""Statistical fault injection: models, campaigns, and classification.
+
+Two campaign drivers mirror the paper's two studies:
+
+- :mod:`repro.faults.arch_campaign` — the "virtual machine" study (Figure 2):
+  a single bit flip in the result of a randomly chosen instruction, with the
+  outcome classified by the first symptom it propagates to.
+- :mod:`repro.faults.uarch_campaign` — the microarchitectural study
+  (Figures 4-6): a single bit flip in a randomly chosen pipeline state
+  element, with the outcome classified against a golden pipeline run.
+"""
+
+from repro.faults.classify import (
+    ARCH_CATEGORIES,
+    ARCH_CATEGORY_DESCRIPTIONS,
+    UARCH_CATEGORIES,
+    UARCH_CATEGORY_DESCRIPTIONS,
+    ArchTrialResult,
+    UarchTrialResult,
+    classify_arch_trial,
+    classify_uarch_trial,
+)
+from repro.faults.models import ArchResultBitFlip, StateBitFlip
+from repro.faults.arch_campaign import (
+    ArchCampaignConfig,
+    ArchCampaignResult,
+    run_arch_campaign,
+)
+from repro.faults.uarch_campaign import (
+    UarchCampaignConfig,
+    UarchCampaignResult,
+    run_uarch_campaign,
+)
+
+__all__ = [
+    "ARCH_CATEGORIES",
+    "ARCH_CATEGORY_DESCRIPTIONS",
+    "ArchCampaignConfig",
+    "ArchCampaignResult",
+    "ArchResultBitFlip",
+    "ArchTrialResult",
+    "StateBitFlip",
+    "UARCH_CATEGORIES",
+    "UarchCampaignConfig",
+    "UarchCampaignResult",
+    "run_uarch_campaign",
+    "UARCH_CATEGORY_DESCRIPTIONS",
+    "UarchTrialResult",
+    "classify_arch_trial",
+    "classify_uarch_trial",
+    "run_arch_campaign",
+]

@@ -1,0 +1,275 @@
+"""The virtual-machine fault-injection campaign (Figure 2).
+
+Methodology, following Section 3.1 and Section 4.4 of the paper:
+
+1. Run each workload once fault-free, recording the golden trace.
+2. Pre-select a set of injection points — dynamic instructions that write a
+   register (the paper injected "on a set of about 250-300 points for each
+   experiment", with many bits per point making up 12-13k trials).
+3. For each trial, fork the machine at the injection point, execute the
+   chosen instruction, flip one bit of its result, and monitor propagation:
+   the first ISA exception, retired-PC divergence, memory-operation address
+   divergence, or store-data divergence, each with its latency in retired
+   instructions.
+4. A trial fails if it raised an exception, diverged in control flow, ran
+   away past the golden run's length, or ended with architectural state
+   (registers or memory) different from golden; otherwise the fault was
+   masked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.simulator import ArchSimulator, StopReason, load_program
+from repro.faults.classify import (
+    ARCH_CATEGORIES,
+    ArchTrialResult,
+    classify_arch_trial,
+)
+from repro.faults.models import ArchResultBitFlip
+from repro.util.bitops import flip_bit
+from repro.util.rng import DeterministicRng
+from repro.util.stats import BinomialEstimate, CategoryCounter
+from repro.util.tables import format_table
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+# Figure 2's x-axis: symptom-detection latency windows, in instructions.
+FIGURE2_WINDOWS: tuple[int | None, ...] = (
+    25, 50, 100, 200, 500, 1000, 10_000, 100_000, None,
+)
+
+
+@dataclass(frozen=True)
+class ArchCampaignConfig:
+    """Knobs for one campaign run. Defaults scale to a laptop; raise
+    ``trials_per_workload`` toward the paper's ~1000 for tighter intervals."""
+
+    trials_per_workload: int = 210
+    injection_points: int = 70
+    fault_model: ArchResultBitFlip = field(default_factory=ArchResultBitFlip)
+    seed: int = 2005
+    workload_scale: int = 1
+    max_instructions: int = 400_000
+    post_injection_slack: int = 2_000
+    workloads: tuple[str, ...] = WORKLOAD_NAMES
+
+
+@dataclass
+class ArchCampaignResult:
+    """All trials of a campaign plus reporting helpers."""
+
+    config: ArchCampaignConfig
+    trials: list[ArchTrialResult]
+
+    def counter(
+        self, window: int | None, workload: str | None = None
+    ) -> CategoryCounter:
+        """Category tallies at one detection-latency window."""
+        counter = CategoryCounter(ARCH_CATEGORIES)
+        for trial in self.trials:
+            if workload is not None and trial.workload != workload:
+                continue
+            counter.add(classify_arch_trial(trial, window))
+        return counter
+
+    @property
+    def masked_estimate(self) -> BinomialEstimate:
+        masked = sum(1 for trial in self.trials if trial.masked)
+        return BinomialEstimate(masked, len(self.trials))
+
+    def failure_coverage(
+        self, window: int | None, categories: tuple[str, ...] = ("exception", "cfv")
+    ) -> BinomialEstimate:
+        """Fraction of *failing* trials whose symptom falls in ``categories``
+        within ``window`` — the paper's "nearly 80% of the failure inducing
+        faults ... within 100 instructions" number."""
+        failing = [trial for trial in self.trials if trial.failing]
+        covered = sum(
+            1
+            for trial in failing
+            if classify_arch_trial(trial, window) in categories
+        )
+        return BinomialEstimate(covered, max(len(failing), 1))
+
+    def fractions(self, window: int | None) -> dict[str, float]:
+        counter = self.counter(window)
+        return {name: counter.proportion(name) for name in ARCH_CATEGORIES}
+
+    def table(self, windows: tuple[int | None, ...] = FIGURE2_WINDOWS) -> str:
+        """The Figure 2 data as an ASCII table (rows = windows)."""
+        rows = []
+        for window in windows:
+            counter = self.counter(window)
+            label = "inf" if window is None else str(window)
+            rows.append(
+                [label]
+                + [f"{counter.proportion(name):.1%}" for name in ARCH_CATEGORIES]
+            )
+        return format_table(
+            ["latency"] + list(ARCH_CATEGORIES),
+            rows,
+            title="Figure 2: outcome shares vs symptom-detection latency",
+        )
+
+
+def run_arch_campaign(config: ArchCampaignConfig) -> ArchCampaignResult:
+    """Run the full campaign over every configured workload."""
+    rng = DeterministicRng(config.seed).child("arch-campaign")
+    trials: list[ArchTrialResult] = []
+    for name in config.workloads:
+        trials.extend(_run_workload(name, config, rng.child(name)))
+    return ArchCampaignResult(config, trials)
+
+
+def _run_workload(
+    name: str, config: ArchCampaignConfig, rng: DeterministicRng
+) -> list[ArchTrialResult]:
+    bundle = build_workload(name, config.workload_scale, config.seed)
+    golden_sim = load_program(bundle.program)
+    trace = golden_sim.run_with_trace(config.max_instructions)
+    if trace.exception is not None:
+        raise RuntimeError(f"golden run of {name} raised {trace.exception}")
+    if not trace.writer_steps:
+        raise RuntimeError(f"workload {name} wrote no registers")
+
+    # Number of memory operations retired up to and including each step.
+    memop_counts = _memop_prefix_counts(trace)
+
+    point_count = min(config.injection_points, len(trace.writer_steps))
+    points = sorted(rng.sample(trace.writer_steps, point_count))
+    per_point = -(-config.trials_per_workload // point_count)  # ceil
+
+    # One prefix simulator walks forward through all injection points.
+    prefix = load_program(bundle.program)
+    results: list[ArchTrialResult] = []
+    for point in points:
+        while prefix.retired < point and prefix.running:
+            prefix.step()
+        if not prefix.running:  # pragma: no cover - golden ran fine
+            break
+        for _ in range(per_point):
+            bit = config.fault_model.choose_bit(rng)
+            results.append(
+                _run_trial(name, prefix, trace, memop_counts, point, bit, config)
+            )
+    return results
+
+
+def _memop_prefix_counts(trace) -> list[int]:
+    """For each step index, memory operations retired through that step.
+
+    The trace stores memops in program order but not a step->memop mapping,
+    so rebuild one by decoding the instruction at each retired PC (loads and
+    stores produce exactly one memop per retirement). Text is read-only, so
+    reading the words from the final memory image is safe.
+    """
+    from repro.isa.encoding import try_decode_word
+
+    counts = []
+    count = 0
+    word_cache: dict[int, bool] = {}
+    memory = trace.final_memory
+    for pc in trace.pcs:
+        is_mem = word_cache.get(pc)
+        if is_mem is None:
+            word = memory.read(pc, 4)
+            inst = try_decode_word(word)
+            is_mem = bool(inst is not None and inst.is_memory)
+            word_cache[pc] = is_mem
+        if is_mem:
+            count += 1
+        counts.append(count)
+    return counts
+
+
+def _run_trial(
+    workload: str,
+    prefix: ArchSimulator,
+    trace,
+    memop_counts: list[int],
+    point: int,
+    bit: int,
+    config: ArchCampaignConfig,
+) -> ArchTrialResult:
+    faulty = prefix.fork()
+    faulty.step()  # execute the chosen instruction
+    dest = faulty.last_dest
+    if dest < 0:  # pragma: no cover - writer_steps guarantees a destination
+        raise AssertionError("injection point wrote no register")
+    regs = faulty.state.regs
+    regs[dest] = flip_bit(regs[dest], bit)
+
+    golden_pcs = trace.pcs
+    golden_memops = trace.memops
+    golden_length = len(golden_pcs)
+
+    retired_index = point + 1  # next instruction's index in the golden trace
+    memop_index = memop_counts[point]
+    exception_latency: int | None = None
+    cfv_latency: int | None = None
+    memaddr_latency: int | None = None
+    memdata_latency: int | None = None
+
+    budget = (golden_length - point) + config.post_injection_slack
+    while budget > 0 and faulty.running:
+        budget -= 1
+        pc = faulty.state.pc
+        if cfv_latency is None:
+            if retired_index >= golden_length or golden_pcs[retired_index] != pc:
+                cfv_latency = retired_index - point
+        faulty.step()
+        if faulty.stop_reason is StopReason.EXCEPTION:
+            exception_latency = retired_index - point
+            break
+        if not faulty.running:
+            break
+        memop = faulty.last_memop
+        if memop is not None:
+            if memop_index < len(golden_memops):
+                golden_op = golden_memops[memop_index]
+                if memaddr_latency is None and (
+                    memop[0] != golden_op[0] or memop[1] != golden_op[1]
+                ):
+                    memaddr_latency = retired_index - point
+                elif (
+                    memdata_latency is None
+                    and memop[0] == "S"
+                    and memop[1] == golden_op[1]
+                    and memop[2] != golden_op[2]
+                ):
+                    memdata_latency = retired_index - point
+            memop_index += 1
+        retired_index += 1
+
+    failing = _trial_failed(
+        faulty, trace, exception_latency, cfv_latency
+    )
+    return ArchTrialResult(
+        workload=workload,
+        inject_step=point,
+        bit=bit,
+        exception_latency=exception_latency,
+        cfv_latency=cfv_latency,
+        memaddr_latency=memaddr_latency,
+        memdata_latency=memdata_latency,
+        failing=failing,
+    )
+
+
+def _trial_failed(
+    faulty: ArchSimulator,
+    trace,
+    exception_latency: int | None,
+    cfv_latency: int | None,
+) -> bool:
+    if exception_latency is not None:
+        return True
+    if faulty.running or faulty.stop_reason is StopReason.LIMIT:
+        # Ran past the golden run without halting: runaway execution.
+        return True
+    if cfv_latency is not None:
+        return True
+    if tuple(faulty.state.regs) != trace.final_regs:
+        return True
+    return not faulty.state.memory.equals(trace.final_memory)

@@ -1,0 +1,183 @@
+"""Trial outcome records and the paper's category classification.
+
+Architectural study (Figure 2 / Table 1), category precedence from the
+paper — "a trial that fits in both the exception and cfv categories is
+placed in the exception category", with lower (earlier-listed) categories
+taking precedence::
+
+    masked > exception > cfv > mem-addr > mem-data > register
+
+Microarchitectural study (Figures 4-6 / Table 2)::
+
+    masked, deadlock > exception > cfv > sdc, latent, other
+
+A symptom only counts toward a window (checkpoint interval) L if it occurred
+within L retired instructions of the injection; failing trials whose
+symptoms all lie beyond L fall into the data-corruption categories for that
+window. This is exactly how the paper's bars migrate as the x-axis latency
+grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ARCH_CATEGORIES = ("masked", "exception", "cfv", "mem-addr", "mem-data", "register")
+
+ARCH_CATEGORY_DESCRIPTIONS = {
+    "masked": "The injected fault was masked (did not cause failure)",
+    "exception": "Instruction Set Architecture defined exception",
+    "cfv": "Control flow violation - incorrect instruction executed",
+    "mem-addr": "Address of a memory operation was affected",
+    "mem-data": "A store instruction wrote incorrect data to memory",
+    "register": "Only registers were corrupted",
+}
+
+UARCH_CATEGORIES = ("masked", "deadlock", "exception", "cfv", "sdc", "latent", "other")
+
+UARCH_CATEGORY_DESCRIPTIONS = {
+    "masked": "The fault was masked or overwritten",
+    "deadlock": "Failure occurred in the form of a deadlock",
+    "exception": "The fault propagated into an ISA defined exception",
+    "cfv": "The fault caused a control flow violation",
+    "sdc": "Register file or memory state corruption",
+    "latent": "No failure detected yet, but fault still latent",
+    "other": "Other - failure unlikely",
+}
+
+
+@dataclass(frozen=True)
+class ArchTrialResult:
+    """Outcome of one virtual-machine fault-injection trial.
+
+    Latencies are retired instructions from injection to the first event of
+    each kind, or ``None`` if the event never occurred.
+    """
+
+    workload: str
+    inject_step: int
+    bit: int
+    exception_latency: int | None = None
+    cfv_latency: int | None = None
+    memaddr_latency: int | None = None
+    memdata_latency: int | None = None
+    failing: bool = False
+
+    @property
+    def masked(self) -> bool:
+        return not self.failing
+
+
+def classify_arch_trial(trial: ArchTrialResult, window: int | None) -> str:
+    """Category of a trial when symptoms within ``window`` instructions count.
+
+    ``window=None`` means an unbounded detection window ("inf" in Figure 2).
+    """
+    if trial.masked:
+        return "masked"
+
+    def within(latency: int | None) -> bool:
+        if latency is None:
+            return False
+        return window is None or latency <= window
+
+    if within(trial.exception_latency):
+        return "exception"
+    if within(trial.cfv_latency):
+        return "cfv"
+    if within(trial.memaddr_latency):
+        return "mem-addr"
+    if within(trial.memdata_latency):
+        return "mem-data"
+    return "register"
+
+
+@dataclass(frozen=True)
+class UarchTrialResult:
+    """Outcome of one microarchitectural fault-injection trial.
+
+    ``deadlock_latency`` / ``exception_latency`` / ``cfv_latency`` are
+    retired instructions from injection to that symptom (or ``None``).
+    ``cfv_detected_latency`` is the latency at which a ReStore-detectable
+    control-flow symptom fired (a high-confidence branch misprediction);
+    it is ``None`` when the JRS predictor did not flag the violation.
+    ``arch_corrupt`` means architectural state differed from golden at trial
+    end; ``uarch_latent`` means non-architectural state still differed;
+    ``latent_arch_relevant`` distinguishes latent flips sitting in
+    architecturally-relevant storage (counted as failures) from flips parked
+    in failure-unlikely state (the paper's *other* category).
+    ``protected`` marks trials whose flip landed on a parity/ECC-protected
+    bit in the hardened-pipeline study and was corrected.
+    """
+
+    workload: str
+    inject_cycle: int
+    target: str
+    state_class: str
+    bit: int
+    deadlock_latency: int | None = None
+    exception_latency: int | None = None
+    cfv_latency: int | None = None
+    cfv_detected_latency: int | None = None
+    arch_corrupt: bool = False
+    uarch_latent: bool = False
+    latent_arch_relevant: bool = False
+    protected: bool = False
+
+    @property
+    def failing(self) -> bool:
+        if self.protected:
+            return False
+        return (
+            self.deadlock_latency is not None
+            or self.exception_latency is not None
+            or self.cfv_latency is not None
+            or self.arch_corrupt
+            or (self.uarch_latent and self.latent_arch_relevant)
+        )
+
+
+def classify_uarch_trial(
+    trial: UarchTrialResult,
+    interval: int | None,
+    require_confident_cfv: bool = False,
+) -> str:
+    """Category at a checkpoint interval.
+
+    A symptom covers the trial only if it fired within ``interval`` retired
+    instructions of the injection, so that rollback to the previous
+    checkpoint predates the corruption. ``require_confident_cfv`` switches
+    the cfv category from perfect control-flow-violation identification
+    (Figure 4) to JRS-gated high-confidence mispredictions only (Figure 5);
+    undetected violations then count as silent data corruption.
+    """
+    if not trial.failing:
+        if trial.protected or not trial.uarch_latent:
+            return "masked"
+        return "other"
+
+    def within(latency: int | None) -> bool:
+        if latency is None:
+            return False
+        return interval is None or latency <= interval
+
+    if trial.deadlock_latency is not None:
+        # A deadlock is cleared by the pipeline flush itself ("can often be
+        # recovered by flushing the pipeline"), so the watchdog symptom is
+        # effective regardless of the checkpoint interval.
+        return "deadlock"
+    if within(trial.exception_latency):
+        return "exception"
+    cfv_latency = (
+        trial.cfv_detected_latency if require_confident_cfv else trial.cfv_latency
+    )
+    if within(cfv_latency):
+        return "cfv"
+    if trial.arch_corrupt or trial.cfv_latency is not None:
+        # Uncovered corruption (including control-flow divergence that the
+        # detector missed or that fell outside the interval).
+        return "sdc"
+    if trial.exception_latency is not None:
+        # The symptom exists but fired beyond the rollback window.
+        return "sdc"
+    return "latent"

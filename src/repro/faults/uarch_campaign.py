@@ -1,0 +1,450 @@
+"""The microarchitectural fault-injection campaign (Figures 4-6, §5.1.2).
+
+Methodology, following Section 4:
+
+1. Run each workload's pipeline once fault-free, collecting the golden
+   retired stream, full-state snapshots at the pre-selected trial-end
+   cycles, and the final architectural state.
+2. Pre-select injection cycles ("the fault injections were performed on a
+   set of about 250-300 points for each experiment"), walking one prefix
+   pipeline forward and forking it at each point.
+3. Each trial flips one uniformly-chosen state bit in the fork (caches and
+   predictor tables excluded, as in the paper) and monitors the machine for
+   a window of cycles (the paper used 10,000; default scaled down), with
+   the retired stream compared against golden on the fly.
+4. Outcomes (Table 2): watchdog saturation -> deadlock; a retired ISA
+   exception absent from golden -> exception; retired-PC divergence -> cfv
+   (with the JRS-gated detection latency recorded separately for Figure 5);
+   retired value/store divergence or corrupt final state -> sdc; a flip
+   still sitting in architecturally-relevant storage -> latent; residual
+   differences in failure-unlikely state -> other; full convergence ->
+   masked.
+
+One campaign serves all three figures: Figure 4 classifies with perfect
+control-flow-violation identification, Figure 5 requires JRS-flagged
+detection, and Figure 6 reinterprets flips that landed on parity/ECC
+protected state classes via a :class:`~repro.restore.hardened.ProtectionMap`
+(ECC-corrected flips become harmless latents — the paper's bigger *other*
+category — and parity-recovered flips are masked). The §5.1.2 latch-only
+study filters the same trials by state class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.classify import (
+    UARCH_CATEGORIES,
+    UarchTrialResult,
+    classify_uarch_trial,
+)
+from repro.faults.models import StateBitFlip
+from repro.restore.hardened import ProtectionMap
+from repro.uarch.latches import LATCH_CLASSES
+from repro.uarch.pipeline import Pipeline, load_pipeline
+from repro.util.rng import DeterministicRng
+from repro.util.stats import BinomialEstimate, CategoryCounter
+from repro.util.tables import format_table
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+# Figures 4-6 x-axis: checkpoint intervals in instructions.
+FIGURE46_INTERVALS: tuple[int, ...] = (25, 50, 100, 200, 500, 1000, 2000)
+
+
+@dataclass(frozen=True)
+class UarchCampaignConfig:
+    """Campaign knobs; scale trial counts up toward the paper's 12-13k."""
+
+    trials_per_workload: int = 84
+    injection_points: int = 28
+    window_cycles: int = 2500  # paper: 10,000
+    warmup_cycles: int = 250
+    seed: int = 2005
+    workload_scale: int = 1
+    fault_model: StateBitFlip = field(default_factory=StateBitFlip)
+    workloads: tuple[str, ...] = WORKLOAD_NAMES
+    max_golden_cycles: int = 200_000
+    record_cache_symptoms: bool = False
+
+
+@dataclass
+class _GoldenRun:
+    pipeline: Pipeline
+    retired: list
+    end_cycle: int
+    snapshots: dict[int, list[int]]
+    retired_at: dict[int, int]
+    final_arch_regs: list[int]
+
+
+@dataclass
+class UarchCampaignResult:
+    """All trials plus the classification views used by Figures 4-6."""
+
+    config: UarchCampaignConfig
+    trials: list[UarchTrialResult]
+    total_bits: int = 0
+
+    def counter(
+        self,
+        interval: int | None,
+        workload: str | None = None,
+        require_confident_cfv: bool = False,
+        protection: ProtectionMap | None = None,
+        classes: tuple[str, ...] | None = None,
+    ) -> CategoryCounter:
+        counter = CategoryCounter(UARCH_CATEGORIES)
+        for trial in self._select(workload, classes):
+            counter.add(
+                self._classify(trial, interval, require_confident_cfv, protection)
+            )
+        return counter
+
+    def _select(
+        self, workload: str | None, classes: tuple[str, ...] | None
+    ) -> list[UarchTrialResult]:
+        selected = self.trials
+        if workload is not None:
+            selected = [t for t in selected if t.workload == workload]
+        if classes is not None:
+            allowed = set(classes)
+            selected = [t for t in selected if t.state_class in allowed]
+        return selected
+
+    @staticmethod
+    def _classify(
+        trial: UarchTrialResult,
+        interval: int | None,
+        require_confident_cfv: bool,
+        protection: ProtectionMap | None,
+    ) -> str:
+        if protection is not None:
+            kind = protection.protection_of_parts(trial.target, trial.state_class)
+            if kind == "ecc":
+                # Corrected in place; the flip is a harmless latent
+                # ("covered by ECC and will not cause data corruption").
+                return "other" if trial.failing or trial.uarch_latent else "masked"
+            if kind == "parity":
+                # Detected on read and recovered by flush/refetch.
+                return "masked"
+        return classify_uarch_trial(trial, interval, require_confident_cfv)
+
+    # ------------------------------------------------------------- headline
+
+    def masked_estimate(
+        self, protection: ProtectionMap | None = None
+    ) -> BinomialEstimate:
+        good = sum(
+            1
+            for trial in self.trials
+            if self._classify(trial, None, False, protection) in ("masked", "other")
+        )
+        return BinomialEstimate(good, len(self.trials))
+
+    def baseline_failure_estimate(self) -> BinomialEstimate:
+        """Failures with no detection at all (the paper's ~7%)."""
+        failing = sum(1 for trial in self.trials if trial.failing)
+        return BinomialEstimate(failing, len(self.trials))
+
+    def failure_estimate(
+        self,
+        interval: int | None,
+        require_confident_cfv: bool = True,
+        protection: ProtectionMap | None = None,
+    ) -> BinomialEstimate:
+        """Residual failures when covered symptoms are recovered: the
+        trials classified sdc or latent at this interval."""
+        residual = 0
+        for trial in self.trials:
+            category = self._classify(
+                trial, interval, require_confident_cfv, protection
+            )
+            if category in ("sdc", "latent"):
+                residual += 1
+        return BinomialEstimate(residual, len(self.trials))
+
+    def coverage_of_failures(
+        self,
+        interval: int | None,
+        require_confident_cfv: bool = False,
+        classes: tuple[str, ...] | None = None,
+    ) -> BinomialEstimate:
+        """Fraction of failing trials covered by deadlock/exception/cfv
+        within the interval (the paper's "half of all failures" at 100)."""
+        failing = [t for t in self._select(None, classes) if t.failing]
+        covered = sum(
+            1
+            for trial in failing
+            if classify_uarch_trial(trial, interval, require_confident_cfv)
+            in ("deadlock", "exception", "cfv")
+        )
+        return BinomialEstimate(covered, max(1, len(failing)))
+
+    def latch_only_view(self) -> "UarchCampaignResult":
+        """The Section 5.1.2 study: trials whose flip hit pipeline latches."""
+        trials = [t for t in self.trials if t.state_class in LATCH_CLASSES]
+        return UarchCampaignResult(self.config, trials, self.total_bits)
+
+    # --------------------------------------------------------------- tables
+
+    def table(
+        self,
+        intervals: tuple[int, ...] = FIGURE46_INTERVALS,
+        require_confident_cfv: bool = False,
+        protection: ProtectionMap | None = None,
+        title: str = "outcome shares vs checkpoint interval",
+    ) -> str:
+        rows = []
+        for interval in intervals:
+            counter = self.counter(
+                interval,
+                require_confident_cfv=require_confident_cfv,
+                protection=protection,
+            )
+            rows.append(
+                [str(interval)]
+                + [f"{counter.proportion(name):.1%}" for name in UARCH_CATEGORIES]
+            )
+        return format_table(["interval"] + list(UARCH_CATEGORIES), rows, title=title)
+
+
+def run_uarch_campaign(config: UarchCampaignConfig) -> UarchCampaignResult:
+    """Run the campaign over every configured workload."""
+    rng = DeterministicRng(config.seed).child("uarch-campaign")
+    trials: list[UarchTrialResult] = []
+    total_bits = 0
+    for name in config.workloads:
+        workload_trials, bits = _run_workload(name, config, rng.child(name))
+        trials.extend(workload_trials)
+        total_bits = bits
+    return UarchCampaignResult(config, trials, total_bits)
+
+
+def _run_workload(
+    name: str, config: UarchCampaignConfig, rng: DeterministicRng
+) -> tuple[list[UarchTrialResult], int]:
+    bundle = build_workload(name, config.workload_scale, config.seed)
+
+    # Choose injection cycles before running golden: spread uniformly over
+    # the run. We need golden's length first, so run it now.
+    golden = _run_golden(bundle, config, inject_cycles=None)
+    end_cycle = golden.end_cycle
+    first = min(config.warmup_cycles, max(1, end_cycle // 10))
+    last = max(first + 1, end_cycle - 100)
+    point_count = min(config.injection_points, last - first)
+    points = sorted(rng.sample(range(first, last), point_count))
+    # Re-run golden to capture snapshots at each trial-end cycle.
+    snapshot_cycles = [
+        point + config.window_cycles
+        for point in points
+        if point + config.window_cycles < end_cycle
+    ]
+    golden = _run_golden(bundle, config, inject_cycles=snapshot_cycles)
+
+    per_point = -(-config.trials_per_workload // point_count)
+    prefix = load_pipeline(
+        bundle.program, record_cache_symptoms=config.record_cache_symptoms
+    )
+    results: list[UarchTrialResult] = []
+    for point in points:
+        prefix.run(point - prefix.cycle_count)
+        if not prefix.running:
+            break
+        for _ in range(per_point):
+            field_index, flip_field, bit = _pick_bit(
+                prefix, config.fault_model, rng
+            )
+            results.append(
+                _run_trial(
+                    name, prefix, golden, config, point, field_index, bit
+                )
+            )
+    return results, prefix.registry.total_bits()
+
+
+def _pick_bit(prefix: Pipeline, fault_model: StateBitFlip, rng: DeterministicRng):
+    classes = fault_model.target_classes
+    registry = prefix.registry
+    flip_field, bit = registry.pick_bit(rng, classes=classes)
+    field_index = registry.fields.index(flip_field)
+    return field_index, flip_field, bit
+
+
+def _run_golden(bundle, config: UarchCampaignConfig, inject_cycles) -> _GoldenRun:
+    pipeline = load_pipeline(
+        bundle.program,
+        collect_retired=True,
+        record_cache_symptoms=config.record_cache_symptoms,
+    )
+    snapshots: dict[int, list[int]] = {}
+    retired_at: dict[int, int] = {}
+    if inject_cycles:
+        for target in sorted(set(inject_cycles)):
+            pipeline.run(target - pipeline.cycle_count)
+            if not pipeline.running:
+                break
+            snapshots[target] = pipeline.registry.snapshot()
+            retired_at[target] = pipeline.retired_count
+    pipeline.run(config.max_golden_cycles - pipeline.cycle_count)
+    if not pipeline.halted:
+        raise RuntimeError(
+            f"golden pipeline run of {bundle.name} did not halt "
+            f"(exception={pipeline.exception_name()})"
+        )
+    return _GoldenRun(
+        pipeline=pipeline,
+        retired=pipeline.retired_log,
+        end_cycle=pipeline.cycle_count,
+        snapshots=snapshots,
+        retired_at=retired_at,
+        final_arch_regs=pipeline.arch_reg_values(),
+    )
+
+
+def _entry_index(name: str) -> int:
+    """Slot number from a registered field name like ``prf.value[37]``."""
+    return int(name[name.index("[") + 1:-1])
+
+
+def _latent_is_arch_relevant(faulty: Pipeline, diff_indices: list[int]) -> bool:
+    """Is any residual state difference architecturally relevant?
+
+    Relevant: the retirement RAT, a physical register currently mapped by
+    it, or a *live* store-buffer entry (including a flipped valid bit,
+    which can conjure a phantom committed store). Residue in stale entries
+    of any structure is dead state — the paper's failure-unlikely *other*.
+    """
+    mapped = set(faulty.arch_rat.map)
+    for index in diff_indices:
+        flip_field = faulty.registry.fields[index]
+        if flip_field.structure == "arch_rat":
+            return True
+        if flip_field.structure == "storebuf":
+            if flip_field.name.startswith("storebuf.valid"):
+                return True
+            if flip_field.name.startswith(
+                ("storebuf.addr", "storebuf.data", "storebuf.size")
+            ) and faulty.storebuf.valid[_entry_index(flip_field.name)]:
+                return True
+            continue
+        if flip_field.structure == "prf" and flip_field.name.startswith("prf.value"):
+            if _entry_index(flip_field.name) in mapped:
+                return True
+    return False
+
+
+def _run_trial(
+    workload: str,
+    prefix: Pipeline,
+    golden: _GoldenRun,
+    config: UarchCampaignConfig,
+    point: int,
+    field_index: int,
+    bit: int,
+) -> UarchTrialResult:
+    faulty = prefix.fork()
+    faulty.retired_log = []
+    flip_field = faulty.registry.fields[field_index]
+    flip_field.flip(bit)
+
+    base = faulty.retired_count
+    faulty.run(config.window_cycles)
+
+    golden_log = golden.retired
+    deadlock_latency = None
+    exception_latency = None
+    cfv_latency = None
+    arch_corrupt = False
+    previous_pc_mismatch = False
+    for offset, record in enumerate(faulty.retired_log):
+        index = base + offset
+        latency = offset + 1
+        if record.exc:
+            exception_latency = latency
+            break
+        if index >= len(golden_log):
+            if cfv_latency is None:
+                cfv_latency = latency
+            break
+        expected = golden_log[index]
+        store_matches = record.store_addr == expected.store_addr and (
+            record.store_addr < 0 or record.store_data == expected.store_data
+        )
+        value_matches = record.dest == expected.dest and (
+            record.dest < 0 or record.value == expected.value
+        )
+        content_matches = store_matches and value_matches
+        if record.pc != expected.pc:
+            # A lone PC-label mismatch with identical architectural content
+            # is a corrupted in-flight PC tag, not a wrong instruction; two
+            # in a row (or wrong content) means execution really diverged.
+            if not content_matches or previous_pc_mismatch:
+                if cfv_latency is None:
+                    cfv_latency = max(1, latency - 1 if previous_pc_mismatch else latency)
+            previous_pc_mismatch = True
+        else:
+            previous_pc_mismatch = False
+            # A diverging *store* is persistent memory corruption. A
+            # diverging register value is not persistent by itself — if it
+            # is never consumed and later overwritten the fault is masked
+            # (the end-of-trial state comparison decides), exactly as the
+            # paper's masked category allows corrupted-then-overwritten
+            # architectural state.
+            if not store_matches:
+                arch_corrupt = True
+    if faulty.deadlock:
+        deadlock_latency = len(faulty.retired_log) + 1
+
+    cfv_detected_latency = None
+    for event in faulty.symptoms:
+        if event.kind == "hc_mispredict":
+            cfv_detected_latency = max(1, event.retired - base + 1)
+            break
+
+    uarch_latent = False
+    latent_arch_relevant = False
+    clean_stream = (
+        deadlock_latency is None
+        and exception_latency is None
+        and cfv_latency is None
+        and not arch_corrupt
+    )
+    if clean_stream:
+        if faulty.halted:
+            # The program finished: compare final architectural state.
+            if len(faulty.retired_log) + base != len(golden_log):
+                cfv_latency = len(faulty.retired_log) + 1
+            elif not faulty.memory.equals(golden.pipeline.memory):
+                arch_corrupt = True
+            elif faulty.arch_reg_values() != golden.final_arch_regs:
+                arch_corrupt = True
+        else:
+            end_cycle = point + config.window_cycles
+            snapshot = golden.snapshots.get(end_cycle)
+            if (
+                snapshot is not None
+                and faulty.cycle_count == end_cycle
+                and faulty.retired_count == golden.retired_at.get(end_cycle)
+            ):
+                diff = faulty.registry.diff_indices(
+                    snapshot, faulty.registry.snapshot()
+                )
+                if diff:
+                    uarch_latent = True
+                    latent_arch_relevant = _latent_is_arch_relevant(faulty, diff)
+            # Matching stream with timing skew only: architecturally benign.
+
+    return UarchTrialResult(
+        workload=workload,
+        inject_cycle=point,
+        target=flip_field.structure,
+        state_class=flip_field.state_class,
+        bit=bit,
+        deadlock_latency=deadlock_latency,
+        exception_latency=exception_latency,
+        cfv_latency=cfv_latency,
+        cfv_detected_latency=cfv_detected_latency,
+        arch_corrupt=arch_corrupt,
+        uarch_latent=uarch_latent,
+        latent_arch_relevant=latent_arch_relevant,
+    )

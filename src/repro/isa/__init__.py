@@ -1,0 +1,56 @@
+"""The reproduction's Alpha-like 64-bit RISC instruction set.
+
+The paper's experiments run Alpha ISA binaries; we define a faithful subset
+with Alpha's instruction formats (operate, operate-literal, memory, branch),
+a 32-register integer file with R31 hardwired to zero, and the integer,
+memory, and control-flow operations the paper's workloads exercise. Floating
+point is omitted, exactly as in the paper's processor model ("due to time
+considerations, floating point instructions ... were not implemented").
+
+Public surface:
+
+- :mod:`repro.isa.registers` — register file constants and names.
+- :mod:`repro.isa.opcodes` — opcode/function-code tables and mnemonics.
+- :mod:`repro.isa.encoding` — encode/decode of 32-bit instruction words.
+- :mod:`repro.isa.instructions` — :class:`DecodedInst` and classification.
+- :mod:`repro.isa.semantics` — pure operand->result semantics shared by the
+  architectural simulator and the pipeline model's functional units.
+- :mod:`repro.isa.assembler` — two-pass assembler producing a
+  :class:`~repro.isa.program.Program`.
+- :mod:`repro.isa.disassembler` — word -> text.
+"""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.disassembler import disassemble, disassemble_program
+from repro.isa.encoding import IllegalInstructionError, decode_word
+from repro.isa.instructions import DecodedInst, InstClass
+from repro.isa.program import Program, Segment
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_GP,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    register_name,
+    register_number,
+)
+
+__all__ = [
+    "AssemblerError",
+    "DecodedInst",
+    "IllegalInstructionError",
+    "InstClass",
+    "NUM_REGS",
+    "Program",
+    "REG_GP",
+    "REG_RA",
+    "REG_SP",
+    "REG_ZERO",
+    "Segment",
+    "assemble",
+    "decode_word",
+    "disassemble",
+    "disassemble_program",
+    "register_name",
+    "register_number",
+]

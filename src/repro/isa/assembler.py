@@ -1,0 +1,462 @@
+"""Two-pass assembler for the reproduction ISA.
+
+Syntax (one statement per line, ``#`` starts a comment)::
+
+    .text
+    start:  la      r1, table           # pseudo: load a 32-bit address
+            li      r2, 100             # pseudo: load an immediate
+    loop:   ldq     r3, 0(r1)
+            addq    r3, 7, r3           # bare numbers are literals
+            stq     r3, 0(r1)
+            lda     r1, 8(r1)
+            subq    r2, 1, r2
+            bne     r2, loop
+            ret     (ra)
+    .data
+    table:  .quad   1, 2, 3
+            .space  64
+            .align  8
+
+Directives: ``.text``, ``.data``, ``.quad``, ``.long``, ``.byte``,
+``.space N``, ``.align N``, ``.asciiz "..."``.
+
+Pseudo-instructions (expanded to fixed-length sequences so that pass one can
+lay out addresses):
+
+- ``nop``                  -> ``bis zero, zero, zero``
+- ``mov rs, rd``           -> ``bis rs, rs, rd``
+- ``li rd, imm``           -> ``lda`` (16-bit) or ``ldah``+``lda`` (32-bit)
+- ``la rd, symbol[+off]``  -> ``ldah``+``lda`` pair (always two words)
+- ``clr rd``               -> ``bis zero, zero, rd``
+- ``halt``                 -> the all-zero word
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.isa import opcodes as op
+from repro.isa import program as prog
+from repro.isa.encoding import (
+    HALT_WORD,
+    encode_branch,
+    encode_jump,
+    encode_memory,
+    encode_operate,
+)
+from repro.isa.registers import REG_RA, REG_ZERO, register_number
+
+
+class AssemblerError(Exception):
+    """Raised with a line number on any assembly problem."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+@dataclass
+class _Statement:
+    line_number: int
+    section: str
+    mnemonic: str
+    operands: list[str]
+    address: int = 0
+    size: int = 0
+
+
+@dataclass
+class _Assembly:
+    """Mutable state threaded through both passes."""
+
+    symbols: dict[str, int] = field(default_factory=dict)
+    text_words: list[int] = field(default_factory=list)
+    data: bytearray = field(default_factory=bytearray)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_NUMBER_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+_MEM_OPERAND_RE = re.compile(r"^(?P<disp>[^()]*)\((?P<base>[^()]+)\)$")
+
+
+def _parse_number(text: str) -> int | None:
+    text = text.strip()
+    if _NUMBER_RE.match(text):
+        return int(text, 0)
+    return None
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split on commas not inside quotes."""
+    operands = []
+    current = []
+    in_string = False
+    for char in text:
+        if char == '"':
+            in_string = not in_string
+            current.append(char)
+        elif char == "," and not in_string:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char in "#;" and not in_string:
+            return line[:index]
+    return line
+
+
+class _Assembler:
+    def __init__(self, source: str, name: str):
+        self.source = source
+        self.name = name
+        self.state = _Assembly()
+        self.statements: list[_Statement] = []
+
+    # ------------------------------------------------------------- parsing
+
+    def parse(self) -> None:
+        section = "text"
+        text_addr = prog.TEXT_BASE
+        data_addr = prog.DATA_BASE
+        for line_number, raw_line in enumerate(self.source.splitlines(), start=1):
+            line = _strip_comment(raw_line).strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in self.state.symbols:
+                    raise AssemblerError(line_number, f"duplicate label {label!r}")
+                self.state.symbols[label] = (
+                    text_addr if section == "text" else data_addr
+                )
+                line = line[match.end():].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operand_text = parts[1] if len(parts) > 1 else ""
+            if mnemonic == ".text":
+                section = "text"
+                continue
+            if mnemonic == ".data":
+                section = "data"
+                continue
+            statement = _Statement(
+                line_number=line_number,
+                section=section,
+                mnemonic=mnemonic,
+                operands=_split_operands(operand_text),
+            )
+            statement.size = self._statement_size(statement, data_addr)
+            if section == "text":
+                if mnemonic.startswith("."):
+                    raise AssemblerError(
+                        line_number, f"directive {mnemonic} not allowed in .text"
+                    )
+                statement.address = text_addr
+                text_addr += statement.size
+            else:
+                statement.address = data_addr
+                data_addr += statement.size
+            self.statements.append(statement)
+
+    def _statement_size(self, statement: _Statement, data_addr: int) -> int:
+        mnemonic = statement.mnemonic
+        operands = statement.operands
+        line = statement.line_number
+        if mnemonic.startswith("."):
+            if mnemonic == ".quad":
+                return 8 * len(operands)
+            if mnemonic == ".long":
+                return 4 * len(operands)
+            if mnemonic == ".byte":
+                return len(operands)
+            if mnemonic == ".space":
+                count = _parse_number(operands[0]) if operands else None
+                if count is None or count < 0:
+                    raise AssemblerError(line, ".space needs a size")
+                return count
+            if mnemonic == ".align":
+                alignment = _parse_number(operands[0]) if operands else None
+                if alignment is None or alignment <= 0:
+                    raise AssemblerError(line, ".align needs an alignment")
+                return (-data_addr) % alignment
+            if mnemonic == ".asciiz":
+                if len(operands) != 1 or not operands[0].startswith('"'):
+                    raise AssemblerError(line, '.asciiz needs one "string"')
+                return len(self._parse_string(line, operands[0])) + 1
+            raise AssemblerError(line, f"unknown directive {mnemonic}")
+        return 4 * self._expansion_length(statement)
+
+    def _expansion_length(self, statement: _Statement) -> int:
+        mnemonic = statement.mnemonic
+        if mnemonic == "la":
+            return 2
+        if mnemonic == "li":
+            if len(statement.operands) != 2:
+                raise AssemblerError(statement.line_number, "li rd, imm")
+            value = _parse_number(statement.operands[1])
+            if value is None:
+                raise AssemblerError(
+                    statement.line_number, "li needs a numeric immediate"
+                )
+            return 1 if -(1 << 15) <= value < (1 << 15) else 2
+        return 1
+
+    @staticmethod
+    def _parse_string(line: int, text: str) -> bytes:
+        if not (text.startswith('"') and text.endswith('"')):
+            raise AssemblerError(line, f"malformed string {text}")
+        body = text[1:-1]
+        return body.encode("utf-8").decode("unicode_escape").encode("latin-1")
+
+    # ----------------------------------------------------------- encoding
+
+    def encode(self) -> prog.Program:
+        for statement in self.statements:
+            if statement.section == "text":
+                self._encode_instruction(statement)
+            else:
+                self._encode_data(statement)
+        return prog.Program(
+            name=self.name,
+            text_words=self.state.text_words,
+            data_bytes=bytes(self.state.data),
+            symbols=dict(self.state.symbols),
+        )
+
+    def _encode_data(self, statement: _Statement) -> None:
+        mnemonic = statement.mnemonic
+        line = statement.line_number
+        if mnemonic == ".quad":
+            for operand in statement.operands:
+                value = self._eval(line, operand)
+                self.state.data += (value % (1 << 64)).to_bytes(8, "little")
+        elif mnemonic == ".long":
+            for operand in statement.operands:
+                value = self._eval(line, operand)
+                self.state.data += (value % (1 << 32)).to_bytes(4, "little")
+        elif mnemonic == ".byte":
+            for operand in statement.operands:
+                value = self._eval(line, operand)
+                self.state.data += (value % 256).to_bytes(1, "little")
+        elif mnemonic == ".space":
+            self.state.data += bytes(statement.size)
+        elif mnemonic == ".align":
+            self.state.data += bytes(statement.size)
+        elif mnemonic == ".asciiz":
+            self.state.data += self._parse_string(line, statement.operands[0])
+            self.state.data += b"\x00"
+        else:  # pragma: no cover - guarded in pass one
+            raise AssemblerError(line, f"unknown directive {mnemonic}")
+
+    def _eval(self, line: int, expression: str) -> int:
+        """Evaluate number | symbol | symbol+number | symbol-number."""
+        text = expression.strip()
+        number = _parse_number(text)
+        if number is not None:
+            return number
+        match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*([+-]\s*\w+)?$", text)
+        if not match:
+            raise AssemblerError(line, f"cannot evaluate expression {text!r}")
+        symbol, offset_text = match.groups()
+        if symbol not in self.state.symbols:
+            raise AssemblerError(line, f"undefined symbol {symbol!r}")
+        value = self.state.symbols[symbol]
+        if offset_text:
+            offset = _parse_number(offset_text.replace(" ", ""))
+            if offset is None:
+                raise AssemblerError(line, f"bad offset in {text!r}")
+            value += offset
+        return value
+
+    def _reg(self, line: int, text: str) -> int:
+        try:
+            return register_number(text)
+        except ValueError as error:
+            raise AssemblerError(line, str(error)) from error
+
+    def _encode_instruction(self, statement: _Statement) -> None:
+        for word in self._expand(statement):
+            self.state.text_words.append(word)
+
+    def _expand(self, statement: _Statement) -> list[int]:
+        mnemonic = statement.mnemonic
+        operands = statement.operands
+        line = statement.line_number
+
+        if mnemonic == "nop":
+            return [encode_operate(op.OP_INTL, op.FUNC_BIS, REG_ZERO, REG_ZERO,
+                                   REG_ZERO, is_literal=False)]
+        if mnemonic == "halt":
+            return [HALT_WORD]
+        if mnemonic == "clr":
+            if len(operands) != 1:
+                raise AssemblerError(line, "clr rd")
+            rd = self._reg(line, operands[0])
+            return [encode_operate(op.OP_INTL, op.FUNC_BIS, REG_ZERO, REG_ZERO,
+                                   rd, is_literal=False)]
+        if mnemonic == "mov":
+            if len(operands) != 2:
+                raise AssemblerError(line, "mov rs, rd")
+            rd = self._reg(line, operands[1])
+            number = _parse_number(operands[0])
+            if number is not None:
+                if not 0 <= number < 256:
+                    raise AssemblerError(line, "mov immediate must fit 8 bits; use li")
+                return [encode_operate(op.OP_INTL, op.FUNC_BIS, REG_ZERO, number,
+                                       rd, is_literal=True)]
+            rs = self._reg(line, operands[0])
+            return [encode_operate(op.OP_INTL, op.FUNC_BIS, rs, rs, rd,
+                                   is_literal=False)]
+        if mnemonic == "li":
+            return self._expand_li(line, operands)
+        if mnemonic == "la":
+            return self._expand_la(line, operands)
+
+        spec = op.SPEC_BY_MNEMONIC.get(mnemonic)
+        if spec is None:
+            raise AssemblerError(line, f"unknown mnemonic {mnemonic!r}")
+        if spec.format is op.Format.OPERATE:
+            return [self._encode_operate_stmt(line, spec, operands)]
+        if spec.format is op.Format.MEMORY:
+            return [self._encode_memory_stmt(line, spec, operands)]
+        if spec.format is op.Format.JUMP:
+            return [self._encode_jump_stmt(line, spec, operands)]
+        if spec.format is op.Format.BRANCH:
+            return [self._encode_branch_stmt(line, spec, operands, statement)]
+        raise AssemblerError(line, f"cannot encode {mnemonic}")
+
+    def _expand_li(self, line: int, operands: list[str]) -> list[int]:
+        rd = self._reg(line, operands[0])
+        value = _parse_number(operands[1])
+        if value is None:
+            raise AssemblerError(line, "li needs a numeric immediate")
+        return self._load_constant(line, rd, value)
+
+    def _expand_la(self, line: int, operands: list[str]) -> list[int]:
+        if len(operands) != 2:
+            raise AssemblerError(line, "la rd, symbol")
+        rd = self._reg(line, operands[0])
+        value = self._eval(line, operands[1])
+        words = self._load_constant(line, rd, value, force_pair=True)
+        return words
+
+    def _load_constant(
+        self, line: int, rd: int, value: int, force_pair: bool = False
+    ) -> list[int]:
+        if not force_pair and -(1 << 15) <= value < (1 << 15):
+            return [encode_memory(op.OP_LDA, rd, REG_ZERO, value)]
+        if not -(1 << 31) <= value < (1 << 31):
+            raise AssemblerError(line, f"constant does not fit 32 bits: {value}")
+        low = value & 0xFFFF
+        if low >= 0x8000:
+            low -= 0x10000
+        high = (value - low) >> 16
+        if not -(1 << 15) <= high < (1 << 15):
+            raise AssemblerError(line, f"constant does not fit 32 bits: {value}")
+        return [
+            encode_memory(op.OP_LDAH, rd, REG_ZERO, high),
+            encode_memory(op.OP_LDA, rd, rd, low),
+        ]
+
+    def _encode_operate_stmt(
+        self, line: int, spec: op.OpSpec, operands: list[str]
+    ) -> int:
+        if len(operands) != 3:
+            raise AssemblerError(line, f"{spec.mnemonic} ra, rb|imm, rc")
+        ra = self._reg(line, operands[0])
+        rc = self._reg(line, operands[2])
+        number = _parse_number(operands[1])
+        if number is not None:
+            if not 0 <= number < 256:
+                raise AssemblerError(
+                    line, f"operate literal must be in [0, 255], got {number}"
+                )
+            return encode_operate(spec.opcode, spec.func, ra, number, rc,
+                                  is_literal=True)
+        rb = self._reg(line, operands[1])
+        return encode_operate(spec.opcode, spec.func, ra, rb, rc,
+                              is_literal=False)
+
+    def _encode_memory_stmt(
+        self, line: int, spec: op.OpSpec, operands: list[str]
+    ) -> int:
+        if len(operands) != 2:
+            raise AssemblerError(line, f"{spec.mnemonic} ra, disp(rb)")
+        ra = self._reg(line, operands[0])
+        match = _MEM_OPERAND_RE.match(operands[1])
+        if match:
+            disp_text = match.group("disp").strip()
+            disp = self._eval(line, disp_text) if disp_text else 0
+            rb = self._reg(line, match.group("base"))
+        else:
+            disp = self._eval(line, operands[1])
+            rb = REG_ZERO
+        if not -(1 << 15) <= disp < (1 << 15):
+            raise AssemblerError(line, f"displacement does not fit 16 bits: {disp}")
+        return encode_memory(spec.opcode, ra, rb, disp)
+
+    def _encode_jump_stmt(
+        self, line: int, spec: op.OpSpec, operands: list[str]
+    ) -> int:
+        # Accept "jsr ra, (rb)", "jmp (rb)", "ret (rb)", "ret".
+        if not operands:
+            if spec.jump_hint == op.JUMP_HINT_RET:
+                return encode_jump(REG_ZERO, REG_RA, spec.jump_hint)
+            raise AssemblerError(line, f"{spec.mnemonic} needs a target register")
+        if len(operands) == 1:
+            ra = REG_ZERO
+            target_text = operands[0]
+        else:
+            ra = self._reg(line, operands[0])
+            target_text = operands[1]
+        target_text = target_text.strip()
+        if target_text.startswith("(") and target_text.endswith(")"):
+            target_text = target_text[1:-1]
+        rb = self._reg(line, target_text)
+        return encode_jump(ra, rb, spec.jump_hint)
+
+    def _encode_branch_stmt(
+        self, line: int, spec: op.OpSpec, operands: list[str],
+        statement: _Statement,
+    ) -> int:
+        if spec.opcode in (op.OP_BR, op.OP_BSR):
+            if len(operands) == 1:
+                ra = REG_RA if spec.opcode == op.OP_BSR else REG_ZERO
+                target_text = operands[0]
+            elif len(operands) == 2:
+                ra = self._reg(line, operands[0])
+                target_text = operands[1]
+            else:
+                raise AssemblerError(line, f"{spec.mnemonic} [ra,] label")
+        else:
+            if len(operands) != 2:
+                raise AssemblerError(line, f"{spec.mnemonic} ra, label")
+            ra = self._reg(line, operands[0])
+            target_text = operands[1]
+        target = self._eval(line, target_text)
+        offset = target - (statement.address + 4)
+        if offset % 4 != 0:
+            raise AssemblerError(line, f"misaligned branch target 0x{target:x}")
+        return encode_branch(spec.opcode, ra, offset // 4)
+
+
+def assemble(source: str, name: str = "program") -> prog.Program:
+    """Assemble source text into a :class:`~repro.isa.program.Program`."""
+    assembler = _Assembler(source, name)
+    assembler.parse()
+    return assembler.encode()

@@ -1,0 +1,67 @@
+"""Instruction word -> assembly text, mainly for debugging and traces."""
+
+from __future__ import annotations
+
+from repro.isa import opcodes as op
+from repro.isa.encoding import try_decode_word
+from repro.isa.instructions import DecodedInst
+from repro.isa.program import Program
+from repro.isa.registers import register_name
+
+
+def _signed_disp(inst: DecodedInst) -> int:
+    disp = inst.disp
+    if disp >= 1 << 63:
+        disp -= 1 << 64
+    return disp
+
+
+def disassemble(word: int, pc: int | None = None) -> str:
+    """Disassemble one word; illegal encodings render as ``.illegal``."""
+    inst = try_decode_word(word)
+    if inst is None:
+        return f".illegal 0x{word:08x}"
+    return disassemble_inst(inst, pc)
+
+
+def disassemble_inst(inst: DecodedInst, pc: int | None = None) -> str:
+    """Render a decoded instruction."""
+    mnemonic = inst.mnemonic
+    if inst.is_halt:
+        return "halt"
+    if inst.format is op.Format.OPERATE:
+        second = str(inst.literal) if inst.is_literal else register_name(inst.rb)
+        return (
+            f"{mnemonic} {register_name(inst.ra)}, {second}, "
+            f"{register_name(inst.rc)}"
+        )
+    if inst.format is op.Format.MEMORY:
+        return (
+            f"{mnemonic} {register_name(inst.ra)}, "
+            f"{_signed_disp(inst)}({register_name(inst.rb)})"
+        )
+    if inst.format is op.Format.JUMP:
+        return f"{mnemonic} {register_name(inst.ra)}, ({register_name(inst.rb)})"
+    # Branch format.
+    if pc is not None:
+        target = inst.branch_target(pc)
+        suffix = f"0x{target:x}"
+    else:
+        suffix = f".{_signed_disp(inst):+d} words"
+    if inst.opcode in (op.OP_BR, op.OP_BSR):
+        return f"{mnemonic} {register_name(inst.ra)}, {suffix}"
+    return f"{mnemonic} {register_name(inst.ra)}, {suffix}"
+
+
+def disassemble_program(program: Program) -> str:
+    """Full text-segment listing with addresses and symbol annotations."""
+    labels_by_address: dict[int, list[str]] = {}
+    for name, address in program.symbols.items():
+        labels_by_address.setdefault(address, []).append(name)
+    lines = []
+    for index, word in enumerate(program.text_words):
+        address = program.text_base + 4 * index
+        for label in sorted(labels_by_address.get(address, [])):
+            lines.append(f"{label}:")
+        lines.append(f"  0x{address:08x}:  {disassemble(word, pc=address)}")
+    return "\n".join(lines)

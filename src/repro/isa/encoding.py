@@ -1,0 +1,129 @@
+"""Encoding and decoding of 32-bit instruction words."""
+
+from __future__ import annotations
+
+from repro.isa import opcodes as op
+from repro.isa.instructions import DecodedInst
+from repro.util.bitops import extract_bits, sign_extend
+
+WORD_MASK = (1 << 32) - 1
+
+
+class IllegalInstructionError(Exception):
+    """Raised when a word does not decode to any defined instruction.
+
+    The architectural simulator converts this into an ISA-defined exception;
+    the pipeline model tags the instruction and raises the exception at
+    retirement, as real hardware does.
+    """
+
+    def __init__(self, word: int):
+        super().__init__(f"illegal instruction word 0x{word:08x}")
+        self.word = word
+
+
+def encode_operate(
+    opcode: int, func: int, ra: int, rb_or_lit: int, rc: int, is_literal: bool
+) -> int:
+    """Encode an operate-format instruction (register or literal form)."""
+    word = (opcode & 0x3F) << 26
+    word |= (ra & 0x1F) << 21
+    if is_literal:
+        if not 0 <= rb_or_lit < 256:
+            raise ValueError(f"literal out of range [0, 255]: {rb_or_lit}")
+        word |= (rb_or_lit & 0xFF) << 13
+        word |= 1 << 12
+    else:
+        word |= (rb_or_lit & 0x1F) << 16
+    word |= (func & 0x7F) << 5
+    word |= rc & 0x1F
+    return word
+
+
+def encode_memory(opcode: int, ra: int, rb: int, disp: int) -> int:
+    """Encode a memory-format instruction; ``disp`` is a signed byte offset."""
+    if not -(1 << 15) <= disp < (1 << 15):
+        raise ValueError(f"16-bit displacement out of range: {disp}")
+    word = (opcode & 0x3F) << 26
+    word |= (ra & 0x1F) << 21
+    word |= (rb & 0x1F) << 16
+    word |= disp & 0xFFFF
+    return word
+
+
+def encode_jump(ra: int, rb: int, hint: int) -> int:
+    """Encode a jump-format instruction (JMP/JSR/RET/JSR_COROUTINE)."""
+    word = (op.OP_JMP & 0x3F) << 26
+    word |= (ra & 0x1F) << 21
+    word |= (rb & 0x1F) << 16
+    word |= (hint & 0x3) << 14
+    return word
+
+
+def encode_branch(opcode: int, ra: int, disp_words: int) -> int:
+    """Encode a branch; ``disp_words`` is the signed word offset from PC+4."""
+    if not -(1 << 20) <= disp_words < (1 << 20):
+        raise ValueError(f"21-bit branch displacement out of range: {disp_words}")
+    word = (opcode & 0x3F) << 26
+    word |= (ra & 0x1F) << 21
+    word |= disp_words & 0x1FFFFF
+    return word
+
+
+HALT_WORD = 0x00000000
+
+
+def decode_word(word: int) -> DecodedInst:
+    """Decode one instruction word; raises IllegalInstructionError."""
+    word &= WORD_MASK
+    opcode = extract_bits(word, 26, 6)
+    ra = extract_bits(word, 21, 5)
+
+    if opcode == op.OP_PAL:
+        if word == HALT_WORD:
+            return DecodedInst(
+                spec=op.SPEC_BY_MNEMONIC["halt"], word=word, ra=31, rb=31, rc=31
+            )
+        raise IllegalInstructionError(word)
+
+    if opcode in op.OPERATE_OPCODES:
+        func = extract_bits(word, 5, 7)
+        spec = op.SPEC_BY_OPCODE_FUNC.get((opcode, func))
+        if spec is None:
+            raise IllegalInstructionError(word)
+        rc = extract_bits(word, 0, 5)
+        if extract_bits(word, 12, 1):
+            literal = extract_bits(word, 13, 8)
+            return DecodedInst(
+                spec=spec, word=word, ra=ra, rb=31, rc=rc,
+                is_literal=True, literal=literal,
+            )
+        rb = extract_bits(word, 16, 5)
+        return DecodedInst(spec=spec, word=word, ra=ra, rb=rb, rc=rc)
+
+    if opcode == op.OP_JMP:
+        rb = extract_bits(word, 16, 5)
+        hint = extract_bits(word, 14, 2)
+        spec = op.SPEC_BY_JUMP_HINT[hint]
+        return DecodedInst(spec=spec, word=word, ra=ra, rb=rb, rc=31)
+
+    spec = op.SPEC_BY_OPCODE.get(opcode)
+    if spec is None:
+        raise IllegalInstructionError(word)
+
+    if spec.format is op.Format.MEMORY:
+        rb = extract_bits(word, 16, 5)
+        disp = sign_extend(extract_bits(word, 0, 16), 16)
+        return DecodedInst(spec=spec, word=word, ra=ra, rb=rb, rc=31, disp=disp)
+
+    # Branch format.
+    disp = sign_extend(extract_bits(word, 0, 21), 21)
+    return DecodedInst(spec=spec, word=word, ra=ra, rb=31, rc=31, disp=disp)
+
+
+def try_decode_word(word: int) -> DecodedInst | None:
+    """Decode one word, returning None for illegal encodings."""
+    try:
+        return decode_word(word)
+    except IllegalInstructionError:
+        return None

@@ -1,0 +1,190 @@
+"""Decoded instruction representation and classification.
+
+A :class:`DecodedInst` is the unit both simulators operate on: the
+architectural simulator executes one per step, and the pipeline model carries
+them through its stages. Classification properties (``is_load``,
+``is_cond_branch``, ...) drive scheduling, branch prediction, and symptom
+detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.isa import opcodes as op
+from repro.isa.registers import REG_ZERO
+from repro.util.bitops import MASK64, to_unsigned64
+
+
+class InstClass(Enum):
+    """Coarse execution class, used for functional-unit binding and latency."""
+
+    ALU = "alu"
+    MULTIPLY = "multiply"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class DecodedInst:
+    """One decoded instruction word."""
+
+    spec: op.OpSpec
+    word: int
+    ra: int
+    rb: int
+    rc: int
+    is_literal: bool = False
+    literal: int = 0
+    disp: int = field(default=0)  # sign-extended to unsigned-64 form
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def opcode(self) -> int:
+        return self.spec.opcode
+
+    @property
+    def format(self) -> op.Format:
+        return self.spec.format
+
+    @property
+    def is_halt(self) -> bool:
+        return self.spec.format is op.Format.PAL
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in op.LOAD_OPCODES
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in op.STORE_OPCODES
+
+    @property
+    def is_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_lda(self) -> bool:
+        return self.opcode in (op.OP_LDA, op.OP_LDAH)
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.opcode in op.COND_BRANCH_OPCODES
+
+    @property
+    def is_uncond_branch(self) -> bool:
+        return self.opcode in (op.OP_BR, op.OP_BSR)
+
+    @property
+    def is_jump(self) -> bool:
+        return self.format is op.Format.JUMP
+
+    @property
+    def is_control(self) -> bool:
+        return self.is_cond_branch or self.is_uncond_branch or self.is_jump
+
+    @property
+    def is_call(self) -> bool:
+        """Pushes a return address the RAS should track."""
+        if self.opcode == op.OP_BSR:
+            return True
+        return self.is_jump and self.spec.jump_hint == op.JUMP_HINT_JSR
+
+    @property
+    def is_return(self) -> bool:
+        return self.is_jump and self.spec.jump_hint == op.JUMP_HINT_RET
+
+    @property
+    def is_cmov(self) -> bool:
+        return self.opcode == op.OP_INTL and self.spec.func in (
+            op.FUNC_CMOVEQ,
+            op.FUNC_CMOVNE,
+            op.FUNC_CMOVLT,
+            op.FUNC_CMOVGE,
+        )
+
+    @property
+    def inst_class(self) -> InstClass:
+        if self.is_halt:
+            return InstClass.HALT
+        if self.is_load:
+            return InstClass.LOAD
+        if self.is_store:
+            return InstClass.STORE
+        if self.is_control:
+            return InstClass.BRANCH
+        if self.opcode == op.OP_INTM:
+            return InstClass.MULTIPLY
+        return InstClass.ALU
+
+    @property
+    def access_size(self) -> int:
+        """Memory access size in bytes (memory operations only)."""
+        return op.ACCESS_SIZE[self.opcode]
+
+    @property
+    def dest_reg(self) -> int | None:
+        """Architectural destination register, or None.
+
+        Writes to R31 are discarded, so R31 destinations report None — this
+        makes dead-result detection (a major source of fault masking) fall
+        out naturally in both simulators.
+        """
+        if self.format is op.Format.OPERATE:
+            dest = self.rc
+        elif self.is_load or self.is_lda:
+            dest = self.ra
+        elif self.is_uncond_branch or self.is_jump:
+            dest = self.ra  # link register receives PC+4
+        else:
+            # Stores, conditional branches, and HALT write no register.
+            return None
+        return None if dest == REG_ZERO else dest
+
+    @property
+    def source_regs(self) -> tuple[int, ...]:
+        """Architectural source registers actually read (R31 excluded)."""
+        sources: list[int] = []
+        if self.format is op.Format.OPERATE:
+            sources.append(self.ra)
+            if not self.is_literal:
+                sources.append(self.rb)
+            if self.is_cmov:
+                sources.append(self.rc)  # conditional move keeps old RC
+        elif self.is_load or self.is_lda:
+            sources.append(self.rb)
+        elif self.is_store:
+            sources.append(self.ra)  # store data
+            sources.append(self.rb)  # base address
+        elif self.is_cond_branch:
+            sources.append(self.ra)
+        elif self.is_jump:
+            sources.append(self.rb)
+        # BR/BSR read nothing; HALT reads nothing.
+        return tuple(reg for reg in sources if reg != REG_ZERO)
+
+    def branch_target(self, pc: int) -> int:
+        """Static (PC-relative) target for branch-format instructions."""
+        if self.format is not op.Format.BRANCH:
+            raise ValueError(f"{self.mnemonic} has no static branch target")
+        # disp is stored sign-extended as an unsigned-64 word offset.
+        offset = self.disp
+        if offset >= 1 << 63:
+            offset -= 1 << 64
+        return to_unsigned64(pc + 4 + 4 * offset)
+
+    def __str__(self) -> str:
+        from repro.isa.disassembler import disassemble
+
+        return disassemble(self.word)
+
+
+def fallthrough_pc(pc: int) -> int:
+    """Address of the next sequential instruction."""
+    return (pc + 4) & MASK64

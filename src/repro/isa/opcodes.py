@@ -1,0 +1,216 @@
+"""Opcode and function-code tables.
+
+Instruction words are 32 bits with the primary opcode in bits [31:26],
+following the Alpha formats:
+
+- **operate** (register form):   ``op ra rb sbz(3) 0 func(7) rc``
+- **operate** (literal form):    ``op ra lit(8)    1 func(7) rc``
+- **memory**:                    ``op ra rb disp(16, signed bytes)``
+- **jump** (memory format):      ``op ra rb hint(2) disp(14)``
+- **branch**:                    ``op ra disp(21, signed words)``
+
+The opcode values match Alpha where the instruction exists in Alpha; the
+function codes for the integer operate groups are Alpha's. ``HALT`` is the
+all-zero word (primary opcode 0), so a wild jump into zeroed memory stops
+the machine rather than executing garbage — any other opcode-0 pattern is an
+illegal instruction, which matters for fault injections that corrupt
+instruction words in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Format(Enum):
+    """Instruction word layout families."""
+
+    OPERATE = "operate"
+    MEMORY = "memory"
+    JUMP = "jump"
+    BRANCH = "branch"
+    PAL = "pal"  # opcode 0: HALT / illegal
+
+
+# Primary opcodes.
+OP_PAL = 0x00
+OP_LDA = 0x08
+OP_LDAH = 0x09
+OP_LDBU = 0x0A
+OP_STB = 0x0E
+OP_INTA = 0x10  # integer arithmetic group
+OP_INTL = 0x11  # integer logic group
+OP_INTS = 0x12  # integer shift group
+OP_INTM = 0x13  # integer multiply group
+OP_JMP = 0x1A
+OP_LDL = 0x28
+OP_LDQ = 0x29
+OP_STL = 0x2C
+OP_STQ = 0x2D
+OP_BR = 0x30
+OP_BSR = 0x34
+OP_BLBC = 0x38
+OP_BEQ = 0x39
+OP_BLT = 0x3A
+OP_BLE = 0x3B
+OP_BLBS = 0x3C
+OP_BNE = 0x3D
+OP_BGE = 0x3E
+OP_BGT = 0x3F
+
+# Function codes within OP_INTA (Alpha values).
+FUNC_ADDL = 0x00
+FUNC_SUBL = 0x09
+FUNC_ADDQ = 0x20
+FUNC_SUBQ = 0x29
+FUNC_CMPULT = 0x1D
+FUNC_CMPEQ = 0x2D
+FUNC_CMPULE = 0x3D
+FUNC_CMPLT = 0x4D
+FUNC_CMPLE = 0x6D
+FUNC_ADDQV = 0x60  # trapping on signed overflow
+FUNC_SUBQV = 0x69
+
+# Function codes within OP_INTL.
+FUNC_AND = 0x00
+FUNC_BIC = 0x08
+FUNC_BIS = 0x20
+FUNC_ORNOT = 0x28
+FUNC_XOR = 0x40
+FUNC_EQV = 0x48
+FUNC_CMOVEQ = 0x24
+FUNC_CMOVNE = 0x26
+FUNC_CMOVLT = 0x44
+FUNC_CMOVGE = 0x46
+
+# Function codes within OP_INTS.
+FUNC_SLL = 0x39
+FUNC_SRL = 0x34
+FUNC_SRA = 0x3C
+
+# Function codes within OP_INTM.
+FUNC_MULL = 0x00
+FUNC_MULQ = 0x20
+FUNC_UMULH = 0x30
+FUNC_MULQV = 0x60  # trapping on signed overflow
+
+# Jump hint values (bits [15:14] of the jump format).
+JUMP_HINT_JMP = 0
+JUMP_HINT_JSR = 1
+JUMP_HINT_RET = 2
+JUMP_HINT_COROUTINE = 3
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    opcode: int
+    format: Format
+    func: int | None = None  # operate groups only
+    jump_hint: int | None = None  # jump format only
+    traps_overflow: bool = False
+
+
+_OPERATE_SPECS = [
+    OpSpec("addl", OP_INTA, Format.OPERATE, func=FUNC_ADDL),
+    OpSpec("subl", OP_INTA, Format.OPERATE, func=FUNC_SUBL),
+    OpSpec("addq", OP_INTA, Format.OPERATE, func=FUNC_ADDQ),
+    OpSpec("subq", OP_INTA, Format.OPERATE, func=FUNC_SUBQ),
+    OpSpec("cmpult", OP_INTA, Format.OPERATE, func=FUNC_CMPULT),
+    OpSpec("cmpeq", OP_INTA, Format.OPERATE, func=FUNC_CMPEQ),
+    OpSpec("cmpule", OP_INTA, Format.OPERATE, func=FUNC_CMPULE),
+    OpSpec("cmplt", OP_INTA, Format.OPERATE, func=FUNC_CMPLT),
+    OpSpec("cmple", OP_INTA, Format.OPERATE, func=FUNC_CMPLE),
+    OpSpec("addqv", OP_INTA, Format.OPERATE, func=FUNC_ADDQV, traps_overflow=True),
+    OpSpec("subqv", OP_INTA, Format.OPERATE, func=FUNC_SUBQV, traps_overflow=True),
+    OpSpec("and", OP_INTL, Format.OPERATE, func=FUNC_AND),
+    OpSpec("bic", OP_INTL, Format.OPERATE, func=FUNC_BIC),
+    OpSpec("bis", OP_INTL, Format.OPERATE, func=FUNC_BIS),
+    OpSpec("ornot", OP_INTL, Format.OPERATE, func=FUNC_ORNOT),
+    OpSpec("xor", OP_INTL, Format.OPERATE, func=FUNC_XOR),
+    OpSpec("eqv", OP_INTL, Format.OPERATE, func=FUNC_EQV),
+    OpSpec("cmoveq", OP_INTL, Format.OPERATE, func=FUNC_CMOVEQ),
+    OpSpec("cmovne", OP_INTL, Format.OPERATE, func=FUNC_CMOVNE),
+    OpSpec("cmovlt", OP_INTL, Format.OPERATE, func=FUNC_CMOVLT),
+    OpSpec("cmovge", OP_INTL, Format.OPERATE, func=FUNC_CMOVGE),
+    OpSpec("sll", OP_INTS, Format.OPERATE, func=FUNC_SLL),
+    OpSpec("srl", OP_INTS, Format.OPERATE, func=FUNC_SRL),
+    OpSpec("sra", OP_INTS, Format.OPERATE, func=FUNC_SRA),
+    OpSpec("mull", OP_INTM, Format.OPERATE, func=FUNC_MULL),
+    OpSpec("mulq", OP_INTM, Format.OPERATE, func=FUNC_MULQ),
+    OpSpec("umulh", OP_INTM, Format.OPERATE, func=FUNC_UMULH),
+    OpSpec("mulqv", OP_INTM, Format.OPERATE, func=FUNC_MULQV, traps_overflow=True),
+]
+
+_MEMORY_SPECS = [
+    OpSpec("lda", OP_LDA, Format.MEMORY),
+    OpSpec("ldah", OP_LDAH, Format.MEMORY),
+    OpSpec("ldbu", OP_LDBU, Format.MEMORY),
+    OpSpec("stb", OP_STB, Format.MEMORY),
+    OpSpec("ldl", OP_LDL, Format.MEMORY),
+    OpSpec("ldq", OP_LDQ, Format.MEMORY),
+    OpSpec("stl", OP_STL, Format.MEMORY),
+    OpSpec("stq", OP_STQ, Format.MEMORY),
+]
+
+_JUMP_SPECS = [
+    OpSpec("jmp", OP_JMP, Format.JUMP, jump_hint=JUMP_HINT_JMP),
+    OpSpec("jsr", OP_JMP, Format.JUMP, jump_hint=JUMP_HINT_JSR),
+    OpSpec("ret", OP_JMP, Format.JUMP, jump_hint=JUMP_HINT_RET),
+    OpSpec("jsr_coroutine", OP_JMP, Format.JUMP, jump_hint=JUMP_HINT_COROUTINE),
+]
+
+_BRANCH_SPECS = [
+    OpSpec("br", OP_BR, Format.BRANCH),
+    OpSpec("bsr", OP_BSR, Format.BRANCH),
+    OpSpec("blbc", OP_BLBC, Format.BRANCH),
+    OpSpec("beq", OP_BEQ, Format.BRANCH),
+    OpSpec("blt", OP_BLT, Format.BRANCH),
+    OpSpec("ble", OP_BLE, Format.BRANCH),
+    OpSpec("blbs", OP_BLBS, Format.BRANCH),
+    OpSpec("bne", OP_BNE, Format.BRANCH),
+    OpSpec("bge", OP_BGE, Format.BRANCH),
+    OpSpec("bgt", OP_BGT, Format.BRANCH),
+]
+
+_PAL_SPECS = [OpSpec("halt", OP_PAL, Format.PAL)]
+
+ALL_SPECS = _OPERATE_SPECS + _MEMORY_SPECS + _JUMP_SPECS + _BRANCH_SPECS + _PAL_SPECS
+
+SPEC_BY_MNEMONIC = {spec.mnemonic: spec for spec in ALL_SPECS}
+
+# Lookup for decode: operate groups key on (opcode, func); others on opcode.
+OPERATE_OPCODES = {OP_INTA, OP_INTL, OP_INTM, OP_INTS}
+SPEC_BY_OPCODE_FUNC = {
+    (spec.opcode, spec.func): spec for spec in _OPERATE_SPECS
+}
+SPEC_BY_OPCODE = {
+    spec.opcode: spec for spec in _MEMORY_SPECS + _BRANCH_SPECS
+}
+SPEC_BY_JUMP_HINT = {spec.jump_hint: spec for spec in _JUMP_SPECS}
+
+LOAD_OPCODES = {OP_LDBU, OP_LDL, OP_LDQ}
+STORE_OPCODES = {OP_STB, OP_STL, OP_STQ}
+COND_BRANCH_OPCODES = {
+    OP_BLBC,
+    OP_BEQ,
+    OP_BLT,
+    OP_BLE,
+    OP_BLBS,
+    OP_BNE,
+    OP_BGE,
+    OP_BGT,
+}
+
+# Access sizes in bytes for the memory operations.
+ACCESS_SIZE = {
+    OP_LDBU: 1,
+    OP_STB: 1,
+    OP_LDL: 4,
+    OP_STL: 4,
+    OP_LDQ: 8,
+    OP_STQ: 8,
+}

@@ -1,0 +1,94 @@
+"""Program container produced by the assembler and consumed by loaders.
+
+A :class:`Program` holds the text segment (encoded instruction words), the
+data segment (raw bytes), the symbol table, and the load conventions both
+simulators follow:
+
+- text loads at ``TEXT_BASE``, data at ``DATA_BASE``;
+- the loader maps a stack region below ``STACK_TOP`` and initialises
+  ``SP = STACK_TOP`` and ``GP = DATA_BASE``;
+- execution begins at the ``start`` symbol if defined, else at the first
+  text address, and ends at a ``halt`` instruction.
+
+Addresses live well below 2**32 while the ISA is 64-bit: the virtual address
+space is vastly larger than any program's footprint, which is exactly the
+property the paper identifies as the reason random pointer corruptions so
+often raise memory-access exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+TEXT_BASE = 0x0001_0000
+DATA_BASE = 0x0020_0000
+STACK_TOP = 0x0400_0000
+STACK_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous initialised region of the address space."""
+
+    name: str
+    base: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+@dataclass
+class Program:
+    """An assembled program ready to load."""
+
+    name: str
+    text_words: list[int]
+    data_bytes: bytes
+    symbols: dict[str, int] = field(default_factory=dict)
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+
+    @property
+    def entry_point(self) -> int:
+        return self.symbols.get("start", self.text_base)
+
+    @property
+    def text_segment(self) -> Segment:
+        raw = b"".join(
+            word.to_bytes(4, "little") for word in self.text_words
+        )
+        return Segment("text", self.text_base, raw)
+
+    @property
+    def data_segment(self) -> Segment:
+        return Segment("data", self.data_base, self.data_bytes)
+
+    @property
+    def segments(self) -> list[Segment]:
+        result = [self.text_segment]
+        if self.data_bytes:
+            result.append(self.data_segment)
+        return result
+
+    @property
+    def text_end(self) -> int:
+        return self.text_base + 4 * len(self.text_words)
+
+    def word_at(self, address: int) -> int:
+        """The instruction word at a text address."""
+        if address % 4 != 0:
+            raise ValueError(f"misaligned text address 0x{address:x}")
+        index = (address - self.text_base) // 4
+        if not 0 <= index < len(self.text_words):
+            raise ValueError(f"address 0x{address:x} outside text segment")
+        return self.text_words[index]
+
+    def symbol(self, name: str) -> int:
+        if name not in self.symbols:
+            raise KeyError(f"undefined symbol {name!r}")
+        return self.symbols[name]

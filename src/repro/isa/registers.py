@@ -1,0 +1,47 @@
+"""Integer register file conventions.
+
+Thirty-two 64-bit integer registers, Alpha style: R31 always reads as zero
+and writes to it are discarded. A few registers have conventional software
+roles that the assembler accepts as aliases.
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+REG_V0 = 0  # return value
+REG_RA = 26  # return address (BSR/JSR write it by convention)
+REG_GP = 29  # global pointer (data segment base)
+REG_SP = 30  # stack pointer
+REG_ZERO = 31  # hardwired zero
+
+_ALIASES = {
+    "v0": REG_V0,
+    "ra": REG_RA,
+    "gp": REG_GP,
+    "sp": REG_SP,
+    "zero": REG_ZERO,
+}
+
+_ALIAS_BY_NUMBER = {number: name for name, number in _ALIASES.items()}
+
+
+def register_name(number: int) -> str:
+    """Canonical name for a register number (aliases preferred)."""
+    if not 0 <= number < NUM_REGS:
+        raise ValueError(f"register number out of range: {number}")
+    if number in _ALIAS_BY_NUMBER and number != REG_V0:
+        return _ALIAS_BY_NUMBER[number]
+    return f"r{number}"
+
+
+def register_number(name: str) -> int:
+    """Parse a register name (``r12``, ``sp``, ``zero``, ...) to its number."""
+    text = name.strip().lower()
+    if text in _ALIASES:
+        return _ALIASES[text]
+    if text.startswith("r") and text[1:].isdigit():
+        number = int(text[1:])
+        if 0 <= number < NUM_REGS:
+            return number
+    raise ValueError(f"unknown register name: {name!r}")

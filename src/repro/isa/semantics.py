@@ -1,0 +1,231 @@
+"""Pure execution semantics of the ISA.
+
+Both the architectural simulator and the pipeline model's functional units
+call into this module, so the two can never disagree about what an
+instruction computes — which is what lets the fault-injection framework use
+the architectural simulator as a golden reference for the pipeline.
+
+Everything here is a pure function of the decoded instruction and its
+operand values. Memory access and exceptions are the caller's business.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import opcodes as op
+from repro.isa.instructions import DecodedInst
+from repro.util.bitops import (
+    MASK32,
+    MASK64,
+    sign_extend,
+    to_signed64,
+    to_unsigned64,
+)
+
+SIGNED_MIN = -(1 << 63)
+SIGNED_MAX = (1 << 63) - 1
+
+
+@dataclass(frozen=True)
+class OperateResult:
+    """Result of an operate-format instruction."""
+
+    value: int
+    overflow: bool = False  # signals an arithmetic trap for *V opcodes
+
+
+def operand_b(inst: DecodedInst, rb_value: int) -> int:
+    """The second operand: the literal when present, else the RB value."""
+    if inst.is_literal:
+        return inst.literal
+    return rb_value
+
+
+def _signed_overflows(value: int) -> bool:
+    return not SIGNED_MIN <= value <= SIGNED_MAX
+
+
+def execute_operate(inst: DecodedInst, a: int, b: int) -> OperateResult:
+    """Compute an operate-format instruction on unsigned-64 operands."""
+    opcode = inst.opcode
+    func = inst.spec.func
+    if opcode == op.OP_INTA:
+        return _execute_arith(func, a, b)
+    if opcode == op.OP_INTL:
+        return _execute_logic(func, a, b)
+    if opcode == op.OP_INTS:
+        return _execute_shift(func, a, b)
+    if opcode == op.OP_INTM:
+        return _execute_multiply(func, a, b)
+    raise ValueError(f"{inst.mnemonic} is not an operate instruction")
+
+
+def _execute_arith(func: int, a: int, b: int) -> OperateResult:
+    signed_a = to_signed64(a)
+    signed_b = to_signed64(b)
+    if func == op.FUNC_ADDL:
+        return OperateResult(sign_extend((a + b) & MASK32, 32))
+    if func == op.FUNC_SUBL:
+        return OperateResult(sign_extend((a - b) & MASK32, 32))
+    if func == op.FUNC_ADDQ:
+        return OperateResult(to_unsigned64(a + b))
+    if func == op.FUNC_SUBQ:
+        return OperateResult(to_unsigned64(a - b))
+    if func == op.FUNC_ADDQV:
+        total = signed_a + signed_b
+        return OperateResult(to_unsigned64(total), overflow=_signed_overflows(total))
+    if func == op.FUNC_SUBQV:
+        total = signed_a - signed_b
+        return OperateResult(to_unsigned64(total), overflow=_signed_overflows(total))
+    if func == op.FUNC_CMPEQ:
+        return OperateResult(1 if a == b else 0)
+    if func == op.FUNC_CMPLT:
+        return OperateResult(1 if signed_a < signed_b else 0)
+    if func == op.FUNC_CMPLE:
+        return OperateResult(1 if signed_a <= signed_b else 0)
+    if func == op.FUNC_CMPULT:
+        return OperateResult(1 if a < b else 0)
+    if func == op.FUNC_CMPULE:
+        return OperateResult(1 if a <= b else 0)
+    raise ValueError(f"unknown INTA function 0x{func:02x}")
+
+
+def _execute_logic(func: int, a: int, b: int) -> OperateResult:
+    if func == op.FUNC_AND:
+        return OperateResult(a & b)
+    if func == op.FUNC_BIC:
+        return OperateResult(a & ~b & MASK64)
+    if func == op.FUNC_BIS:
+        return OperateResult(a | b)
+    if func == op.FUNC_ORNOT:
+        return OperateResult((a | (~b & MASK64)) & MASK64)
+    if func == op.FUNC_XOR:
+        return OperateResult(a ^ b)
+    if func == op.FUNC_EQV:
+        return OperateResult((a ^ b) ^ MASK64)
+    if func == op.FUNC_CMOVEQ:
+        # CMOV semantics: result is B when the condition on A holds, else the
+        # old RC value. The caller merges; we report the condition via value.
+        raise ValueError("CMOV must be executed with execute_cmov")
+    if func in (op.FUNC_CMOVNE, op.FUNC_CMOVLT, op.FUNC_CMOVGE):
+        raise ValueError("CMOV must be executed with execute_cmov")
+    raise ValueError(f"unknown INTL function 0x{func:02x}")
+
+
+def is_cmov(inst: DecodedInst) -> bool:
+    """True for conditional-move instructions, which also read RC."""
+    return inst.is_cmov
+
+
+def execute_cmov(inst: DecodedInst, a: int, b: int, old_rc: int) -> OperateResult:
+    """Conditional move: RC = B if cond(A) else old RC."""
+    func = inst.spec.func
+    signed_a = to_signed64(a)
+    if func == op.FUNC_CMOVEQ:
+        take = a == 0
+    elif func == op.FUNC_CMOVNE:
+        take = a != 0
+    elif func == op.FUNC_CMOVLT:
+        take = signed_a < 0
+    elif func == op.FUNC_CMOVGE:
+        take = signed_a >= 0
+    else:
+        raise ValueError(f"{inst.mnemonic} is not a conditional move")
+    return OperateResult(b if take else old_rc)
+
+
+def _execute_shift(func: int, a: int, b: int) -> OperateResult:
+    amount = b & 0x3F
+    if func == op.FUNC_SLL:
+        return OperateResult((a << amount) & MASK64)
+    if func == op.FUNC_SRL:
+        return OperateResult(a >> amount)
+    if func == op.FUNC_SRA:
+        return OperateResult(to_unsigned64(to_signed64(a) >> amount))
+    raise ValueError(f"unknown INTS function 0x{func:02x}")
+
+
+def _execute_multiply(func: int, a: int, b: int) -> OperateResult:
+    if func == op.FUNC_MULL:
+        return OperateResult(sign_extend((a * b) & MASK32, 32))
+    if func == op.FUNC_MULQ:
+        return OperateResult((a * b) & MASK64)
+    if func == op.FUNC_UMULH:
+        return OperateResult(((a * b) >> 64) & MASK64)
+    if func == op.FUNC_MULQV:
+        product = to_signed64(a) * to_signed64(b)
+        return OperateResult(
+            to_unsigned64(product), overflow=_signed_overflows(product)
+        )
+    raise ValueError(f"unknown INTM function 0x{func:02x}")
+
+
+def branch_taken(inst: DecodedInst, a: int) -> bool:
+    """Evaluate a conditional branch's condition on the RA operand."""
+    opcode = inst.opcode
+    signed_a = to_signed64(a)
+    if opcode == op.OP_BEQ:
+        return a == 0
+    if opcode == op.OP_BNE:
+        return a != 0
+    if opcode == op.OP_BLT:
+        return signed_a < 0
+    if opcode == op.OP_BGE:
+        return signed_a >= 0
+    if opcode == op.OP_BLE:
+        return signed_a <= 0
+    if opcode == op.OP_BGT:
+        return signed_a > 0
+    if opcode == op.OP_BLBC:
+        return (a & 1) == 0
+    if opcode == op.OP_BLBS:
+        return (a & 1) == 1
+    raise ValueError(f"{inst.mnemonic} is not a conditional branch")
+
+
+def effective_address(inst: DecodedInst, base: int) -> int:
+    """Base-plus-displacement address of a memory operation."""
+    offset = inst.disp
+    if offset >= 1 << 63:
+        offset -= 1 << 64
+    return to_unsigned64(base + offset)
+
+
+def lda_value(inst: DecodedInst, base: int) -> int:
+    """Result of LDA / LDAH (address arithmetic, no memory access)."""
+    offset = inst.disp
+    if offset >= 1 << 63:
+        offset -= 1 << 64
+    if inst.opcode == op.OP_LDAH:
+        offset *= 65536
+    return to_unsigned64(base + offset)
+
+
+def jump_target(rb_value: int) -> int:
+    """Target of a jump-format instruction: RB with the low bits cleared."""
+    return rb_value & ~0x3 & MASK64
+
+
+def extend_loaded(inst: DecodedInst, raw: int) -> int:
+    """Extend raw loaded bytes per the load flavour."""
+    opcode = inst.opcode
+    if opcode == op.OP_LDBU:
+        return raw & 0xFF
+    if opcode == op.OP_LDL:
+        return sign_extend(raw & MASK32, 32)
+    if opcode == op.OP_LDQ:
+        return raw & MASK64
+    raise ValueError(f"{inst.mnemonic} is not a load")
+
+
+def store_value(inst: DecodedInst, value: int) -> int:
+    """Truncate the store data to the access width."""
+    opcode = inst.opcode
+    if opcode == op.OP_STB:
+        return value & 0xFF
+    if opcode == op.OP_STL:
+        return value & MASK32
+    if opcode == op.OP_STQ:
+        return value & MASK64
+    raise ValueError(f"{inst.mnemonic} is not a store")

@@ -1,0 +1,24 @@
+"""Performance impact of false-positive symptoms (Figure 7).
+
+Two complementary models:
+
+- :mod:`repro.perfmodel.timing` — direct simulation: run each workload on
+  the pipeline with a live ReStore controller at each checkpoint interval
+  and rollback policy, and compare cycle counts against the baseline
+  pipeline without checkpointing.
+- :mod:`repro.perfmodel.analytic` — the paper's style of "high level
+  performance model": closed-form slowdown from the measured
+  high-confidence misprediction rate, the average rollback distance
+  (1.5 intervals for the immediate policy, 1.0 for delayed), and the
+  event-log-accelerated re-execution IPC.
+"""
+
+from repro.perfmodel.analytic import AnalyticPerfModel, AnalyticInputs
+from repro.perfmodel.timing import PerfPoint, measure_restore_performance
+
+__all__ = [
+    "AnalyticInputs",
+    "AnalyticPerfModel",
+    "PerfPoint",
+    "measure_restore_performance",
+]

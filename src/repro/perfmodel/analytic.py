@@ -1,0 +1,72 @@
+"""Closed-form performance model for Figure 7.
+
+The paper evaluates false-positive cost "on a timing model configured to
+resemble our processor model". The analytic model here captures the same
+mechanics:
+
+- High-confidence misprediction symptoms arrive at a measured rate ``f``
+  per retired instruction (error-free execution).
+- An immediate rollback restores the *older* of two checkpoints, so its
+  mean rollback distance is 1.5 checkpoint intervals; the delayed policy
+  waits for the interval to complete and re-executes the polluted interval
+  exactly once from its starting checkpoint (distance 1.0 interval, at most
+  one rollback per interval regardless of how many symptoms fired in it).
+- Re-executed instructions run faster than first-time execution because
+  the event log supplies perfect branch prediction; ``reexec_speedup``
+  scales their cost.
+
+Slowdown = 1 + (re-executed instructions per retired instruction) x
+(relative cost of a re-executed instruction), plus a fixed restore latency
+per rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AnalyticInputs:
+    """Measured machine parameters feeding the model."""
+
+    hc_mispredict_rate: float  # symptoms per retired instruction, error-free
+    base_ipc: float = 1.0
+    reexec_speedup: float = 1.3  # event-log-assisted IPC gain on re-execution
+    restore_latency_cycles: float = 4.0  # checkpoint restoration + refill
+
+
+class AnalyticPerfModel:
+    """Evaluate relative performance for an interval and policy."""
+
+    def __init__(self, inputs: AnalyticInputs):
+        self.inputs = inputs
+
+    def _reexec_cost_cycles(self, distance_insns: float) -> float:
+        """Cycles to re-execute ``distance_insns`` with event-log help."""
+        ipc = self.inputs.base_ipc * self.inputs.reexec_speedup
+        return distance_insns / ipc + self.inputs.restore_latency_cycles
+
+    def speedup(self, interval: int, policy: str) -> float:
+        """Relative performance vs a machine without rollbacks."""
+        f = self.inputs.hc_mispredict_rate
+        if f <= 0:
+            return 1.0
+        base_cycles_per_insn = 1.0 / self.inputs.base_ipc
+        if policy == "imm":
+            # Every symptom triggers a rollback; the mean distance back to
+            # the older checkpoint is 1.5 intervals.
+            rollbacks_per_insn = f
+            distance = 1.5 * interval
+        elif policy == "delayed":
+            # At most one rollback per interval: the probability an interval
+            # contains at least one symptom is 1 - (1 - f)^n.
+            p_interval = 1.0 - (1.0 - f) ** interval
+            rollbacks_per_insn = p_interval / interval
+            distance = 1.0 * interval
+        else:
+            raise ValueError(f"unknown policy {policy!r}")
+        extra_cycles_per_insn = rollbacks_per_insn * self._reexec_cost_cycles(distance)
+        return base_cycles_per_insn / (base_cycles_per_insn + extra_cycles_per_insn)
+
+    def overhead_percent(self, interval: int, policy: str) -> float:
+        return (1.0 - self.speedup(interval, policy)) * 100.0

@@ -1,0 +1,127 @@
+"""Simulation-based performance measurement for Figure 7.
+
+"In this subsection, we evaluate the performance impact incurred from false
+positive symptoms. ... we focus on the cost in performance due to checkpoint
+rollbacks from high confidence branch mispredictions." (Section 5.2.3)
+
+We run each workload to completion on (a) the baseline pipeline and (b) a
+pipeline with a live ReStore controller at the given checkpoint interval and
+rollback policy, and report relative performance (baseline cycles / ReStore
+cycles). During re-execution the branch-outcome event log provides perfect
+control-flow prediction, exactly as the paper's experiment assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.restore.controller import ReStoreController, RollbackPolicy, TuningConfig
+from repro.restore.symptoms import (
+    ExceptionSymptomDetector,
+    HighConfidenceMispredictDetector,
+    WatchdogSymptomDetector,
+)
+from repro.uarch.config import PipelineConfig
+from repro.uarch.pipeline import load_pipeline
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+# Figure 7's x-axis.
+FIGURE7_INTERVALS: tuple[int, ...] = (50, 100, 200, 500, 1000)
+
+
+@dataclass(frozen=True)
+class PerfPoint:
+    """One (interval, policy) measurement."""
+
+    interval: int
+    policy: str
+    baseline_cycles: int
+    restore_cycles: int
+    rollbacks: int
+    false_positives: int
+
+    @property
+    def speedup(self) -> float:
+        """Relative performance vs the baseline (<= 1.0 in practice)."""
+        if self.restore_cycles == 0:
+            return 1.0
+        return self.baseline_cycles / self.restore_cycles
+
+
+def _baseline_cycles(workloads, scale: int, seed: int, config, max_cycles: int):
+    cycles = {}
+    for name in workloads:
+        bundle = build_workload(name, scale, seed)
+        pipeline = load_pipeline(bundle.program, config=config)
+        pipeline.run(max_cycles)
+        if not pipeline.halted:
+            raise RuntimeError(f"baseline run of {name} did not halt")
+        cycles[name] = pipeline.cycle_count
+    return cycles
+
+
+def measure_restore_performance(
+    intervals: tuple[int, ...] = FIGURE7_INTERVALS,
+    policies: tuple[RollbackPolicy, ...] = (
+        RollbackPolicy.IMMEDIATE,
+        RollbackPolicy.DELAYED,
+    ),
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    scale: int = 1,
+    seed: int = 2005,
+    config: PipelineConfig | None = None,
+    use_event_log: bool = True,
+    max_cycles: int = 2_000_000,
+    tuning: TuningConfig | None = None,
+) -> list[PerfPoint]:
+    """Measure Figure 7: one PerfPoint per (interval, policy), aggregated
+    over the workloads (total cycles, harmonic-mean-like ratio)."""
+    baseline = _baseline_cycles(workloads, scale, seed, config, max_cycles)
+    points: list[PerfPoint] = []
+    for interval in intervals:
+        for policy in policies:
+            total_restore = 0
+            total_baseline = 0
+            rollbacks = 0
+            false_positives = 0
+            for name in workloads:
+                bundle = build_workload(name, scale, seed)
+                pipeline = load_pipeline(bundle.program, config=config)
+                controller = ReStoreController(
+                    pipeline,
+                    interval=interval,
+                    detectors=[
+                        ExceptionSymptomDetector(),
+                        HighConfidenceMispredictDetector(),
+                        WatchdogSymptomDetector(),
+                    ],
+                    policy=policy,
+                    use_event_log=use_event_log,
+                    tuning=tuning,
+                )
+                pipeline.run(max_cycles)
+                if not pipeline.halted:
+                    raise RuntimeError(
+                        f"ReStore run of {name} (interval={interval}, "
+                        f"policy={policy.value}) did not halt"
+                    )
+                wrong = bundle.check(pipeline.memory)
+                if wrong:
+                    raise RuntimeError(
+                        f"ReStore run of {name} corrupted outputs: {wrong[:1]}"
+                    )
+                total_restore += pipeline.cycle_count
+                total_baseline += baseline[name]
+                rollbacks += controller.stats.rollbacks
+                false_positives += controller.stats.false_positives
+            points.append(
+                PerfPoint(
+                    interval=interval,
+                    policy=policy.value,
+                    baseline_cycles=total_baseline,
+                    restore_cycles=total_restore,
+                    rollbacks=rollbacks,
+                    false_positives=false_positives,
+                )
+            )
+    return points

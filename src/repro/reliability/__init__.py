@@ -1,0 +1,27 @@
+"""FIT/MTBF reliability modelling and design-size scaling (Figure 8)."""
+
+from repro.reliability.fit import (
+    FIGURE8_DESIGN_SIZES,
+    MTBF_GOAL_FIT,
+    PAPER_FAILURE_FRACTIONS,
+    RAW_FIT_PER_BIT,
+    ConfigFailureFractions,
+    equivalent_design_factor,
+    fit_rate,
+    fit_scaling_table,
+    max_bits_within_goal,
+    mtbf_years,
+)
+
+__all__ = [
+    "ConfigFailureFractions",
+    "FIGURE8_DESIGN_SIZES",
+    "MTBF_GOAL_FIT",
+    "PAPER_FAILURE_FRACTIONS",
+    "RAW_FIT_PER_BIT",
+    "equivalent_design_factor",
+    "fit_rate",
+    "fit_scaling_table",
+    "max_bits_within_goal",
+    "mtbf_years",
+]

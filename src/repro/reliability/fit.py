@@ -1,0 +1,136 @@
+"""Silent-data-corruption FIT rates under device scaling (Figure 8).
+
+Section 5.3: "we assumed a raw FIT of 0.001 per bit [Hazucha-Svensson],
+a widely accepted estimate for per-bit FIT rate in SRAMs. ... The FIT
+extrapolations are made assuming that the soft error masking rate of the
+larger designs remains constant as design size is scaled. A reliability
+goal of 1000 MTBF, or mean time (years) between failures is reflected by
+the horizontal line at 115 FIT."
+
+The SDC FIT of a design is therefore::
+
+    FIT(bits, config) = bits x 0.001 x failure_fraction(config)
+
+where ``failure_fraction`` is the per-fault probability of silent data
+corruption measured by the injection campaigns (Figures 4-6): ~7% for the
+unprotected baseline, ~3.5% with ReStore at a 100-instruction interval,
+~3% with the parity/ECC "low-hanging fruit", and ~1% with both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.tables import format_table
+
+RAW_FIT_PER_BIT = 0.001
+
+# FIT value of the paper's 1000-year-MTBF goal line.
+MTBF_GOAL_FIT = 115.0
+
+HOURS_PER_YEAR = 24 * 365.25
+
+# Figure 8's x-axis: bits of "interesting" storage per design.
+FIGURE8_DESIGN_SIZES: tuple[int, ...] = (
+    50_000, 100_000, 200_000, 400_000, 800_000,
+    1_600_000, 3_200_000, 6_400_000, 12_800_000, 25_600_000,
+)
+
+CONFIG_NAMES = ("baseline", "ReStore", "lhf", "lhf+ReStore")
+
+
+@dataclass(frozen=True)
+class ConfigFailureFractions:
+    """Per-fault silent-failure probability of each configuration."""
+
+    baseline: float
+    restore: float
+    lhf: float
+    lhf_restore: float
+
+    def of(self, config: str) -> float:
+        mapping = {
+            "baseline": self.baseline,
+            "ReStore": self.restore,
+            "lhf": self.lhf,
+            "lhf+ReStore": self.lhf_restore,
+        }
+        if config not in mapping:
+            raise KeyError(f"unknown configuration {config!r}")
+        return mapping[config]
+
+
+# The paper's measured fractions (Section 5.2.2).
+PAPER_FAILURE_FRACTIONS = ConfigFailureFractions(
+    baseline=0.07, restore=0.035, lhf=0.03, lhf_restore=0.01
+)
+
+
+def fit_rate(bits: int, failure_fraction: float,
+             raw_fit_per_bit: float = RAW_FIT_PER_BIT) -> float:
+    """SDC FIT (failures per billion hours) of a design."""
+    if bits < 0:
+        raise ValueError("bits must be non-negative")
+    if not 0.0 <= failure_fraction <= 1.0:
+        raise ValueError("failure_fraction must lie in [0, 1]")
+    return bits * raw_fit_per_bit * failure_fraction
+
+
+def mtbf_years(fit: float) -> float:
+    """Mean time between failures in years for a FIT rate."""
+    if fit <= 0:
+        return float("inf")
+    return 1e9 / fit / HOURS_PER_YEAR
+
+
+def max_bits_within_goal(
+    failure_fraction: float,
+    goal_fit: float = MTBF_GOAL_FIT,
+    raw_fit_per_bit: float = RAW_FIT_PER_BIT,
+) -> float:
+    """Largest design (bits) that still meets the FIT goal."""
+    if failure_fraction <= 0:
+        return float("inf")
+    return goal_fit / (raw_fit_per_bit * failure_fraction)
+
+
+def equivalent_design_factor(
+    fractions: ConfigFailureFractions,
+    config: str = "lhf+ReStore",
+    reference: str = "baseline",
+) -> float:
+    """How much larger a protected design can be at equal FIT.
+
+    The paper: "the lhf+ReStore configuration yields a MTBF comparable to a
+    design 1/7th the size" — i.e. this factor is ~7 for lhf+ReStore.
+    """
+    protected = fractions.of(config)
+    base = fractions.of(reference)
+    if protected <= 0:
+        return float("inf")
+    return base / protected
+
+
+def fit_scaling_table(
+    fractions: ConfigFailureFractions,
+    design_sizes: tuple[int, ...] = FIGURE8_DESIGN_SIZES,
+    goal_fit: float = MTBF_GOAL_FIT,
+) -> str:
+    """Render Figure 8 as a table: FIT per configuration per design size."""
+    rows = []
+    for bits in design_sizes:
+        row = [f"{bits:,}"]
+        for config in CONFIG_NAMES:
+            fit = fit_rate(bits, fractions.of(config))
+            marker = " *" if fit > goal_fit else ""
+            row.append(f"{fit:.2f}{marker}")
+        rows.append(row)
+    table = format_table(
+        ["design bits"] + list(CONFIG_NAMES),
+        rows,
+        title=(
+            "Figure 8: SDC FIT vs design size "
+            f"(* exceeds the {goal_fit:.0f}-FIT / 1000-year-MTBF goal)"
+        ),
+    )
+    return table

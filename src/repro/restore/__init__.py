@@ -1,0 +1,54 @@
+"""The ReStore architecture: symptom-based soft error detection + recovery.
+
+Components (Sections 2 and 3 of the paper):
+
+- :mod:`repro.restore.checkpoint` — periodic architectural checkpoints
+  (register snapshot + gated store buffer), two live at all times so a
+  rollback always reaches back at least one full interval.
+- :mod:`repro.restore.symptoms` — the symptom detector framework and the
+  paper's detectors: ISA exceptions, high-confidence branch mispredictions
+  (JRS-gated), watchdog deadlock, and the cache/TLB-miss candidates of
+  Section 3.3.
+- :mod:`repro.restore.eventlog` — event logs: the branch outcome log that
+  (a) provides perfect control-flow prediction during re-execution and
+  (b) detects soft errors by comparing original and redundant executions;
+  and the load value queue for input replication.
+- :mod:`repro.restore.controller` — the rollback controller: symptom ->
+  checkpoint restoration, re-execution tracking, false-positive accounting,
+  third-execution arbitration, and dynamic threshold tuning.
+- :mod:`repro.restore.hardened` — the "low-hanging fruit" parity/ECC
+  protection map layered under ReStore in Section 5.2.2.
+"""
+
+from repro.restore.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    MappingCheckpointManager,
+)
+from repro.restore.controller import ReStoreController, RollbackPolicy
+from repro.restore.eventlog import BranchOutcomeLog, LoadValueQueue
+from repro.restore.hardened import ProtectionMap, protection_overhead_bits
+from repro.restore.symptoms import (
+    CacheMissSymptomDetector,
+    ExceptionSymptomDetector,
+    HighConfidenceMispredictDetector,
+    SymptomDetector,
+    WatchdogSymptomDetector,
+)
+
+__all__ = [
+    "BranchOutcomeLog",
+    "CacheMissSymptomDetector",
+    "Checkpoint",
+    "CheckpointManager",
+    "ExceptionSymptomDetector",
+    "HighConfidenceMispredictDetector",
+    "LoadValueQueue",
+    "MappingCheckpointManager",
+    "ProtectionMap",
+    "ReStoreController",
+    "RollbackPolicy",
+    "SymptomDetector",
+    "WatchdogSymptomDetector",
+    "protection_overhead_bits",
+]

@@ -1,0 +1,265 @@
+"""Architectural checkpointing (Section 2.1).
+
+A checkpoint is "a snapshot of the architectural register file and memory
+image at an instance in time". Registers are checkpointed by explicit copy
+(values plus the retirement RAT); memory is checkpointed by gating the
+committed-store buffer — stores retired after a checkpoint stay in the
+buffer until the checkpoint is released, so rolling back is just a
+truncation.
+
+Two checkpoints are live at all times (Section 5.2.3): restoring the
+*older* one guarantees a rollback distance of at least one full interval,
+so the average rollback distance is 1.5 intervals.
+
+The checkpoint store itself is assumed ECC-protected ("the checkpointed
+state of the processor needs to be hardened against data corruption ...
+protected with ECC for recoverability"), so its contents are not
+fault-injection targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.pipeline import Pipeline, RetiredInst
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One architectural snapshot."""
+
+    retired_count: int  # architectural position (instructions retired)
+    resume_pc: int  # PC of the next instruction after the checkpoint
+    rat: tuple[int, ...]  # architectural register alias table
+    reg_values: tuple[int, ...]  # 32 architectural register values
+    storebuf_tail: int  # gated store buffer push sequence at creation
+
+
+class CheckpointManager:
+    """Creates checkpoints every ``interval`` retired instructions.
+
+    Installs itself as a retire observer on the pipeline; the controller
+    (or a campaign) reads ``checkpoints`` and calls :meth:`rollback`.
+    """
+
+    def __init__(self, pipeline: Pipeline, interval: int):
+        if interval < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.pipeline = pipeline
+        self.interval = interval
+        pipeline.store_buffer_gated = True
+        self.checkpoints: list[Checkpoint] = []
+        self.created = 0
+        self.released = 0
+        self._since_last = 0
+        # Initial checkpoint at the current architectural state.
+        self._create(pipeline._fetch_pc[0])
+        pipeline.storebuf_full_hook = self.force_checkpoint
+
+    # ------------------------------------------------------------- creation
+
+    def note_retirement(self, record: RetiredInst) -> None:
+        """Called for every retired instruction (via the controller)."""
+        self._since_last += 1
+        if self._since_last >= self.interval:
+            # The retire hook runs before the pipeline increments its
+            # retired count, and the checkpoint sits *after* the retiring
+            # instruction (it resumes at record.next_pc) — hence the +1.
+            self._create(record.next_pc, position_offset=1)
+
+    def force_checkpoint(self, resume_pc: int) -> None:
+        """Forced checkpoint (gated store buffer full, or an external
+        synchronization event per Section 2.1). Creating it releases the
+        oldest checkpoint's store-buffer segment, freeing space; under
+        sustained store pressure the effective rollback window shrinks,
+        exactly as in a real bounded gated buffer."""
+        self._create(resume_pc)
+
+    def _create(self, resume_pc: int, position_offset: int = 0) -> None:
+        pipeline = self.pipeline
+        checkpoint = Checkpoint(
+            retired_count=pipeline.retired_count + position_offset,
+            resume_pc=resume_pc,
+            rat=tuple(pipeline.arch_rat.map),
+            reg_values=self._capture_reg_values(),
+            storebuf_tail=pipeline.storebuf.total_pushed,
+        )
+        self.checkpoints.append(checkpoint)
+        self._on_created(checkpoint)
+        self.created += 1
+        self._since_last = 0
+        if len(self.checkpoints) > 2:
+            released = self.checkpoints.pop(0)
+            self.released += 1
+            self._on_released(released)
+            # Stores older than the *new oldest* checkpoint are now
+            # unconditionally committed: release them to memory.
+            self.pipeline.drain_store_buffer_until(
+                self.checkpoints[0].storebuf_tail
+            )
+
+    # Hooks overridden by the mapping-based variant. ------------------------
+
+    def _capture_reg_values(self) -> tuple[int, ...]:
+        """Explicit-copy scheme: snapshot the architectural values."""
+        return tuple(self.pipeline.arch_reg_values())
+
+    def _on_created(self, checkpoint: Checkpoint) -> None:
+        """Extension point (pinning, logging, ...)."""
+
+    def _on_released(self, checkpoint: Checkpoint) -> None:
+        """Extension point (unpinning, logging, ...)."""
+
+    def _restore_registers(self, checkpoint: Checkpoint) -> None:
+        """Explicit-copy scheme: write the values back through the RAT."""
+        pipeline = self.pipeline
+        pipeline.arch_rat.restore(list(checkpoint.rat))
+        for areg in range(32):
+            pipeline.prf.values[checkpoint.rat[areg]] = checkpoint.reg_values[areg]
+
+    # ------------------------------------------------------------- rollback
+
+    @property
+    def oldest(self) -> Checkpoint:
+        return self.checkpoints[0]
+
+    @property
+    def newest(self) -> Checkpoint:
+        return self.checkpoints[-1]
+
+    def rollback(self, checkpoint: Checkpoint | None = None) -> Checkpoint:
+        """Restore a checkpoint (the oldest by default) and flush.
+
+        Returns the restored checkpoint. The pipeline resumes fetching at
+        the checkpoint's resume PC; ``retired_count`` rewinds to the
+        checkpoint's architectural position (``total_retired`` does not).
+        """
+        pipeline = self.pipeline
+        if checkpoint is None:
+            checkpoint = self.oldest
+        if checkpoint not in self.checkpoints:
+            raise ValueError("cannot roll back to a released checkpoint")
+        # Discard younger committed stores.
+        pipeline.storebuf.truncate_to(checkpoint.storebuf_tail)
+        # Restore the register file through the checkpointed RAT.
+        self._restore_registers(checkpoint)
+        pipeline.full_flush(checkpoint.resume_pc)
+        pipeline.retired_count = checkpoint.retired_count
+        # Drop any checkpoint younger than the restored one.
+        position = self.checkpoints.index(checkpoint)
+        del self.checkpoints[position + 1:]
+        self._since_last = 0
+        return checkpoint
+
+
+class MappingCheckpointManager(CheckpointManager):
+    """Mapping-based register checkpointing (the paper's second variant).
+
+    Instead of copying the 32 architectural register *values*, a checkpoint
+    saves only the retirement RAT and pins the physical registers it maps:
+    pinned registers never return to the free list, so their values survive
+    in the PRF until the checkpoint is released, and a rollback is just a
+    RAT restore. This is the cheaper scheme today's processors use for
+    speculation recovery ("saving the current mapping between architectural
+    registers and physical registers").
+
+    The cost is register pressure: with two live checkpoints up to two
+    RATs' worth of physical registers are pinned. When the free list runs
+    low, the manager forces an early checkpoint (releasing the oldest and
+    unpinning its registers), mirroring how bounded rename resources force
+    checkpoint cadence in hardware.
+    """
+
+    def __init__(self, pipeline: Pipeline, interval: int,
+                 low_free_threshold: int = 8):
+        self._pins: dict[int, int] = {}
+        self._deferred: set[int] = set()
+        self.low_free_threshold = low_free_threshold
+        self.forced_by_pressure = 0
+        super().__init__(pipeline, interval)
+        pipeline.preg_free_hook = self._maybe_defer_free
+
+    # -- pinning ----------------------------------------------------------
+
+    def _pin_all(self, rat: tuple[int, ...]) -> None:
+        for preg in rat:
+            self._pins[preg] = self._pins.get(preg, 0) + 1
+
+    def _unpin_all(self, rat: tuple[int, ...]) -> None:
+        for preg in rat:
+            remaining = self._pins.get(preg, 0) - 1
+            if remaining <= 0:
+                self._pins.pop(preg, None)
+            else:
+                self._pins[preg] = remaining
+        self._flush_deferred()
+
+    def _flush_deferred(self) -> None:
+        still_deferred = set()
+        for preg in self._deferred:
+            if preg in self._pins or preg in self.pipeline.arch_rat.map:
+                still_deferred.add(preg)
+            else:
+                self.pipeline.freelist.free(preg)
+        self._deferred = still_deferred
+
+    def _maybe_defer_free(self, preg: int) -> bool:
+        if preg in self._pins:
+            self._deferred.add(preg)
+            return True
+        return False
+
+    def pinned_registers(self) -> set[int]:
+        return set(self._pins)
+
+    # -- checkpoint lifecycle overrides ------------------------------------
+
+    def note_retirement(self, record: RetiredInst) -> None:
+        if (
+            self.pipeline.freelist.count < self.low_free_threshold
+            and len(self.checkpoints) > 1
+        ):
+            # Rename pressure: release the oldest checkpoint early so its
+            # pinned registers flow back to the free list.
+            self.forced_by_pressure += 1
+            self._create(record.next_pc, position_offset=1)
+            return
+        super().note_retirement(record)
+
+    def _capture_reg_values(self) -> tuple[int, ...]:
+        return ()  # values stay in the PRF, protected by pinning
+
+    def _on_created(self, checkpoint: Checkpoint) -> None:
+        self._pin_all(checkpoint.rat)
+
+    def _on_released(self, checkpoint: Checkpoint) -> None:
+        self._unpin_all(checkpoint.rat)
+
+    def _restore_registers(self, checkpoint: Checkpoint) -> None:
+        # The RAT restore is the whole job; pinned values are still live.
+        self.pipeline.arch_rat.restore(list(checkpoint.rat))
+
+    def rollback(self, checkpoint: Checkpoint | None = None) -> Checkpoint:
+        if checkpoint is None:
+            checkpoint = self.oldest
+        position = self.checkpoints.index(checkpoint)
+        dropped = self.checkpoints[position + 1:]
+        restored = super().rollback(checkpoint)
+        for younger in dropped:
+            self._unpin_all(younger.rat)
+        # full_flush rebuilt the free list from the restored RAT only;
+        # rebuild again excluding every still-pinned register and clear the
+        # deferred list (those registers are free unless pinned or mapped).
+        in_use = set(self.pipeline.arch_rat.map) | set(self._pins)
+        self.pipeline.freelist.rebuild(in_use)
+        # Keep pending frees only for registers pinned by an *older* live
+        # checkpoint and not back in the restored mapping; registers back in
+        # the architectural RAT will be deferred afresh when re-execution
+        # renames them (keeping the stale entry would free them twice).
+        restored_map = set(self.pipeline.arch_rat.map)
+        self._deferred = {
+            preg
+            for preg in self._deferred
+            if preg in self._pins and preg not in restored_map
+        }
+        return restored

@@ -1,0 +1,307 @@
+"""The ReStore rollback controller.
+
+Wires the pieces together on a live pipeline: symptom detectors decide when
+an event is suspicious, the checkpoint manager restores the older of the
+two live checkpoints, event logs track the original execution so the
+redundant one can be compared against it, and statistics distinguish
+detected errors from false positives.
+
+Re-execution semantics follow Section 3.2:
+
+- An **exception** symptom rolls back once; if the same exception reappears
+  at the same architectural position during re-execution it is genuine and
+  is delivered normally ("either the exception is genuine or a data
+  corruption occurred prior to the checkpoint").
+- A **high-confidence misprediction** rolls back (immediately or at the end
+  of the interval, per the Section 5.2.3 policies); during re-execution the
+  branch-outcome log provides near-perfect prediction and outcome
+  comparison. A divergence means a soft error was present in one of the two
+  executions — with arbitration enabled a third execution decides; without
+  it the redundant execution is trusted. No divergence means the symptom
+  was a false positive.
+- Symptom-triggered rollbacks are suppressed *during* re-execution until
+  the machine has passed the position of the triggering symptom.
+
+Dynamic tuning (Section 3.2.3): a burst of false-positive control-flow
+symptoms temporarily disables the control-flow detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.restore.checkpoint import CheckpointManager
+from repro.restore.eventlog import BranchOutcomeLog, LoadValueQueue
+from repro.restore.symptoms import SymptomDetector, default_detectors
+from repro.uarch.pipeline import Pipeline, RetiredInst
+
+
+class RollbackPolicy(Enum):
+    """When to act on a control-flow symptom (Figure 7's imm vs delayed)."""
+
+    IMMEDIATE = "imm"
+    DELAYED = "delayed"
+
+
+@dataclass
+class TuningConfig:
+    """Dynamic false-positive throttling (Section 3.2.3)."""
+
+    enabled: bool = True
+    window: int = 2000  # retired instructions over which FPs are counted
+    threshold: int = 3  # FPs within the window that trip the breaker
+    cooldown: int = 5000  # instructions to ignore control-flow symptoms
+
+
+@dataclass
+class ControllerStats:
+    """Counters exposed for evaluation and the performance model."""
+
+    rollbacks: int = 0
+    rollback_distance_total: int = 0
+    detected_errors: int = 0
+    false_positives: int = 0
+    genuine_exceptions: int = 0
+    divergences: int = 0
+    arbitrations: int = 0
+    suppressed_symptoms: int = 0
+    tuning_activations: int = 0
+    lvq_mismatches: int = 0
+    fp_positions: list[int] = field(default_factory=list)
+
+
+class ReStoreController:
+    """Symptom-based detection and checkpoint recovery on a pipeline."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        interval: int = 100,
+        detectors: list[SymptomDetector] | None = None,
+        policy: RollbackPolicy = RollbackPolicy.IMMEDIATE,
+        use_event_log: bool = True,
+        arbitration: bool = False,
+        tuning: TuningConfig | None = None,
+    ):
+        self.pipeline = pipeline
+        self.interval = interval
+        self.policy = policy
+        self.use_event_log = use_event_log
+        self.arbitration = arbitration
+        self.tuning = tuning or TuningConfig(enabled=False)
+        self.detectors = detectors if detectors is not None else default_detectors()
+        self.checkpoints = CheckpointManager(pipeline, interval)
+        self.branch_log = BranchOutcomeLog()
+        self.lvq = LoadValueQueue()
+        self.stats = ControllerStats()
+
+        # Re-execution state.
+        self.mode = "normal"  # "normal" | "reexec"
+        self._reexec_until = 0  # architectural position where reexec ends
+        self._trigger: tuple[str, int, int] | None = None  # (kind, pos, pc)
+        self._rollback_history: dict[tuple[str, int, int], int] = {}
+        self._divergence_in_reexec = False
+        self._pending_rollback = False
+        self._fire_rollback: tuple[str, int, int] | None = None
+        self._cfv_disabled_until = -1
+
+        # External observer called after the controller's own retire work.
+        self.user_retire_hook = None
+
+        pipeline.symptom_handler = self._on_symptom
+        pipeline.on_retire = self._on_retire
+        pipeline.pre_cycle_hook = self._on_cycle_start
+
+    # -------------------------------------------------------------- retire
+
+    def _on_retire(self, record: RetiredInst) -> None:
+        position = self.pipeline.retired_count  # position of this retirement
+        if record.is_cond:
+            if self.mode == "normal":
+                self.branch_log.record(position, record.pc, record.taken)
+            else:
+                recorded = self.branch_log.outcome_at(position)
+                if recorded is not None and recorded != (record.pc, record.taken):
+                    self._handle_divergence(position)
+                # During re-execution the redundant outcome becomes the new
+                # truth for any later comparison round.
+                self.branch_log.record(position, record.pc, record.taken)
+        if record.is_load:
+            if self.mode == "normal":
+                self.lvq.record(position, record.load_addr, record.value)
+            else:
+                recorded = self.lvq.entry_at(position)
+                if recorded is not None and recorded != (
+                    record.load_addr,
+                    record.value,
+                ):
+                    self.stats.lvq_mismatches += 1
+                self.lvq.record(position, record.load_addr, record.value)
+
+        if (
+            self._pending_rollback
+            and self.mode == "normal"
+            and self.checkpoints._since_last + 1 >= self.interval
+        ):
+            # Delayed policy: the interval is complete. Schedule the
+            # rollback for the top of the next cycle (rolling back from
+            # inside the retire stage would corrupt it) and freeze
+            # retirement, so the boundary checkpoint is never created and
+            # the older checkpoint — which predates the symptom — survives.
+            self._pending_rollback = False
+            self._fire_rollback = self._trigger
+            self.pipeline.retire_stall = True
+            if self.user_retire_hook is not None:
+                self.user_retire_hook(record)
+            return
+        self.checkpoints.note_retirement(record)
+        oldest_pos = self.checkpoints.oldest.retired_count
+        self.branch_log.prune_before(oldest_pos)
+        self.lvq.prune_before(oldest_pos)
+
+        if self.mode == "reexec" and self.pipeline.retired_count > self._reexec_until:
+            self._finish_reexecution()
+        if self.user_retire_hook is not None:
+            self.user_retire_hook(record)
+
+    def _on_cycle_start(self) -> None:
+        """Deferred (delayed-policy) rollback, outside the retire stage.
+
+        The delayed policy restores the checkpoint at the *start* of the
+        polluted interval (the newer of the two live checkpoints): the
+        interval is re-executed exactly once, which is what lets delayed
+        amortise multiple symptoms per interval and overtake the immediate
+        policy at long intervals (Figure 7)."""
+        if self._fire_rollback is None:
+            return
+        trigger = self._fire_rollback
+        self._fire_rollback = None
+        self.pipeline.retire_stall = False
+        self._do_rollback(trigger, checkpoint=self.checkpoints.newest)
+
+    def _handle_divergence(self, position: int) -> None:
+        self.stats.divergences += 1
+        self.stats.detected_errors += 1
+        if self.arbitration:
+            # Third execution: roll back again and let majority decide. The
+            # redundant execution has already overwritten the log entries up
+            # to this position, so the third run compares against the second.
+            self.stats.arbitrations += 1
+
+    def _finish_reexecution(self) -> None:
+        kind = self._trigger[0] if self._trigger else ""
+        if kind == "hc_mispredict" and not self._divergence_in_reexec:
+            self.stats.false_positives += 1
+            self.stats.fp_positions.append(self.pipeline.retired_count)
+            self._maybe_trip_breaker()
+        if kind == "exception" and not self._divergence_in_reexec:
+            # The exception did not reappear: a soft error was detected and
+            # recovered (Section 3.2.1).
+            self.stats.detected_errors += 1
+        self.mode = "normal"
+        self._trigger = None
+        self._divergence_in_reexec = False
+        self.branch_log.end_replay()
+        self.pipeline.branch_oracle = None
+
+    def _maybe_trip_breaker(self) -> None:
+        if not self.tuning.enabled:
+            return
+        now = self.pipeline.retired_count
+        recent = [p for p in self.stats.fp_positions if p >= now - self.tuning.window]
+        if len(recent) >= self.tuning.threshold:
+            self._cfv_disabled_until = now + self.tuning.cooldown
+            self.stats.tuning_activations += 1
+
+    # ------------------------------------------------------------ symptoms
+
+    def _on_symptom(self, kind: str, payload) -> bool:
+        """Pipeline symptom hook; True = handled (rollback performed)."""
+        detector = self._matching_detector(kind, payload)
+        if detector is None:
+            return False
+        position = self.pipeline.retired_count
+        pc = self._symptom_pc(kind, payload)
+        key = (kind, position, pc)
+
+        if kind != "exception" and self._cfv_disabled_until > position:
+            self.stats.suppressed_symptoms += 1
+            return False
+        if self.mode == "reexec":
+            if kind == "exception":
+                if self._rollback_history.get(key):
+                    # Same exception at the same point: genuine.
+                    self.stats.genuine_exceptions += 1
+                    return False
+                # A different exception surfaced during re-execution: the
+                # original execution was the corrupt one; errors detected.
+                self._divergence_in_reexec = True
+                self.stats.detected_errors += 1
+                self._do_rollback(key)
+                return True
+            # Control-flow and deadlock symptoms are suppressed while the
+            # machine is still re-executing the suspicious window.
+            if position <= self._reexec_until:
+                self.stats.suppressed_symptoms += 1
+                return False
+            # Past the window: treat as a fresh symptom below.
+            self._finish_reexecution()
+
+        if kind == "hc_mispredict" and self.policy is RollbackPolicy.DELAYED:
+            self._trigger = key
+            self._pending_rollback = True
+            return False  # let normal misprediction recovery proceed
+        self._do_rollback(key)
+        return True
+
+    def _matching_detector(self, kind: str, payload) -> SymptomDetector | None:
+        for detector in self.detectors:
+            if detector.observe(kind, payload):
+                return detector
+        return None
+
+    @staticmethod
+    def _symptom_pc(kind: str, payload) -> int:
+        if isinstance(payload, tuple) and payload:
+            return int(payload[-1] if kind == "exception" else payload[0])
+        return 0
+
+    def _do_rollback(self, key: tuple[str, int, int], checkpoint=None) -> None:
+        kind, position, _pc = key
+        self._rollback_history[key] = self._rollback_history.get(key, 0) + 1
+        if checkpoint is None:
+            checkpoint = self.checkpoints.oldest
+        self.stats.rollbacks += 1
+        self.stats.rollback_distance_total += max(
+            0, position - checkpoint.retired_count
+        )
+        if self.use_event_log:
+            self.branch_log.begin_replay(checkpoint.retired_count)
+            self.pipeline.branch_oracle = self.branch_log
+        self.checkpoints.rollback(checkpoint)
+        self.mode = "reexec"
+        self._trigger = key
+        self._reexec_until = position
+        self._divergence_in_reexec = False
+
+    # ------------------------------------------------------------- reports
+
+    @property
+    def average_rollback_distance(self) -> float:
+        if self.stats.rollbacks == 0:
+            return 0.0
+        return self.stats.rollback_distance_total / self.stats.rollbacks
+
+    def summary(self) -> dict[str, int | float]:
+        return {
+            "rollbacks": self.stats.rollbacks,
+            "false_positives": self.stats.false_positives,
+            "detected_errors": self.stats.detected_errors,
+            "genuine_exceptions": self.stats.genuine_exceptions,
+            "divergences": self.stats.divergences,
+            "suppressed_symptoms": self.stats.suppressed_symptoms,
+            "tuning_activations": self.stats.tuning_activations,
+            "average_rollback_distance": self.average_rollback_distance,
+            "checkpoints_created": self.checkpoints.created,
+        }

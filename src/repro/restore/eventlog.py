@@ -1,0 +1,157 @@
+"""Event logs (Section 3.2.3).
+
+"To support the implementation of ReStore, we propose event logs that track
+and record the events leading up to a symptom." The logs serve three roles:
+
+1. **Error detection during re-execution**: the branch-outcome log records
+   control instruction outcomes of the original execution; during the
+   redundant execution the controller compares outcomes as they retire —
+   a divergence means a soft error occurred in one of the two executions.
+2. **Speculation hints**: during re-execution the log acts as a
+   near-perfect branch predictor ("a branch outcome event log is used to
+   provide perfect prediction of control flow, eliminating control
+   misspeculations during re-execution").
+3. **Input replication**: the load value queue records load values so the
+   redundant execution observes the same memory inputs (as in SRT's load
+   value queue, reference [23]).
+
+Entries are keyed by the *architectural position* (the pipeline's retired
+instruction count, which rewinds on rollback), so original and redundant
+executions line up by construction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class BranchOutcomeLog:
+    """Conditional-branch outcomes, recorded by architectural position.
+
+    Also implements the pipeline's ``branch_oracle`` protocol
+    (``predict`` / ``on_retire`` / ``on_flush``) for replay: fetch *peeks*
+    the next un-retired occurrence of a PC (tracking in-flight fetches,
+    which rewind on pipeline flushes) and retirement *consumes* it.
+    """
+
+    def __init__(self, capacity: int = 8192):
+        self.capacity = capacity
+        self._entries: dict[int, tuple[int, bool]] = {}  # position -> (pc, taken)
+        self._order: list[int] = []
+        # Replay state.
+        self._by_pc: dict[int, list[bool]] = {}
+        self._retired_index: dict[int, int] = {}
+        self._fetched_index: dict[int, int] = {}
+        self.replaying = False
+
+    # ----------------------------------------------------------- recording
+
+    def record(self, position: int, pc: int, taken: bool) -> None:
+        """Record a retired conditional branch (normal-mode execution)."""
+        if position not in self._entries and len(self._order) >= self.capacity:
+            evicted = self._order.pop(0)
+            self._entries.pop(evicted, None)
+        if position not in self._entries:
+            self._order.append(position)
+        self._entries[position] = (pc, taken)
+
+    def outcome_at(self, position: int) -> tuple[int, bool] | None:
+        return self._entries.get(position)
+
+    def prune_before(self, position: int) -> None:
+        """Drop entries older than ``position`` (a released checkpoint)."""
+        keep = [p for p in self._order if p >= position]
+        dropped = set(self._order) - set(keep)
+        for p in dropped:
+            self._entries.pop(p, None)
+        self._order = keep
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    # -------------------------------------------------------------- replay
+
+    def begin_replay(self, from_position: int) -> None:
+        """Freeze outcomes at or after ``from_position`` for replay."""
+        by_pc: dict[int, list[bool]] = defaultdict(list)
+        for position in sorted(self._order):
+            if position < from_position:
+                continue
+            pc, taken = self._entries[position]
+            by_pc[pc].append(taken)
+        self._by_pc = dict(by_pc)
+        self._retired_index = {pc: 0 for pc in self._by_pc}
+        self._fetched_index = {pc: 0 for pc in self._by_pc}
+        self.replaying = True
+
+    def end_replay(self) -> None:
+        self.replaying = False
+        self._by_pc = {}
+        self._retired_index = {}
+        self._fetched_index = {}
+
+    # Oracle protocol -----------------------------------------------------
+
+    def predict(self, pc: int) -> bool | None:
+        """Outcome hint for the next fetch of ``pc`` (None = no hint)."""
+        if not self.replaying:
+            return None
+        outcomes = self._by_pc.get(pc)
+        if outcomes is None:
+            return None
+        index = self._fetched_index.get(pc, 0)
+        if index >= len(outcomes):
+            return None
+        self._fetched_index[pc] = index + 1
+        return outcomes[index]
+
+    def on_retire(self, pc: int) -> None:
+        if not self.replaying:
+            return
+        if pc in self._retired_index:
+            self._retired_index[pc] += 1
+            if self._fetched_index[pc] < self._retired_index[pc]:
+                self._fetched_index[pc] = self._retired_index[pc]
+
+    def on_flush(self) -> None:
+        """Pipeline flush: wrong-path fetch peeks rewind to retired state."""
+        if not self.replaying:
+            return
+        for pc, retired in self._retired_index.items():
+            self._fetched_index[pc] = retired
+
+
+class LoadValueQueue:
+    """Load (address, value) pairs by architectural position.
+
+    Our model is single-core, so the gated store buffer already guarantees
+    identical memory inputs on re-execution; the LVQ is used in verification
+    mode — re-executed loads are *compared* against it and a mismatch is an
+    additional error-detection signal.
+    """
+
+    def __init__(self, capacity: int = 16384):
+        self.capacity = capacity
+        self._entries: dict[int, tuple[int, int]] = {}
+        self._order: list[int] = []
+
+    def record(self, position: int, address: int, value: int) -> None:
+        if position not in self._entries and len(self._order) >= self.capacity:
+            evicted = self._order.pop(0)
+            self._entries.pop(evicted, None)
+        if position not in self._entries:
+            self._order.append(position)
+        self._entries[position] = (address, value)
+
+    def entry_at(self, position: int) -> tuple[int, int] | None:
+        return self._entries.get(position)
+
+    def prune_before(self, position: int) -> None:
+        keep = [p for p in self._order if p >= position]
+        dropped = set(self._order) - set(keep)
+        for p in dropped:
+            self._entries.pop(p, None)
+        self._order = keep
+
+    def __len__(self) -> int:
+        return len(self._order)

@@ -1,0 +1,93 @@
+"""The "low-hanging fruit" hardened pipeline (Section 5.2.2).
+
+The paper's prior work covered "the most vulnerable portions of our
+processor with parity and ECC. In particular, parity was added to the
+control word latches within the pipeline, and ECC was added to the register
+file and other key data stores ... incurring an overhead of approximately
+7% additional state in the execution core."
+
+The default placement mirrors that selectivity rather than blanketing the
+machine:
+
+- **ECC** on the SRAM data stores: physical register file, both alias
+  tables, the free list, the fetch queue, and the committed-store buffer.
+  A single-bit flip is corrected in place; the fault is harmless ("latent
+  faults in the register file or alias table that are covered by ECC and
+  will not cause data corruption" — the bigger *other* category of
+  Figure 6).
+- **Parity** on the control word latches of the ROB and scheduler. A flip
+  is detected on read and recovered by a pipeline flush and refetch.
+- Everything else stays unprotected: load/store queue addresses and data,
+  in-flight PCs and targets, ready scoreboards, queue pointers. This is
+  the residual vulnerability that ReStore's symptom coverage addresses.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.latches import StateField, StateRegistry
+
+# ECC word size and check-bit count (SECDED over 64-bit words), and parity
+# granularity for control latches.
+ECC_WORD_BITS = 64
+ECC_CHECK_BITS = 8
+PARITY_GROUP_BITS = 16  # one parity bit per 16-bit control field group
+
+DEFAULT_ECC_STRUCTURES = (
+    "prf", "spec_rat", "arch_rat", "freelist", "fetchq", "storebuf",
+)
+DEFAULT_PARITY_STRUCTURES = ("rob", "sched")
+
+
+class ProtectionMap:
+    """Which (structure, state-class) pairs carry which protection."""
+
+    def __init__(
+        self,
+        ecc_structures: tuple[str, ...] = DEFAULT_ECC_STRUCTURES,
+        parity_structures: tuple[str, ...] = DEFAULT_PARITY_STRUCTURES,
+    ):
+        self.ecc_structures = set(ecc_structures)
+        self.parity_structures = set(parity_structures)
+
+    def protection_of_parts(self, structure: str, state_class: str) -> str | None:
+        """"ecc", "parity", or None for (structure, state-class)."""
+        if structure in self.ecc_structures and state_class == "ram":
+            return "ecc"
+        if structure in self.parity_structures and state_class == "ctrl":
+            return "parity"
+        return None
+
+    def protection_of(self, field: StateField) -> str | None:
+        return self.protection_of_parts(field.structure, field.state_class)
+
+    def protected_bits(self, registry: StateRegistry) -> int:
+        return sum(
+            field.width
+            for field in registry.fields
+            if self.protection_of(field) is not None
+        )
+
+    def unprotected_bits(self, registry: StateRegistry) -> int:
+        return registry.total_bits() - self.protected_bits(registry)
+
+
+def protection_overhead_bits(registry: StateRegistry, pmap: ProtectionMap) -> int:
+    """Additional storage the protection scheme costs.
+
+    ECC: 8 check bits per 64 data bits; parity: 1 bit per 16-bit group of
+    control state. The paper reports ~7% additional state for its
+    placement; this computes ours for comparison.
+    """
+    ecc_bits = sum(
+        field.width
+        for field in registry.fields
+        if pmap.protection_of(field) == "ecc"
+    )
+    parity_bits = sum(
+        field.width
+        for field in registry.fields
+        if pmap.protection_of(field) == "parity"
+    )
+    ecc_overhead = -(-ecc_bits // ECC_WORD_BITS) * ECC_CHECK_BITS
+    parity_overhead = -(-parity_bits // PARITY_GROUP_BITS)
+    return ecc_overhead + parity_overhead

@@ -1,0 +1,124 @@
+"""Symptom detectors (Section 3).
+
+A symptom detector watches pipeline events and decides whether an event
+"hints at the presence of a soft error" strongly enough to trigger a
+checkpoint rollback. Section 3.3 gives the evaluation metrics for a
+candidate symptom: (1) how often failure-causing errors generate it,
+(2) its error-to-symptom propagation latency, and (3) its frequency in
+error-free execution (the false-positive cost).
+
+The paper's chosen detectors are exceptions and JRS-gated high-confidence
+branch mispredictions, plus the watchdog for deadlocks; cache/TLB misses
+are candidate symptoms it argues against (too frequent when error-free) —
+we implement them for the ablation study.
+"""
+
+from __future__ import annotations
+
+
+class SymptomDetector:
+    """Base detector: decides whether a pipeline event triggers rollback."""
+
+    #: Event kinds (Pipeline symptom_handler kinds) this detector watches.
+    kinds: tuple[str, ...] = ()
+    name = "base"
+
+    def __init__(self):
+        self.observed = 0
+        self.triggered = 0
+
+    def wants(self, kind: str) -> bool:
+        return kind in self.kinds
+
+    def should_rollback(self, kind: str, payload) -> bool:
+        """Default: every watched event triggers rollback."""
+        return True
+
+    def observe(self, kind: str, payload) -> bool:
+        """Main entry: returns True when a rollback should be triggered."""
+        if not self.wants(kind):
+            return False
+        self.observed += 1
+        fire = self.should_rollback(kind, payload)
+        if fire:
+            self.triggered += 1
+        return fire
+
+
+class ExceptionSymptomDetector(SymptomDetector):
+    """Any ISA-defined exception triggers rollback (Section 3.2.1).
+
+    "Because exceptions are fairly rare during error-free operation, and
+    program execution cannot continue without first handling any exceptions
+    that arise, there is little reason to not initiate a checkpoint
+    recovery on memory access, alignment or any other exceptions."
+    """
+
+    kinds = ("exception",)
+    name = "exception"
+
+
+class HighConfidenceMispredictDetector(SymptomDetector):
+    """JRS-gated control-flow symptom (Section 3.2.2).
+
+    The pipeline emits ``hc_mispredict`` only for mispredicted conditional
+    branches whose prediction the JRS estimator had marked high-confidence,
+    so this detector fires on every such event. The coverage/performance
+    trade-off lives in the confidence estimator choice (JRS vs perfect vs
+    none), not here.
+    """
+
+    kinds = ("hc_mispredict",)
+    name = "hc_mispredict"
+
+
+class WatchdogSymptomDetector(SymptomDetector):
+    """Watchdog saturation (deadlock/livelock; Section 3.1 outcome 2).
+
+    "These conditions are often easily detected by watchdog timers ... and
+    can often be recovered by flushing the pipeline."
+    """
+
+    kinds = ("deadlock",)
+    name = "watchdog"
+
+
+class CacheMissSymptomDetector(SymptomDetector):
+    """Cache/TLB-miss symptom candidate (Section 3.3 ablation).
+
+    The paper argues data-cache misses "may not be sufficiently rare enough
+    in the absence of transient faults and may cause undue false positives".
+    A burst threshold limits the damage: only ``threshold`` misses within
+    ``window`` retired instructions trigger a rollback.
+    """
+
+    name = "cache_miss"
+
+    def __init__(
+        self,
+        kinds: tuple[str, ...] = ("dcache_miss", "dtlb_miss"),
+        threshold: int = 1,
+        window: int = 100,
+    ):
+        super().__init__()
+        self.kinds = kinds
+        self.threshold = threshold
+        self.window = window
+        self._recent: list[int] = []  # retired positions of recent misses
+
+    def should_rollback(self, kind: str, payload) -> bool:
+        position = payload if isinstance(payload, int) else 0
+        self._recent.append(position)
+        cutoff = position - self.window
+        self._recent = [p for p in self._recent if p >= cutoff]
+        return len(self._recent) >= self.threshold
+
+
+def default_detectors() -> list[SymptomDetector]:
+    """The paper's ReStore configuration: exceptions + HC mispredicts +
+    watchdog."""
+    return [
+        ExceptionSymptomDetector(),
+        HighConfidenceMispredictDetector(),
+        WatchdogSymptomDetector(),
+    ]

@@ -1,0 +1,32 @@
+"""Cycle-level out-of-order pipeline model (the paper's "Verilog model").
+
+A superscalar, dynamically-scheduled pipeline similar in structure to the
+paper's processor (itself Alpha 21264 / AMD Athlon class): speculative
+fetch with a combining branch predictor, BTB, RAS and a JRS confidence
+estimator; a 32-entry fetch queue; 4-wide decode and rename through
+speculative register alias tables and free lists; a 32-entry scheduler
+issuing up to 6 instructions per cycle; load/store queues with memory
+dependence prediction and store-to-load forwarding; a 64-entry reorder
+buffer; and a committed-store buffer that doubles as the ReStore
+checkpointing gate. Caches and TLBs are modelled for timing and for the
+cache-miss symptom ablation.
+
+Every latch and RAM cell of the machine is registered in a
+:class:`~repro.uarch.latches.StateRegistry`, giving the fault-injection
+framework a uniform bit-addressable view of ~tens of thousands of bits of
+"interesting" state — the paper's eligible injection targets (caches and
+predictor tables are excluded, as in the paper).
+"""
+
+from repro.uarch.config import PipelineConfig
+from repro.uarch.latches import StateField, StateRegistry
+from repro.uarch.pipeline import Pipeline, RetiredInst, load_pipeline
+
+__all__ = [
+    "Pipeline",
+    "PipelineConfig",
+    "RetiredInst",
+    "StateField",
+    "StateRegistry",
+    "load_pipeline",
+]

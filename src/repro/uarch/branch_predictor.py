@@ -1,0 +1,117 @@
+"""Branch prediction: McFarling combining predictor, BTB, and RAS.
+
+Per the paper's processor model ("sophisticated branch prediction" [18]):
+a bimodal predictor and a gshare predictor arbitrated by a chooser table,
+plus a branch target buffer for indirect targets and a return address stack.
+
+Predictor tables are *not* registered as injectable state — the paper
+excludes them because "corrupt predictor table entries cannot lead to
+failure" (they only cause mispredictions, which recovery already handles).
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import PipelineConfig
+
+TAKEN_THRESHOLD = 2  # 2-bit counters: 0-1 predict not-taken, 2-3 taken
+
+
+class CombiningPredictor:
+    """Bimodal + gshare with a chooser (McFarling, DEC WRL TN-36)."""
+
+    def __init__(self, config: PipelineConfig):
+        self.config = config
+        self.bimodal = [1] * config.bimodal_entries
+        self.gshare = [1] * config.gshare_entries
+        self.chooser = [1] * config.chooser_entries  # <2 favours bimodal
+        self.history = 0  # speculative global history register
+        self._history_mask = (1 << config.history_bits) - 1
+
+    def _bimodal_index(self, pc: int) -> int:
+        return (pc >> 2) % self.config.bimodal_entries
+
+    def _gshare_index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ history) % self.config.gshare_entries
+
+    def predict(self, pc: int) -> bool:
+        """Direction prediction with the current speculative history."""
+        bimodal_taken = self.bimodal[self._bimodal_index(pc)] >= TAKEN_THRESHOLD
+        gshare_taken = (
+            self.gshare[self._gshare_index(pc, self.history)] >= TAKEN_THRESHOLD
+        )
+        use_gshare = self.chooser[self._bimodal_index(pc)] >= TAKEN_THRESHOLD
+        return gshare_taken if use_gshare else bimodal_taken
+
+    def push_history(self, taken: bool) -> None:
+        """Speculatively shift the outcome into the history register."""
+        self.history = ((self.history << 1) | int(taken)) & self._history_mask
+
+    def restore_history(self, history: int) -> None:
+        """Recovery: rewind the speculative history (kept per-branch)."""
+        self.history = history & self._history_mask
+
+    def update(self, pc: int, taken: bool, history: int) -> None:
+        """Train on a resolved branch with the history seen at prediction."""
+        bimodal_index = self._bimodal_index(pc)
+        gshare_index = self._gshare_index(pc, history)
+        bimodal_taken = self.bimodal[bimodal_index] >= TAKEN_THRESHOLD
+        gshare_taken = self.gshare[gshare_index] >= TAKEN_THRESHOLD
+        # Train the chooser toward the component that was right.
+        if bimodal_taken != gshare_taken:
+            if gshare_taken == taken:
+                self.chooser[bimodal_index] = min(3, self.chooser[bimodal_index] + 1)
+            else:
+                self.chooser[bimodal_index] = max(0, self.chooser[bimodal_index] - 1)
+        self.bimodal[bimodal_index] = _train(self.bimodal[bimodal_index], taken)
+        self.gshare[gshare_index] = _train(self.gshare[gshare_index], taken)
+
+
+def _train(counter: int, taken: bool) -> int:
+    if taken:
+        return min(3, counter + 1)
+    return max(0, counter - 1)
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB for indirect branch targets."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self.tags = [-1] * entries
+        self.targets = [0] * entries
+
+    def _index_tag(self, pc: int) -> tuple[int, int]:
+        line = pc >> 2
+        return line % self.entries, line // self.entries
+
+    def lookup(self, pc: int) -> int | None:
+        index, tag = self._index_tag(pc)
+        if self.tags[index] == tag:
+            return self.targets[index]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        index, tag = self._index_tag(pc)
+        self.tags[index] = tag
+        self.targets[index] = target
+
+
+class ReturnAddressStack:
+    """Circular return address stack."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self.stack = [0] * entries
+        self.top = 0
+
+    def push(self, address: int) -> None:
+        self.top = (self.top + 1) % self.entries
+        self.stack[self.top] = address
+
+    def pop(self) -> int:
+        address = self.stack[self.top]
+        self.top = (self.top - 1) % self.entries
+        return address
+
+    def peek(self) -> int:
+        return self.stack[self.top]

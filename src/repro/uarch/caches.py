@@ -1,0 +1,78 @@
+"""Cache and TLB timing models.
+
+These model hit/miss behaviour only — data always comes from the memory
+image, since an L1 in a single-core model is always coherent with it. They
+exist for two reasons: realistic load/fetch latencies, and the cache/TLB
+*miss symptoms* discussed in Section 3.3 (rare-in-steady-state events that
+a soft error can trigger, candidates for symptom-based detection).
+
+Cache and TLB arrays are not fault-injection targets (the paper excludes
+them: parity/ECC protect them cheaply).
+"""
+
+from __future__ import annotations
+
+
+class SetAssociativeCache:
+    """Tag-only set-associative cache with LRU replacement."""
+
+    def __init__(self, sets: int, ways: int, line_bytes: int):
+        if sets & (sets - 1):
+            raise ValueError("sets must be a power of two")
+        self.sets = sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self._tags: list[list[int]] = [[-1] * ways for _ in range(sets)]
+        # LRU order per set: index 0 = most recent.
+        self._order: list[list[int]] = [list(range(ways)) for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_tag(self, address: int) -> tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.sets, line // self.sets
+
+    def access(self, address: int) -> bool:
+        """Access a line; returns True on hit. Misses fill (allocate)."""
+        set_index, tag = self._set_tag(address)
+        tags = self._tags[set_index]
+        order = self._order[set_index]
+        for position, way in enumerate(order):
+            if tags[way] == tag:
+                order.insert(0, order.pop(position))
+                self.hits += 1
+                return True
+        # Miss: replace the LRU way.
+        victim = order.pop()
+        tags[victim] = tag
+        order.insert(0, victim)
+        self.misses += 1
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU or filling."""
+        set_index, tag = self._set_tag(address)
+        return tag in self._tags[set_index]
+
+
+class Tlb:
+    """Fully-associative TLB with FIFO replacement."""
+
+    def __init__(self, entries: int, page_shift: int = 13):
+        self.entries = entries
+        self.page_shift = page_shift
+        self._pages: list[int] = []
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Translate; returns True on hit. Misses fill."""
+        page = address >> self.page_shift
+        if page in self._pages:
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages.append(page)
+        if len(self._pages) > self.entries:
+            self._pages.pop(0)
+        return False

@@ -1,0 +1,74 @@
+"""The JRS branch-confidence estimator.
+
+Jacobsen, Rotenberg, and Smith's estimator (MICRO-29, reference [12] of the
+paper): a table of saturating "resetting counters" indexed by PC xor global
+history. A counter increments on every correct prediction of branches
+mapping to it and resets to zero on a misprediction, so a high counter
+value means the predictor has recently been consistently right — the
+prediction is *high confidence*.
+
+ReStore uses it to gate the control-flow symptom: a mispredicted branch
+that the estimator had marked high-confidence is suspicious — maybe the
+"misprediction" is really a soft error (Section 3.2.2). The paper selected
+JRS "prioritizing performance over coverage": it is conservative, so few
+error-free mispredictions are flagged (few false positives), at the cost of
+missing some genuine error-induced violations.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import PipelineConfig
+
+
+class JrsConfidenceEstimator:
+    """Table of resetting counters; high confidence at saturation."""
+
+    def __init__(self, config: PipelineConfig):
+        self.entries = config.jrs_entries
+        self.max_value = (1 << config.jrs_counter_bits) - 1
+        self.threshold = config.jrs_threshold
+        self.table = [0] * self.entries
+
+    def _index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ history) % self.entries
+
+    def estimate(self, pc: int, history: int) -> bool:
+        """True when the upcoming prediction is high confidence."""
+        return self.table[self._index(pc, history)] >= self.threshold
+
+    def update(self, pc: int, history: int, correct: bool) -> None:
+        """Train with the resolved outcome (resetting counter discipline)."""
+        index = self._index(pc, history)
+        if correct:
+            self.table[index] = min(self.max_value, self.table[index] + 1)
+        else:
+            self.table[index] = 0
+
+
+class PerfectConfidenceEstimator:
+    """Oracle estimator for the ablation in Section 5.2.1.
+
+    The paper notes "a perfect confidence predictor would yield nearly twice
+    the error coverage": with an oracle, *every* control-flow violation from
+    a soft error is flagged, while genuine (error-free) mispredictions are
+    not. We approximate the oracle by always reporting high confidence; in
+    coverage campaigns this flags every misprediction symptom, and the
+    performance model pairs it with the measured error-free misprediction
+    rate instead of the JRS-gated rate.
+    """
+
+    def estimate(self, pc: int, history: int) -> bool:
+        return True
+
+    def update(self, pc: int, history: int, correct: bool) -> None:
+        """Oracles do not train."""
+
+
+class NeverConfidentEstimator:
+    """Disables the control-flow symptom (exceptions-only ReStore)."""
+
+    def estimate(self, pc: int, history: int) -> bool:
+        return False
+
+    def update(self, pc: int, history: int, correct: bool) -> None:
+        """Nothing to train."""

@@ -1,0 +1,89 @@
+"""Pipeline configuration.
+
+Defaults follow the paper's processor model: a 12-stage pipeline with up to
+132 instructions in flight, a 32-entry scheduler, a 64-entry reorder buffer,
+a 32-entry fetch queue, 4-wide fetch/decode/rename/retire and 6-wide issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Structure sizes, widths, and latencies."""
+
+    # Widths.
+    fetch_width: int = 4
+    decode_width: int = 4
+    rename_width: int = 4
+    issue_width: int = 6
+    retire_width: int = 4
+
+    # Structure sizes.
+    fetch_queue_entries: int = 32
+    scheduler_entries: int = 32
+    rob_entries: int = 64
+    ldq_entries: int = 16
+    stq_entries: int = 16
+    store_buffer_entries: int = 64
+    physical_registers: int = 128
+
+    # Front-end depth: cycles between fetch and earliest possible rename,
+    # modelling the 12-stage pipe's front half (fetch, align, decode).
+    frontend_delay: int = 4
+    # Cycles between issue and execute (register read stages).
+    regread_delay: int = 2
+
+    # Functional units: 3 ALUs, 1 branch, 2 AGEN (address generation).
+    alu_units: int = 3
+    branch_units: int = 1
+    agen_units: int = 2
+
+    # Latencies (cycles from execute start to writeback).
+    alu_latency: int = 1
+    branch_latency: int = 1
+    multiply_latency: int = 4
+    cache_hit_latency: int = 3
+    cache_miss_latency: int = 20
+    tlb_miss_penalty: int = 12
+    icache_miss_latency: int = 12
+
+    # Branch prediction.
+    bimodal_entries: int = 4096
+    gshare_entries: int = 4096
+    chooser_entries: int = 4096
+    history_bits: int = 12
+    btb_entries: int = 512
+    ras_entries: int = 16
+
+    # JRS confidence estimator (Jacobsen, Rotenberg, Smith; MICRO-29).
+    jrs_entries: int = 1024
+    jrs_counter_bits: int = 4
+    jrs_threshold: int = 15  # counter value at or above which = high confidence
+
+    # Caches (modelled for timing and miss symptoms; not injection targets).
+    l1i_sets: int = 128
+    l1i_ways: int = 2
+    l1i_line_bytes: int = 32
+    l1d_sets: int = 128
+    l1d_ways: int = 2
+    l1d_line_bytes: int = 32
+    itlb_entries: int = 64
+    dtlb_entries: int = 64
+
+    # Watchdog: cycles without a retirement before declaring deadlock.
+    watchdog_cycles: int = 400
+
+    # Memory dependence predictor.
+    memdep_entries: int = 256
+
+    @property
+    def max_in_flight(self) -> int:
+        """Paper: "up to 132 instructions in-flight"."""
+        return (
+            self.rob_entries
+            + self.fetch_queue_entries
+            + self.decode_width * self.frontend_delay
+        )

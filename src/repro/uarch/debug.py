@@ -1,0 +1,125 @@
+"""Human-readable pipeline state dumps.
+
+Debugging aid for users extending the pipeline or investigating a fault
+trial: renders the machine's occupancy and in-flight instructions as text.
+"""
+
+from __future__ import annotations
+
+from repro.isa.disassembler import disassemble
+from repro.uarch.pipeline import Pipeline
+from repro.util.tables import format_table
+
+
+def dump_status(pipeline: Pipeline) -> str:
+    """One-paragraph machine status."""
+    state = (
+        "halted" if pipeline.halted
+        else "stopped" if pipeline.stopped
+        else "running"
+    )
+    lines = [
+        f"cycle {pipeline.cycle_count}, {pipeline.retired_count} retired "
+        f"({pipeline.total_retired} total), state: {state}",
+        f"fetch pc 0x{pipeline._fetch_pc[0]:x}, "
+        f"rob {pipeline.rob.count}/{pipeline.rob.size}, "
+        f"free pregs {pipeline.freelist.count}",
+        f"branches {pipeline.branch_count} "
+        f"(mispredicted {pipeline.mispredict_count}, "
+        f"high-confidence {pipeline.hc_mispredict_count})",
+    ]
+    if pipeline.exception is not None:
+        lines.append(
+            f"exception: {pipeline.exception_name()} "
+            f"at 0x{pipeline.exception[1]:x}"
+        )
+    return "\n".join(lines)
+
+
+def dump_rob(pipeline: Pipeline, limit: int = 16) -> str:
+    """The oldest in-flight instructions, head first."""
+    rob = pipeline.rob
+    rows = []
+    index = rob.head
+    for _ in range(min(limit, rob.count)):
+        if not rob.valid[index]:
+            break
+        flags = "".join(
+            letter
+            for letter, value in (
+                ("D", rob.done[index]),
+                ("B", rob.is_branch[index]),
+                ("L", rob.is_load[index]),
+                ("S", rob.is_store[index]),
+                ("X", rob.exc[index]),
+                ("H", rob.is_halt[index]),
+            )
+            if value
+        )
+        try:
+            text = disassemble(pipeline.memory.read(rob.pc[index], 4))
+        except Exception:
+            text = "<unreadable>"
+        rows.append([index, f"0x{rob.pc[index]:x}", flags or "-", text])
+        index = (index + 1) % rob.size
+    return format_table(
+        ["rob", "pc", "flags", "instruction"],
+        rows,
+        title=f"ROB (oldest {len(rows)} of {rob.count} in flight)",
+    )
+
+
+def dump_scheduler(pipeline: Pipeline) -> str:
+    """Occupied scheduler slots with readiness."""
+    sched = pipeline.sched
+    rows = []
+    for slot in range(sched.size):
+        if not sched.valid[slot]:
+            continue
+        readiness = (
+            f"{sched.src1_ready[slot]}{sched.src2_ready[slot]}"
+            f"{sched.src3_ready[slot]}"
+        )
+        rows.append(
+            [
+                slot,
+                sched.rob_idx[slot],
+                "issued" if sched.issued[slot] else "waiting",
+                readiness,
+                disassemble(sched.word[slot]),
+            ]
+        )
+    return format_table(
+        ["slot", "rob", "state", "rdy", "instruction"],
+        rows,
+        title=f"Scheduler ({len(rows)}/{sched.size} occupied)",
+    )
+
+
+def dump_state_summary(pipeline: Pipeline) -> str:
+    """Registered state bits per structure (the injection surface)."""
+    rows = sorted(
+        pipeline.registry.bits_by_structure().items(),
+        key=lambda item: -item[1],
+    )
+    total = pipeline.registry.total_bits()
+    table_rows = [
+        [name, bits, f"{bits / total:.1%}"] for name, bits in rows
+    ]
+    table_rows.append(["TOTAL", total, "100.0%"])
+    return format_table(
+        ["structure", "bits", "share"],
+        table_rows,
+        title="Injectable state by structure",
+    )
+
+
+def dump_all(pipeline: Pipeline) -> str:
+    return "\n\n".join(
+        [
+            dump_status(pipeline),
+            dump_rob(pipeline),
+            dump_scheduler(pipeline),
+            dump_state_summary(pipeline),
+        ]
+    )

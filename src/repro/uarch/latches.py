@@ -1,0 +1,195 @@
+"""Bit-addressable state elements and the injection registry.
+
+Every latch and RAM cell of the pipeline registers itself here, giving the
+fault-injection framework a uniform view of the machine's state: it can
+count bits, pick a uniformly random (field, bit) pair, flip it, snapshot the
+whole machine, and diff two snapshots — exactly the operations the paper's
+latch-level campaigns need.
+
+State classes mirror the paper's taxonomy:
+
+- ``ram``  — SRAM arrays: physical register file, alias tables, free lists,
+  fetch queue, store buffer ("structures that were implemented as SRAMs in
+  our processor include the register file and register alias tables").
+  These are the ECC targets of the "low-hanging-fruit" hardened pipeline.
+- ``ctrl`` — control word latches: ROB and scheduler control fields, LSQ
+  control bits. These are the parity targets of the hardened pipeline.
+- ``data`` — datapath latches: in-flight addresses, values, and PCs that
+  remain unprotected even in the hardened pipeline; ReStore's symptom
+  coverage is what protects them.
+
+Caches, TLBs, and predictor tables intentionally never register: the paper
+excludes them ("caches are easily protected by ECC or parity and corrupt
+predictor table entries cannot lead to failure").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable
+
+from repro.util.rng import DeterministicRng
+
+STATE_CLASSES = ("ram", "ctrl", "data")
+
+# State classes counted as pipeline latches for the Section 5.1.2 study.
+LATCH_CLASSES = ("ctrl", "data")
+
+
+class StateField:
+    """One named, fixed-width state element with get/set accessors."""
+
+    __slots__ = ("name", "structure", "state_class", "width", "get", "set")
+
+    def __init__(
+        self,
+        name: str,
+        structure: str,
+        state_class: str,
+        width: int,
+        get: Callable[[], int],
+        set: Callable[[int], None],
+    ):
+        if state_class not in STATE_CLASSES:
+            raise ValueError(f"unknown state class {state_class!r}")
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.name = name
+        self.structure = structure
+        self.state_class = state_class
+        self.width = width
+        self.get = get
+        self.set = set
+
+    def flip(self, bit: int) -> None:
+        if not 0 <= bit < self.width:
+            raise ValueError(f"bit {bit} out of range for {self.name}")
+        self.set(self.get() ^ (1 << bit))
+
+    def __repr__(self) -> str:
+        return f"StateField({self.name}, {self.state_class}, {self.width}b)"
+
+
+class StateRegistry:
+    """All injectable state of one pipeline instance."""
+
+    def __init__(self):
+        self.fields: list[StateField] = []
+        self._prefix_bits: list[int] | None = None
+
+    # ---------------------------------------------------------- registering
+
+    def register(
+        self,
+        name: str,
+        structure: str,
+        state_class: str,
+        width: int,
+        get: Callable[[], int],
+        set: Callable[[int], None],
+    ) -> StateField:
+        field = StateField(name, structure, state_class, width, get, set)
+        self.fields.append(field)
+        self._prefix_bits = None
+        return field
+
+    def register_list(
+        self,
+        structure: str,
+        state_class: str,
+        base_name: str,
+        storage: list[int],
+        width: int,
+    ) -> None:
+        """Register every slot of a list of ints (an SRAM array or a latch
+        bank). The list object must stay in place — slots are accessed by
+        index through closures."""
+
+        def make_get(index: int) -> Callable[[], int]:
+            return lambda: storage[index]
+
+        def make_set(index: int) -> Callable[[int], None]:
+            mask = (1 << width) - 1
+
+            def setter(value: int, index: int = index) -> None:
+                storage[index] = value & mask
+
+            return setter
+
+        for index in range(len(storage)):
+            self.register(
+                f"{base_name}[{index}]",
+                structure,
+                state_class,
+                width,
+                make_get(index),
+                make_set(index),
+            )
+
+    # ------------------------------------------------------------- queries
+
+    def injectable_fields(self) -> list[StateField]:
+        return list(self.fields)
+
+    def fields_of_classes(self, classes: tuple[str, ...]) -> list[StateField]:
+        allowed = set(classes)
+        return [field for field in self.fields if field.state_class in allowed]
+
+    def total_bits(self, classes: tuple[str, ...] | None = None) -> int:
+        fields = self.fields if classes is None else self.fields_of_classes(classes)
+        return sum(field.width for field in fields)
+
+    def bits_by_structure(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for field in self.fields:
+            totals[field.structure] = totals.get(field.structure, 0) + field.width
+        return totals
+
+    # ------------------------------------------------------------ sampling
+
+    def _prefix(self, fields: list[StateField]) -> list[int]:
+        prefix = []
+        total = 0
+        for field in fields:
+            total += field.width
+            prefix.append(total)
+        return prefix
+
+    def pick_bit(
+        self,
+        rng: DeterministicRng,
+        classes: tuple[str, ...] | None = None,
+    ) -> tuple[StateField, int]:
+        """Uniformly pick one bit across all (optionally filtered) state."""
+        fields = self.fields if classes is None else self.fields_of_classes(classes)
+        if not fields:
+            raise ValueError("no fields to pick from")
+        if classes is None:
+            if self._prefix_bits is None:
+                self._prefix_bits = self._prefix(self.fields)
+            prefix = self._prefix_bits
+        else:
+            prefix = self._prefix(fields)
+        bit_index = rng.randrange(prefix[-1])
+        field_index = bisect_right(prefix, bit_index)
+        field = fields[field_index]
+        offset = bit_index - (prefix[field_index - 1] if field_index else 0)
+        return field, offset
+
+    # ----------------------------------------------------------- snapshots
+
+    def snapshot(self) -> list[int]:
+        """Values of every field, in registration order."""
+        return [field.get() for field in self.fields]
+
+    def restore(self, snapshot: list[int]) -> None:
+        if len(snapshot) != len(self.fields):
+            raise ValueError("snapshot length mismatch")
+        for field, value in zip(self.fields, snapshot):
+            field.set(value)
+
+    def diff_indices(self, a: list[int], b: list[int]) -> list[int]:
+        """Indices of fields whose values differ between two snapshots."""
+        if len(a) != len(b):
+            raise ValueError("snapshot length mismatch")
+        return [index for index, (x, y) in enumerate(zip(a, b)) if x != y]

@@ -1,0 +1,37 @@
+"""Memory dependence predictor.
+
+The paper's processor model includes memory dependence prediction (two
+predictor blocks in its Figure 3). We model a simple collision-history
+table: loads whose PC has recently caused an ordering violation are made to
+wait for all older store addresses; others issue speculatively past
+unresolved stores. A violation (an older store later writes to an address
+a speculative load already read) squashes from the load, like a branch
+misprediction.
+
+Predictor state is excluded from fault injection, as with all predictors.
+"""
+
+from __future__ import annotations
+
+
+class MemoryDependencePredictor:
+    """Per-load-PC saturating collision counters."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self.table = [0] * entries  # 2-bit counters; >=2 means "wait"
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def should_wait(self, pc: int) -> bool:
+        """Should this load wait for all older store addresses?"""
+        return self.table[self._index(pc)] >= 2
+
+    def record_violation(self, pc: int) -> None:
+        self.table[self._index(pc)] = 3
+
+    def record_safe(self, pc: int) -> None:
+        index = self._index(pc)
+        if self.table[index] > 0:
+            self.table[index] -= 1

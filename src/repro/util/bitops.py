@@ -1,0 +1,65 @@
+"""Bit-manipulation primitives for 64-bit machine arithmetic.
+
+The architectural and microarchitectural simulators keep register values as
+unsigned Python integers in the range ``[0, 2**64)``. These helpers perform
+the wrapping, sign conversion, and field extraction that the hardware would
+do with fixed-width datapaths.
+"""
+
+MASK32 = (1 << 32) - 1
+MASK64 = (1 << 64) - 1
+
+
+def to_unsigned64(value: int) -> int:
+    """Wrap an arbitrary Python integer into an unsigned 64-bit value."""
+    return value & MASK64
+
+
+def to_signed64(value: int) -> int:
+    """Interpret an unsigned 64-bit value as a signed two's-complement one."""
+    value &= MASK64
+    if value >= 1 << 63:
+        return value - (1 << 64)
+    return value
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend ``value`` of ``width`` bits to an unsigned 64-bit value."""
+    if width <= 0 or width > 64:
+        raise ValueError(f"width must be in [1, 64], got {width}")
+    value &= (1 << width) - 1
+    if value & (1 << (width - 1)):
+        value -= 1 << width
+    return value & MASK64
+
+
+def extract_bits(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``."""
+    if low < 0 or width < 0:
+        raise ValueError("low and width must be non-negative")
+    return (value >> low) & ((1 << width) - 1)
+
+
+def set_bits(value: int, low: int, width: int, field: int) -> int:
+    """Return ``value`` with ``width`` bits at ``low`` replaced by ``field``."""
+    mask = ((1 << width) - 1) << low
+    return (value & ~mask) | ((field << low) & mask)
+
+
+def flip_bit(value: int, bit: int) -> int:
+    """Return ``value`` with bit number ``bit`` inverted."""
+    if bit < 0:
+        raise ValueError(f"bit must be non-negative, got {bit}")
+    return value ^ (1 << bit)
+
+
+def bit_is_set(value: int, bit: int) -> bool:
+    """True when bit number ``bit`` of ``value`` is 1."""
+    return bool((value >> bit) & 1)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value`` (``value`` must be non-negative)."""
+    if value < 0:
+        raise ValueError("popcount requires a non-negative value")
+    return bin(value).count("1")

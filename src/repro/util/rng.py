@@ -1,0 +1,64 @@
+"""Deterministic random number generation for fault-injection campaigns.
+
+Statistical fault injection needs reproducible, independently-seeded random
+streams: one for selecting injection cycles, one for selecting target bits,
+one per workload for data generation, and so on. ``DeterministicRng`` wraps
+``random.Random`` with a few convenience draws, and ``derive_seed`` produces
+stable child seeds from a parent seed plus a string label so that adding a
+new consumer never perturbs existing streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(parent_seed: int, label: str) -> int:
+    """Derive a stable 63-bit child seed from ``parent_seed`` and ``label``."""
+    digest = hashlib.sha256(f"{parent_seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") & ((1 << 63) - 1)
+
+
+class DeterministicRng:
+    """A seeded random stream with draws used across the campaign code."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def child(self, label: str) -> "DeterministicRng":
+        """A new independent stream derived from this one's seed."""
+        return DeterministicRng(derive_seed(self.seed, label))
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        return self._rng.randint(low, high)
+
+    def randrange(self, stop: int) -> int:
+        """Uniform integer in [0, stop)."""
+        return self._rng.randrange(stop)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniformly choose one element of a non-empty sequence."""
+        return self._rng.choice(items)
+
+    def sample(self, items: Sequence[T], count: int) -> list[T]:
+        """Choose ``count`` distinct elements."""
+        return self._rng.sample(items, count)
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._rng.shuffle(items)
+
+    def bits(self, width: int) -> int:
+        """A uniform ``width``-bit unsigned integer."""
+        return self._rng.getrandbits(width)

@@ -1,0 +1,135 @@
+"""Statistical helpers for reporting fault-injection campaign results.
+
+The paper reports proportions (e.g. "59% of injections were masked") with a
+confidence interval ("error margin of less than 0.9% at a 95% confidence
+level"). We provide the normal-approximation (Wald) interval the paper's
+margin numbers correspond to, plus a Wilson interval for small samples, and a
+category counter used by every campaign to tally trial outcomes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+# Two-sided z value for a 95% confidence level.
+Z_95 = 1.959963984540054
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on an empty iterable."""
+    items = list(values)
+    if not items:
+        raise ValueError("mean of an empty sequence")
+    return sum(items) / len(items)
+
+
+def proportion_confidence_interval(
+    successes: int, trials: int, z: float = Z_95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The Wilson interval behaves well for small samples and extreme
+    proportions, unlike the plain Wald interval.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p_hat = successes / trials
+    denom = 1 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    spread = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    # At the extremes the Wilson bound equals the extreme exactly; snap the
+    # floating-point residue so the interval always contains the estimate.
+    low = 0.0 if successes == 0 else max(0.0, center - spread)
+    high = 1.0 if successes == trials else min(1.0, center + spread)
+    return (low, high)
+
+
+@dataclass(frozen=True)
+class BinomialEstimate:
+    """A proportion estimate with its 95% confidence interval."""
+
+    successes: int
+    trials: int
+
+    @property
+    def proportion(self) -> float:
+        if self.trials == 0:
+            return 0.0
+        return self.successes / self.trials
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        if self.trials == 0:
+            return (0.0, 1.0)
+        return proportion_confidence_interval(self.successes, self.trials)
+
+    @property
+    def margin(self) -> float:
+        """Half-width of the confidence interval."""
+        low, high = self.interval
+        return (high - low) / 2
+
+    def __str__(self) -> str:
+        low, high = self.interval
+        return (
+            f"{self.proportion:.3f} "
+            f"[{low:.3f}, {high:.3f}] ({self.successes}/{self.trials})"
+        )
+
+
+class CategoryCounter:
+    """Tallies trial outcomes into named categories.
+
+    The categories are fixed up front so that reports always show every
+    category (including zero-count ones) in a stable order, matching the
+    stacked-bar figures in the paper.
+    """
+
+    def __init__(self, categories: Iterable[str]):
+        self.categories = list(categories)
+        if len(set(self.categories)) != len(self.categories):
+            raise ValueError("duplicate category names")
+        self._counts: Counter[str] = Counter()
+
+    def add(self, category: str, count: int = 1) -> None:
+        if category not in self.categories:
+            raise KeyError(f"unknown category {category!r}")
+        self._counts[category] += count
+
+    def count(self, category: str) -> int:
+        if category not in self.categories:
+            raise KeyError(f"unknown category {category!r}")
+        return self._counts[category]
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def proportion(self, category: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.count(category) / self.total
+
+    def estimate(self, category: str) -> BinomialEstimate:
+        return BinomialEstimate(self.count(category), self.total)
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: self._counts[name] for name in self.categories}
+
+    def merged(self, other: "CategoryCounter") -> "CategoryCounter":
+        """A new counter holding the sum of this counter and ``other``."""
+        if other.categories != self.categories:
+            raise ValueError("category sets differ")
+        result = CategoryCounter(self.categories)
+        for name in self.categories:
+            result.add(name, self.count(name) + other.count(name))
+        return result

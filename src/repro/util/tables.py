@@ -1,0 +1,85 @@
+"""Plain-text rendering of tables and stacked-bar figures.
+
+The benchmark harness prints each reproduced table/figure as text so the
+paper-vs-measured comparison can be read straight off the pytest output and
+archived in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a left-aligned ASCII table."""
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(value.ljust(width) for value, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_stacked_bars(
+    series_labels: Sequence[str],
+    bars: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+    width: int = 50,
+    floor: float = 0.0,
+) -> str:
+    """Render stacked percentage bars like the paper's Figures 2 and 4-6.
+
+    ``bars`` maps an x-axis label (e.g. checkpoint interval) to a mapping of
+    category name -> fraction in [0, 1]. ``floor`` compresses the view to the
+    interesting top of the stack (the figures in the paper start their y-axis
+    at 88-90% because masking dominates): fractions are drawn relative to the
+    span [floor, 1].
+    """
+    if not 0.0 <= floor < 1.0:
+        raise ValueError("floor must lie in [0, 1)")
+    glyphs = "#@*+o.xsz%"
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{glyphs[index % len(glyphs)]}={label}"
+        for index, label in enumerate(series_labels)
+    )
+    lines.append(f"legend: {legend}  (y-span {floor:.0%}..100%)")
+    span = 1.0 - floor
+    label_width = max((len(str(key)) for key in bars), default=1)
+    for key, fractions in bars.items():
+        consumed = 0.0
+        segments = []
+        for index, label in enumerate(series_labels):
+            fraction = fractions.get(label, 0.0)
+            consumed += fraction
+            # The floor truncates the bottom of the stack (the paper's
+            # figures start their y-axis at 88-90%), so the first segment
+            # loses the invisible part and the rest render at full scale.
+            visible = max(0.0, fraction - floor) if index == 0 else fraction
+            chars = round(visible / span * width) if span > 0 else 0
+            segments.append(glyphs[index % len(glyphs)] * chars)
+        bar = "".join(segments)[:width]
+        lines.append(f"{str(key).rjust(label_width)} |{bar.ljust(width)}| "
+                     f"total={consumed:.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Synthetic SPEC2000int-like workload kernels.
+
+The paper's campaigns run seven SPEC2000 integer benchmarks: bzip2, gap,
+gcc, gzip, mcf, parser, and vortex. We cannot ship SPEC binaries, so each
+benchmark is replaced by a small assembly kernel that mimics its dominant
+computational behaviour (see each generator's docstring). What the
+fault-injection studies measure — how a corrupted value propagates through
+address arithmetic, data computation, and control flow — depends on that
+instruction mix, not on the benchmark's full semantics.
+
+Every kernel writes its results to known symbols and the generator returns
+the expected values (computed independently in Python), so the test suite
+can verify both simulators execute the kernels correctly.
+"""
+
+from repro.workloads.registry import (
+    EXTRA_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    WorkloadBundle,
+    build_workload,
+    build_all_workloads,
+)
+
+__all__ = [
+    "EXTRA_WORKLOAD_NAMES",
+    "WORKLOAD_NAMES",
+    "WorkloadBundle",
+    "build_all_workloads",
+    "build_workload",
+]

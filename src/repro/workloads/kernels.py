@@ -1,0 +1,776 @@
+"""The seven SPEC2000int-like kernels.
+
+Each generator builds an assembly program whose dominant behaviour mirrors
+one of the paper's benchmarks, assembles it, computes the expected outputs
+with an independent Python model of the same algorithm, and returns a
+:class:`~repro.workloads.registry.WorkloadBundle`.
+
+Besides the algorithmic skeleton, the kernels deliberately include the
+structures responsible for the high (~59%) software-level fault masking the
+paper measures in real SPEC code:
+
+- *32-bit data*: SPECint data is dominated by C ``int``s, so counters,
+  indices, and table entries here live in ``.long`` cells accessed with
+  ``ldl``/``stl`` and combined with ``addl``/``subl``/``mull``; corruption in
+  the upper 32 bits of a 64-bit register dies at the next truncating use;
+- *dead and transitively-dead values*: per-iteration scratch computations
+  that are overwritten every iteration and consumed only on rare paths;
+- *masked consumers*: hash and index values narrowed with ``and`` before
+  use, so high-bit corruption never escapes.
+
+Pointers remain full 64-bit values, which is why corrupted pointers still
+sail off into the (mostly unmapped) virtual address space and raise
+memory-access exceptions — the paper's dominant symptom.
+
+All kernels follow the same conventions: inputs live in the data segment
+(generated from the seed), results are stored to the ``out`` symbol (and
+sometimes ``out2``) before ``halt``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.util.bitops import MASK64, sign_extend
+from repro.util.rng import DeterministicRng
+from repro.workloads.registry import WorkloadBundle, workload
+
+
+def _byte_lines(label: str, data: list[int]) -> str:
+    """Emit a labelled ``.byte`` block, 16 values per line."""
+    lines = [f"{label}:"]
+    for start in range(0, len(data), 16):
+        chunk = ", ".join(str(value & 0xFF) for value in data[start:start + 16])
+        lines.append(f"        .byte {chunk}")
+    return "\n".join(lines)
+
+
+def _quad_lines(label: str, values: list[object]) -> str:
+    """Emit a labelled ``.quad`` block, 4 values per line."""
+    lines = [f"{label}:"]
+    for start in range(0, len(values), 4):
+        chunk = ", ".join(str(value) for value in values[start:start + 4])
+        lines.append(f"        .quad {chunk}")
+    return "\n".join(lines)
+
+
+def _long_lines(label: str, values: list[int]) -> str:
+    """Emit a labelled ``.long`` block, 8 values per line."""
+    lines = [f"{label}:"]
+    for start in range(0, len(values), 8):
+        chunk = ", ".join(str(value) for value in values[start:start + 8])
+        lines.append(f"        .long {chunk}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- gzip
+
+
+@workload("gzip")
+def generate_gzip(scale: int, seed: int) -> WorkloadBundle:
+    """LZ77-style hashing: rolling hash, hash-table probe, match counting.
+
+    Mirrors gzip's deflate inner loop: for each input byte, update a rolling
+    hash, look up the previous position with that hash (a 32-bit position
+    table, as in deflate), compare bytes, and record the current position.
+    """
+    rng = DeterministicRng(seed).child("gzip")
+    count = 320 * scale
+    data = [rng.randint(0, 63) for _ in range(count)]
+
+    source = f"""
+.text
+start:  la      r1, input
+        mov     r1, r13         # input base for match addressing
+        li      r2, {count}
+        la      r3, htab
+        clr     r4              # rolling hash
+        clr     r5              # match count
+        clr     r19             # position counter
+loop:   ldbu    r6, 0(r1)
+        addl    r19, 1, r19
+        sll     r4, 5, r7
+        xor     r7, r6, r4
+        and     r4, 255, r4
+        mull    r6, 167, r15    # bookkeeping mix, used only on rare path
+        xor     r6, r4, r27     # profiling scratch, overwritten every pass
+        srl     r6, 4, r17      # symbol-class histogram: only 2 bits live
+        and     r17, 3, r17
+        addl    r18, r17, r18
+        sll     r4, 2, r8
+        addq    r3, r8, r8
+        ldl     r9, 0(r8)       # previous position with this hash
+        stl     r19, 0(r8)
+        beq     r9, nomatch
+        addq    r13, r9, r10    # &input[prev]  (positions are 1-based)
+        ldbu    r10, -1(r10)
+        cmpeq   r10, r6, r11
+        addl    r5, r11, r5
+nomatch:
+        xor     r6, 42, r11     # rare path: "literal emit" bookkeeping
+        bne     r11, norare
+        addl    r5, r15, r5
+norare: lda     r1, 1(r1)
+        subl    r2, 1, r2
+        bne     r2, loop
+        la      r12, out
+        stq     r5, 0(r12)
+        la      r12, out2
+        stq     r18, 0(r12)
+        la      r3, htab        # reset the window table for the next block
+        li      r2, 256
+htz:    stl     zero, 0(r3)
+        lda     r3, 4(r3)
+        subl    r2, 1, r2
+        bne     r2, htz
+        halt
+.data
+{_byte_lines("input", data)}
+        .align  8
+htab:   .space  1024
+out:    .quad   0
+out2:   .quad   0
+"""
+    table = [0] * 256
+    hash_value = 0
+    result = 0
+    histogram = 0
+    for index, byte in enumerate(data):
+        hash_value = ((hash_value << 5) ^ byte) & 0xFF
+        histogram += (byte >> 4) & 3
+        previous = table[hash_value]
+        table[hash_value] = index + 1  # 1-based position
+        if previous and data[previous - 1] == byte:
+            result += 1
+        if byte == 42:
+            result += byte * 167
+    program = assemble(source, "gzip")
+    return WorkloadBundle(
+        "gzip", program, {"out": result & MASK64, "out2": histogram & MASK64}
+    )
+
+
+# -------------------------------------------------------------------- bzip2
+
+
+@workload("bzip2")
+def generate_bzip2(scale: int, seed: int) -> WorkloadBundle:
+    """Move-to-front coding: linear scan, block shift, index accumulation.
+
+    Mirrors bzip2's MTF stage: branchy scans over a small 32-bit table plus
+    a data-movement loop — heavy in short loops and data-dependent branches.
+    """
+    rng = DeterministicRng(seed).child("bzip2")
+    count = 100 * scale
+    alphabet = 32
+    # Exponentially skewed symbols, as MTF inputs are after a BWT.
+    data = [min(alphabet - 1, int(alphabet * rng.random() ** 2))
+            for _ in range(count)]
+
+    source = f"""
+.text
+start:  la      r1, input
+        li      r2, {count}
+        la      r20, table
+        clr     r12             # accumulated indices
+outer:  ldbu    r5, 0(r1)
+        clr     r6              # scan index j
+        mov     r20, r7
+        mull    r5, 13, r27     # rank-statistics scratch, dead most passes
+scan:   ldl     r8, 0(r7)
+        xor     r8, r5, r9
+        beq     r9, found
+        lda     r7, 4(r7)
+        addl    r6, 1, r6
+        br      scan
+found:  and     r6, 31, r11
+        addl    r12, r11, r12
+        xor     r6, 31, r9      # rare path: worst-case scan bookkeeping
+        bne     r9, shift
+        addl    r12, r27, r12
+shift:  cmpult  r20, r7, r9
+        beq     r9, shiftdone
+        ldl     r10, -4(r7)
+        stl     r10, 0(r7)
+        lda     r7, -4(r7)
+        br      shift
+shiftdone:
+        stl     r5, 0(r20)
+        lda     r1, 1(r1)
+        subl    r2, 1, r2
+        bne     r2, outer
+        la      r13, out
+        stq     r12, 0(r13)
+        mov     r20, r7         # reset the MTF table for the next block
+        clr     r6
+mtz:    stl     r6, 0(r7)
+        lda     r7, 4(r7)
+        addl    r6, 1, r6
+        xor     r6, 32, r9
+        bne     r9, mtz
+        halt
+.data
+{_byte_lines("input", data)}
+        .align  8
+{_long_lines("table", list(range(alphabet)))}
+out:    .quad   0
+"""
+    table = list(range(alphabet))
+    accumulated = 0
+    for symbol in data:
+        index = table.index(symbol)
+        accumulated += index & 31
+        if index == 31:
+            accumulated += symbol * 13
+        del table[index]
+        table.insert(0, symbol)
+    program = assemble(source, "bzip2")
+    return WorkloadBundle("bzip2", program, {"out": accumulated & MASK64})
+
+
+# ---------------------------------------------------------------------- mcf
+
+
+@workload("mcf")
+def generate_mcf(scale: int, seed: int) -> WorkloadBundle:
+    """Pointer chasing over a linked node list with field updates.
+
+    Mirrors mcf's network-simplex behaviour: loads of ``next`` pointers
+    dominate, so corrupted pointers dereference wild addresses — the
+    paper's canonical source of memory-access-fault symptoms. Node payload
+    fields (cost, flow) are 32-bit ints, as in mcf's structs.
+    """
+    rng = DeterministicRng(seed).child("mcf")
+    nodes = 120
+    rounds = 4 * scale
+    order = list(range(nodes))
+    rng.shuffle(order)
+    costs = [rng.randint(1, 1000) for _ in range(nodes)]
+
+    # Node layout: next pointer (8 bytes), cost (4), flow (4) = 16 bytes.
+    next_address = ["0"] * nodes
+    for position in range(nodes - 1):
+        successor = order[position + 1]
+        next_address[order[position]] = f"nodes+{16 * successor}"
+    node_quads: list[object] = []
+    for index in range(nodes):
+        packed_payload = costs[index]  # low long = cost, high long = flow(0)
+        node_quads.extend([next_address[index], packed_payload])
+
+    head_offset = 16 * order[0]
+    source = f"""
+.text
+start:  li      r14, {rounds}
+        clr     r16             # rare-path accumulator
+outer:  la      r1, nodes+{head_offset}
+        clr     r2              # accumulated cost
+chase:  ldl     r3, 8(r1)       # cost
+        addl    r2, r3, r2
+        stl     r2, 12(r1)      # flow field
+        and     r3, 7, r15      # residual-class scratch
+        xor     r15, 7, r27     # pricing heuristic, rarely triggers
+        bne     r27, advance
+        addl    r16, r15, r16
+advance:
+        ldq     r1, 0(r1)       # next pointer
+        bne     r1, chase
+        la      r4, out
+        ldl     r5, 0(r4)
+        addl    r5, r2, r5
+        stl     r5, 0(r4)
+        subl    r14, 1, r14
+        bne     r14, outer
+        la      r6, out2
+        stq     r16, 0(r6)
+        la      r1, nodes       # reset flow fields for the next iteration
+        li      r2, {nodes}
+ftz:    stl     zero, 12(r1)
+        lda     r1, 16(r1)
+        subl    r2, 1, r2
+        bne     r2, ftz
+        halt
+.data
+{_quad_lines("nodes", node_quads)}
+out:    .quad   0
+out2:   .quad   0
+"""
+    chain_total = sum(costs[node] for node in order)
+    rare = sum(7 for node in order if costs[node] & 7 == 7) * rounds
+    program = assemble(source, "mcf")
+    return WorkloadBundle(
+        "mcf",
+        program,
+        {"out": (rounds * chain_total) & MASK64, "out2": rare & MASK64},
+    )
+
+
+# ---------------------------------------------------------------------- gcc
+
+
+@workload("gcc")
+def generate_gcc(scale: int, seed: int) -> WorkloadBundle:
+    """Table-driven state machine over a token stream.
+
+    Mirrors compiler front-end behaviour: indexed loads from a 32-bit
+    transition table, per-state counters, and a mixing checksum — indirect,
+    table-dependent control of data flow.
+    """
+    rng = DeterministicRng(seed).child("gcc")
+    count = 350 * scale
+    states = 8
+    inputs = 4
+    tokens = [rng.randint(0, inputs - 1) for _ in range(count)]
+    transitions = [rng.randint(0, states - 1) for _ in range(states * inputs)]
+
+    source = f"""
+.text
+start:  la      r1, tokens
+        li      r2, {count}
+        la      r3, ttab
+        la      r4, counts
+        clr     r5              # state
+loop:   ldbu    r6, 0(r1)
+        sll     r5, 2, r7
+        addq    r7, r6, r7
+        sll     r7, 2, r7
+        addq    r3, r7, r7
+        ldl     r5, 0(r7)
+        and     r5, 7, r5       # defensive bound, as table code does
+        xor     r5, r6, r27     # diagnostics scratch, dead
+        mull    r27, 5, r27     # diagnostics mix, still dead
+        and     r5, 1, r17      # parity-of-state statistic: 1 live bit
+        addl    r18, r17, r18
+        sll     r5, 2, r8
+        addq    r4, r8, r8
+        ldl     r9, 0(r8)
+        addl    r9, 1, r9
+        stl     r9, 0(r8)
+        lda     r1, 1(r1)
+        subl    r2, 1, r2
+        bne     r2, loop
+        la      r15, out2
+        stq     r18, 0(r15)
+        clr     r10             # checksum
+        li      r11, {states}
+        mov     r4, r12
+csum:   ldl     r13, 0(r12)
+        addl    r10, r13, r10
+        mull    r10, 3, r10
+        stl     zero, 0(r12)    # reset the counter for the next unit
+        lda     r12, 4(r12)
+        subl    r11, 1, r11
+        bne     r11, csum
+        la      r14, out
+        stq     r10, 0(r14)
+        halt
+.data
+{_byte_lines("tokens", tokens)}
+        .align  8
+{_long_lines("ttab", transitions)}
+{_long_lines("counts", [0] * states)}
+out:    .quad   0
+out2:   .quad   0
+"""
+    counts = [0] * states
+    state = 0
+    parity_total = 0
+    for token in tokens:
+        state = transitions[state * inputs + token] & 7
+        counts[state] += 1
+        parity_total += state & 1
+    checksum = 0
+    for value in counts:
+        checksum = (checksum + value) & MASK64
+        checksum = sign_extend((checksum * 3) & 0xFFFFFFFF, 32)
+    program = assemble(source, "gcc")
+    return WorkloadBundle(
+        "gcc", program, {"out": checksum, "out2": parity_total & MASK64}
+    )
+
+
+# ------------------------------------------------------------------- parser
+
+
+def _expression(rng: DeterministicRng, depth: int) -> str:
+    if depth == 0 or rng.random() < 0.3:
+        return "x"
+    children = rng.randint(2, 4)
+    return "(" + "".join(_expression(rng, depth - 1) for _ in range(children)) + ")"
+
+
+def _expression_value(text: str, position: int = 0) -> tuple[int, int]:
+    """Value of the expression at ``position``; returns (value, next_pos)."""
+    if text[position] != "(":
+        return 1, position + 1
+    position += 1
+    total = 0
+    while text[position] != ")":
+        value, position = _expression_value(text, position)
+        total += value
+    return (2 * total + 1) & MASK64, position + 1
+
+
+@workload("parser")
+def generate_parser(scale: int, seed: int) -> WorkloadBundle:
+    """Recursive descent over a nested expression string.
+
+    Mirrors parser's link-grammar recursion: deep call chains through
+    BSR/RET, stack traffic, and unpredictable data-dependent branches.
+    Node values are ints, saved to the stack as 32-bit words.
+    """
+    rng = DeterministicRng(seed).child("parser")
+    text = "(" + "".join(_expression(rng, 5) for _ in range(6 * scale)) + ")"
+
+    source = f"""
+.text
+start:  la      r1, expr        # cursor
+        bsr     ra, parse
+        la      r2, out
+        stq     r0, 0(r2)
+        halt
+
+# parse: consumes one expression at cursor r1, returns value in r0.
+parse:  subq    sp, 16, sp
+        stq     ra, 0(sp)
+        stl     r10, 8(sp)
+        ldbu    r2, 0(r1)
+        lda     r1, 1(r1)
+        mull    r2, 31, r27     # token-statistics scratch, dead
+        xor     r2, 40, r4      # '('
+        bne     r4, leaf
+        clr     r10
+ploop:  ldbu    r2, 0(r1)
+        xor     r2, 41, r5      # ')'
+        beq     r5, pdone
+        bsr     ra, parse
+        addl    r10, r0, r10
+        br      ploop
+pdone:  lda     r1, 1(r1)
+        addl    r10, r10, r0
+        addl    r0, 1, r0
+        br      pret
+leaf:   li      r0, 1
+pret:   ldq     ra, 0(sp)
+        ldl     r10, 8(sp)
+        addq    sp, 16, sp
+        ret     (ra)
+.data
+expr:   .asciiz "{text}"
+        .align  8
+out:    .quad   0
+"""
+    value, _ = _expression_value(text)
+    program = assemble(source, "parser")
+    return WorkloadBundle("parser", program, {"out": value})
+
+
+# ------------------------------------------------------------------- vortex
+
+
+@workload("vortex")
+def generate_vortex(scale: int, seed: int) -> WorkloadBundle:
+    """Open-addressing hash table: insert then look up object keys.
+
+    Mirrors vortex's object-database behaviour: hashing, probing with
+    wrap-around, and key comparison loads. Keys are 64-bit object ids;
+    the stored attributes are 32-bit ints.
+    """
+    rng = DeterministicRng(seed).child("vortex")
+    count = 64 * scale
+    slots = 256
+    keys = [rng.bits(63) | 1 for _ in range(count)]  # non-zero keys
+    multiplier = 0x61C88647
+
+    source = f"""
+.text
+start:  la      r20, keys
+        li      r21, {count}
+        la      r22, htable
+        li      r23, {multiplier}
+        clr     r24             # insertion counter
+insert: ldq     r1, 0(r20)
+        mulq    r1, r23, r2
+        srl     r2, 24, r2
+        and     r2, 255, r2     # slot index
+        xor     r2, r24, r27    # load-factor scratch, dead
+iprobe: sll     r2, 4, r3
+        addq    r22, r3, r3     # &htable[idx]
+        ldq     r4, 0(r3)
+        beq     r4, iempty
+        xor     r4, r1, r5
+        beq     r5, inext       # duplicate key: skip
+        addl    r2, 1, r2
+        and     r2, 255, r2
+        br      iprobe
+iempty: stq     r1, 0(r3)
+        addl    r24, 1, r24
+        stl     r24, 8(r3)      # value = insertion order (an int)
+inext:  lda     r20, 8(r20)
+        subl    r21, 1, r21
+        bne     r21, insert
+
+        la      r20, keys
+        li      r21, {count}
+        clr     r25             # lookup accumulator
+        clr     r26             # bucket-depth statistic
+lookup: ldq     r1, 0(r20)
+        mulq    r1, r23, r2
+        srl     r2, 24, r2
+        and     r2, 255, r2
+        xor     r1, r25, r27    # cache-audit scratch, dead
+lprobe: sll     r2, 4, r3
+        addq    r22, r3, r3
+        ldq     r4, 0(r3)
+        xor     r4, r1, r5
+        beq     r5, lfound
+        addl    r2, 1, r2
+        and     r2, 255, r2
+        br      lprobe
+lfound: ldl     r6, 8(r3)
+        addl    r25, r6, r25
+        and     r6, 7, r17      # object-class statistic: 3 live bits
+        addl    r26, r17, r26
+        lda     r20, 8(r20)
+        subl    r21, 1, r21
+        bne     r21, lookup
+        la      r7, out
+        stq     r25, 0(r7)
+        la      r7, out2
+        stq     r26, 0(r7)
+        mov     r22, r3         # drop the table: object database teardown
+        li      r21, 256
+vtz:    stq     zero, 0(r3)
+        stq     zero, 8(r3)
+        lda     r3, 16(r3)
+        subl    r21, 1, r21
+        bne     r21, vtz
+        halt
+.data
+{_quad_lines("keys", keys)}
+htable: .space  {slots * 16}
+out:    .quad   0
+out2:   .quad   0
+"""
+    table_keys = [0] * slots
+    table_values = [0] * slots
+    inserted = 0
+    for key in keys:
+        index = ((key * multiplier) & MASK64) >> 24 & 0xFF
+        while True:
+            if table_keys[index] == 0:
+                table_keys[index] = key
+                inserted += 1
+                table_values[index] = inserted
+                break
+            if table_keys[index] == key:
+                break
+            index = (index + 1) & 0xFF
+    accumulator = 0
+    class_total = 0
+    for key in keys:
+        index = ((key * multiplier) & MASK64) >> 24 & 0xFF
+        while table_keys[index] != key:
+            index = (index + 1) & 0xFF
+        accumulator = (accumulator + table_values[index]) & MASK64
+        class_total += table_values[index] & 7
+    program = assemble(source, "vortex")
+    return WorkloadBundle(
+        "vortex", program, {"out": accumulator, "out2": class_total & MASK64}
+    )
+
+
+# ---------------------------------------------------------------------- gap
+
+
+@workload("gap")
+def generate_gap(scale: int, seed: int) -> WorkloadBundle:
+    """Modular exponentiation sweep (square-and-multiply).
+
+    Mirrors gap's computational-algebra behaviour: multiply-dominated
+    arithmetic with data-dependent branch decisions on exponent bits.
+    Inputs are 31-bit values in 32-bit cells.
+    """
+    rng = DeterministicRng(seed).child("gap")
+    count = 40 * scale
+    values = [rng.bits(31) | 1 for _ in range(count)]
+    exponents = [rng.randint(3, 255) for _ in range(count)]
+
+    source = f"""
+.text
+start:  la      r1, vals
+        la      r2, exps
+        la      r17, results
+        li      r3, {count}
+        clr     r4              # accumulator
+        li      r16, 1
+        sll     r16, 61, r16
+        subq    r16, 1, r16     # modulus mask 2^61-1
+vloop:  ldl     r5, 0(r1)       # base
+        ldl     r6, 0(r2)       # exponent
+        li      r7, 1           # result
+        and     r5, 63, r27     # residue scratch, dead
+mexp:   beq     r6, mdone
+        and     r6, 1, r8
+        beq     r8, msq
+        mulq    r7, r5, r7
+        and     r7, r16, r7
+msq:    mulq    r5, r5, r5
+        and     r5, r16, r5
+        srl     r6, 1, r6
+        br      mexp
+mdone:  xor     r4, r7, r4
+        stl     r7, 0(r17)      # record the element's power
+        lda     r17, 4(r17)
+        lda     r1, 4(r1)
+        lda     r2, 4(r2)
+        subl    r3, 1, r3
+        bne     r3, vloop
+        addl    r4, 0, r4       # results reported as 32-bit words
+        la      r9, out
+        stq     r4, 0(r9)
+        halt
+.data
+{_long_lines("vals", values)}
+{_long_lines("exps", exponents)}
+results:
+        .space  {4 * count}
+out:    .quad   0
+"""
+    mask = (1 << 61) - 1
+    accumulator = 0
+    for base, exponent in zip(values, exponents):
+        result = 1
+        b = base
+        e = exponent
+        while e:
+            if e & 1:
+                result = (result * b) & mask
+            b = (b * b) & mask
+            e >>= 1
+        accumulator ^= result
+    accumulator = sign_extend(accumulator & 0xFFFFFFFF, 32)
+    program = assemble(source, "gap")
+    return WorkloadBundle("gap", program, {"out": accumulator})
+
+
+# ------------------------------------------------------------------- crafty
+
+
+@workload("crafty")
+def generate_crafty(scale: int, seed: int) -> WorkloadBundle:
+    """Bitboard population counting (an optional extra kernel).
+
+    Mirrors crafty's move-generation behaviour: 64-bit bitboard values
+    consumed bit-serially with data-dependent loop trip counts. Not one of
+    the paper's seven benchmarks, but useful for widening campaigns.
+    """
+    rng = DeterministicRng(seed).child("crafty")
+    count = 32 * scale
+    boards = [rng.bits(64) for _ in range(count)]
+
+    source = f"""
+.text
+start:  la      r1, boards
+        la      r2, counts
+        li      r3, {count}
+        clr     r10             # total population
+bloop:  ldq     r4, 0(r1)
+        clr     r5              # this board's population
+        beq     r4, bdone
+pop:    and     r4, 1, r6
+        addl    r5, r6, r5
+        srl     r4, 1, r4
+        bne     r4, pop
+bdone:  stl     r5, 0(r2)
+        addl    r10, r5, r10
+        lda     r1, 8(r1)
+        lda     r2, 4(r2)
+        subl    r3, 1, r3
+        bne     r3, bloop
+        la      r7, out
+        stq     r10, 0(r7)
+        halt
+.data
+{_quad_lines("boards", boards)}
+counts: .space  {4 * count}
+out:    .quad   0
+"""
+    total = sum(bin(board).count("1") for board in boards)
+    program = assemble(source, "crafty")
+    return WorkloadBundle("crafty", program, {"out": total & MASK64})
+
+
+# -------------------------------------------------------------------- twolf
+
+
+@workload("twolf")
+def generate_twolf(scale: int, seed: int) -> WorkloadBundle:
+    """Randomised cell-swap placement (an optional extra kernel).
+
+    Mirrors twolf's annealing inner loop: an in-register LCG picks cell
+    pairs, a data-dependent comparison decides whether to swap them, and a
+    narrow statistic accumulates. Not one of the paper's seven benchmarks.
+    """
+    rng = DeterministicRng(seed).child("twolf")
+    cells = 64
+    steps = 150 * scale
+    positions = [rng.bits(16) for _ in range(cells)]
+    lcg_a = 1103515245
+    lcg_c = 12345
+
+    source = f"""
+.text
+start:  la      r20, cells
+        li      r2, {steps}
+        li      r21, {lcg_a}
+        li      r22, {lcg_c}
+        li      r23, 1          # LCG state
+        clr     r12             # acceptance statistic
+sloop:  mull    r23, r21, r23
+        addl    r23, r22, r23
+        srl     r23, 8, r4
+        and     r4, 63, r4      # cell i
+        mull    r23, r21, r23
+        addl    r23, r22, r23
+        srl     r23, 8, r5
+        and     r5, 63, r5      # cell j
+        sll     r4, 2, r6
+        addq    r20, r6, r6
+        sll     r5, 2, r7
+        addq    r20, r7, r7
+        ldl     r8, 0(r6)       # position of cell i
+        ldl     r9, 0(r7)       # position of cell j
+        cmple   r8, r9, r10
+        bne     r10, noswap     # already ordered: reject the move
+        stl     r9, 0(r6)
+        stl     r8, 0(r7)
+        and     r8, 7, r11      # narrow cost statistic
+        addl    r12, r11, r12
+noswap: subl    r2, 1, r2
+        bne     r2, sloop
+        la      r13, out
+        stq     r12, 0(r13)
+        halt
+.data
+{_long_lines("cells", positions)}
+out:    .quad   0
+"""
+    table = list(positions)
+    state = 1
+    statistic = 0
+
+    def lcg(value: int) -> int:
+        return sign_extend((value * lcg_a + lcg_c) & 0xFFFFFFFF, 32)
+
+    for _ in range(steps):
+        state = lcg(state)
+        i = (state >> 8) & 63
+        state = lcg(state)
+        j = (state >> 8) & 63
+        a, b = table[i], table[j]
+        signed_a = a if a < (1 << 63) else a - (1 << 64)
+        signed_b = b if b < (1 << 63) else b - (1 << 64)
+        if not signed_a <= signed_b:
+            table[i], table[j] = b, a
+            statistic += a & 7
+    program = assemble(source, "twolf")
+    return WorkloadBundle("twolf", program, {"out": statistic & MASK64})

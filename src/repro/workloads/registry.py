@@ -1,0 +1,71 @@
+"""Workload registry and the bundle type generators return."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.isa.program import Program
+
+
+@dataclass
+class WorkloadBundle:
+    """A generated workload plus its independently-computed expected outputs.
+
+    ``expected_outputs`` maps data-segment symbol names to the 64-bit values
+    the program must have stored there by the time it halts; the test suite
+    checks them on both simulators.
+    """
+
+    name: str
+    program: Program
+    expected_outputs: dict[str, int] = field(default_factory=dict)
+
+    def check(self, memory) -> list[str]:
+        """Symbols whose memory value does not match the expectation."""
+        wrong = []
+        for symbol, expected in self.expected_outputs.items():
+            address = self.program.symbol(symbol)
+            actual = memory.read(address, 8)
+            if actual != expected:
+                wrong.append(f"{symbol}: expected {expected}, got {actual}")
+        return wrong
+
+
+_GENERATORS: dict[str, Callable[[int, int], WorkloadBundle]] = {}
+
+
+def workload(name: str):
+    """Decorator registering a generator under ``name``."""
+
+    def register(function: Callable[[int, int], WorkloadBundle]):
+        if name in _GENERATORS:
+            raise ValueError(f"duplicate workload {name!r}")
+        _GENERATORS[name] = function
+        return function
+
+    return register
+
+
+def build_workload(name: str, scale: int = 1, seed: int = 2005) -> WorkloadBundle:
+    """Generate one workload. ``scale`` stretches the dynamic length."""
+    # Import for the side effect of registering all generators.
+    from repro.workloads import kernels  # noqa: F401
+
+    if name not in _GENERATORS:
+        raise KeyError(f"unknown workload {name!r}; know {sorted(_GENERATORS)}")
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    return _GENERATORS[name](scale, seed)
+
+
+def build_all_workloads(scale: int = 1, seed: int = 2005) -> list[WorkloadBundle]:
+    """All seven kernels, in the paper's benchmark order."""
+    return [build_workload(name, scale, seed) for name in WORKLOAD_NAMES]
+
+
+# The paper's seven SPEC2000int benchmarks.
+WORKLOAD_NAMES = ("bzip2", "gap", "gcc", "gzip", "mcf", "parser", "vortex")
+
+# Optional extra kernels for widening campaigns beyond the paper's set.
+EXTRA_WORKLOAD_NAMES = ("crafty", "twolf")

@@ -1,0 +1,51 @@
+"""Shared fixtures: workloads and golden runs are built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import load_program
+from repro.uarch import load_pipeline
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+
+@pytest.fixture(scope="session")
+def bundles():
+    """All seven workload bundles (built once)."""
+    return {name: build_workload(name) for name in WORKLOAD_NAMES}
+
+
+@pytest.fixture(scope="session")
+def gcc_bundle(bundles):
+    return bundles["gcc"]
+
+
+@pytest.fixture(scope="session")
+def arch_traces(bundles):
+    """Golden architectural traces for every workload."""
+    traces = {}
+    for name, bundle in bundles.items():
+        simulator = load_program(bundle.program)
+        traces[name] = simulator.run_with_trace(400_000)
+    return traces
+
+
+@pytest.fixture(scope="session")
+def pipeline_runs(bundles):
+    """Completed golden pipeline runs (collecting retired logs)."""
+    runs = {}
+    for name, bundle in bundles.items():
+        pipeline = load_pipeline(bundle.program, collect_retired=True)
+        pipeline.run(600_000)
+        runs[name] = pipeline
+    return runs
+
+
+def assemble_and_run(source: str, max_instructions: int = 10_000):
+    """Helper: assemble, run on the architectural simulator, return it."""
+    from repro.isa import assemble
+
+    program = assemble(source, "test")
+    simulator = load_program(program)
+    simulator.run(max_instructions)
+    return simulator, program

@@ -1,0 +1,119 @@
+"""Sparse paged memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.exceptions import AccessViolation
+from repro.arch.memory import PAGE_SIZE, PageProtection, SparseMemory
+
+
+@pytest.fixture
+def memory():
+    mem = SparseMemory()
+    mem.map_region(0x10000, PAGE_SIZE)
+    return mem
+
+
+class TestMapping:
+    def test_unmapped_read_raises(self, memory):
+        with pytest.raises(AccessViolation):
+            memory.read(0x9999_0000, 8)
+
+    def test_unmapped_write_raises(self, memory):
+        with pytest.raises(AccessViolation):
+            memory.write(0x9999_0000, 8, 1)
+
+    def test_mapped_pages_zeroed(self, memory):
+        assert memory.read(0x10000, 8) == 0
+
+    def test_is_mapped(self, memory):
+        assert memory.is_mapped(0x10000)
+        assert not memory.is_mapped(0x50000)
+
+    def test_map_region_spans_pages(self):
+        mem = SparseMemory()
+        mem.map_region(PAGE_SIZE - 4, 8)
+        assert mem.is_mapped(PAGE_SIZE - 4)
+        assert mem.is_mapped(PAGE_SIZE)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SparseMemory().map_region(0, 0)
+
+
+class TestProtection:
+    def test_read_only_rejects_writes(self):
+        mem = SparseMemory()
+        mem.map_region(0, PAGE_SIZE, PageProtection.READ_ONLY)
+        with pytest.raises(AccessViolation):
+            mem.write(0, 4, 1)
+        assert mem.read(0, 4) == 0
+
+    def test_protection_query(self, memory):
+        assert memory.protection_at(0x10000) is PageProtection.READ_WRITE
+        assert memory.protection_at(0x999999) is None
+
+    def test_loader_bypasses_protection(self):
+        mem = SparseMemory()
+        mem.map_region(0, PAGE_SIZE, PageProtection.READ_ONLY)
+        mem.load_bytes(0, b"\x01\x02")
+        assert mem.read(0, 2) == 0x0201
+
+
+class TestReadWrite:
+    @given(st.integers(0, PAGE_SIZE - 8), st.integers(0, (1 << 64) - 1),
+           st.sampled_from([1, 2, 4, 8]))
+    def test_roundtrip(self, offset, value, size):
+        mem = SparseMemory()
+        mem.map_region(0, PAGE_SIZE)
+        mem.write(offset, size, value)
+        assert mem.read(offset, size) == value & ((1 << (8 * size)) - 1)
+
+    def test_little_endian(self, memory):
+        memory.write(0x10000, 4, 0x0A0B0C0D)
+        assert memory.read(0x10000, 1) == 0x0D
+        assert memory.read(0x10003, 1) == 0x0A
+
+    def test_cross_page_access(self):
+        mem = SparseMemory()
+        mem.map_region(0, 2 * PAGE_SIZE)
+        boundary = PAGE_SIZE - 4
+        mem.write(boundary, 8, 0x1122334455667788)
+        assert mem.read(boundary, 8) == 0x1122334455667788
+
+    def test_cross_page_into_unmapped_raises(self):
+        mem = SparseMemory()
+        mem.map_region(0, PAGE_SIZE)
+        with pytest.raises(AccessViolation):
+            mem.read(PAGE_SIZE - 4, 8)
+
+
+class TestSnapshots:
+    def test_clone_is_independent(self, memory):
+        memory.write(0x10000, 8, 5)
+        clone = memory.clone()
+        memory.write(0x10000, 8, 9)
+        assert clone.read(0x10000, 8) == 5
+
+    def test_equals(self, memory):
+        clone = memory.clone()
+        assert memory.equals(clone)
+        clone.write(0x10010, 1, 1)
+        assert not memory.equals(clone)
+
+    def test_equals_requires_same_mapping(self, memory):
+        other = SparseMemory()
+        assert not memory.equals(other)
+
+    def test_diff_addresses(self, memory):
+        clone = memory.clone()
+        clone.write(0x10020, 1, 0xFF)
+        clone.write(0x10040, 1, 0xFF)
+        diffs = memory.diff_addresses(clone)
+        assert diffs == [0x10020, 0x10040]
+
+    def test_diff_limit(self, memory):
+        clone = memory.clone()
+        for index in range(40):
+            clone.write(0x10000 + index, 1, 1)
+        assert len(memory.diff_addresses(clone, limit=16)) == 16

@@ -1,0 +1,190 @@
+"""Architectural simulator: execution, exceptions, traces."""
+
+import pytest
+
+from repro.arch import (
+    ArchSimulator,
+    ExceptionKind,
+    StopReason,
+    load_program,
+)
+from repro.arch.state import ArchState
+from repro.isa import assemble
+from repro.isa.program import STACK_TOP
+from repro.isa.registers import REG_GP, REG_SP
+from tests.conftest import assemble_and_run
+
+
+class TestBasicExecution:
+    def test_halt(self):
+        sim, _ = assemble_and_run(".text\nstart: halt\n")
+        assert sim.stop_reason is StopReason.HALTED
+        assert sim.retired == 1  # the halt itself retires
+
+    def test_arithmetic_chain(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: li r1, 6\n li r2, 7\n mulq r1, r2, r3\n halt\n"
+        )
+        assert sim.state.regs[3] == 42
+
+    def test_r31_always_zero(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: addq zero, 9, zero\n addq zero, zero, r1\n halt\n"
+        )
+        assert sim.state.regs[31] == 0
+        assert sim.state.regs[1] == 0
+
+    def test_loop_retires_expected_count(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: li r1, 10\nloop: subq r1, 1, r1\n bne r1, loop\n halt\n"
+        )
+        assert sim.retired == 1 + 20 + 1  # li + 10x(subq, bne) + halt
+
+    def test_abi_initialisation(self):
+        sim, program = assemble_and_run(".text\nstart: halt\n")
+        assert sim.state.regs[REG_SP] == STACK_TOP - 64
+        assert sim.state.regs[REG_GP] == program.data_base
+
+    def test_call_and_return(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: bsr ra, fn\n halt\nfn: li r0, 55\n ret\n"
+        )
+        assert sim.state.regs[0] == 55
+
+    def test_run_limit(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: br start\n", max_instructions=50
+        )
+        assert sim.stop_reason is StopReason.LIMIT
+        assert sim.retired == 50
+
+    def test_resume_after_limit(self):
+        source = ".text\nstart: li r1, 100\nloop: subq r1,1,r1\n bne r1, loop\n halt\n"
+        sim, _ = assemble_and_run(source, max_instructions=10)
+        sim.resume()
+        sim.run(100000)
+        assert sim.stop_reason is StopReason.HALTED
+
+
+class TestMemoryOps:
+    def test_store_load_roundtrip(self):
+        sim, program = assemble_and_run(
+            ".text\nstart: la r1, v\n li r2, 1234\n stq r2, 0(r1)\n"
+            " ldq r3, 0(r1)\n halt\n.data\nv: .quad 0\n"
+        )
+        assert sim.state.regs[3] == 1234
+
+    def test_byte_ops(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: la r1, v\n li r2, 0x1FF\n stb r2, 0(r1)\n"
+            " ldbu r3, 0(r1)\n halt\n.data\nv: .quad 0\n"
+        )
+        assert sim.state.regs[3] == 0xFF
+
+    def test_ldl_sign_extends(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: la r1, v\n ldl r2, 0(r1)\n halt\n"
+            ".data\nv: .long 0x80000000\n"
+        )
+        assert sim.state.regs[2] == 0xFFFF_FFFF_8000_0000
+
+
+class TestExceptions:
+    def test_access_violation_on_wild_load(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: li r1, 0x7000000\n ldq r2, 0(r1)\n halt\n"
+        )
+        assert sim.stop_reason is StopReason.EXCEPTION
+        assert sim.exception.kind is ExceptionKind.ACCESS_VIOLATION
+        assert sim.exception.pc is not None
+
+    def test_store_to_text_is_violation(self):
+        sim, program = assemble_and_run(
+            ".text\nstart: la r1, start\n stq r1, 0(r1)\n halt\n"
+        )
+        assert sim.exception.kind is ExceptionKind.ACCESS_VIOLATION
+
+    def test_alignment_fault(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: la r1, v\n ldq r2, 1(r1)\n halt\n.data\nv: .quad 0\n"
+        )
+        assert sim.exception.kind is ExceptionKind.ALIGNMENT_FAULT
+
+    def test_arithmetic_trap(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: li r1, 1\n sll r1, 62, r1\n addqv r1, r1, r2\n halt\n"
+        )
+        assert sim.exception.kind is ExceptionKind.ARITHMETIC_TRAP
+
+    def test_illegal_opcode_via_wild_jump_to_data(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: la r1, v\n jmp (r1)\n halt\n.data\nv: .quad 0x04\n"
+        )
+        # The data word 0x04 is not a valid instruction encoding.
+        assert sim.exception.kind is ExceptionKind.ILLEGAL_OPCODE
+
+    def test_wild_jump_to_unmapped_is_access_violation(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: li r1, 0x7000000\n jmp (r1)\n halt\n"
+        )
+        assert sim.exception.kind is ExceptionKind.ACCESS_VIOLATION
+
+    def test_misaligned_pc_is_alignment_fault(self):
+        sim, _ = assemble_and_run(
+            ".text\nstart: la r1, start\n addq r1, 2, r1\n jmp (r1)\n halt\n"
+        )
+        # jump_target clears bit 0 and 1, so force odd PC through arithmetic:
+        # actually jump clears low bits; construct misaligned PC via ret with
+        # a poisoned link register instead.
+        # If the jump aligned it, execution continues; accept either halt or
+        # alignment. The strict check lives below via direct state access.
+        state = ArchState()
+        state.memory.map_region(0, 8192)
+        state.pc = 2
+        sim2 = ArchSimulator(state)
+        sim2.step()
+        assert sim2.exception.kind is ExceptionKind.ALIGNMENT_FAULT
+
+
+class TestTracing:
+    def test_trace_contents(self):
+        program = assemble(
+            ".text\nstart: la r1, v\n li r2, 5\n stq r2, 0(r1)\n"
+            " ldq r3, 0(r1)\n halt\n.data\nv: .quad 0\n"
+        )
+        sim = load_program(program)
+        trace = sim.run_with_trace(1000)
+        assert trace.halted
+        assert trace.length == sim.retired
+        memops = [operation for operation in trace.memops]
+        assert ("S", program.symbol("v"), 5) in memops
+        assert ("L", program.symbol("v"), 5) in memops
+        assert trace.final_regs[3] == 5
+        assert trace.final_memory.read(program.symbol("v"), 8) == 5
+
+    def test_writer_steps_point_at_register_writers(self):
+        program = assemble(".text\nstart: li r1, 5\n nop\n halt\n")
+        sim = load_program(program)
+        trace = sim.run_with_trace(100)
+        assert 0 in trace.writer_steps  # li writes r1
+        assert 1 not in trace.writer_steps  # nop writes nothing
+
+
+class TestFork:
+    def test_fork_is_independent(self):
+        program = assemble(
+            ".text\nstart: li r1, 10\nloop: subq r1, 1, r1\n bne r1, loop\n halt\n"
+        )
+        sim = load_program(program)
+        sim.run(5)
+        sim.resume()
+        fork = sim.fork()
+        fork.run(100000)
+        assert fork.stop_reason is StopReason.HALTED
+        assert sim.retired == 5  # parent untouched
+
+    def test_fork_shares_compiled_closures(self):
+        program = assemble(".text\nstart: nop\n halt\n")
+        sim = load_program(program)
+        fork = sim.fork()
+        assert fork._closures is sim._closures

@@ -1,0 +1,43 @@
+"""Architectural state container."""
+
+import pytest
+
+from repro.arch.state import ArchState
+from repro.isa.registers import NUM_REGS, REG_ZERO
+
+
+class TestRegisters:
+    def test_write_masks_to_64_bits(self):
+        state = ArchState()
+        state.write_reg(1, 1 << 70)
+        assert state.read_reg(1) == (1 << 70) % (1 << 64)
+
+    def test_r31_writes_discarded(self):
+        state = ArchState()
+        state.write_reg(REG_ZERO, 55)
+        assert state.read_reg(REG_ZERO) == 0
+
+
+class TestSnapshots:
+    def test_roundtrip_includes_pc(self):
+        state = ArchState()
+        state.write_reg(5, 99)
+        state.pc = 0x4000
+        snapshot = state.snapshot_regs()
+        state.write_reg(5, 0)
+        state.pc = 0
+        state.restore_regs(snapshot)
+        assert state.read_reg(5) == 99 and state.pc == 0x4000
+
+    def test_restore_validates_length(self):
+        with pytest.raises(ValueError):
+            ArchState().restore_regs((0,) * NUM_REGS)
+
+    def test_diff_regs(self):
+        a = ArchState()
+        b = ArchState()
+        b.write_reg(3, 1)
+        b.write_reg(7, 2)
+        assert a.diff_regs(b) == [3, 7]
+        assert not a.regs_equal(b)
+        assert a.regs_equal(ArchState())

@@ -1,0 +1,84 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_run_plain(self, capsys):
+        assert main(["run", "gap"]) == 0
+        out = capsys.readouterr().out
+        assert "halted" in out and "correct" in out
+
+    def test_run_with_restore(self, capsys):
+        assert main(["run", "gap", "--restore", "--interval", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "rollbacks" in out and "checkpoints_created" in out
+
+    def test_run_delayed_policy(self, capsys):
+        assert main(["run", "vortex", "--restore", "--policy", "delayed"]) == 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "spice"])
+
+
+class TestInject:
+    def test_inject_reports_outcome(self, capsys):
+        assert main(["inject", "gcc", "--seed", "3", "--cycle", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "flipped bit" in out and "outcome:" in out
+
+    def test_inject_with_restore(self, capsys):
+        assert main(
+            ["inject", "gcc", "--seed", "3", "--cycle", "600", "--restore"]
+        ) == 0
+        assert "rollbacks" in capsys.readouterr().out
+
+    def test_inject_latches_only(self, capsys):
+        assert main(
+            ["inject", "mcf", "--seed", "1", "--latches-only"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ram state" not in out
+
+
+class TestCampaign:
+    def test_arch_campaign(self, capsys):
+        assert main(
+            ["campaign", "arch", "--trials", "6", "--workloads", "gcc"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "masked" in out and "coverage" in out
+
+    def test_uarch_campaign(self, capsys):
+        assert main(
+            ["campaign", "uarch", "--trials", "6", "--workloads", "gcc"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint interval" in out
+
+    def test_bad_workload_list(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "arch", "--workloads", "gcc,bogus"])
+
+
+class TestFitAndPerf:
+    def test_fit_table(self, capsys):
+        assert main(["fit", "--baseline", "0.08", "--combined", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "8.0x" in out
+
+    def test_perf_points(self, capsys):
+        assert main(["perf", "--intervals", "100", "--workloads", "gap"]) == 0
+        out = capsys.readouterr().out
+        assert "imm" in out and "delayed" in out
+
+
+class TestWorkloadsListing:
+    def test_lists_all_seven(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bzip2", "gap", "gcc", "gzip", "mcf", "parser", "vortex"):
+            assert name in out

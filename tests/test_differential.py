@@ -1,0 +1,112 @@
+"""Differential testing: random programs on both simulators.
+
+Hypothesis generates random (but well-formed) instruction sequences; the
+architectural simulator and the out-of-order pipeline must agree on the
+final architectural state. This is the strongest guard on the equivalence
+the fault campaigns rely on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import load_program
+from repro.isa.assembler import assemble
+from repro.uarch import load_pipeline
+
+OPERATES = ("addq", "subq", "addl", "subl", "and", "bis", "xor",
+            "sll", "srl", "sra", "cmpeq", "cmplt", "cmpult", "mulq", "mull")
+REGS = [f"r{n}" for n in range(1, 9)]
+
+
+@st.composite
+def straight_line_program(draw):
+    lines = [".text", "start:"]
+    # Seed registers with small immediates.
+    for reg in REGS[:4]:
+        lines.append(f"  li {reg}, {draw(st.integers(0, 30000))}")
+    for _ in range(draw(st.integers(3, 25))):
+        mnemonic = draw(st.sampled_from(OPERATES))
+        ra = draw(st.sampled_from(REGS))
+        use_literal = draw(st.booleans())
+        rb = str(draw(st.integers(0, 255))) if use_literal else draw(st.sampled_from(REGS))
+        rc = draw(st.sampled_from(REGS))
+        lines.append(f"  {mnemonic} {ra}, {rb}, {rc}")
+    lines.append("  halt")
+    return "\n".join(lines) + "\n"
+
+
+@st.composite
+def memory_program(draw):
+    lines = [
+        ".text",
+        "start:  la r9, buffer",
+    ]
+    for reg in REGS[:3]:
+        lines.append(f"  li {reg}, {draw(st.integers(0, 30000))}")
+    for _ in range(draw(st.integers(3, 15))):
+        action = draw(st.sampled_from(["store", "load", "alu"]))
+        slot = draw(st.integers(0, 7)) * 8
+        reg = draw(st.sampled_from(REGS[:6]))
+        if action == "store":
+            lines.append(f"  stq {reg}, {slot}(r9)")
+        elif action == "load":
+            lines.append(f"  ldq {reg}, {slot}(r9)")
+        else:
+            other = draw(st.sampled_from(REGS[:6]))
+            lines.append(f"  addq {reg}, {other}, {reg}")
+    lines.append("  halt")
+    lines.append(".data")
+    values = ", ".join(str(draw(st.integers(0, 2**32))) for _ in range(8))
+    lines.append(f"buffer: .quad {values}")
+    return "\n".join(lines) + "\n"
+
+
+@st.composite
+def loop_program(draw):
+    count = draw(st.integers(1, 12))
+    body = []
+    for _ in range(draw(st.integers(1, 6))):
+        mnemonic = draw(st.sampled_from(("addq", "xor", "sll", "addl")))
+        reg = draw(st.sampled_from(REGS[:4]))
+        literal = draw(st.integers(0, 255))
+        body.append(f"  {mnemonic} {reg}, {literal}, {reg}")
+    lines = (
+        [".text", "start:", f"  li r7, {count}", "loop:"]
+        + body
+        + ["  subq r7, 1, r7", "  bne r7, loop", "  halt"]
+    )
+    return "\n".join(lines) + "\n"
+
+
+def run_both(source: str):
+    program = assemble(source, "diff")
+    arch = load_program(program)
+    arch.run(200_000)
+    pipeline = load_pipeline(program)
+    pipeline.run(400_000)
+    return arch, pipeline
+
+
+@settings(max_examples=25, deadline=None)
+@given(straight_line_program())
+def test_straight_line_equivalence(source):
+    arch, pipeline = run_both(source)
+    assert pipeline.halted
+    assert pipeline.arch_reg_values() == arch.state.regs
+
+
+@settings(max_examples=25, deadline=None)
+@given(memory_program())
+def test_memory_program_equivalence(source):
+    arch, pipeline = run_both(source)
+    assert pipeline.halted
+    assert pipeline.arch_reg_values() == arch.state.regs
+    assert pipeline.memory.equals(arch.state.memory)
+
+
+@settings(max_examples=15, deadline=None)
+@given(loop_program())
+def test_loop_program_equivalence(source):
+    arch, pipeline = run_both(source)
+    assert pipeline.halted
+    assert pipeline.arch_reg_values() == arch.state.regs
+    assert pipeline.retired_count == arch.retired

@@ -1,0 +1,133 @@
+"""Fault-injection campaign drivers (small but real runs)."""
+
+import pytest
+
+from repro.faults import (
+    ArchCampaignConfig,
+    ArchResultBitFlip,
+    StateBitFlip,
+    UarchCampaignConfig,
+    run_arch_campaign,
+    run_uarch_campaign,
+)
+from repro.restore.hardened import ProtectionMap
+from repro.uarch.latches import LATCH_CLASSES
+
+
+@pytest.fixture(scope="module")
+def arch_result():
+    config = ArchCampaignConfig(
+        trials_per_workload=30, injection_points=10, workloads=("gcc", "gzip")
+    )
+    return run_arch_campaign(config)
+
+
+@pytest.fixture(scope="module")
+def uarch_result():
+    config = UarchCampaignConfig(
+        trials_per_workload=36,
+        injection_points=12,
+        window_cycles=1200,
+        workloads=("gcc", "mcf"),
+    )
+    return run_uarch_campaign(config)
+
+
+class TestArchCampaign:
+    def test_trial_count(self, arch_result):
+        assert len(arch_result.trials) == 60
+
+    def test_fractions_sum_to_one(self, arch_result):
+        for window in (25, 100, None):
+            assert sum(arch_result.fractions(window).values()) == pytest.approx(1.0)
+
+    def test_coverage_monotonic_in_window(self, arch_result):
+        coverage = [
+            arch_result.failure_coverage(window).proportion
+            for window in (25, 100, 1000, None)
+        ]
+        assert coverage == sorted(coverage)
+
+    def test_some_masking_and_some_failures(self, arch_result):
+        masked = arch_result.masked_estimate.proportion
+        assert 0.05 < masked < 0.95
+
+    def test_table_renders(self, arch_result):
+        text = arch_result.table((25, 100, None))
+        assert "exception" in text and "inf" in text
+
+    def test_deterministic(self):
+        config = ArchCampaignConfig(
+            trials_per_workload=10, injection_points=5, workloads=("gcc",)
+        )
+        first = run_arch_campaign(config)
+        second = run_arch_campaign(config)
+        assert first.trials == second.trials
+
+    def test_low32_model_changes_mix(self):
+        wide = ArchCampaignConfig(
+            trials_per_workload=40, injection_points=12, workloads=("mcf",)
+        )
+        narrow = ArchCampaignConfig(
+            trials_per_workload=40,
+            injection_points=12,
+            workloads=("mcf",),
+            fault_model=ArchResultBitFlip(low32_only=True),
+        )
+        wide_result = run_arch_campaign(wide)
+        narrow_result = run_arch_campaign(narrow)
+        assert all(trial.bit < 32 for trial in narrow_result.trials)
+        assert any(trial.bit >= 32 for trial in wide_result.trials)
+
+
+class TestUarchCampaign:
+    def test_trial_count_and_bits(self, uarch_result):
+        assert len(uarch_result.trials) == 72
+        assert uarch_result.total_bits > 30_000
+
+    def test_counter_totals(self, uarch_result):
+        counter = uarch_result.counter(100)
+        assert counter.total == len(uarch_result.trials)
+
+    def test_coverage_monotonic(self, uarch_result):
+        coverage = [
+            uarch_result.coverage_of_failures(interval).proportion
+            for interval in (25, 100, 1000, None)
+        ]
+        assert coverage == sorted(coverage)
+
+    def test_confident_cfv_is_subset_of_perfect(self, uarch_result):
+        perfect = uarch_result.counter(100).count("cfv")
+        gated = uarch_result.counter(100, require_confident_cfv=True).count("cfv")
+        assert gated <= perfect
+
+    def test_protection_reduces_failures(self, uarch_result):
+        pmap = ProtectionMap()
+        unprotected = uarch_result.failure_estimate(100).proportion
+        protected = uarch_result.failure_estimate(100, protection=pmap).proportion
+        assert protected <= unprotected
+
+    def test_latch_only_view_filters(self, uarch_result):
+        view = uarch_result.latch_only_view()
+        assert all(t.state_class in LATCH_CLASSES for t in view.trials)
+        assert 0 < len(view.trials) < len(uarch_result.trials)
+
+    def test_latch_only_fault_model(self):
+        config = UarchCampaignConfig(
+            trials_per_workload=12,
+            injection_points=6,
+            window_cycles=800,
+            workloads=("gcc",),
+            fault_model=StateBitFlip(target_classes=LATCH_CLASSES),
+        )
+        result = run_uarch_campaign(config)
+        assert all(t.state_class in LATCH_CLASSES for t in result.trials)
+
+    def test_masked_plus_other_dominates(self, uarch_result):
+        """Paper: ~92-93% of microarchitectural flips are benign."""
+        benign = uarch_result.masked_estimate().proportion
+        assert benign > 0.6
+
+    def test_table_renders(self, uarch_result):
+        text = uarch_result.table((25, 100))
+        assert "deadlock" in text and "latent" in text

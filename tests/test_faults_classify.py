@@ -1,0 +1,138 @@
+"""Trial classification semantics."""
+
+from repro.faults.classify import (
+    ARCH_CATEGORIES,
+    ARCH_CATEGORY_DESCRIPTIONS,
+    UARCH_CATEGORIES,
+    UARCH_CATEGORY_DESCRIPTIONS,
+    ArchTrialResult,
+    UarchTrialResult,
+    classify_arch_trial,
+    classify_uarch_trial,
+)
+
+
+def arch_trial(**kwargs):
+    return ArchTrialResult(workload="t", inject_step=0, bit=0, **kwargs)
+
+
+def uarch_trial(**kwargs):
+    return UarchTrialResult(
+        workload="t", inject_cycle=0, target="rob", state_class="ctrl", bit=0,
+        **kwargs,
+    )
+
+
+class TestTables:
+    def test_table1_categories(self):
+        assert ARCH_CATEGORIES == (
+            "masked", "exception", "cfv", "mem-addr", "mem-data", "register"
+        )
+        assert set(ARCH_CATEGORY_DESCRIPTIONS) == set(ARCH_CATEGORIES)
+
+    def test_table2_categories(self):
+        assert UARCH_CATEGORIES == (
+            "masked", "deadlock", "exception", "cfv", "sdc", "latent", "other"
+        )
+        assert set(UARCH_CATEGORY_DESCRIPTIONS) == set(UARCH_CATEGORIES)
+
+
+class TestArchClassification:
+    def test_masked_beats_everything(self):
+        trial = arch_trial(exception_latency=5, failing=False)
+        assert classify_arch_trial(trial, 100) == "masked"
+
+    def test_precedence_exception_over_cfv(self):
+        trial = arch_trial(exception_latency=50, cfv_latency=10, failing=True)
+        assert classify_arch_trial(trial, 100) == "exception"
+
+    def test_window_excludes_late_symptoms(self):
+        trial = arch_trial(exception_latency=500, cfv_latency=10, failing=True)
+        assert classify_arch_trial(trial, 100) == "cfv"
+        assert classify_arch_trial(trial, 5) == "register"
+        assert classify_arch_trial(trial, 1000) == "exception"
+
+    def test_unbounded_window(self):
+        trial = arch_trial(exception_latency=10**6, failing=True)
+        assert classify_arch_trial(trial, None) == "exception"
+
+    def test_memory_categories(self):
+        addr = arch_trial(memaddr_latency=3, memdata_latency=2, failing=True)
+        assert classify_arch_trial(addr, 100) == "mem-addr"
+        data = arch_trial(memdata_latency=2, failing=True)
+        assert classify_arch_trial(data, 100) == "mem-data"
+
+    def test_register_fallback(self):
+        assert classify_arch_trial(arch_trial(failing=True), 100) == "register"
+
+    def test_coverage_grows_with_window(self):
+        trial = arch_trial(exception_latency=80, failing=True)
+        order = [classify_arch_trial(trial, w) for w in (25, 50, 100, 200)]
+        assert order == ["register", "register", "exception", "exception"]
+
+
+class TestUarchClassification:
+    def test_masked(self):
+        assert classify_uarch_trial(uarch_trial(), 100) == "masked"
+
+    def test_other_for_harmless_latent(self):
+        trial = uarch_trial(uarch_latent=True, latent_arch_relevant=False)
+        assert classify_uarch_trial(trial, 100) == "other"
+        assert not trial.failing
+
+    def test_latent_failure(self):
+        trial = uarch_trial(uarch_latent=True, latent_arch_relevant=True)
+        assert trial.failing
+        assert classify_uarch_trial(trial, 100) == "latent"
+
+    def test_deadlock_precedence(self):
+        trial = uarch_trial(deadlock_latency=5, exception_latency=3)
+        assert classify_uarch_trial(trial, 100) == "deadlock"
+
+    def test_deadlock_covered_at_any_interval(self):
+        # The flush that follows watchdog saturation clears the fault, so
+        # coverage does not depend on the checkpoint interval.
+        trial = uarch_trial(deadlock_latency=5000)
+        assert classify_uarch_trial(trial, 25) == "deadlock"
+
+    def test_exception_over_cfv(self):
+        trial = uarch_trial(exception_latency=5, cfv_latency=2)
+        assert classify_uarch_trial(trial, 100) == "exception"
+
+    def test_cfv_requires_interval(self):
+        trial = uarch_trial(cfv_latency=150)
+        assert classify_uarch_trial(trial, 100) == "sdc"
+        assert classify_uarch_trial(trial, 200) == "cfv"
+
+    def test_confident_gate(self):
+        undetected = uarch_trial(cfv_latency=10)
+        assert classify_uarch_trial(undetected, 100) == "cfv"
+        assert (
+            classify_uarch_trial(undetected, 100, require_confident_cfv=True)
+            == "sdc"
+        )
+        detected = uarch_trial(cfv_latency=10, cfv_detected_latency=40)
+        assert (
+            classify_uarch_trial(detected, 100, require_confident_cfv=True)
+            == "cfv"
+        )
+
+    def test_detected_beyond_interval_is_sdc(self):
+        trial = uarch_trial(cfv_latency=10, cfv_detected_latency=400)
+        assert (
+            classify_uarch_trial(trial, 100, require_confident_cfv=True)
+            == "sdc"
+        )
+
+    def test_symptom_beyond_window_is_sdc(self):
+        trial = uarch_trial(exception_latency=5000)
+        assert classify_uarch_trial(trial, 100) == "sdc"
+
+    def test_arch_corrupt_is_sdc(self):
+        trial = uarch_trial(arch_corrupt=True)
+        assert classify_uarch_trial(trial, 100) == "sdc"
+
+    def test_protected_trial_never_fails(self):
+        trial = uarch_trial(exception_latency=5, protected=True)
+        assert not trial.failing
+        assert classify_uarch_trial(trial, 100) == "masked"

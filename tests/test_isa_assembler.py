@@ -1,0 +1,183 @@
+"""The two-pass assembler."""
+
+import pytest
+
+from repro.isa import opcodes as op
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.encoding import decode_word
+from repro.isa.program import DATA_BASE, TEXT_BASE
+from repro.isa.registers import REG_RA, REG_ZERO
+
+
+def first_inst(source: str):
+    program = assemble(f".text\n{source}\n")
+    return decode_word(program.text_words[0])
+
+
+class TestOperateSyntax:
+    def test_register_form(self):
+        inst = first_inst("addq r1, r2, r3")
+        assert inst.mnemonic == "addq"
+        assert (inst.ra, inst.rb, inst.rc) == (1, 2, 3)
+
+    def test_literal_form(self):
+        inst = first_inst("addq r1, 42, r3")
+        assert inst.is_literal and inst.literal == 42
+
+    def test_aliases(self):
+        inst = first_inst("bis sp, zero, ra")
+        assert (inst.ra, inst.rb, inst.rc) == (30, 31, 26)
+
+    def test_literal_range_checked(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\naddq r1, 300, r2\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nfrobnicate r1, r2, r3\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\naddq r99, r1, r2\n")
+
+
+class TestMemorySyntax:
+    def test_displacement(self):
+        inst = first_inst("ldq r4, -16(sp)")
+        assert inst.mnemonic == "ldq"
+        assert inst.ra == 4 and inst.rb == 30
+        assert inst.disp == (-16) % (1 << 64)
+
+    def test_zero_displacement_implied_base(self):
+        inst = first_inst("ldq r4, (r5)")
+        assert inst.rb == 5 and inst.disp == 0
+
+    def test_too_large_displacement(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nldq r1, 40000(r2)\n")
+
+
+class TestBranchesAndLabels:
+    def test_backward_branch(self):
+        program = assemble(
+            ".text\nloop: addq r1, 1, r1\n      bne r1, loop\n"
+        )
+        branch = decode_word(program.text_words[1])
+        assert branch.branch_target(TEXT_BASE + 4) == TEXT_BASE
+
+    def test_forward_branch(self):
+        program = assemble(".text\n  beq r1, done\n  nop\ndone: halt\n")
+        branch = decode_word(program.text_words[0])
+        assert branch.branch_target(TEXT_BASE) == TEXT_BASE + 8
+
+    def test_bsr_default_link_register(self):
+        inst = first_inst("bsr func\nfunc: nop")
+        assert inst.ra == REG_RA
+
+    def test_br_default_no_link(self):
+        inst = first_inst("br next\nnext: nop")
+        assert inst.ra == REG_ZERO
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nx: nop\nx: nop\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nbr nowhere\n")
+
+
+class TestJumps:
+    def test_ret_defaults_to_ra(self):
+        inst = first_inst("ret")
+        assert inst.is_return and inst.rb == REG_RA
+
+    def test_jsr_explicit(self):
+        inst = first_inst("jsr ra, (r5)")
+        assert inst.is_call and inst.ra == REG_RA and inst.rb == 5
+
+    def test_jmp_single_operand(self):
+        inst = first_inst("jmp (r7)")
+        assert inst.rb == 7 and inst.ra == REG_ZERO
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        inst = first_inst("nop")
+        assert inst.mnemonic == "bis"
+        assert inst.dest_reg is None
+
+    def test_mov_register(self):
+        inst = first_inst("mov r3, r4")
+        assert inst.mnemonic == "bis" and inst.rc == 4
+
+    def test_mov_small_immediate(self):
+        inst = first_inst("mov 9, r4")
+        assert inst.is_literal and inst.literal == 9
+
+    def test_clr(self):
+        inst = first_inst("clr r9")
+        assert inst.mnemonic == "bis" and inst.rc == 9 and inst.ra == REG_ZERO
+
+    def test_li_small_is_one_word(self):
+        program = assemble(".text\nli r1, 100\n")
+        assert len(program.text_words) == 1
+
+    def test_li_large_is_two_words(self):
+        program = assemble(".text\nli r1, 0x12345678\n")
+        assert len(program.text_words) == 2
+
+    def test_li_too_large_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nli r1, 0x1_0000_0000_0\n")
+
+    def test_la_is_always_two_words(self):
+        program = assemble(".text\nla r1, here\nhere: nop\n")
+        assert len(program.text_words) == 3
+
+
+class TestDataDirectives:
+    def test_quad_little_endian(self):
+        program = assemble(".data\nv: .quad 0x0102030405060708\n")
+        assert program.data_bytes[:8] == bytes(
+            [8, 7, 6, 5, 4, 3, 2, 1]
+        )
+
+    def test_long_and_byte(self):
+        program = assemble(".data\n.long 1, 2\n.byte 3, 4\n")
+        assert len(program.data_bytes) == 10
+
+    def test_space_zeroed(self):
+        program = assemble(".data\n.space 16\n")
+        assert program.data_bytes == bytes(16)
+
+    def test_align(self):
+        program = assemble(".data\n.byte 1\n.align 8\nv: .quad 2\n")
+        assert program.symbol("v") == DATA_BASE + 8
+
+    def test_asciiz(self):
+        program = assemble('.data\ns: .asciiz "hi"\n')
+        assert program.data_bytes == b"hi\x00"
+
+    def test_quad_with_symbol_expression(self):
+        program = assemble(".data\na: .quad 0\nb: .quad a+8\n")
+        value = int.from_bytes(program.data_bytes[8:16], "little")
+        assert value == DATA_BASE + 8
+
+    def test_directive_in_text_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n.quad 1\n")
+
+
+class TestSymbols:
+    def test_start_symbol_sets_entry_point(self):
+        program = assemble(".text\nnop\nstart: halt\n")
+        assert program.entry_point == TEXT_BASE + 4
+
+    def test_default_entry_point(self):
+        program = assemble(".text\nnop\n")
+        assert program.entry_point == TEXT_BASE
+
+    def test_comments_stripped(self):
+        program = assemble(".text\nnop  # comment\nnop ; also\n")
+        assert len(program.text_words) == 2

@@ -1,0 +1,43 @@
+"""Disassembler rendering."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa import assemble
+from repro.isa.disassembler import disassemble, disassemble_program
+
+
+class TestDisassemble:
+    def test_operate(self):
+        program = assemble(".text\naddq r1, r2, r3\n")
+        assert disassemble(program.text_words[0]) == "addq r1, r2, r3"
+
+    def test_literal(self):
+        program = assemble(".text\naddq r1, 5, r3\n")
+        assert disassemble(program.text_words[0]) == "addq r1, 5, r3"
+
+    def test_memory(self):
+        program = assemble(".text\nldq r4, -8(sp)\n")
+        assert disassemble(program.text_words[0]) == "ldq r4, -8(sp)"
+
+    def test_branch_with_pc(self):
+        program = assemble(".text\nloop: br loop\n")
+        text = disassemble(program.text_words[0], pc=program.text_base)
+        assert hex(program.text_base) in text
+
+    def test_halt(self):
+        assert disassemble(0) == "halt"
+
+    def test_illegal(self):
+        assert disassemble(0x0000_0001).startswith(".illegal")
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_never_crashes(self, word):
+        assert isinstance(disassemble(word), str)
+
+
+class TestProgramListing:
+    def test_contains_labels_and_addresses(self):
+        program = assemble(".text\nstart: nop\nloop: br loop\n")
+        listing = disassemble_program(program)
+        assert "start:" in listing and "loop:" in listing
+        assert f"0x{program.text_base:08x}" in listing

@@ -1,0 +1,119 @@
+"""Instruction word encoding and decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import opcodes as op
+from repro.isa.encoding import (
+    HALT_WORD,
+    IllegalInstructionError,
+    decode_word,
+    encode_branch,
+    encode_jump,
+    encode_memory,
+    encode_operate,
+    try_decode_word,
+)
+
+regs = st.integers(0, 31)
+OPERATE_SPECS = [s for s in op.ALL_SPECS if s.format is op.Format.OPERATE]
+MEMORY_SPECS = [s for s in op.ALL_SPECS if s.format is op.Format.MEMORY]
+BRANCH_SPECS = [s for s in op.ALL_SPECS if s.format is op.Format.BRANCH]
+JUMP_SPECS = [s for s in op.ALL_SPECS if s.format is op.Format.JUMP]
+
+
+class TestOperateRoundtrip:
+    @given(
+        st.sampled_from(OPERATE_SPECS), regs, regs, regs
+    )
+    def test_register_form(self, spec, ra, rb, rc):
+        word = encode_operate(spec.opcode, spec.func, ra, rb, rc, is_literal=False)
+        inst = decode_word(word)
+        assert inst.mnemonic == spec.mnemonic
+        assert (inst.ra, inst.rb, inst.rc) == (ra, rb, rc)
+        assert not inst.is_literal
+
+    @given(
+        st.sampled_from(OPERATE_SPECS), regs, st.integers(0, 255), regs
+    )
+    def test_literal_form(self, spec, ra, literal, rc):
+        word = encode_operate(spec.opcode, spec.func, ra, literal, rc, is_literal=True)
+        inst = decode_word(word)
+        assert inst.mnemonic == spec.mnemonic
+        assert inst.is_literal and inst.literal == literal
+        assert (inst.ra, inst.rc) == (ra, rc)
+
+    def test_literal_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_operate(op.OP_INTA, op.FUNC_ADDQ, 0, 256, 0, is_literal=True)
+
+
+class TestMemoryRoundtrip:
+    @given(
+        st.sampled_from(MEMORY_SPECS), regs, regs,
+        st.integers(-(1 << 15), (1 << 15) - 1),
+    )
+    def test_roundtrip(self, spec, ra, rb, disp):
+        word = encode_memory(spec.opcode, ra, rb, disp)
+        inst = decode_word(word)
+        assert inst.mnemonic == spec.mnemonic
+        assert (inst.ra, inst.rb) == (ra, rb)
+        signed = inst.disp if inst.disp < (1 << 63) else inst.disp - (1 << 64)
+        assert signed == disp
+
+    def test_displacement_range_enforced(self):
+        with pytest.raises(ValueError):
+            encode_memory(op.OP_LDQ, 0, 0, 1 << 15)
+
+
+class TestBranchRoundtrip:
+    @given(
+        st.sampled_from(BRANCH_SPECS), regs,
+        st.integers(-(1 << 20), (1 << 20) - 1),
+    )
+    def test_roundtrip(self, spec, ra, disp):
+        word = encode_branch(spec.opcode, ra, disp)
+        inst = decode_word(word)
+        assert inst.mnemonic == spec.mnemonic
+        assert inst.ra == ra
+        signed = inst.disp if inst.disp < (1 << 63) else inst.disp - (1 << 64)
+        assert signed == disp
+
+    def test_displacement_range_enforced(self):
+        with pytest.raises(ValueError):
+            encode_branch(op.OP_BR, 0, 1 << 20)
+
+
+class TestJumpRoundtrip:
+    @given(st.sampled_from(JUMP_SPECS), regs, regs)
+    def test_roundtrip(self, spec, ra, rb):
+        word = encode_jump(ra, rb, spec.jump_hint)
+        inst = decode_word(word)
+        assert inst.mnemonic == spec.mnemonic
+        assert (inst.ra, inst.rb) == (ra, rb)
+
+
+class TestIllegal:
+    def test_halt_is_all_zero(self):
+        assert decode_word(HALT_WORD).is_halt
+
+    def test_nonzero_pal_is_illegal(self):
+        with pytest.raises(IllegalInstructionError):
+            decode_word(0x0000_0001)
+
+    def test_undefined_opcode_is_illegal(self):
+        word = (0x3F ^ 0x22) << 26  # opcode 0x1D: unused
+        assert try_decode_word(word) is None
+
+    def test_undefined_function_code_is_illegal(self):
+        word = encode_operate(op.OP_INTA, 0x7F, 1, 2, 3, is_literal=False)
+        with pytest.raises(IllegalInstructionError):
+            decode_word(word)
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_decode_never_crashes(self, word):
+        inst = try_decode_word(word)
+        if inst is not None:
+            assert 0 <= inst.ra < 32
+            assert 0 <= inst.rb < 32
+            assert 0 <= inst.rc < 32

@@ -1,0 +1,122 @@
+"""DecodedInst classification properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa import opcodes as op
+from repro.isa.encoding import (
+    encode_branch,
+    encode_jump,
+    encode_memory,
+    encode_operate,
+    decode_word,
+    try_decode_word,
+)
+from repro.isa.instructions import InstClass
+from repro.isa.registers import REG_ZERO
+
+
+def inst_of(mnemonic, ra=1, rb=2, rc=3):
+    spec = op.SPEC_BY_MNEMONIC[mnemonic]
+    if spec.format is op.Format.OPERATE:
+        return decode_word(encode_operate(spec.opcode, spec.func, ra, rb, rc, False))
+    if spec.format is op.Format.MEMORY:
+        return decode_word(encode_memory(spec.opcode, ra, rb, 8))
+    if spec.format is op.Format.JUMP:
+        return decode_word(encode_jump(ra, rb, spec.jump_hint))
+    if spec.format is op.Format.BRANCH:
+        return decode_word(encode_branch(spec.opcode, ra, 4))
+    return decode_word(0)
+
+
+class TestClassification:
+    def test_loads(self):
+        for name in ("ldq", "ldl", "ldbu"):
+            inst = inst_of(name)
+            assert inst.is_load and inst.is_memory and not inst.is_store
+            assert inst.inst_class is InstClass.LOAD
+
+    def test_stores(self):
+        for name in ("stq", "stl", "stb"):
+            inst = inst_of(name)
+            assert inst.is_store and inst.is_memory and not inst.is_load
+            assert inst.inst_class is InstClass.STORE
+
+    def test_lda_is_alu_not_memory(self):
+        inst = inst_of("lda")
+        assert inst.is_lda and not inst.is_memory
+        assert inst.inst_class is InstClass.ALU
+
+    def test_conditional_branches(self):
+        for name in ("beq", "bne", "blt", "bge", "ble", "bgt", "blbs", "blbc"):
+            inst = inst_of(name)
+            assert inst.is_cond_branch and inst.is_control
+            assert inst.inst_class is InstClass.BRANCH
+
+    def test_call_and_return_flags(self):
+        assert inst_of("bsr").is_call
+        assert inst_of("jsr").is_call
+        assert inst_of("ret").is_return
+        assert not inst_of("br").is_call
+        assert not inst_of("jmp").is_call
+
+    def test_multiply_class(self):
+        assert inst_of("mulq").inst_class is InstClass.MULTIPLY
+        assert inst_of("addq").inst_class is InstClass.ALU
+
+    def test_halt(self):
+        inst = decode_word(0)
+        assert inst.is_halt and inst.inst_class is InstClass.HALT
+
+
+class TestRegisters:
+    def test_dest_reg_of_operate(self):
+        assert inst_of("addq", rc=5).dest_reg == 5
+
+    def test_dest_r31_is_discarded(self):
+        assert inst_of("addq", rc=REG_ZERO).dest_reg is None
+
+    def test_load_dest_is_ra(self):
+        assert inst_of("ldq", ra=7).dest_reg == 7
+
+    def test_store_has_no_dest(self):
+        assert inst_of("stq").dest_reg is None
+
+    def test_cond_branch_has_no_dest(self):
+        assert inst_of("beq").dest_reg is None
+
+    def test_bsr_links(self):
+        assert inst_of("bsr", ra=26).dest_reg == 26
+
+    def test_jump_links(self):
+        assert inst_of("jsr", ra=26).dest_reg == 26
+
+    def test_sources_of_store(self):
+        inst = inst_of("stq", ra=4, rb=5)
+        assert set(inst.source_regs) == {4, 5}
+
+    def test_sources_exclude_r31(self):
+        inst = inst_of("addq", ra=REG_ZERO, rb=2)
+        assert inst.source_regs == (2,)
+
+    def test_cmov_reads_old_dest(self):
+        inst = inst_of("cmoveq", ra=1, rb=2, rc=3)
+        assert inst.is_cmov
+        assert 3 in inst.source_regs
+
+    def test_literal_form_has_single_source(self):
+        spec = op.SPEC_BY_MNEMONIC["addq"]
+        word = encode_operate(spec.opcode, spec.func, 1, 200, 3, is_literal=True)
+        inst = decode_word(word)
+        assert inst.source_regs == (1,)
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_properties_never_crash(self, word):
+        inst = try_decode_word(word)
+        if inst is None:
+            return
+        inst.dest_reg
+        inst.source_regs
+        inst.inst_class
+        inst.is_control
+        if inst.is_memory:
+            assert inst.access_size in (1, 4, 8)

@@ -1,0 +1,51 @@
+"""Program container."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.program import DATA_BASE, TEXT_BASE, Program, Segment
+
+
+class TestSegments:
+    def test_text_segment_bytes(self):
+        program = assemble(".text\nnop\nnop\n")
+        segment = program.text_segment
+        assert segment.base == TEXT_BASE
+        assert len(segment.data) == 8
+
+    def test_data_segment(self):
+        program = assemble(".data\n.quad 7\n")
+        assert program.data_segment.base == DATA_BASE
+        assert program.data_segment.data == (7).to_bytes(8, "little")
+
+    def test_segments_list_skips_empty_data(self):
+        program = assemble(".text\nnop\n")
+        assert [segment.name for segment in program.segments] == ["text"]
+
+    def test_segment_contains(self):
+        segment = Segment("x", 100, b"abcd")
+        assert segment.contains(100) and segment.contains(103)
+        assert not segment.contains(104)
+
+
+class TestAccessors:
+    def test_word_at(self):
+        program = assemble(".text\nnop\nhalt\n")
+        assert program.word_at(TEXT_BASE + 4) == 0
+
+    def test_word_at_validates(self):
+        program = assemble(".text\nnop\n")
+        with pytest.raises(ValueError):
+            program.word_at(TEXT_BASE + 2)
+        with pytest.raises(ValueError):
+            program.word_at(TEXT_BASE + 400)
+
+    def test_symbol_lookup(self):
+        program = assemble(".text\nfoo: nop\n")
+        assert program.symbol("foo") == TEXT_BASE
+        with pytest.raises(KeyError):
+            program.symbol("bar")
+
+    def test_text_end(self):
+        program = assemble(".text\nnop\nnop\nnop\n")
+        assert program.text_end == TEXT_BASE + 12

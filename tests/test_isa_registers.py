@@ -1,0 +1,44 @@
+"""Register naming conventions."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_GP,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    register_name,
+    register_number,
+)
+
+
+class TestNames:
+    def test_aliases(self):
+        assert register_name(REG_SP) == "sp"
+        assert register_name(REG_RA) == "ra"
+        assert register_name(REG_GP) == "gp"
+        assert register_name(REG_ZERO) == "zero"
+
+    def test_plain_names(self):
+        assert register_name(5) == "r5"
+        assert register_name(0) == "r0"  # v0 renders as r0 for clarity
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            register_name(NUM_REGS)
+
+
+class TestParsing:
+    def test_roundtrip_all(self):
+        for number in range(NUM_REGS):
+            assert register_number(register_name(number)) == number
+
+    def test_aliases_case_insensitive(self):
+        assert register_number("SP") == REG_SP
+        assert register_number(" Zero ") == REG_ZERO
+
+    def test_invalid(self):
+        for bad in ("r32", "x5", "", "r-1", "reg1"):
+            with pytest.raises(ValueError):
+                register_number(bad)

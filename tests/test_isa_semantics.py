@@ -1,0 +1,212 @@
+"""Execution semantics vs independent Python references."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import opcodes as op
+from repro.isa import semantics
+from repro.isa.encoding import decode_word, encode_branch, encode_memory, encode_operate
+from repro.util.bitops import MASK32, MASK64, sign_extend, to_signed64
+
+u64 = st.integers(0, MASK64)
+
+
+def operate(mnemonic, a, b):
+    spec = op.SPEC_BY_MNEMONIC[mnemonic]
+    word = encode_operate(spec.opcode, spec.func, 1, 2, 3, is_literal=False)
+    return semantics.execute_operate(decode_word(word), a, b)
+
+
+class TestArithmetic:
+    @given(u64, u64)
+    def test_addq_wraps(self, a, b):
+        assert operate("addq", a, b).value == (a + b) & MASK64
+
+    @given(u64, u64)
+    def test_subq_wraps(self, a, b):
+        assert operate("subq", a, b).value == (a - b) & MASK64
+
+    @given(u64, u64)
+    def test_addl_truncates_and_extends(self, a, b):
+        assert operate("addl", a, b).value == sign_extend((a + b) & MASK32, 32)
+
+    @given(u64, u64)
+    def test_subl(self, a, b):
+        assert operate("subl", a, b).value == sign_extend((a - b) & MASK32, 32)
+
+    @given(u64, u64)
+    def test_mulq(self, a, b):
+        assert operate("mulq", a, b).value == (a * b) & MASK64
+
+    @given(u64, u64)
+    def test_umulh(self, a, b):
+        assert operate("umulh", a, b).value == ((a * b) >> 64) & MASK64
+
+    @given(u64, u64)
+    def test_mull(self, a, b):
+        assert operate("mull", a, b).value == sign_extend((a * b) & MASK32, 32)
+
+
+class TestTrappingArithmetic:
+    def test_addqv_overflow_flagged(self):
+        result = operate("addqv", (1 << 63) - 1, 1)
+        assert result.overflow
+
+    def test_addqv_no_overflow(self):
+        assert not operate("addqv", 1, 2).overflow
+
+    def test_subqv_overflow(self):
+        result = operate("subqv", 1 << 63, 1)  # MIN - 1
+        assert result.overflow
+
+    def test_mulqv_overflow(self):
+        assert operate("mulqv", 1 << 62, 4).overflow
+
+    @given(u64, u64)
+    def test_overflow_iff_signed_result_out_of_range(self, a, b):
+        total = to_signed64(a) + to_signed64(b)
+        expected = not -(1 << 63) <= total <= (1 << 63) - 1
+        assert operate("addqv", a, b).overflow == expected
+
+
+class TestComparisons:
+    @given(u64, u64)
+    def test_cmpeq(self, a, b):
+        assert operate("cmpeq", a, b).value == int(a == b)
+
+    @given(u64, u64)
+    def test_cmplt_signed(self, a, b):
+        assert operate("cmplt", a, b).value == int(to_signed64(a) < to_signed64(b))
+
+    @given(u64, u64)
+    def test_cmple_signed(self, a, b):
+        assert operate("cmple", a, b).value == int(to_signed64(a) <= to_signed64(b))
+
+    @given(u64, u64)
+    def test_cmpult_unsigned(self, a, b):
+        assert operate("cmpult", a, b).value == int(a < b)
+
+    @given(u64, u64)
+    def test_cmpule_unsigned(self, a, b):
+        assert operate("cmpule", a, b).value == int(a <= b)
+
+
+class TestLogic:
+    @given(u64, u64)
+    def test_and_or_xor(self, a, b):
+        assert operate("and", a, b).value == a & b
+        assert operate("bis", a, b).value == a | b
+        assert operate("xor", a, b).value == a ^ b
+
+    @given(u64, u64)
+    def test_bic_ornot_eqv(self, a, b):
+        assert operate("bic", a, b).value == a & ~b & MASK64
+        assert operate("ornot", a, b).value == (a | ~b) & MASK64
+        assert operate("eqv", a, b).value == (a ^ b) ^ MASK64
+
+
+class TestShifts:
+    @given(u64, st.integers(0, 63))
+    def test_sll(self, a, amount):
+        assert operate("sll", a, amount).value == (a << amount) & MASK64
+
+    @given(u64, st.integers(0, 63))
+    def test_srl(self, a, amount):
+        assert operate("srl", a, amount).value == a >> amount
+
+    @given(u64, st.integers(0, 63))
+    def test_sra(self, a, amount):
+        assert operate("sra", a, amount).value == (to_signed64(a) >> amount) & MASK64
+
+    @given(u64, u64)
+    def test_shift_amount_masked_to_6_bits(self, a, amount):
+        assert operate("sll", a, amount).value == (a << (amount & 63)) & MASK64
+
+
+class TestCmov:
+    def _cmov(self, mnemonic, a, b, old):
+        spec = op.SPEC_BY_MNEMONIC[mnemonic]
+        word = encode_operate(spec.opcode, spec.func, 1, 2, 3, is_literal=False)
+        return semantics.execute_cmov(decode_word(word), a, b, old)
+
+    def test_cmoveq_takes_on_zero(self):
+        assert self._cmov("cmoveq", 0, 42, 7).value == 42
+        assert self._cmov("cmoveq", 1, 42, 7).value == 7
+
+    def test_cmovne(self):
+        assert self._cmov("cmovne", 1, 42, 7).value == 42
+        assert self._cmov("cmovne", 0, 42, 7).value == 7
+
+    def test_cmovlt_cmovge(self):
+        negative = MASK64  # -1
+        assert self._cmov("cmovlt", negative, 42, 7).value == 42
+        assert self._cmov("cmovge", negative, 42, 7).value == 7
+        assert self._cmov("cmovge", 3, 42, 7).value == 42
+
+    def test_execute_operate_rejects_cmov(self):
+        spec = op.SPEC_BY_MNEMONIC["cmoveq"]
+        word = encode_operate(spec.opcode, spec.func, 1, 2, 3, is_literal=False)
+        with pytest.raises(ValueError):
+            semantics.execute_operate(decode_word(word), 0, 0)
+
+
+class TestBranches:
+    def _taken(self, mnemonic, a):
+        spec = op.SPEC_BY_MNEMONIC[mnemonic]
+        inst = decode_word(encode_branch(spec.opcode, 1, 4))
+        return semantics.branch_taken(inst, a)
+
+    @given(u64)
+    def test_beq_bne_complementary(self, a):
+        assert self._taken("beq", a) != self._taken("bne", a)
+
+    @given(u64)
+    def test_blt_bge_complementary(self, a):
+        assert self._taken("blt", a) != self._taken("bge", a)
+
+    @given(u64)
+    def test_ble_bgt_complementary(self, a):
+        assert self._taken("ble", a) != self._taken("bgt", a)
+
+    @given(u64)
+    def test_blbs_blbc_complementary(self, a):
+        assert self._taken("blbs", a) != self._taken("blbc", a)
+
+    def test_signed_direction(self):
+        assert self._taken("blt", MASK64)  # -1 < 0
+        assert not self._taken("blt", 1)
+        assert self._taken("bgt", 1)
+
+    def test_branch_target_arithmetic(self):
+        spec = op.SPEC_BY_MNEMONIC["br"]
+        inst = decode_word(encode_branch(spec.opcode, 31, -2))
+        assert inst.branch_target(0x1000) == 0x1000 + 4 - 8
+
+
+class TestMemorySemantics:
+    def test_effective_address_negative_disp(self):
+        inst = decode_word(encode_memory(op.OP_LDQ, 1, 2, -8))
+        assert semantics.effective_address(inst, 0x100) == 0xF8
+
+    def test_lda_and_ldah(self):
+        lda = decode_word(encode_memory(op.OP_LDA, 1, 2, 5))
+        ldah = decode_word(encode_memory(op.OP_LDAH, 1, 2, 5))
+        assert semantics.lda_value(lda, 100) == 105
+        assert semantics.lda_value(ldah, 100) == 100 + 5 * 65536
+
+    def test_jump_target_clears_low_bits(self):
+        assert semantics.jump_target(0x1003) == 0x1000
+
+    def test_extend_loaded(self):
+        ldbu = decode_word(encode_memory(op.OP_LDBU, 1, 2, 0))
+        ldl = decode_word(encode_memory(op.OP_LDL, 1, 2, 0))
+        ldq = decode_word(encode_memory(op.OP_LDQ, 1, 2, 0))
+        assert semantics.extend_loaded(ldbu, 0x1FF) == 0xFF
+        assert semantics.extend_loaded(ldl, 0x8000_0000) == sign_extend(0x8000_0000, 32)
+        assert semantics.extend_loaded(ldq, MASK64) == MASK64
+
+    def test_store_value_truncates(self):
+        stb = decode_word(encode_memory(op.OP_STB, 1, 2, 0))
+        stl = decode_word(encode_memory(op.OP_STL, 1, 2, 0))
+        assert semantics.store_value(stb, 0x1234) == 0x34
+        assert semantics.store_value(stl, MASK64) == MASK32

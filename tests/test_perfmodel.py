@@ -1,0 +1,84 @@
+"""Performance models (Figure 7)."""
+
+import pytest
+
+from repro.perfmodel import (
+    AnalyticInputs,
+    AnalyticPerfModel,
+    measure_restore_performance,
+)
+from repro.restore.controller import RollbackPolicy
+
+
+@pytest.fixture(scope="module")
+def measured_points():
+    return measure_restore_performance(
+        intervals=(100, 500), workloads=("gcc", "mcf", "bzip2")
+    )
+
+
+class TestSimulationModel:
+    def test_speedup_at_most_one(self, measured_points):
+        for point in measured_points:
+            assert point.speedup <= 1.001
+
+    def test_minor_hit_at_short_intervals(self, measured_points):
+        """Paper: 'the performance hit is minor for shorter checkpointing
+        intervals' (~6% at 100)."""
+        at_100 = [p for p in measured_points if p.interval == 100]
+        for point in at_100:
+            assert point.speedup > 0.80
+
+    def test_delayed_gains_at_long_intervals(self, measured_points):
+        """Paper: delayed 'begins to gain an advantage at 500 instruction
+        intervals'."""
+        imm = next(
+            p for p in measured_points
+            if p.interval == 500 and p.policy == "imm"
+        )
+        delayed = next(
+            p for p in measured_points
+            if p.interval == 500 and p.policy == "delayed"
+        )
+        assert delayed.speedup >= imm.speedup
+
+    def test_rollbacks_counted(self, measured_points):
+        assert any(point.rollbacks > 0 for point in measured_points)
+
+
+class TestAnalyticModel:
+    def test_no_symptoms_no_cost(self):
+        model = AnalyticPerfModel(AnalyticInputs(hc_mispredict_rate=0.0))
+        assert model.speedup(100, "imm") == 1.0
+
+    def test_overhead_grows_with_interval_imm(self):
+        model = AnalyticPerfModel(AnalyticInputs(hc_mispredict_rate=5e-4))
+        speedups = [model.speedup(i, "imm") for i in (50, 100, 500, 1000)]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_delayed_beats_imm_at_long_intervals(self):
+        model = AnalyticPerfModel(AnalyticInputs(hc_mispredict_rate=5e-4))
+        assert model.speedup(1000, "delayed") > model.speedup(1000, "imm")
+
+    def test_imm_competitive_at_short_intervals(self):
+        """Paper: 'the delayed configuration slightly underperforms the imm
+        configuration at smaller intervals'."""
+        model = AnalyticPerfModel(AnalyticInputs(hc_mispredict_rate=5e-4))
+        assert model.speedup(50, "imm") >= model.speedup(50, "delayed") - 0.02
+
+    def test_overhead_percent(self):
+        model = AnalyticPerfModel(AnalyticInputs(hc_mispredict_rate=5e-4))
+        assert model.overhead_percent(100, "imm") == pytest.approx(
+            (1 - model.speedup(100, "imm")) * 100
+        )
+
+    def test_unknown_policy(self):
+        model = AnalyticPerfModel(AnalyticInputs(hc_mispredict_rate=1e-4))
+        with pytest.raises(ValueError):
+            model.speedup(100, "bogus")
+
+    def test_paper_ballpark_at_100(self):
+        """With a plausible symptom rate the 100-instruction interval lands
+        in the paper's single-digit-percent overhead regime."""
+        model = AnalyticPerfModel(AnalyticInputs(hc_mispredict_rate=4e-4))
+        assert 0.90 < model.speedup(100, "imm") < 1.0

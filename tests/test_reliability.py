@@ -1,0 +1,92 @@
+"""FIT/MTBF scaling model (Figure 8)."""
+
+import math
+
+import pytest
+
+from repro.reliability import (
+    FIGURE8_DESIGN_SIZES,
+    MTBF_GOAL_FIT,
+    PAPER_FAILURE_FRACTIONS,
+    ConfigFailureFractions,
+    equivalent_design_factor,
+    fit_rate,
+    fit_scaling_table,
+    max_bits_within_goal,
+    mtbf_years,
+)
+
+
+class TestFitRate:
+    def test_linear_in_bits(self):
+        assert fit_rate(200_000, 0.07) == pytest.approx(2 * fit_rate(100_000, 0.07))
+
+    def test_paper_anchor_point(self):
+        # 46,000 bits of interesting state, 7% failure fraction:
+        # 46e3 * 0.001 * 0.07 = 3.22 FIT.
+        assert fit_rate(46_000, 0.07) == pytest.approx(3.22)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_rate(-1, 0.5)
+        with pytest.raises(ValueError):
+            fit_rate(100, 1.5)
+
+
+class TestMtbf:
+    def test_115_fit_is_about_1000_years(self):
+        """The paper's goal line: 1000-year MTBF at 115 FIT."""
+        years = mtbf_years(MTBF_GOAL_FIT)
+        assert 950 < years < 1050
+
+    def test_zero_fit_is_infinite(self):
+        assert math.isinf(mtbf_years(0))
+
+
+class TestGoal:
+    def test_max_bits_within_goal(self):
+        bits = max_bits_within_goal(0.07)
+        assert fit_rate(bits, 0.07) == pytest.approx(MTBF_GOAL_FIT)
+
+    def test_protection_extends_the_budget(self):
+        fractions = PAPER_FAILURE_FRACTIONS
+        assert max_bits_within_goal(fractions.lhf_restore) > max_bits_within_goal(
+            fractions.baseline
+        )
+
+
+class TestEquivalence:
+    def test_paper_7x(self):
+        """lhf+ReStore ~ a design 1/7th the size (Section 5.3)."""
+        factor = equivalent_design_factor(PAPER_FAILURE_FRACTIONS)
+        assert factor == pytest.approx(7.0, rel=0.01)
+
+    def test_restore_alone_2x(self):
+        factor = equivalent_design_factor(PAPER_FAILURE_FRACTIONS, "ReStore")
+        assert factor == pytest.approx(2.0, rel=0.01)
+
+    def test_unknown_config(self):
+        with pytest.raises(KeyError):
+            PAPER_FAILURE_FRACTIONS.of("tmr")
+
+
+class TestTable:
+    def test_renders_all_sizes_and_configs(self):
+        text = fit_scaling_table(PAPER_FAILURE_FRACTIONS)
+        for bits in FIGURE8_DESIGN_SIZES:
+            assert f"{bits:,}" in text
+        for config in ("baseline", "ReStore", "lhf", "lhf+ReStore"):
+            assert config in text
+
+    def test_goal_markers(self):
+        text = fit_scaling_table(PAPER_FAILURE_FRACTIONS)
+        # The largest baseline point is far over the goal; the smallest is
+        # far under it.
+        lines = text.splitlines()
+        assert "*" in lines[-1]
+        assert "*" not in lines[3]
+
+    def test_custom_fractions(self):
+        fractions = ConfigFailureFractions(0.10, 0.05, 0.04, 0.015)
+        text = fit_scaling_table(fractions, design_sizes=(100_000,))
+        assert "10.00" in text

@@ -1,0 +1,125 @@
+"""Checkpoint creation, release, and rollback."""
+
+import pytest
+
+from repro.restore.checkpoint import CheckpointManager
+from repro.uarch import load_pipeline
+from repro.workloads import build_workload
+
+
+def make_pipeline_with_manager(interval=50, workload="gcc"):
+    bundle = build_workload(workload)
+    pipeline = load_pipeline(bundle.program, collect_retired=True)
+    manager = CheckpointManager(pipeline, interval)
+    pipeline.on_retire = manager.note_retirement
+    return bundle, pipeline, manager
+
+
+class TestCreation:
+    def test_initial_checkpoint(self):
+        _, pipeline, manager = make_pipeline_with_manager()
+        assert len(manager.checkpoints) == 1
+        assert manager.oldest.retired_count == 0
+        assert manager.oldest.resume_pc == pipeline._fetch_pc[0]
+
+    def test_interval_validation(self):
+        bundle = build_workload("gcc")
+        pipeline = load_pipeline(bundle.program)
+        with pytest.raises(ValueError):
+            CheckpointManager(pipeline, 0)
+
+    def test_two_live_checkpoints(self):
+        _, pipeline, manager = make_pipeline_with_manager(interval=50)
+        pipeline.run(2_000)
+        assert len(manager.checkpoints) == 2
+        gap = (
+            manager.newest.retired_count - manager.oldest.retired_count
+        )
+        assert gap >= 50
+
+    def test_checkpoint_cadence(self):
+        _, pipeline, manager = make_pipeline_with_manager(interval=100)
+        pipeline.run(3_000)
+        # Forced checkpoints (store-buffer pressure) can add extras, so the
+        # count is at least the interval-driven number.
+        assert manager.created >= pipeline.retired_count // 100
+
+    def test_gated_mode_enabled(self):
+        _, pipeline, _ = make_pipeline_with_manager()
+        assert pipeline.store_buffer_gated
+
+
+class TestRollback:
+    def test_rollback_restores_architectural_state(self):
+        _, pipeline, manager = make_pipeline_with_manager(interval=50)
+        pipeline.run(1_500)
+        checkpoint = manager.oldest
+        expected_regs = list(checkpoint.reg_values)
+        manager.rollback()
+        assert pipeline.arch_reg_values() == expected_regs
+        assert pipeline.retired_count == checkpoint.retired_count
+        assert pipeline._fetch_pc[0] == checkpoint.resume_pc
+
+    def test_rollback_discards_younger_checkpoint(self):
+        _, pipeline, manager = make_pipeline_with_manager(interval=50)
+        pipeline.run(1_500)
+        manager.rollback(manager.oldest)
+        assert len(manager.checkpoints) == 1
+
+    def test_reexecution_reproduces_program(self):
+        bundle, pipeline, manager = make_pipeline_with_manager(interval=100)
+        pipeline.run(1_500)
+        manager.rollback()
+        pipeline.run(1_000_000)
+        assert pipeline.halted
+        assert bundle.check(pipeline.memory) == []
+
+    def test_rollback_to_released_checkpoint_rejected(self):
+        _, pipeline, manager = make_pipeline_with_manager(interval=50)
+        pipeline.run(500)
+        old = manager.oldest
+        pipeline.run(2_000)  # old has been released by now
+        if old not in manager.checkpoints:
+            with pytest.raises(ValueError):
+                manager.rollback(old)
+
+    def test_repeated_rollback_is_idempotent_on_state(self):
+        _, pipeline, manager = make_pipeline_with_manager(interval=50)
+        pipeline.run(1_500)
+        manager.rollback()
+        regs_first = pipeline.arch_reg_values()
+        manager.rollback()  # same checkpoint again
+        assert pipeline.arch_reg_values() == regs_first
+
+    def test_rollback_discards_younger_stores(self):
+        bundle, pipeline, manager = make_pipeline_with_manager(
+            interval=50, workload="gzip"
+        )
+        pipeline.run(1_500)
+        mark = manager.oldest.storebuf_tail
+        manager.rollback()
+        assert pipeline.storebuf.total_pushed <= max(
+            mark, pipeline.storebuf.total_popped
+        )
+
+    def test_total_retired_is_monotonic_across_rollback(self):
+        _, pipeline, manager = make_pipeline_with_manager(interval=50)
+        pipeline.run(1_500)
+        total_before = pipeline.total_retired
+        manager.rollback()
+        pipeline.run(200)
+        assert pipeline.total_retired >= total_before
+
+
+class TestForcedCheckpoints:
+    def test_store_pressure_forces_checkpoints(self):
+        # mcf at a long interval stores more than the 64-entry buffer holds.
+        bundle = build_workload("mcf")
+        pipeline = load_pipeline(bundle.program)
+        manager = CheckpointManager(pipeline, 1_000)
+        pipeline.on_retire = manager.note_retirement
+        pipeline.run(1_000_000)
+        assert pipeline.halted
+        assert bundle.check(pipeline.memory) == []
+        interval_driven = pipeline.retired_count // 1_000 + 1
+        assert manager.created > interval_driven

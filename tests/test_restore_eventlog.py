@@ -1,0 +1,108 @@
+"""Branch outcome log and load value queue."""
+
+from repro.restore.eventlog import BranchOutcomeLog, LoadValueQueue
+
+
+class TestRecording:
+    def test_record_and_lookup(self):
+        log = BranchOutcomeLog()
+        log.record(10, 0x100, True)
+        assert log.outcome_at(10) == (0x100, True)
+        assert log.outcome_at(11) is None
+
+    def test_overwrite_same_position(self):
+        log = BranchOutcomeLog()
+        log.record(10, 0x100, True)
+        log.record(10, 0x100, False)
+        assert log.outcome_at(10) == (0x100, False)
+        assert len(log) == 1
+
+    def test_capacity_evicts_oldest(self):
+        log = BranchOutcomeLog(capacity=3)
+        for position in range(5):
+            log.record(position, 0x100, True)
+        assert log.outcome_at(0) is None
+        assert log.outcome_at(4) is not None
+
+    def test_prune_before(self):
+        log = BranchOutcomeLog()
+        for position in range(10):
+            log.record(position, 0x100, True)
+        log.prune_before(7)
+        assert log.outcome_at(6) is None
+        assert log.outcome_at(7) is not None
+        assert len(log) == 3
+
+
+class TestReplayOracle:
+    def build_replaying_log(self):
+        log = BranchOutcomeLog()
+        outcomes = [(100, 0x10, True), (101, 0x20, False), (102, 0x10, False)]
+        for position, pc, taken in outcomes:
+            log.record(position, pc, taken)
+        log.begin_replay(from_position=100)
+        return log
+
+    def test_predict_per_pc_in_order(self):
+        log = self.build_replaying_log()
+        assert log.predict(0x10) is True
+        assert log.predict(0x10) is False
+        assert log.predict(0x10) is None  # exhausted
+        assert log.predict(0x20) is False
+
+    def test_unknown_pc_gives_no_hint(self):
+        log = self.build_replaying_log()
+        assert log.predict(0x999) is None
+
+    def test_flush_rewinds_unretired_peeks(self):
+        log = self.build_replaying_log()
+        assert log.predict(0x10) is True   # fetched speculatively
+        log.on_flush()                      # squashed before retiring
+        assert log.predict(0x10) is True   # must replay the same outcome
+
+    def test_retire_consumes(self):
+        log = self.build_replaying_log()
+        assert log.predict(0x10) is True
+        log.on_retire(0x10)
+        log.on_flush()
+        assert log.predict(0x10) is False  # first occurrence is consumed
+
+    def test_not_replaying_gives_no_hints(self):
+        log = BranchOutcomeLog()
+        log.record(0, 0x10, True)
+        assert log.predict(0x10) is None
+
+    def test_end_replay(self):
+        log = self.build_replaying_log()
+        log.end_replay()
+        assert not log.replaying
+        assert log.predict(0x10) is None
+
+    def test_begin_replay_filters_older_positions(self):
+        log = BranchOutcomeLog()
+        log.record(5, 0x10, True)
+        log.record(100, 0x10, False)
+        log.begin_replay(from_position=50)
+        assert log.predict(0x10) is False
+
+
+class TestLoadValueQueue:
+    def test_record_and_compare(self):
+        lvq = LoadValueQueue()
+        lvq.record(3, 0x1000, 42)
+        assert lvq.entry_at(3) == (0x1000, 42)
+        assert lvq.entry_at(4) is None
+
+    def test_capacity(self):
+        lvq = LoadValueQueue(capacity=2)
+        for position in range(4):
+            lvq.record(position, position, position)
+        assert lvq.entry_at(0) is None
+        assert lvq.entry_at(3) is not None
+
+    def test_prune(self):
+        lvq = LoadValueQueue()
+        for position in range(6):
+            lvq.record(position, 0, 0)
+        lvq.prune_before(4)
+        assert len(lvq) == 2

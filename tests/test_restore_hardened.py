@@ -1,0 +1,74 @@
+"""Parity/ECC protection map ("low-hanging fruit")."""
+
+from repro.restore.hardened import ProtectionMap, protection_overhead_bits
+from repro.uarch import load_pipeline
+from repro.workloads import build_workload
+
+
+def registry():
+    return load_pipeline(build_workload("gcc").program).registry
+
+
+class TestProtectionMap:
+    def test_default_classes(self):
+        pmap = ProtectionMap()
+        reg = registry()
+        kinds = {pmap.protection_of(field) for field in reg.fields}
+        assert kinds == {"ecc", "parity", None}
+
+    def test_key_data_stores_get_ecc(self):
+        pmap = ProtectionMap()
+        reg = registry()
+        for field in reg.fields:
+            if field.state_class == "ram" and field.structure in (
+                "prf", "arch_rat", "spec_rat", "fetchq",
+            ):
+                assert pmap.protection_of(field) == "ecc"
+
+    def test_control_word_latches_get_parity(self):
+        pmap = ProtectionMap()
+        reg = registry()
+        for field in reg.fields:
+            if field.structure in ("rob", "sched") and field.state_class == "ctrl":
+                assert pmap.protection_of(field) == "parity"
+
+    def test_residual_unprotected_state_exists(self):
+        pmap = ProtectionMap()
+        reg = registry()
+        unprotected = [f for f in reg.fields if pmap.protection_of(f) is None]
+        assert unprotected, "ReStore needs a residual unprotected set"
+        # In-flight addresses and data stay exposed, as in the paper.
+        structures = {f.structure for f in unprotected}
+        assert "ldq" in structures and "stq" in structures
+
+    def test_bit_accounting(self):
+        pmap = ProtectionMap()
+        reg = registry()
+        assert (
+            pmap.protected_bits(reg) + pmap.unprotected_bits(reg)
+            == reg.total_bits()
+        )
+
+    def test_selective_coverage(self):
+        # The paper's lhf covers the most vulnerable portions, not everything.
+        pmap = ProtectionMap()
+        reg = registry()
+        fraction = pmap.protected_bits(reg) / reg.total_bits()
+        assert 0.3 < fraction < 0.8
+
+
+class TestOverhead:
+    def test_overhead_is_single_digit_percent(self):
+        """The paper reports ~7% additional state for its placement."""
+        reg = registry()
+        overhead = protection_overhead_bits(reg, ProtectionMap())
+        fraction = overhead / reg.total_bits()
+        assert 0.03 < fraction < 0.10
+
+    def test_overhead_scales_with_coverage(self):
+        reg = registry()
+        small = protection_overhead_bits(
+            reg, ProtectionMap(ecc_structures=(), parity_structures=("rob",))
+        )
+        large = protection_overhead_bits(reg, ProtectionMap())
+        assert large > small

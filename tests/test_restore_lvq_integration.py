@@ -1,0 +1,35 @@
+"""Load value queue verification during re-execution."""
+
+from repro.restore import ReStoreController
+from repro.uarch import load_pipeline
+from repro.workloads import build_workload
+
+
+class TestLvqDuringReexecution:
+    def test_fault_free_reexecution_matches_lvq(self):
+        """Fault-free rollbacks (false positives) re-execute with identical
+        memory inputs, so the LVQ comparison must never mismatch."""
+        bundle = build_workload("bzip2")  # rollback-prone
+        pipeline = load_pipeline(bundle.program)
+        controller = ReStoreController(pipeline, interval=50)
+        pipeline.run(2_000_000)
+        assert pipeline.halted
+        assert controller.stats.rollbacks > 0, "needs at least one rollback"
+        assert controller.stats.lvq_mismatches == 0
+
+    def test_lvq_records_loads(self):
+        bundle = build_workload("gzip")
+        pipeline = load_pipeline(bundle.program)
+        controller = ReStoreController(pipeline, interval=100)
+        pipeline.run(3_000)
+        assert len(controller.lvq) > 0
+
+    def test_lvq_pruned_with_checkpoints(self):
+        """The LVQ only needs entries back to the oldest checkpoint."""
+        bundle = build_workload("gzip")
+        pipeline = load_pipeline(bundle.program)
+        controller = ReStoreController(pipeline, interval=50)
+        pipeline.run(2_000_000)
+        oldest = controller.checkpoints.oldest.retired_count
+        positions = list(controller.lvq._entries)
+        assert all(position >= oldest for position in positions)

@@ -1,0 +1,108 @@
+"""Mapping-based checkpointing (the paper's second register scheme)."""
+
+import pytest
+
+from repro.restore.checkpoint import CheckpointManager, MappingCheckpointManager
+from repro.uarch import PipelineConfig, load_pipeline
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+
+def make(workload="gcc", interval=100, config=None):
+    bundle = build_workload(workload)
+    pipeline = load_pipeline(bundle.program, config=config)
+    manager = MappingCheckpointManager(pipeline, interval)
+    pipeline.on_retire = manager.note_retirement
+    return bundle, pipeline, manager
+
+
+class TestPinning:
+    def test_checkpoints_pin_their_mapping(self):
+        _, pipeline, manager = make()
+        pipeline.run(1_500)
+        pinned = manager.pinned_registers()
+        assert pinned
+        for checkpoint in manager.checkpoints:
+            assert set(checkpoint.rat) <= pinned
+
+    def test_pinned_registers_stay_out_of_the_free_list(self):
+        _, pipeline, manager = make()
+        pipeline.run(1_500)
+        freelist = pipeline.freelist
+        free = {
+            freelist.slots[(freelist._head[0] + i) % freelist.capacity]
+            for i in range(freelist.count)
+        }
+        assert free.isdisjoint(manager.pinned_registers())
+
+    def test_values_are_not_copied(self):
+        _, pipeline, manager = make()
+        pipeline.run(1_500)
+        assert all(c.reg_values == () for c in manager.checkpoints)
+
+    def test_release_unpins(self):
+        _, pipeline, manager = make(interval=50)
+        pipeline.run(3_000)
+        # Only the two live checkpoints' mappings may be pinned.
+        live = set()
+        for checkpoint in manager.checkpoints:
+            live |= set(checkpoint.rat)
+        assert manager.pinned_registers() == live
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestCorrectness:
+    def test_fault_free_execution(self, name):
+        bundle, pipeline, _ = make(name)
+        pipeline.run(3_000_000)
+        assert pipeline.halted
+        assert bundle.check(pipeline.memory) == []
+
+    def test_rollback_and_resume(self, name):
+        bundle, pipeline, manager = make(name)
+        pipeline.run(2_000)
+        if pipeline.running:
+            manager.rollback()
+        pipeline.run(3_000_000)
+        assert pipeline.halted
+        assert bundle.check(pipeline.memory) == []
+
+
+class TestEquivalenceWithValueCopy:
+    def test_rollback_restores_identical_registers(self):
+        bundle = build_workload("gzip")
+        runs = {}
+        for cls in (CheckpointManager, MappingCheckpointManager):
+            pipeline = load_pipeline(bundle.program)
+            manager = cls(pipeline, 100)
+            pipeline.on_retire = manager.note_retirement
+            pipeline.run(2_000)
+            manager.rollback()
+            runs[cls.__name__] = (
+                pipeline.arch_reg_values(),
+                pipeline.retired_count,
+            )
+        assert runs["CheckpointManager"] == runs["MappingCheckpointManager"]
+
+    def test_repeated_rollbacks(self):
+        bundle, pipeline, manager = make("mcf", interval=50)
+        for _ in range(4):
+            pipeline.run(800)
+            if not pipeline.running:
+                break
+            manager.rollback()
+        pipeline.run(3_000_000)
+        assert pipeline.halted
+        assert bundle.check(pipeline.memory) == []
+
+
+class TestRegisterPressure:
+    def test_small_prf_forces_early_releases(self):
+        """With a small physical register file, pinning two RAT snapshots
+        starves rename; the manager must force early checkpoints instead of
+        deadlocking."""
+        config = PipelineConfig(physical_registers=96)
+        bundle, pipeline, manager = make("gcc", interval=1_000, config=config)
+        pipeline.run(3_000_000)
+        assert pipeline.halted
+        assert bundle.check(pipeline.memory) == []
+        assert manager.forced_by_pressure > 0

@@ -1,0 +1,55 @@
+"""Symptom detector framework."""
+
+from repro.restore.symptoms import (
+    CacheMissSymptomDetector,
+    ExceptionSymptomDetector,
+    HighConfidenceMispredictDetector,
+    WatchdogSymptomDetector,
+    default_detectors,
+)
+
+
+class TestBasicDetectors:
+    def test_exception_detector_fires(self):
+        detector = ExceptionSymptomDetector()
+        assert detector.observe("exception", (1, 0x100))
+        assert not detector.observe("hc_mispredict", None)
+        assert detector.observed == 1 and detector.triggered == 1
+
+    def test_hc_mispredict_detector(self):
+        detector = HighConfidenceMispredictDetector()
+        assert detector.observe("hc_mispredict", (0x100, 3))
+        assert not detector.observe("mispredict", (0x100, 3))
+
+    def test_watchdog_detector(self):
+        detector = WatchdogSymptomDetector()
+        assert detector.observe("deadlock", None)
+
+    def test_defaults(self):
+        kinds = set()
+        for detector in default_detectors():
+            kinds.update(detector.kinds)
+        assert kinds == {"exception", "hc_mispredict", "deadlock"}
+
+
+class TestCacheMissDetector:
+    def test_threshold_one_fires_immediately(self):
+        detector = CacheMissSymptomDetector(threshold=1)
+        assert detector.observe("dcache_miss", 100)
+
+    def test_burst_threshold(self):
+        detector = CacheMissSymptomDetector(threshold=3, window=50)
+        assert not detector.observe("dcache_miss", 100)
+        assert not detector.observe("dcache_miss", 110)
+        assert detector.observe("dcache_miss", 120)
+
+    def test_window_expiry(self):
+        detector = CacheMissSymptomDetector(threshold=2, window=10)
+        assert not detector.observe("dcache_miss", 100)
+        # Far outside the window: the counter effectively restarts.
+        assert not detector.observe("dcache_miss", 500)
+
+    def test_counts_misses_of_selected_kinds_only(self):
+        detector = CacheMissSymptomDetector(kinds=("dtlb_miss",), threshold=1)
+        assert not detector.observe("dcache_miss", 1)
+        assert detector.observe("dtlb_miss", 1)

@@ -1,0 +1,52 @@
+"""Cache and TLB timing models."""
+
+import pytest
+
+from repro.uarch.caches import SetAssociativeCache, Tlb
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(sets=4, ways=2, line_bytes=32)
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_hits(self):
+        cache = SetAssociativeCache(sets=4, ways=2, line_bytes=32)
+        cache.access(0x100)
+        assert cache.access(0x11F)  # same 32-byte line
+
+    def test_lru_eviction(self):
+        cache = SetAssociativeCache(sets=1, ways=2, line_bytes=32)
+        cache.access(0)      # A
+        cache.access(32)     # B
+        cache.access(0)      # A is now MRU
+        cache.access(64)     # C evicts B
+        assert cache.access(0)       # A survives
+        assert not cache.access(32)  # B was evicted
+
+    def test_probe_does_not_fill(self):
+        cache = SetAssociativeCache(sets=4, ways=2, line_bytes=32)
+        assert not cache.probe(0x100)
+        assert not cache.access(0x100)  # still a miss: probe didn't fill
+        assert cache.probe(0x100)
+
+    def test_sets_power_of_two(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(sets=3, ways=2, line_bytes=32)
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(entries=4)
+        assert not tlb.access(0x10000)
+        assert tlb.access(0x10001)  # same page
+
+    def test_fifo_replacement(self):
+        tlb = Tlb(entries=2, page_shift=13)
+        pages = [0, 1, 2]
+        for page in pages:
+            tlb.access(page << 13)
+        assert not tlb.access(0)       # evicted
+        assert tlb.access(2 << 13)     # recent survives

@@ -1,0 +1,35 @@
+"""Pipeline configuration defaults (the paper's machine)."""
+
+from repro.uarch.config import PipelineConfig
+
+
+class TestPaperParameters:
+    def test_issue_width(self):
+        """Paper: 'up to 6 instructions are selected for execution'."""
+        assert PipelineConfig().issue_width == 6
+
+    def test_scheduler_size(self):
+        """Paper: 'a dynamic scheduler of 32 entries'."""
+        assert PipelineConfig().scheduler_entries == 32
+
+    def test_rob_size(self):
+        """Paper's Figure 3: '64-Entry ReOrder Buffer'."""
+        assert PipelineConfig().rob_entries == 64
+
+    def test_fetch_queue(self):
+        """Paper's Figure 3: '32 Entry Fetch Queue'."""
+        assert PipelineConfig().fetch_queue_entries == 32
+
+    def test_in_flight_capacity(self):
+        """Paper: 'up to 132 instructions in-flight'."""
+        assert 100 <= PipelineConfig().max_in_flight <= 160
+
+    def test_functional_units(self):
+        """Paper's Figure 3: ALU ALU ALU Br AGEN AGEN."""
+        config = PipelineConfig()
+        assert (config.alu_units, config.branch_units, config.agen_units) == (3, 1, 2)
+
+    def test_custom_config(self):
+        config = PipelineConfig(rob_entries=128, issue_width=8)
+        assert config.rob_entries == 128
+        assert config.max_in_flight > PipelineConfig().max_in_flight

@@ -1,0 +1,64 @@
+"""Pipeline state dump helpers."""
+
+from repro.uarch import load_pipeline
+from repro.uarch.debug import (
+    dump_all,
+    dump_rob,
+    dump_scheduler,
+    dump_state_summary,
+    dump_status,
+)
+from repro.workloads import build_workload
+
+
+def warm_pipeline():
+    pipeline = load_pipeline(build_workload("gcc").program)
+    pipeline.run(300)
+    return pipeline
+
+
+class TestDumps:
+    def test_status_mentions_cycle_and_state(self):
+        pipeline = warm_pipeline()
+        text = dump_status(pipeline)
+        assert "cycle 300" in text and "running" in text
+
+    def test_status_reports_exception(self):
+        from repro.isa import assemble
+
+        program = assemble(
+            ".text\nstart: li r1, 0x7000000\n ldq r2, 0(r1)\n halt\n", "x"
+        )
+        pipeline = load_pipeline(program)
+        pipeline.run(10_000)
+        assert "access_violation" in dump_status(pipeline)
+
+    def test_rob_lists_in_flight_instructions(self):
+        pipeline = warm_pipeline()
+        text = dump_rob(pipeline)
+        assert "ROB" in text
+        if pipeline.rob.count:
+            assert "0x" in text
+
+    def test_scheduler_dump(self):
+        pipeline = warm_pipeline()
+        text = dump_scheduler(pipeline)
+        assert "Scheduler" in text
+
+    def test_state_summary_totals(self):
+        pipeline = warm_pipeline()
+        text = dump_state_summary(pipeline)
+        assert "prf" in text and "TOTAL" in text
+        assert f"{pipeline.registry.total_bits()}" in text
+
+    def test_dump_all_composes(self):
+        pipeline = warm_pipeline()
+        text = dump_all(pipeline)
+        for fragment in ("cycle", "ROB", "Scheduler", "TOTAL"):
+            assert fragment in text
+
+    def test_halted_machine_dumps_cleanly(self):
+        pipeline = warm_pipeline()
+        pipeline.run(1_000_000)
+        assert "halted" in dump_status(pipeline)
+        dump_all(pipeline)  # must not raise on an empty machine

@@ -1,0 +1,201 @@
+"""The out-of-order pipeline: architectural equivalence and mechanisms."""
+
+import pytest
+
+from repro.arch import load_program
+from repro.isa import assemble
+from repro.uarch import PipelineConfig, load_pipeline
+from repro.uarch.structures import EXC_ACCESS, EXC_ALIGN, EXC_ARITH, EXC_ILLEGAL
+from repro.workloads import WORKLOAD_NAMES
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestArchitecturalEquivalence:
+    """The pipeline must retire exactly the architectural execution."""
+
+    def test_retired_pc_stream_matches(self, name, arch_traces, pipeline_runs):
+        pipeline = pipeline_runs[name]
+        assert pipeline.halted
+        assert [r.pc for r in pipeline.retired_log] == arch_traces[name].pcs
+
+    def test_store_stream_matches(self, name, arch_traces, pipeline_runs):
+        pipeline = pipeline_runs[name]
+        pipeline_stores = [
+            (r.store_addr, r.store_data)
+            for r in pipeline.retired_log
+            if r.store_addr >= 0
+        ]
+        golden_stores = [
+            (addr, data) for kind, addr, data in arch_traces[name].memops
+            if kind == "S"
+        ]
+        assert pipeline_stores == golden_stores
+
+    def test_final_registers_match(self, name, arch_traces, pipeline_runs):
+        assert (
+            pipeline_runs[name].arch_reg_values()
+            == list(arch_traces[name].final_regs)
+        )
+
+    def test_final_memory_matches(self, name, arch_traces, pipeline_runs):
+        assert pipeline_runs[name].memory.equals(arch_traces[name].final_memory)
+
+    def test_workload_outputs(self, name, bundles, pipeline_runs):
+        assert bundles[name].check(pipeline_runs[name].memory) == []
+
+
+class TestTimingSanity:
+    def test_superscalar_ipc(self, pipeline_runs):
+        """A 6-issue machine should sustain IPC near 1 on these kernels."""
+        for name, pipeline in pipeline_runs.items():
+            ipc = pipeline.retired_count / pipeline.cycle_count
+            assert 0.3 < ipc < 4.0, f"{name}: implausible IPC {ipc:.2f}"
+
+    def test_branch_prediction_quality(self, pipeline_runs):
+        """Paper: predictors are 'typically correct for well over 95% of
+        branch instances'; ours won't match exactly on short runs but must
+        be clearly better than chance."""
+        total_branches = sum(p.branch_count for p in pipeline_runs.values())
+        total_mispredicts = sum(p.mispredict_count for p in pipeline_runs.values())
+        assert total_mispredicts / total_branches < 0.15
+
+    def test_hc_mispredicts_are_rare(self, pipeline_runs):
+        """The JRS gate keeps false-positive symptoms rare (Section 3.2.2)."""
+        total_retired = sum(p.retired_count for p in pipeline_runs.values())
+        total_hc = sum(p.hc_mispredict_count for p in pipeline_runs.values())
+        assert total_hc / total_retired < 0.01
+
+    def test_registered_state_scale(self, pipeline_runs):
+        """The paper's model has ~46,000 bits of 'interesting' state."""
+        bits = next(iter(pipeline_runs.values())).registry.total_bits()
+        assert 30_000 < bits < 70_000
+
+
+class TestExceptionsAtRetire:
+    def run_pipeline(self, source):
+        program = assemble(source, "t")
+        pipeline = load_pipeline(program, collect_retired=True)
+        pipeline.run(50_000)
+        return pipeline
+
+    def test_wild_load_raises_access(self):
+        pipeline = self.run_pipeline(
+            ".text\nstart: li r1, 0x7000000\n ldq r2, 0(r1)\n halt\n"
+        )
+        assert pipeline.stopped
+        assert pipeline.exception[0] == EXC_ACCESS
+
+    def test_misaligned_load(self):
+        pipeline = self.run_pipeline(
+            ".text\nstart: la r1, v\n ldq r2, 1(r1)\n halt\n.data\nv: .quad 0\n"
+        )
+        assert pipeline.exception[0] == EXC_ALIGN
+
+    def test_store_to_text(self):
+        pipeline = self.run_pipeline(
+            ".text\nstart: la r1, start\n stq r1, 0(r1)\n halt\n"
+        )
+        assert pipeline.exception[0] == EXC_ACCESS
+
+    def test_arithmetic_trap(self):
+        pipeline = self.run_pipeline(
+            ".text\nstart: li r1, 1\n sll r1, 62, r1\n addqv r1, r1, r2\n halt\n"
+        )
+        assert pipeline.exception[0] == EXC_ARITH
+
+    def test_illegal_from_data_jump(self):
+        pipeline = self.run_pipeline(
+            ".text\nstart: la r1, v\n jmp (r1)\n halt\n.data\nv: .quad 0x04\n"
+        )
+        assert pipeline.exception[0] == EXC_ILLEGAL
+
+    def test_wrong_path_faults_are_squashed(self):
+        """A load on a mispredicted path must never raise at retirement."""
+        # The branch below is always taken at runtime; the fall-through path
+        # dereferences a wild pointer. With any predictor state the machine
+        # may fetch and even execute the wild load speculatively.
+        pipeline = self.run_pipeline(
+            ".text\n"
+            "start: li r5, 64\n"
+            "       li r9, 0x7000000\n"
+            "loop:  subq r5, 1, r5\n"
+            "       beq r5, done\n"
+            "       br loop\n"
+            "       ldq r2, 0(r9)\n"   # never architecturally reached
+            "done:  halt\n"
+        )
+        assert pipeline.halted
+        assert pipeline.exception is None
+
+    def test_exception_symptom_emitted(self):
+        pipeline = self.run_pipeline(
+            ".text\nstart: li r1, 0x7000000\n ldq r2, 0(r1)\n halt\n"
+        )
+        kinds = [s.kind for s in pipeline.symptoms]
+        assert "exception" in kinds
+
+
+class TestWatchdog:
+    def test_deadlock_detection_on_artificial_stall(self):
+        program = assemble(".text\nstart: br start\n", "spin")
+        config = PipelineConfig(watchdog_cycles=100)
+        pipeline = load_pipeline(program, config=config)
+        # Starve retirement artificially (as a stuck ROB head would).
+        pipeline.run(20)
+        pipeline.retire_stall = True
+        pipeline.run(5_000)
+        assert pipeline.deadlock
+        assert pipeline.stopped
+        assert any(s.kind == "deadlock" for s in pipeline.symptoms)
+
+    def test_healthy_run_never_fires_watchdog(self, pipeline_runs):
+        for pipeline in pipeline_runs.values():
+            assert not pipeline.deadlock
+
+
+class TestForkDeterminism:
+    def test_fork_continues_identically(self, bundles):
+        bundle = bundles["parser"]
+        pipeline = load_pipeline(bundle.program, collect_retired=True)
+        pipeline.run(1_000)
+        fork = pipeline.fork()
+        fork.retired_log = []
+        pipeline.run(2_000)
+        fork.run(2_000)
+        tail = pipeline.retired_log[-len(fork.retired_log):]
+        assert [(r.pc, r.dest, r.value) for r in tail] == [
+            (r.pc, r.dest, r.value) for r in fork.retired_log
+        ]
+
+    def test_fork_isolated_from_parent(self, bundles):
+        bundle = bundles["gcc"]
+        pipeline = load_pipeline(bundle.program)
+        pipeline.run(500)
+        fork = pipeline.fork()
+        fork.registry.fields[0].flip(0)
+        fork.run(100)
+        # Parent state must be unaffected by the fork's flip and progress.
+        parent_snapshot = pipeline.registry.snapshot()
+        pipeline.run(0)
+        assert pipeline.registry.snapshot() == parent_snapshot
+
+    def test_fork_memory_isolated(self, bundles):
+        bundle = bundles["gcc"]
+        pipeline = load_pipeline(bundle.program)
+        pipeline.run(500)
+        fork = pipeline.fork()
+        fork.run(5_000)
+        assert not pipeline.halted or fork.halted
+
+
+class TestCacheSymptoms:
+    def test_miss_symptoms_recorded_when_enabled(self, bundles):
+        pipeline = load_pipeline(bundles["mcf"].program, record_cache_symptoms=True)
+        pipeline.run(50_000)
+        kinds = {s.kind for s in pipeline.symptoms}
+        assert "dcache_miss" in kinds or "dtlb_miss" in kinds
+
+    def test_miss_symptoms_suppressed_by_default(self, pipeline_runs):
+        for pipeline in pipeline_runs.values():
+            kinds = {s.kind for s in pipeline.symptoms}
+            assert "dcache_miss" not in kinds

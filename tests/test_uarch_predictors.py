@@ -1,0 +1,164 @@
+"""Branch predictors, BTB, RAS, confidence, memory dependence."""
+
+from repro.uarch.branch_predictor import (
+    BranchTargetBuffer,
+    CombiningPredictor,
+    ReturnAddressStack,
+)
+from repro.uarch.confidence import (
+    JrsConfidenceEstimator,
+    NeverConfidentEstimator,
+    PerfectConfidenceEstimator,
+)
+from repro.uarch.config import PipelineConfig
+from repro.uarch.memdep import MemoryDependencePredictor
+
+CFG = PipelineConfig()
+
+
+class TestCombiningPredictor:
+    def test_learns_always_taken(self):
+        predictor = CombiningPredictor(CFG)
+        pc = 0x1000
+        for _ in range(8):
+            predictor.update(pc, True, predictor.history)
+        assert predictor.predict(pc)
+
+    def test_learns_alternating_pattern_via_history(self):
+        predictor = CombiningPredictor(CFG)
+        pc = 0x2000
+        # Train taken/not-taken alternation with history updates.
+        outcome = True
+        for _ in range(200):
+            history = predictor.history
+            predictor.update(pc, outcome, history)
+            predictor.push_history(outcome)
+            outcome = not outcome
+        # After training, prediction should follow the alternation well.
+        correct = 0
+        for _ in range(40):
+            prediction = predictor.predict(pc)
+            history = predictor.history
+            predictor.update(pc, outcome, history)
+            predictor.push_history(outcome)
+            if prediction == outcome:
+                correct += 1
+            outcome = not outcome
+        assert correct >= 35
+
+    def test_history_restore(self):
+        predictor = CombiningPredictor(CFG)
+        predictor.push_history(True)
+        predictor.push_history(False)
+        saved = predictor.history
+        predictor.push_history(True)
+        predictor.restore_history(saved)
+        assert predictor.history == saved
+
+    def test_history_is_bounded(self):
+        predictor = CombiningPredictor(CFG)
+        for _ in range(100):
+            predictor.push_history(True)
+        assert predictor.history < (1 << CFG.history_bits)
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64)
+        assert btb.lookup(0x400) is None
+        btb.update(0x400, 0x999)
+        assert btb.lookup(0x400) == 0x999
+
+    def test_conflict_eviction(self):
+        btb = BranchTargetBuffer(64)
+        pc_a = 0x400
+        pc_b = pc_a + 64 * 4  # same index, different tag
+        btb.update(pc_a, 1)
+        btb.update(pc_b, 2)
+        assert btb.lookup(pc_a) is None
+        assert btb.lookup(pc_b) == 2
+
+
+class TestRas:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(8)
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+
+    def test_wraps_without_crashing(self):
+        ras = ReturnAddressStack(4)
+        for value in range(10):
+            ras.push(value)
+        assert ras.pop() == 9
+
+    def test_peek_does_not_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(5)
+        assert ras.peek() == 5
+        assert ras.pop() == 5
+
+
+class TestJrsConfidence:
+    def test_starts_unconfident(self):
+        jrs = JrsConfidenceEstimator(CFG)
+        assert not jrs.estimate(0x100, 0)
+
+    def test_saturates_to_confident(self):
+        jrs = JrsConfidenceEstimator(CFG)
+        for _ in range(CFG.jrs_threshold):
+            jrs.update(0x100, 0, correct=True)
+        assert jrs.estimate(0x100, 0)
+
+    def test_resetting_counter(self):
+        jrs = JrsConfidenceEstimator(CFG)
+        for _ in range(CFG.jrs_threshold):
+            jrs.update(0x100, 0, correct=True)
+        jrs.update(0x100, 0, correct=False)
+        assert not jrs.estimate(0x100, 0)
+
+    def test_history_changes_index(self):
+        jrs = JrsConfidenceEstimator(CFG)
+        for _ in range(CFG.jrs_threshold):
+            jrs.update(0x100, 0, correct=True)
+        assert jrs.estimate(0x100, 0)
+        assert not jrs.estimate(0x100, 1)
+
+    def test_conservatism(self):
+        # JRS must be conservative: fewer than threshold corrects is never
+        # high confidence (the paper prioritises performance over coverage).
+        jrs = JrsConfidenceEstimator(CFG)
+        for _ in range(CFG.jrs_threshold - 1):
+            jrs.update(0x200, 0, correct=True)
+        assert not jrs.estimate(0x200, 0)
+
+
+class TestOracleEstimators:
+    def test_perfect_always_confident(self):
+        oracle = PerfectConfidenceEstimator()
+        assert oracle.estimate(0, 0)
+        oracle.update(0, 0, correct=False)
+        assert oracle.estimate(0, 0)
+
+    def test_never_confident(self):
+        never = NeverConfidentEstimator()
+        assert not never.estimate(0, 0)
+
+
+class TestMemDep:
+    def test_defaults_to_speculate(self):
+        predictor = MemoryDependencePredictor(64)
+        assert not predictor.should_wait(0x100)
+
+    def test_violation_teaches_waiting(self):
+        predictor = MemoryDependencePredictor(64)
+        predictor.record_violation(0x100)
+        assert predictor.should_wait(0x100)
+
+    def test_safety_decays(self):
+        predictor = MemoryDependencePredictor(64)
+        predictor.record_violation(0x100)
+        predictor.record_safe(0x100)
+        predictor.record_safe(0x100)
+        assert not predictor.should_wait(0x100)

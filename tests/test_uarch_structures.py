@@ -1,0 +1,183 @@
+"""Pipeline storage structures."""
+
+import pytest
+
+from repro.uarch.config import PipelineConfig
+from repro.uarch.latches import StateRegistry
+from repro.uarch.structures import (
+    FetchQueue,
+    FreeList,
+    LoadQueue,
+    ReorderBuffer,
+    Scheduler,
+    StoreBuffer,
+    StoreQueue,
+)
+
+CFG = PipelineConfig()
+
+
+def make(cls):
+    return cls(CFG, StateRegistry())
+
+
+class TestFetchQueue:
+    def test_push_pop_fifo(self):
+        queue = make(FetchQueue)
+        assert queue.push(0x100, 1, False, 0, False, 0, ready_cycle=0)
+        assert queue.push(0x104, 2, False, 0, False, 0, ready_cycle=0)
+        slot = queue.front_ready(now=5)
+        assert queue.pc[slot] == 0x100
+        queue.pop()
+        assert queue.pc[queue.front_ready(5)] == 0x104
+
+    def test_front_respects_ready_cycle(self):
+        queue = make(FetchQueue)
+        queue.push(0x100, 1, False, 0, False, 0, ready_cycle=10)
+        assert queue.front_ready(now=5) is None
+        assert queue.front_ready(now=10) is not None
+
+    def test_fills_to_capacity(self):
+        queue = make(FetchQueue)
+        for index in range(queue.size):
+            assert queue.push(index, 0, False, 0, False, 0, 0)
+        assert queue.is_full()
+        assert not queue.push(99, 0, False, 0, False, 0, 0)
+
+    def test_clear(self):
+        queue = make(FetchQueue)
+        queue.push(0x100, 1, False, 0, False, 0, 0)
+        queue.clear()
+        assert queue.is_empty()
+
+
+class TestFreeList:
+    def test_initial_population(self):
+        freelist = make(FreeList)
+        assert freelist.count == CFG.physical_registers - 32
+
+    def test_allocate_free_cycle(self):
+        freelist = make(FreeList)
+        first = freelist.allocate()
+        assert first == 32
+        freelist.free(first)
+        # Drain everything; the freed register comes back around.
+        seen = set()
+        while freelist.count:
+            seen.add(freelist.allocate())
+        assert first in seen
+
+    def test_exhaustion_returns_none(self):
+        freelist = make(FreeList)
+        while freelist.count:
+            freelist.allocate()
+        assert freelist.allocate() is None
+
+    def test_rebuild(self):
+        freelist = make(FreeList)
+        in_use = set(range(32))
+        freelist.rebuild(in_use)
+        assert freelist.count == CFG.physical_registers - 32
+        allocated = {freelist.allocate() for _ in range(freelist.count)}
+        assert allocated.isdisjoint(in_use)
+
+
+class TestReorderBuffer:
+    def test_allocate_in_order(self):
+        rob = make(ReorderBuffer)
+        first = rob.allocate(1)
+        second = rob.allocate(2)
+        assert second == (first + 1) % rob.size
+        assert rob.count == 2
+
+    def test_fills_to_capacity(self):
+        rob = make(ReorderBuffer)
+        for seq in range(rob.size):
+            assert rob.allocate(seq) is not None
+        assert rob.is_full()
+        assert rob.allocate(99) is None
+
+    def test_age_of(self):
+        rob = make(ReorderBuffer)
+        indices = [rob.allocate(seq) for seq in range(3)]
+        assert [rob.age_of(index) for index in indices] == [0, 1, 2]
+
+    def test_youngest_first(self):
+        rob = make(ReorderBuffer)
+        indices = [rob.allocate(seq) for seq in range(3)]
+        assert rob.youngest_first() == list(reversed(indices))
+
+    def test_allocate_resets_flags(self):
+        rob = make(ReorderBuffer)
+        index = rob.allocate(1)
+        rob.done[index] = 1
+        rob.exc[index] = 3
+        rob.valid[index] = 0
+        rob.head = index + 1
+        rob.count = 0
+        index2 = rob.allocate(2)
+        assert rob.done[index2] == 0 and rob.exc[index2] == 0
+
+
+class TestQueues:
+    def test_scheduler_find_free_and_wakeup(self):
+        sched = make(Scheduler)
+        slot = sched.find_free()
+        sched.valid[slot] = 1
+        sched.src1_preg[slot] = 40
+        sched.src2_preg[slot] = 41
+        sched.wakeup(40)
+        assert sched.src1_ready[slot] == 1
+        assert sched.src2_ready[slot] == 0
+
+    def test_ldq_stq_find_free(self):
+        ldq = make(LoadQueue)
+        stq = make(StoreQueue)
+        slot = ldq.find_free()
+        ldq.valid[slot] = 1
+        assert ldq.find_free() != slot
+        assert stq.find_free() is not None
+
+
+class TestStoreBuffer:
+    def test_fifo_order(self):
+        buffer = make(StoreBuffer)
+        buffer.push(0x100, 1, 3)
+        buffer.push(0x108, 2, 3)
+        assert buffer.pop_oldest() == (0x100, 1, 3)
+        assert buffer.pop_oldest() == (0x108, 2, 3)
+        assert buffer.pop_oldest() is None
+
+    def test_sequence_counters(self):
+        buffer = make(StoreBuffer)
+        buffer.push(0, 0, 0)
+        buffer.push(8, 0, 0)
+        buffer.pop_oldest()
+        assert buffer.total_pushed == 2
+        assert buffer.total_popped == 1
+
+    def test_truncate_to_mark(self):
+        buffer = make(StoreBuffer)
+        buffer.push(0, 1, 3)
+        mark = buffer.total_pushed
+        buffer.push(8, 2, 3)
+        buffer.push(16, 3, 3)
+        buffer.truncate_to(mark)
+        assert buffer.total_pushed == mark
+        assert buffer.pop_oldest() == (0, 1, 3)
+        assert buffer.pop_oldest() is None
+
+    def test_truncate_cannot_recall_released_stores(self):
+        buffer = make(StoreBuffer)
+        buffer.push(0, 1, 3)
+        buffer.pop_oldest()  # released to memory
+        buffer.truncate_to(0)
+        assert buffer.total_pushed == buffer.total_popped
+
+    def test_youngest_first(self):
+        buffer = make(StoreBuffer)
+        buffer.push(0, 1, 3)
+        buffer.push(8, 2, 3)
+        slots = buffer.entries_youngest_first()
+        assert buffer.addr[slots[0]] == 8
+        assert buffer.addr[slots[1]] == 0

@@ -1,0 +1,116 @@
+"""Bit-manipulation primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitops import (
+    MASK32,
+    MASK64,
+    bit_is_set,
+    extract_bits,
+    flip_bit,
+    popcount,
+    set_bits,
+    sign_extend,
+    to_signed64,
+    to_unsigned64,
+)
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestWrapping:
+    def test_to_unsigned64_wraps_positive_overflow(self):
+        assert to_unsigned64(1 << 64) == 0
+        assert to_unsigned64((1 << 64) + 5) == 5
+
+    def test_to_unsigned64_wraps_negative(self):
+        assert to_unsigned64(-1) == MASK64
+        assert to_unsigned64(-2) == MASK64 - 1
+
+    def test_to_signed64_positive(self):
+        assert to_signed64(5) == 5
+        assert to_signed64((1 << 63) - 1) == (1 << 63) - 1
+
+    def test_to_signed64_negative(self):
+        assert to_signed64(MASK64) == -1
+        assert to_signed64(1 << 63) == -(1 << 63)
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_signed_roundtrip(self, value):
+        assert to_signed64(to_unsigned64(value)) == value
+
+
+class TestSignExtend:
+    def test_positive_stays(self):
+        assert sign_extend(0x7F, 8) == 0x7F
+
+    def test_negative_extends(self):
+        assert sign_extend(0x80, 8) == to_unsigned64(-128)
+        assert sign_extend(0xFFFF, 16) == MASK64
+
+    def test_full_width_identity(self):
+        assert sign_extend(MASK64, 64) == MASK64
+        assert sign_extend(5, 64) == 5
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+        with pytest.raises(ValueError):
+            sign_extend(1, 65)
+
+    @given(st.integers(min_value=0, max_value=MASK32))
+    def test_extend_32_matches_struct_semantics(self, value):
+        expected = value if value < (1 << 31) else value - (1 << 32)
+        assert to_signed64(sign_extend(value, 32)) == expected
+
+
+class TestFields:
+    def test_extract_bits(self):
+        assert extract_bits(0b1011_0100, 2, 4) == 0b1101
+
+    def test_extract_bits_validates(self):
+        with pytest.raises(ValueError):
+            extract_bits(1, -1, 4)
+
+    def test_set_bits(self):
+        assert set_bits(0, 4, 4, 0xF) == 0xF0
+        assert set_bits(0xFF, 0, 4, 0) == 0xF0
+
+    @given(u64, st.integers(0, 60), st.integers(1, 4), u64)
+    def test_set_then_extract(self, value, low, width, field):
+        updated = set_bits(value, low, width, field)
+        assert extract_bits(updated, low, width) == field & ((1 << width) - 1)
+
+
+class TestFlip:
+    def test_flip_sets_and_clears(self):
+        assert flip_bit(0, 3) == 8
+        assert flip_bit(8, 3) == 0
+
+    def test_flip_rejects_negative_bit(self):
+        with pytest.raises(ValueError):
+            flip_bit(0, -1)
+
+    @given(u64, st.integers(0, 63))
+    def test_flip_is_involution(self, value, bit):
+        assert flip_bit(flip_bit(value, bit), bit) == value
+
+    @given(u64, st.integers(0, 63))
+    def test_flip_changes_exactly_one_bit(self, value, bit):
+        assert popcount(value ^ flip_bit(value, bit)) == 1
+
+
+class TestPopcount:
+    def test_examples(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(MASK64) == 64
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_bit_is_set(self):
+        assert bit_is_set(0b100, 2)
+        assert not bit_is_set(0b100, 1)

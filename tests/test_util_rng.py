@@ -1,0 +1,64 @@
+"""Deterministic RNG streams."""
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_parent_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_63_bit_range(self):
+        for label in ("x", "y", "z"):
+            seed = derive_seed(123, label)
+            assert 0 <= seed < (1 << 63)
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_children_are_independent_of_sibling_draws(self):
+        parent_a = DeterministicRng(7)
+        parent_b = DeterministicRng(7)
+        # Consuming draws from one child must not affect another.
+        child_a1 = parent_a.child("one")
+        child_a1.bits(64)
+        child_a2 = parent_a.child("two")
+        child_b2 = parent_b.child("two")
+        assert child_a2.randint(0, 10**9) == child_b2.randint(0, 10**9)
+
+    def test_randrange_bounds(self):
+        rng = DeterministicRng(1)
+        values = [rng.randrange(10) for _ in range(200)]
+        assert min(values) >= 0 and max(values) <= 9
+        assert len(set(values)) > 5
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(2)
+        items = list(range(50))
+        assert rng.choice(items) in items
+        sample = rng.sample(items, 10)
+        assert len(set(sample)) == 10
+        assert all(value in items for value in sample)
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(3)
+        items = list(range(30))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_bits_width(self):
+        rng = DeterministicRng(4)
+        for _ in range(50):
+            assert 0 <= rng.bits(12) < (1 << 12)

@@ -1,0 +1,121 @@
+"""Statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    BinomialEstimate,
+    CategoryCounter,
+    mean,
+    proportion_confidence_interval,
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestConfidenceInterval:
+    def test_half(self):
+        low, high = proportion_confidence_interval(50, 100)
+        assert low < 0.5 < high
+        assert high - low < 0.25
+
+    def test_extremes_stay_in_unit_interval(self):
+        low, high = proportion_confidence_interval(0, 10)
+        assert low == 0.0 and high < 0.5
+        low, high = proportion_confidence_interval(10, 10)
+        assert high == 1.0 and low > 0.5
+
+    def test_narrows_with_sample_size(self):
+        small = proportion_confidence_interval(5, 10)
+        large = proportion_confidence_interval(500, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            proportion_confidence_interval(1, 0)
+        with pytest.raises(ValueError):
+            proportion_confidence_interval(5, 3)
+
+    @given(st.integers(1, 500), st.integers(0, 500))
+    def test_contains_point_estimate(self, trials, successes):
+        successes = min(successes, trials)
+        low, high = proportion_confidence_interval(successes, trials)
+        assert low <= successes / trials <= high
+
+    def test_paper_scale_margin(self):
+        # Paper: ~1000 trials per benchmark, 7 benchmarks, "error margin of
+        # less than 0.9% at a 95% confidence level" near the extremes.
+        estimate = BinomialEstimate(6 * 7000 // 100, 7000)
+        assert estimate.margin < 0.009
+
+
+class TestBinomialEstimate:
+    def test_proportion(self):
+        assert BinomialEstimate(3, 10).proportion == 0.3
+
+    def test_zero_trials(self):
+        estimate = BinomialEstimate(0, 0)
+        assert estimate.proportion == 0.0
+        assert estimate.interval == (0.0, 1.0)
+
+    def test_str_is_informative(self):
+        text = str(BinomialEstimate(1, 4))
+        assert "0.250" in text and "1/4" in text
+
+
+class TestCategoryCounter:
+    def test_counts_and_proportions(self):
+        counter = CategoryCounter(["a", "b"])
+        counter.add("a")
+        counter.add("a")
+        counter.add("b")
+        assert counter.count("a") == 2
+        assert counter.total == 3
+        assert counter.proportion("b") == pytest.approx(1 / 3)
+
+    def test_unknown_category_rejected(self):
+        counter = CategoryCounter(["a"])
+        with pytest.raises(KeyError):
+            counter.add("zzz")
+        with pytest.raises(KeyError):
+            counter.count("zzz")
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ValueError):
+            CategoryCounter(["a", "a"])
+
+    def test_as_dict_preserves_order_and_zeroes(self):
+        counter = CategoryCounter(["x", "y"])
+        counter.add("y")
+        assert counter.as_dict() == {"x": 0, "y": 1}
+
+    def test_merged(self):
+        a = CategoryCounter(["x", "y"])
+        b = CategoryCounter(["x", "y"])
+        a.add("x")
+        b.add("x")
+        b.add("y")
+        merged = a.merged(b)
+        assert merged.as_dict() == {"x": 2, "y": 1}
+
+    def test_merged_requires_same_categories(self):
+        a = CategoryCounter(["x"])
+        b = CategoryCounter(["y"])
+        with pytest.raises(ValueError):
+            a.merged(b)
+
+    def test_estimate(self):
+        counter = CategoryCounter(["x", "y"])
+        for _ in range(30):
+            counter.add("x")
+        for _ in range(70):
+            counter.add("y")
+        estimate = counter.estimate("x")
+        assert estimate.proportion == pytest.approx(0.3)

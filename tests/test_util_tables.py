@@ -1,0 +1,55 @@
+"""ASCII table and stacked-bar rendering."""
+
+import pytest
+
+from repro.util.tables import format_table, render_stacked_bars
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "long-name" in text and "22" in text
+        # All data rows have identical width.
+        assert len(set(len(line) for line in lines)) <= 2
+
+    def test_title(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestStackedBars:
+    def test_renders_all_keys(self):
+        text = render_stacked_bars(
+            ["m", "e"],
+            {"25": {"m": 0.5, "e": 0.25}, "100": {"m": 0.6, "e": 0.2}},
+        )
+        assert "25" in text and "100" in text
+        assert "legend" in text
+
+    def test_floor_validation(self):
+        with pytest.raises(ValueError):
+            render_stacked_bars(["m"], {}, floor=1.5)
+
+    def test_floor_truncates_bottom_segment(self):
+        def glyphs(text):
+            return text.splitlines()[-1].count("#")
+
+        full = render_stacked_bars(["m"], {"x": {"m": 0.9}}, width=40, floor=0.0)
+        zoomed = render_stacked_bars(["m"], {"x": {"m": 0.9}}, width=40, floor=0.8)
+        # Unzoomed: 0.9 of the width; zoomed: (0.9-0.8)/0.2 = half the width.
+        assert glyphs(full) == 36
+        assert glyphs(zoomed) == 20
+
+    def test_floor_keeps_upper_segments_full_scale(self):
+        text = render_stacked_bars(
+            ["m", "e"], {"x": {"m": 0.9, "e": 0.1}}, width=40, floor=0.8
+        )
+        bar_line = text.splitlines()[-1]
+        # The top segment spans 0.1/0.2 of the width.
+        assert bar_line.count("@") == 20

@@ -1,0 +1,107 @@
+"""Workload kernels: correctness, determinism, and realism properties."""
+
+import pytest
+
+from repro.arch import StopReason, load_program
+from repro.isa.encoding import try_decode_word
+from repro.workloads import WORKLOAD_NAMES, build_all_workloads, build_workload
+
+
+class TestRegistry:
+    def test_names_match_paper(self):
+        assert WORKLOAD_NAMES == (
+            "bzip2", "gap", "gcc", "gzip", "mcf", "parser", "vortex"
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_workload("spice")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("gcc", scale=0)
+
+    def test_build_all(self):
+        bundles = build_all_workloads()
+        assert [bundle.name for bundle in bundles] == list(WORKLOAD_NAMES)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestCorrectness:
+    def test_halts_and_matches_expected_outputs(self, name, bundles):
+        bundle = bundles[name]
+        simulator = load_program(bundle.program)
+        reason = simulator.run(400_000)
+        assert reason is StopReason.HALTED, simulator.exception
+        assert bundle.check(simulator.state.memory) == []
+
+    def test_deterministic_generation(self, name):
+        first = build_workload(name, seed=99)
+        second = build_workload(name, seed=99)
+        assert first.program.text_words == second.program.text_words
+        assert first.program.data_bytes == second.program.data_bytes
+        assert first.expected_outputs == second.expected_outputs
+
+    def test_seed_changes_program_or_data(self, name):
+        first = build_workload(name, seed=1)
+        second = build_workload(name, seed=2)
+        assert (
+            first.program.data_bytes != second.program.data_bytes
+            or first.expected_outputs != second.expected_outputs
+        )
+
+    def test_scale_increases_dynamic_length(self, name, arch_traces):
+        small_length = arch_traces[name].length
+        big = build_workload(name, scale=2)
+        simulator = load_program(big.program)
+        simulator.run(2_000_000)
+        assert simulator.retired > small_length
+        assert simulator.stop_reason is StopReason.HALTED
+        assert big.check(simulator.state.memory) == []
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestInstructionMix:
+    """The fault studies depend on a realistic instruction mix."""
+
+    def _mix(self, bundle, trace):
+        memory = None
+        loads = stores = branches = 0
+        from repro.arch import load_program as _lp
+
+        sim = _lp(bundle.program)
+        word_kinds = {}
+        for pc in trace.pcs:
+            kind = word_kinds.get(pc)
+            if kind is None:
+                inst = try_decode_word(sim.state.memory.read(pc, 4))
+                if inst is None:
+                    kind = "other"
+                elif inst.is_load:
+                    kind = "load"
+                elif inst.is_store:
+                    kind = "store"
+                elif inst.is_control:
+                    kind = "branch"
+                else:
+                    kind = "alu"
+                word_kinds[pc] = kind
+            if kind == "load":
+                loads += 1
+            elif kind == "store":
+                stores += 1
+            elif kind == "branch":
+                branches += 1
+        return loads, stores, branches, trace.length
+
+    def test_has_memory_and_control_flow(self, name, bundles, arch_traces):
+        loads, stores, branches, total = self._mix(bundles[name], arch_traces[name])
+        # gap's modexp kernel is multiply-dominated, so its floor is lower.
+        assert loads / total > 0.025, "too few loads to be SPECint-like"
+        assert stores / total > 0.005
+        assert branches / total > 0.05, "too few branches to be SPECint-like"
+
+    def test_checked_outputs_nonzero(self, name, bundles):
+        # A kernel whose expected output is 0 would mask output corruption.
+        bundle = bundles[name]
+        assert any(value != 0 for value in bundle.expected_outputs.values())

@@ -1,0 +1,45 @@
+"""Optional extra workload kernels (crafty, twolf)."""
+
+import pytest
+
+from repro.arch import StopReason, load_program
+from repro.uarch import load_pipeline
+from repro.workloads import EXTRA_WORKLOAD_NAMES, WORKLOAD_NAMES, build_workload
+
+
+class TestRegistrySeparation:
+    def test_extras_are_not_in_the_paper_set(self):
+        assert not set(EXTRA_WORKLOAD_NAMES) & set(WORKLOAD_NAMES)
+
+    def test_extras_buildable_by_name(self):
+        for name in EXTRA_WORKLOAD_NAMES:
+            assert build_workload(name).name == name
+
+
+@pytest.mark.parametrize("name", EXTRA_WORKLOAD_NAMES)
+class TestExtras:
+    def test_architectural_correctness(self, name):
+        bundle = build_workload(name)
+        simulator = load_program(bundle.program)
+        assert simulator.run(400_000) is StopReason.HALTED
+        assert bundle.check(simulator.state.memory) == []
+
+    def test_pipeline_equivalence(self, name):
+        bundle = build_workload(name)
+        simulator = load_program(bundle.program)
+        trace = simulator.run_with_trace(400_000)
+        pipeline = load_pipeline(bundle.program, collect_retired=True)
+        pipeline.run(800_000)
+        assert pipeline.halted
+        assert [record.pc for record in pipeline.retired_log] == trace.pcs
+        assert bundle.check(pipeline.memory) == []
+
+    def test_scaling(self, name):
+        small = build_workload(name, scale=1)
+        large = build_workload(name, scale=2)
+        small_sim = load_program(small.program)
+        large_sim = load_program(large.program)
+        small_sim.run(2_000_000)
+        large_sim.run(2_000_000)
+        assert large_sim.retired > small_sim.retired
+        assert large.check(large_sim.state.memory) == []
