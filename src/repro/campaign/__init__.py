@@ -1,0 +1,64 @@
+"""Resilient campaign execution: containment, durability, parallelism.
+
+The fault-injection campaigns in :mod:`repro.faults` define *what* a
+trial is; this package owns *how* thousands of them run without losing
+work. It treats the harness itself as part of the fault model: a trial
+that crashes or hangs the simulator is recorded as a ``harness-crash`` /
+``harness-timeout`` outcome (with enough context to replay it) rather
+than aborting the campaign; results stream to an append-only JSONL
+journal so an interrupted run resumes exactly where it stopped; and
+workloads can fan out across processes.
+
+Entry points:
+
+- :func:`~repro.campaign.runner.run_campaign` — run a campaign with any
+  combination of journal, resume, timeout budget, and parallelism.
+- :func:`~repro.campaign.status.summarize_journal` — inspect a partial
+  run (``repro campaign status <journal>``).
+"""
+
+from repro.campaign.guard import TrialGuard, TrialTimeout, timeout_supported
+from repro.campaign.outcomes import (
+    CampaignWorkloadWarning,
+    GoldenRunError,
+    HARNESS_STATUSES,
+    OUTCOME_CRASH,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    TrialOutcome,
+    WorkloadRunOutcome,
+    trial_key,
+)
+from repro.campaign.runner import (
+    CAMPAIGN_LEVELS,
+    CampaignRunReport,
+    run_campaign,
+)
+from repro.campaign.status import (
+    CampaignStatus,
+    WorkloadStatus,
+    format_status,
+    summarize_journal,
+)
+
+__all__ = [
+    "CAMPAIGN_LEVELS",
+    "CampaignRunReport",
+    "CampaignStatus",
+    "CampaignWorkloadWarning",
+    "GoldenRunError",
+    "HARNESS_STATUSES",
+    "OUTCOME_CRASH",
+    "OUTCOME_OK",
+    "OUTCOME_TIMEOUT",
+    "TrialGuard",
+    "TrialOutcome",
+    "TrialTimeout",
+    "WorkloadRunOutcome",
+    "WorkloadStatus",
+    "format_status",
+    "run_campaign",
+    "summarize_journal",
+    "timeout_supported",
+    "trial_key",
+]

@@ -1,0 +1,118 @@
+"""Trial containment: exception and wall-clock guards around one trial.
+
+The guard is the boundary between the campaign harness and the system
+under test. Everything a trial can do wrong — raise an arbitrary
+exception, or spin forever — is converted into a classified
+:class:`~repro.campaign.outcomes.TrialOutcome` so the campaign survives.
+
+Wall-clock enforcement uses ``signal.setitimer(ITIMER_REAL)``, which can
+interrupt a pure-Python busy loop. It is only armed when running on the
+main thread of a process with ``SIGALRM`` support (true for the serial
+runner and for ``concurrent.futures`` worker processes on POSIX); where
+unavailable the guard degrades to exception containment only.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.campaign.outcomes import (
+    OUTCOME_CRASH,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    TrialOutcome,
+)
+
+
+class TrialTimeout(Exception):
+    """Raised inside a trial when its wall-clock budget expires."""
+
+
+def timeout_supported() -> bool:
+    """Can this thread arm a wall-clock interrupt for trial containment?"""
+    return (
+        hasattr(signal, "setitimer")
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def _wall_clock_limit(seconds: float | None):
+    if not seconds or not timeout_supported():
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TrialTimeout(f"trial exceeded {seconds:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass(frozen=True)
+class TrialGuard:
+    """Runs trial thunks, converting failures into outcome records.
+
+    ``timeout`` is the per-trial wall-clock budget in seconds (``None``
+    disables it). ``descriptor`` fields passed to :meth:`run` are copied
+    into the error payload so a failed trial can be replayed exactly.
+    """
+
+    timeout: float | None = None
+
+    def run(
+        self,
+        key: str,
+        workload: str,
+        point: int,
+        index: int,
+        thunk: Callable[[], object],
+        descriptor: dict | None = None,
+    ) -> TrialOutcome:
+        try:
+            with _wall_clock_limit(self.timeout):
+                record = thunk()
+        except TrialTimeout as exc:
+            return TrialOutcome(
+                key=key, workload=workload, point=point, index=index,
+                status=OUTCOME_TIMEOUT,
+                error=self._error_payload(exc, descriptor, with_traceback=False),
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            return TrialOutcome(
+                key=key, workload=workload, point=point, index=index,
+                status=OUTCOME_CRASH,
+                error=self._error_payload(exc, descriptor, with_traceback=True),
+            )
+        return TrialOutcome(
+            key=key, workload=workload, point=point, index=index,
+            status=OUTCOME_OK, record=record,
+        )
+
+    def _error_payload(
+        self, exc: BaseException, descriptor: dict | None, with_traceback: bool
+    ) -> dict:
+        payload = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+        }
+        if self.timeout is not None:
+            payload["timeout_seconds"] = self.timeout
+        if with_traceback:
+            payload["traceback"] = traceback.format_exc()
+        if descriptor:
+            payload["descriptor"] = dict(descriptor)
+        return payload

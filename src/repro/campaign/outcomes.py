@@ -1,0 +1,122 @@
+"""Trial outcome records for the resilient campaign runner.
+
+Every injection trial — whether it completed, crashed the harness, or hung
+past its wall-clock budget — produces exactly one :class:`TrialOutcome`.
+The harness failure statuses extend the paper's fault-outcome taxonomy one
+level up: a trial that kills or wedges the *simulator* is itself an
+observation worth recording (with enough context to replay it), never a
+reason to abort the campaign.
+
+Outcome statuses:
+
+``ok``
+    The trial ran to completion; ``record`` holds the campaign-level
+    trial result (:class:`~repro.faults.classify.ArchTrialResult` or
+    :class:`~repro.faults.classify.UarchTrialResult`).
+``harness-crash``
+    The simulator raised while executing the trial. ``error`` captures the
+    exception type, message, and traceback plus the injection descriptor
+    (workload, point, trial index, per-trial seed) needed to replay it.
+``harness-timeout``
+    The trial exceeded its wall-clock budget and was interrupted by the
+    guard; ``error`` carries the budget and the same replay descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.faults.classify import ArchTrialResult, UarchTrialResult
+
+class GoldenRunError(RuntimeError):
+    """A workload's fault-free golden run failed; the workload is skipped."""
+
+
+class CampaignWorkloadWarning(UserWarning):
+    """Structured warning emitted when a campaign skips a whole workload."""
+
+
+OUTCOME_OK = "ok"
+OUTCOME_CRASH = "harness-crash"
+OUTCOME_TIMEOUT = "harness-timeout"
+
+HARNESS_STATUSES = (OUTCOME_CRASH, OUTCOME_TIMEOUT)
+
+
+def _record_type(level: str) -> type:
+    # repro.faults imports this package for the guard/outcome types, so
+    # the trial-record classes must be resolved lazily, not at import.
+    from repro.faults.classify import ArchTrialResult, UarchTrialResult
+
+    return {"arch": ArchTrialResult, "uarch": UarchTrialResult}[level]
+
+
+def trial_key(workload: str, point: int, index: int) -> str:
+    """The stable identity of one trial inside a campaign."""
+    return f"{workload}:{point}:{index}"
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One journaled trial: its identity, status, and result or error."""
+
+    key: str
+    workload: str
+    point: int
+    index: int
+    status: str
+    record: Any | None = None
+    error: dict | None = None
+
+    @property
+    def order(self) -> tuple[int, int]:
+        return (self.point, self.index)
+
+    def to_entry(self) -> dict:
+        """The journal (JSONL) representation."""
+        entry = {
+            "kind": "trial",
+            "key": self.key,
+            "workload": self.workload,
+            "point": self.point,
+            "index": self.index,
+            "status": self.status,
+        }
+        if self.record is not None:
+            entry["record"] = asdict(self.record)
+        if self.error is not None:
+            entry["error"] = self.error
+        return entry
+
+    @classmethod
+    def from_entry(cls, entry: dict, level: str) -> "TrialOutcome":
+        record = None
+        if entry.get("record") is not None:
+            record = _record_type(level)(**entry["record"])
+        return cls(
+            key=entry["key"],
+            workload=entry["workload"],
+            point=entry["point"],
+            index=entry["index"],
+            status=entry["status"],
+            record=record,
+            error=entry.get("error"),
+        )
+
+
+@dataclass
+class WorkloadRunOutcome:
+    """Everything one workload contributed to a campaign run.
+
+    ``skip_reason`` is set when the workload could not run at all (its
+    golden run raised, or a parallel worker died twice); its trials are
+    then absent rather than failed. ``total_bits`` is the injectable-state
+    population for uarch campaigns (zero for arch).
+    """
+
+    workload: str
+    outcomes: list[TrialOutcome] = field(default_factory=list)
+    skip_reason: str | None = None
+    total_bits: int = 0

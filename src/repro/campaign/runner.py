@@ -1,0 +1,377 @@
+"""The resilient campaign runner: containment, durability, parallelism.
+
+This module turns the two statistical fault-injection campaigns into
+interruptible, resumable, optionally parallel batch jobs:
+
+- **Containment** — every trial runs under a
+  :class:`~repro.campaign.guard.TrialGuard` that converts simulator
+  exceptions into ``harness-crash`` records and wall-clock overruns into
+  ``harness-timeout`` records, instead of aborting the campaign. A
+  workload whose golden run fails is skipped with a structured warning
+  and annotated in the result tables.
+- **Durability** — with a journal path, results stream to an append-only
+  JSONL file (one flushed line per trial, behind a manifest carrying a
+  config digest). ``resume=True`` replays journaled trials and executes
+  only the remainder; because per-trial randomness is derived from
+  ``(seed, workload, point, index)``, a resumed run's aggregate tables
+  are bit-identical to an uninterrupted run's.
+- **Parallelism** — ``jobs > 1`` fans workloads out across processes via
+  :mod:`concurrent.futures`. A worker that dies (not a trial that fails —
+  the guard already contains those) is retried once in the parent; a
+  second failure classifies the workload as skipped rather than raising.
+
+The work unit shipped to a worker is one workload: each workload needs
+its own golden run and prefix walk anyway, so sharding finer would
+duplicate that dominant cost without changing any result (trial records
+are fully determined by their derived seeds, never by which process ran
+them or in what order).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro import __version__
+from repro.campaign.guard import TrialGuard
+from repro.campaign.outcomes import (
+    OUTCOME_CRASH,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    TrialOutcome,
+    WorkloadRunOutcome,
+)
+from repro.util.journal import (
+    JournalError,
+    JournalWriter,
+    config_to_dict,
+    read_journal,
+    stable_digest,
+)
+from repro.util.tables import format_table
+
+CAMPAIGN_LEVELS = ("arch", "uarch")
+JOURNAL_FORMAT = 1
+
+
+def _campaign_module(level: str):
+    # Imported lazily: the campaign modules import repro.campaign for the
+    # guard/outcome types, so a module-level import here would be circular.
+    if level == "arch":
+        from repro.faults import arch_campaign
+
+        return arch_campaign
+    if level == "uarch":
+        from repro.faults import uarch_campaign
+
+        return uarch_campaign
+    raise ValueError(f"unknown campaign level {level!r}; know {CAMPAIGN_LEVELS}")
+
+
+@dataclass
+class CampaignRunReport:
+    """The full story of one campaign run, resilient details included."""
+
+    level: str
+    config: object
+    result: object
+    outcomes: list[TrialOutcome]
+    executed: int
+    resumed: int
+    skipped_workloads: tuple[tuple[str, str], ...]
+    journal_path: str | None
+    jobs: int
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts = {OUTCOME_OK: 0, OUTCOME_CRASH: 0, OUTCOME_TIMEOUT: 0}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    @property
+    def harness_crashes(self) -> int:
+        return self.outcome_counts()[OUTCOME_CRASH]
+
+    @property
+    def harness_timeouts(self) -> int:
+        return self.outcome_counts()[OUTCOME_TIMEOUT]
+
+    def outcome_table(self) -> str:
+        counts = self.outcome_counts()
+        total = max(1, len(self.outcomes))
+        rows = [
+            [status, str(count), f"{count / total:.1%}"]
+            for status, count in counts.items()
+        ]
+        return format_table(
+            ["outcome", "trials", "share"],
+            rows,
+            title="Harness outcomes (trial containment)",
+        )
+
+
+@dataclass
+class _JournalState:
+    """What a prior journal contributes to a resumed run."""
+
+    outcomes: dict[str, list[TrialOutcome]] = field(default_factory=dict)
+    done_workloads: dict[str, dict] = field(default_factory=dict)
+
+    def completed_keys(self, workload: str) -> set[str]:
+        return {o.key for o in self.outcomes.get(workload, ())}
+
+
+def _manifest(level: str, config) -> dict:
+    config_dict = config_to_dict(config)
+    return {
+        "kind": "manifest",
+        "format": JOURNAL_FORMAT,
+        "level": level,
+        "seed": config.seed,
+        "config_digest": stable_digest(config_dict),
+        "config": config_dict,
+        "version": __version__,
+    }
+
+
+def _load_journal(path: str, level: str, config) -> _JournalState:
+    entries = read_journal(path)
+    if not entries or entries[0].get("kind") != "manifest":
+        raise JournalError(f"{path}: missing manifest line; not a campaign journal")
+    manifest = entries[0]
+    if manifest.get("level") != level:
+        raise JournalError(
+            f"{path}: journal is for a {manifest.get('level')!r} campaign, "
+            f"not {level!r}"
+        )
+    digest = stable_digest(config_to_dict(config))
+    if manifest.get("config_digest") != digest:
+        raise JournalError(
+            f"{path}: journal was written with a different configuration "
+            f"({manifest.get('config_digest')} != {digest}); refusing to "
+            f"resume — results would not be comparable"
+        )
+    state = _JournalState()
+    seen: set[str] = set()
+    for entry in entries[1:]:
+        kind = entry.get("kind")
+        if kind == "trial":
+            outcome = TrialOutcome.from_entry(entry, level)
+            if outcome.key in seen:
+                continue  # a retried workload may have re-journaled a key
+            seen.add(outcome.key)
+            state.outcomes.setdefault(outcome.workload, []).append(outcome)
+        elif kind == "workload":
+            state.done_workloads[entry["workload"]] = entry
+    return state
+
+
+def _workload_sentinel(outcome: WorkloadRunOutcome) -> dict:
+    entry = {
+        "kind": "workload",
+        "workload": outcome.workload,
+        "status": "skipped" if outcome.skip_reason else "done",
+        "total_bits": outcome.total_bits,
+    }
+    if outcome.skip_reason:
+        entry["reason"] = outcome.skip_reason
+    return entry
+
+
+def _workload_task(
+    level: str,
+    config,
+    workload: str,
+    completed: frozenset[str],
+    trial_timeout: float | None,
+) -> WorkloadRunOutcome:
+    """One process-pool work unit: run a whole workload under containment."""
+    module = _campaign_module(level)
+    guard = TrialGuard(timeout=trial_timeout)
+    return module.run_workload_trials(
+        config, workload, completed=completed, guard=guard
+    )
+
+
+def _build_result(level, config, by_workload: dict[str, WorkloadRunOutcome]):
+    """Aggregate per-workload outcomes into the campaign result object.
+
+    Trials are ordered by (workload position, point, index) — the order a
+    serial, uninterrupted run produces — so resumed and parallel runs
+    yield identical result objects and tables.
+    """
+    trials = []
+    ordered_outcomes: list[TrialOutcome] = []
+    skipped: list[tuple[str, str]] = []
+    for name in config.workloads:
+        workload_outcome = by_workload.get(name)
+        if workload_outcome is None:
+            continue
+        if workload_outcome.skip_reason:
+            skipped.append((name, workload_outcome.skip_reason))
+        for outcome in sorted(workload_outcome.outcomes, key=lambda o: o.order):
+            ordered_outcomes.append(outcome)
+            if outcome.status == OUTCOME_OK:
+                trials.append(outcome.record)
+    if level == "arch":
+        from repro.faults.arch_campaign import ArchCampaignResult
+
+        result = ArchCampaignResult(
+            config, trials, skipped_workloads=tuple(skipped)
+        )
+    else:
+        from repro.faults.uarch_campaign import UarchCampaignResult
+
+        total_bits = max(
+            (wo.total_bits for wo in by_workload.values()), default=0
+        )
+        result = UarchCampaignResult(
+            config, trials, total_bits, skipped_workloads=tuple(skipped)
+        )
+    return result, ordered_outcomes, tuple(skipped)
+
+
+def run_campaign(
+    level: str,
+    config,
+    *,
+    journal_path: str | None = None,
+    resume: bool = False,
+    jobs: int = 1,
+    trial_timeout: float | None = None,
+) -> CampaignRunReport:
+    """Run a fault-injection campaign resiliently.
+
+    ``journal_path`` enables durable progress (one flushed JSONL line per
+    trial in serial mode, per completed workload in parallel mode);
+    ``resume`` replays an existing journal and runs only missing trials;
+    ``jobs`` fans workloads out across processes; ``trial_timeout`` is the
+    per-trial wall-clock budget in seconds.
+    """
+    module = _campaign_module(level)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if trial_timeout is not None and trial_timeout <= 0:
+        raise ValueError(f"trial_timeout must be positive, got {trial_timeout}")
+    if resume and journal_path is None:
+        raise ValueError("resume requires a journal path")
+
+    state = _JournalState()
+    writer: JournalWriter | None = None
+    if journal_path is not None:
+        exists = os.path.exists(journal_path) and os.path.getsize(journal_path) > 0
+        if exists and not resume:
+            raise JournalError(
+                f"{journal_path} already exists; pass resume=True (--resume) "
+                f"to continue it, or choose a fresh journal path"
+            )
+        if exists:
+            state = _load_journal(journal_path, level, config)
+            writer = JournalWriter(journal_path, append=True)
+        else:
+            writer = JournalWriter(journal_path)
+            writer.write(_manifest(level, config))
+
+    guard = TrialGuard(timeout=trial_timeout)
+    by_workload: dict[str, WorkloadRunOutcome] = {}
+    pending: list[str] = []
+    resumed = 0
+    for name in config.workloads:
+        sentinel = state.done_workloads.get(name)
+        if sentinel is not None:
+            prior = state.outcomes.get(name, [])
+            by_workload[name] = WorkloadRunOutcome(
+                name,
+                list(prior),
+                skip_reason=sentinel.get("reason"),
+                total_bits=sentinel.get("total_bits", 0),
+            )
+            resumed += len(prior)
+        else:
+            pending.append(name)
+
+    executed = 0
+    try:
+        if jobs == 1 or len(pending) <= 1:
+            for name in pending:
+                prior = list(state.outcomes.get(name, []))
+                resumed += len(prior)
+                on_outcome = None
+                if writer is not None:
+                    on_outcome = lambda o: writer.write(o.to_entry())  # noqa: E731
+                workload_outcome = module.run_workload_trials(
+                    config,
+                    name,
+                    completed=frozenset(o.key for o in prior),
+                    guard=guard,
+                    on_outcome=on_outcome,
+                )
+                executed += len(workload_outcome.outcomes)
+                workload_outcome.outcomes = prior + workload_outcome.outcomes
+                by_workload[name] = workload_outcome
+                if writer is not None:
+                    writer.write(_workload_sentinel(workload_outcome))
+        else:
+            completed_keys = {
+                name: frozenset(state.completed_keys(name)) for name in pending
+            }
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {
+                    pool.submit(
+                        _workload_task,
+                        level,
+                        config,
+                        name,
+                        completed_keys[name],
+                        trial_timeout,
+                    ): name
+                    for name in pending
+                }
+                for future in as_completed(futures):
+                    name = futures[future]
+                    try:
+                        workload_outcome = future.result()
+                    except Exception as first_error:
+                        # The worker process itself died (the guard already
+                        # contains trial failures): retry once in-parent,
+                        # then classify the workload as skipped.
+                        try:
+                            workload_outcome = _workload_task(
+                                level, config, name,
+                                completed_keys[name], trial_timeout,
+                            )
+                        except Exception as second_error:
+                            workload_outcome = WorkloadRunOutcome(
+                                name,
+                                skip_reason=(
+                                    f"worker failed twice: {second_error!r} "
+                                    f"(first failure: {first_error!r})"
+                                ),
+                            )
+                    prior = list(state.outcomes.get(name, []))
+                    resumed += len(prior)
+                    executed += len(workload_outcome.outcomes)
+                    if writer is not None:
+                        for outcome in workload_outcome.outcomes:
+                            writer.write(outcome.to_entry())
+                    workload_outcome.outcomes = prior + workload_outcome.outcomes
+                    by_workload[name] = workload_outcome
+                    if writer is not None:
+                        writer.write(_workload_sentinel(workload_outcome))
+    finally:
+        if writer is not None:
+            writer.close()
+
+    result, ordered_outcomes, skipped = _build_result(level, config, by_workload)
+    return CampaignRunReport(
+        level=level,
+        config=config,
+        result=result,
+        outcomes=ordered_outcomes,
+        executed=executed,
+        resumed=resumed,
+        skipped_workloads=skipped,
+        journal_path=journal_path,
+        jobs=jobs,
+    )

@@ -1,0 +1,124 @@
+"""Inspect a campaign journal: ``repro campaign status <journal>``.
+
+Reads the append-only JSONL journal a (possibly still-running, possibly
+interrupted) campaign is streaming to and summarizes how far it got:
+per-workload trial counts by outcome, which workloads finished or were
+skipped, and the manifest identity (level, seed, config digest) needed
+to decide whether ``--resume`` will accept it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaign.outcomes import OUTCOME_CRASH, OUTCOME_OK, OUTCOME_TIMEOUT
+from repro.util.journal import JournalError, read_journal
+from repro.util.tables import format_table
+
+_STATUSES = (OUTCOME_OK, OUTCOME_CRASH, OUTCOME_TIMEOUT)
+
+
+@dataclass
+class WorkloadStatus:
+    """Journal progress for one workload."""
+
+    workload: str
+    counts: dict[str, int] = field(default_factory=dict)
+    state: str = "in-progress"  # in-progress | done | skipped
+    skip_reason: str | None = None
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+@dataclass
+class CampaignStatus:
+    """Everything a journal says about a campaign run so far."""
+
+    path: str
+    manifest: dict
+    workloads: dict[str, WorkloadStatus]
+
+    @property
+    def total_trials(self) -> int:
+        return sum(status.total for status in self.workloads.values())
+
+    def counts(self) -> dict[str, int]:
+        totals = {status: 0 for status in _STATUSES}
+        for workload in self.workloads.values():
+            for status, count in workload.counts.items():
+                totals[status] = totals.get(status, 0) + count
+        return totals
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.workloads) and all(
+            status.state != "in-progress" for status in self.workloads.values()
+        )
+
+
+def summarize_journal(path: str) -> CampaignStatus:
+    """Parse a journal into a :class:`CampaignStatus`."""
+    entries = read_journal(path)
+    if not entries or entries[0].get("kind") != "manifest":
+        raise JournalError(f"{path}: missing manifest line; not a campaign journal")
+    manifest = entries[0]
+    workloads: dict[str, WorkloadStatus] = {}
+    for name in manifest.get("config", {}).get("workloads", ()):  # planned order
+        workloads[name] = WorkloadStatus(name)
+    seen_keys: set[str] = set()
+    for entry in entries[1:]:
+        kind = entry.get("kind")
+        if kind == "trial":
+            if entry["key"] in seen_keys:
+                continue
+            seen_keys.add(entry["key"])
+            status = workloads.setdefault(
+                entry["workload"], WorkloadStatus(entry["workload"])
+            )
+            outcome = entry["status"]
+            status.counts[outcome] = status.counts.get(outcome, 0) + 1
+        elif kind == "workload":
+            status = workloads.setdefault(
+                entry["workload"], WorkloadStatus(entry["workload"])
+            )
+            status.state = entry.get("status", "done")
+            status.skip_reason = entry.get("reason")
+    return CampaignStatus(path=path, manifest=manifest, workloads=workloads)
+
+
+def format_status(status: CampaignStatus) -> str:
+    """Render a status summary for the CLI."""
+    manifest = status.manifest
+    rows = []
+    for workload in status.workloads.values():
+        rows.append(
+            [
+                workload.workload,
+                str(workload.counts.get(OUTCOME_OK, 0)),
+                str(workload.counts.get(OUTCOME_CRASH, 0)),
+                str(workload.counts.get(OUTCOME_TIMEOUT, 0)),
+                workload.state
+                + (f" ({workload.skip_reason})" if workload.skip_reason else ""),
+            ]
+        )
+    table = format_table(
+        ["workload", "ok", "harness-crash", "harness-timeout", "state"],
+        rows,
+        title=f"Campaign journal: {status.path}",
+    )
+    totals = status.counts()
+    lines = [
+        table,
+        "",
+        f"level: {manifest.get('level')}  seed: {manifest.get('seed')}  "
+        f"config: {manifest.get('config_digest')}  "
+        f"version: {manifest.get('version')}",
+        f"trials journaled: {status.total_trials} "
+        f"(ok {totals[OUTCOME_OK]}, crash {totals[OUTCOME_CRASH]}, "
+        f"timeout {totals[OUTCOME_TIMEOUT]})",
+        "run state: " + ("complete" if status.complete
+                         else "incomplete (resumable with --resume)"),
+    ]
+    return "\n".join(lines)

@@ -7,6 +7,10 @@ Exposes the library's main flows without writing Python::
     repro inject mcf --seed 7 --cycle 900
     repro campaign arch --trials 60
     repro campaign uarch --trials 48 --workloads gcc,mcf
+    repro campaign uarch --trials 500 --journal run.jsonl --jobs 4 \\
+        --trial-timeout 30
+    repro campaign uarch --trials 500 --journal run.jsonl --resume
+    repro campaign status run.jsonl
     repro perf --intervals 50,100,500
     repro fit --baseline 0.07 --restore 0.035 --lhf 0.03 --combined 0.01
     repro workloads
@@ -20,12 +24,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.faults import (
-    ArchCampaignConfig,
-    UarchCampaignConfig,
-    run_arch_campaign,
-    run_uarch_campaign,
-)
+from repro.campaign import format_status, run_campaign, summarize_journal
+from repro.faults import ArchCampaignConfig, UarchCampaignConfig
 from repro.perfmodel import measure_restore_performance
 from repro.reliability import (
     ConfigFailureFractions,
@@ -36,6 +36,7 @@ from repro.restore import ReStoreController
 from repro.restore.controller import RollbackPolicy
 from repro.uarch import load_pipeline
 from repro.uarch.latches import LATCH_CLASSES
+from repro.util.journal import JournalError
 from repro.util.rng import DeterministicRng
 from repro.util.tables import format_table
 from repro.workloads import WORKLOAD_NAMES, build_workload
@@ -99,6 +100,19 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_inject(args: argparse.Namespace) -> int:
+    if args.seed < 0:
+        raise SystemExit(f"--seed must be non-negative, got {args.seed}")
+    if args.cycle < 1:
+        raise SystemExit(f"--cycle must be >= 1, got {args.cycle}")
+    if args.scale < 1:
+        raise SystemExit(f"--scale must be >= 1, got {args.scale}")
+    if args.interval < 1:
+        raise SystemExit(f"--interval must be >= 1, got {args.interval}")
+    if args.max_cycles <= args.cycle:
+        raise SystemExit(
+            f"--max-cycles ({args.max_cycles}) must exceed "
+            f"--cycle ({args.cycle})"
+        )
     bundle = build_workload(args.workload, scale=args.scale)
     pipeline = load_pipeline(bundle.program)
     controller = None
@@ -127,33 +141,91 @@ def cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    path = args.journal_file or args.journal
+    if not path:
+        raise SystemExit(
+            "campaign status needs a journal path: "
+            "repro campaign status <journal>"
+        )
+    try:
+        print(format_status(summarize_journal(path)))
+    except FileNotFoundError:
+        raise SystemExit(f"no such journal: {path}") from None
+    except JournalError as exc:
+        raise SystemExit(str(exc)) from None
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
+    if args.level == "status":
+        return cmd_campaign_status(args)
+    if args.journal_file:
+        raise SystemExit(
+            "positional journal argument is only used with "
+            "'repro campaign status'; use --journal for arch/uarch runs"
+        )
     workloads = _parse_workloads(args.workloads)
-    if args.level == "arch":
-        result = run_arch_campaign(
-            ArchCampaignConfig(
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.trial_timeout is not None and args.trial_timeout <= 0:
+        raise SystemExit(
+            f"--trial-timeout must be positive, got {args.trial_timeout}"
+        )
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal")
+    try:
+        if args.level == "arch":
+            config = ArchCampaignConfig(
                 trials_per_workload=args.trials,
-                injection_points=max(4, args.trials // 3),
+                injection_points=min(args.trials, max(4, args.trials // 3)),
                 workloads=workloads,
                 seed=args.seed,
             )
+        else:
+            config = UarchCampaignConfig(
+                trials_per_workload=args.trials,
+                injection_points=min(args.trials, max(4, args.trials // 3)),
+                workloads=workloads,
+                seed=args.seed,
+            )
+    except ValueError as exc:
+        raise SystemExit(f"invalid campaign configuration: {exc}") from None
+    try:
+        report = run_campaign(
+            args.level,
+            config,
+            journal_path=args.journal,
+            resume=args.resume,
+            jobs=args.jobs,
+            trial_timeout=args.trial_timeout,
         )
+    except JournalError as exc:
+        raise SystemExit(str(exc)) from None
+    except KeyboardInterrupt:
+        if args.journal:
+            print(
+                f"\ninterrupted; completed trials are journaled in "
+                f"{args.journal} — rerun with --resume to continue",
+                file=sys.stderr,
+            )
+        raise
+    result = report.result
+    if args.level == "arch":
         print(result.table())
         print(f"\nmasked: {result.masked_estimate}")
         print(f"failure coverage @100 (exc+cfv): {result.failure_coverage(100)}")
     else:
-        result = run_uarch_campaign(
-            UarchCampaignConfig(
-                trials_per_workload=args.trials,
-                injection_points=max(4, args.trials // 3),
-                workloads=workloads,
-                seed=args.seed,
-            )
-        )
         print(result.table(title="coverage vs checkpoint interval (all state)"))
         print(f"\nbenign (masked+other): {result.masked_estimate()}")
         print(f"baseline failures:     {result.baseline_failure_estimate()}")
         print(f"coverage @100:         {result.coverage_of_failures(100)}")
+    print()
+    print(report.outcome_table())
+    print(f"\ntrials executed: {report.executed}  resumed from journal: "
+          f"{report.resumed}  jobs: {report.jobs}")
+    for name, reason in report.skipped_workloads:
+        print(f"warning: workload {name} skipped: {reason}")
     return 0
 
 
@@ -220,12 +292,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-cycles", type=int, default=5_000_000)
     p.set_defaults(func=cmd_inject)
 
-    p = sub.add_parser("campaign", help="run a fault-injection campaign")
-    p.add_argument("level", choices=["arch", "uarch"])
+    p = sub.add_parser(
+        "campaign",
+        help="run a fault-injection campaign (or inspect one: "
+             "campaign status <journal>)",
+    )
+    p.add_argument("level", choices=["arch", "uarch", "status"])
+    p.add_argument("journal_file", nargs="?", default=None,
+                   help="journal path (status subcommand only)")
     p.add_argument("--trials", type=int, default=30,
                    help="trials per workload")
     p.add_argument("--workloads", default=",".join(WORKLOAD_NAMES))
     p.add_argument("--seed", type=int, default=2005)
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="stream trial results to an append-only JSONL journal")
+    p.add_argument("--resume", action="store_true",
+                   help="skip trials already recorded in --journal")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan workloads out across N worker processes")
+    p.add_argument("--trial-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock budget per trial; overruns are recorded "
+                        "as harness-timeout outcomes")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("perf", help="measure Figure 7 performance points")

@@ -19,9 +19,19 @@ Methodology, following Section 3.1 and Section 4.4 of the paper:
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Callable, Collection
 from dataclasses import dataclass, field
 
 from repro.arch.simulator import ArchSimulator, StopReason, load_program
+from repro.campaign.guard import TrialGuard
+from repro.campaign.outcomes import (
+    CampaignWorkloadWarning,
+    GoldenRunError,
+    TrialOutcome,
+    WorkloadRunOutcome,
+    trial_key,
+)
 from repro.faults.classify import (
     ARCH_CATEGORIES,
     ArchTrialResult,
@@ -54,6 +64,41 @@ class ArchCampaignConfig:
     post_injection_slack: int = 2_000
     workloads: tuple[str, ...] = WORKLOAD_NAMES
 
+    def __post_init__(self) -> None:
+        if self.trials_per_workload < 1:
+            raise ValueError(
+                f"trials_per_workload must be >= 1, got {self.trials_per_workload}"
+            )
+        if self.injection_points < 1:
+            raise ValueError(
+                f"injection_points must be >= 1, got {self.injection_points}"
+            )
+        if self.injection_points > self.trials_per_workload:
+            raise ValueError(
+                f"injection_points ({self.injection_points}) cannot exceed "
+                f"trials_per_workload ({self.trials_per_workload}): every "
+                f"injection point needs at least one trial"
+            )
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+        if self.workload_scale < 1:
+            raise ValueError(
+                f"workload_scale must be >= 1, got {self.workload_scale}"
+            )
+        if self.max_instructions < 1:
+            raise ValueError(
+                f"max_instructions must be >= 1, got {self.max_instructions}"
+            )
+        if self.post_injection_slack < 0:
+            raise ValueError(
+                f"post_injection_slack must be >= 0, got {self.post_injection_slack}"
+            )
+        if not self.workloads:
+            raise ValueError("workloads must not be empty")
+        unknown = [name for name in self.workloads if name not in WORKLOAD_NAMES]
+        if unknown:
+            raise ValueError(f"unknown workloads {unknown}; know {WORKLOAD_NAMES}")
+
 
 @dataclass
 class ArchCampaignResult:
@@ -61,6 +106,7 @@ class ArchCampaignResult:
 
     config: ArchCampaignConfig
     trials: list[ArchTrialResult]
+    skipped_workloads: tuple[tuple[str, str], ...] = ()
 
     def counter(
         self, window: int | None, workload: str | None = None
@@ -106,54 +152,106 @@ class ArchCampaignResult:
                 [label]
                 + [f"{counter.proportion(name):.1%}" for name in ARCH_CATEGORIES]
             )
-        return format_table(
+        text = format_table(
             ["latency"] + list(ARCH_CATEGORIES),
             rows,
             title="Figure 2: outcome shares vs symptom-detection latency",
         )
+        for name, reason in self.skipped_workloads:
+            text += f"\nnote: workload {name} skipped ({reason})"
+        return text
 
 
 def run_arch_campaign(config: ArchCampaignConfig) -> ArchCampaignResult:
-    """Run the full campaign over every configured workload."""
-    rng = DeterministicRng(config.seed).child("arch-campaign")
-    trials: list[ArchTrialResult] = []
-    for name in config.workloads:
-        trials.extend(_run_workload(name, config, rng.child(name)))
-    return ArchCampaignResult(config, trials)
+    """Run the full campaign over every configured workload.
+
+    A thin serial wrapper over :func:`repro.campaign.runner.run_campaign`;
+    use that entry point directly for journaling, resume, containment
+    budgets, and parallel execution.
+    """
+    from repro.campaign.runner import run_campaign
+
+    return run_campaign("arch", config).result
 
 
-def _run_workload(
-    name: str, config: ArchCampaignConfig, rng: DeterministicRng
-) -> list[ArchTrialResult]:
-    bundle = build_workload(name, config.workload_scale, config.seed)
-    golden_sim = load_program(bundle.program)
-    trace = golden_sim.run_with_trace(config.max_instructions)
-    if trace.exception is not None:
-        raise RuntimeError(f"golden run of {name} raised {trace.exception}")
-    if not trace.writer_steps:
-        raise RuntimeError(f"workload {name} wrote no registers")
+def run_workload_trials(
+    config: ArchCampaignConfig,
+    workload: str,
+    completed: Collection[str] = frozenset(),
+    guard: TrialGuard | None = None,
+    on_outcome: Callable[[TrialOutcome], None] | None = None,
+) -> WorkloadRunOutcome:
+    """Execute one workload's trials under containment.
+
+    Each trial draws its randomness from an independent stream derived
+    from ``(seed, workload, point, index)``, so any subset of trials —
+    a resumed run, a parallel shard — reproduces exactly the records the
+    uninterrupted serial campaign would have produced. Trials whose key
+    is in ``completed`` (already journaled) are skipped; ``on_outcome``
+    observes each fresh outcome as soon as it exists, which is how the
+    runner streams results to the journal.
+
+    A failing golden run skips the workload with a structured warning
+    instead of aborting the campaign.
+    """
+    guard = guard or TrialGuard()
+    wrng = DeterministicRng(config.seed).child("arch-campaign").child(workload)
+    try:
+        bundle = build_workload(workload, config.workload_scale, config.seed)
+        golden_sim = load_program(bundle.program)
+        trace = golden_sim.run_with_trace(config.max_instructions)
+        if trace.exception is not None:
+            raise GoldenRunError(
+                f"golden run of {workload} raised {trace.exception}"
+            )
+        if not trace.writer_steps:
+            raise GoldenRunError(f"workload {workload} wrote no registers")
+    except Exception as exc:
+        reason = f"{type(exc).__name__}: {exc}"
+        warnings.warn(
+            f"skipping workload {workload}: {reason}",
+            CampaignWorkloadWarning,
+            stacklevel=2,
+        )
+        return WorkloadRunOutcome(workload, skip_reason=reason)
 
     # Number of memory operations retired up to and including each step.
     memop_counts = _memop_prefix_counts(trace)
 
     point_count = min(config.injection_points, len(trace.writer_steps))
-    points = sorted(rng.sample(trace.writer_steps, point_count))
+    points = sorted(wrng.child("points").sample(trace.writer_steps, point_count))
     per_point = -(-config.trials_per_workload // point_count)  # ceil
 
     # One prefix simulator walks forward through all injection points.
     prefix = load_program(bundle.program)
-    results: list[ArchTrialResult] = []
+    outcomes: list[TrialOutcome] = []
     for point in points:
         while prefix.retired < point and prefix.running:
             prefix.step()
         if not prefix.running:  # pragma: no cover - golden ran fine
             break
-        for _ in range(per_point):
-            bit = config.fault_model.choose_bit(rng)
-            results.append(
-                _run_trial(name, prefix, trace, memop_counts, point, bit, config)
+        for index in range(per_point):
+            key = trial_key(workload, point, index)
+            if key in completed:
+                continue
+            trial_rng = wrng.child(f"trial:{point}:{index}")
+            bit = config.fault_model.choose_bit(trial_rng)
+            outcome = guard.run(
+                key, workload, point, index,
+                lambda: _run_trial(
+                    workload, prefix, trace, memop_counts, point, bit, config
+                ),
+                descriptor={
+                    "level": "arch",
+                    "seed": config.seed,
+                    "trial_seed": trial_rng.seed,
+                    "bit": bit,
+                },
             )
-    return results
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+    return WorkloadRunOutcome(workload, outcomes)
 
 
 def _memop_prefix_counts(trace) -> list[int]:

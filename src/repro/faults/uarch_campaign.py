@@ -31,8 +31,17 @@ study filters the same trials by state class.
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Callable, Collection
 from dataclasses import dataclass, field
 
+from repro.campaign.guard import TrialGuard
+from repro.campaign.outcomes import (
+    CampaignWorkloadWarning,
+    TrialOutcome,
+    WorkloadRunOutcome,
+    trial_key,
+)
 from repro.faults.classify import (
     UARCH_CATEGORIES,
     UarchTrialResult,
@@ -66,6 +75,45 @@ class UarchCampaignConfig:
     max_golden_cycles: int = 200_000
     record_cache_symptoms: bool = False
 
+    def __post_init__(self) -> None:
+        if self.trials_per_workload < 1:
+            raise ValueError(
+                f"trials_per_workload must be >= 1, got {self.trials_per_workload}"
+            )
+        if self.injection_points < 1:
+            raise ValueError(
+                f"injection_points must be >= 1, got {self.injection_points}"
+            )
+        if self.injection_points > self.trials_per_workload:
+            raise ValueError(
+                f"injection_points ({self.injection_points}) cannot exceed "
+                f"trials_per_workload ({self.trials_per_workload}): every "
+                f"injection point needs at least one trial"
+            )
+        if self.window_cycles < 1:
+            raise ValueError(
+                f"window_cycles must be >= 1, got {self.window_cycles}"
+            )
+        if self.warmup_cycles < 0:
+            raise ValueError(
+                f"warmup_cycles must be >= 0, got {self.warmup_cycles}"
+            )
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+        if self.workload_scale < 1:
+            raise ValueError(
+                f"workload_scale must be >= 1, got {self.workload_scale}"
+            )
+        if self.max_golden_cycles < 1:
+            raise ValueError(
+                f"max_golden_cycles must be >= 1, got {self.max_golden_cycles}"
+            )
+        if not self.workloads:
+            raise ValueError("workloads must not be empty")
+        unknown = [name for name in self.workloads if name not in WORKLOAD_NAMES]
+        if unknown:
+            raise ValueError(f"unknown workloads {unknown}; know {WORKLOAD_NAMES}")
+
 
 @dataclass
 class _GoldenRun:
@@ -84,6 +132,7 @@ class UarchCampaignResult:
     config: UarchCampaignConfig
     trials: list[UarchTrialResult]
     total_bits: int = 0
+    skipped_workloads: tuple[tuple[str, str], ...] = ()
 
     def counter(
         self,
@@ -183,7 +232,9 @@ class UarchCampaignResult:
     def latch_only_view(self) -> "UarchCampaignResult":
         """The Section 5.1.2 study: trials whose flip hit pipeline latches."""
         trials = [t for t in self.trials if t.state_class in LATCH_CLASSES]
-        return UarchCampaignResult(self.config, trials, self.total_bits)
+        return UarchCampaignResult(
+            self.config, trials, self.total_bits, self.skipped_workloads
+        )
 
     # --------------------------------------------------------------- tables
 
@@ -205,61 +256,103 @@ class UarchCampaignResult:
                 [str(interval)]
                 + [f"{counter.proportion(name):.1%}" for name in UARCH_CATEGORIES]
             )
-        return format_table(["interval"] + list(UARCH_CATEGORIES), rows, title=title)
+        text = format_table(["interval"] + list(UARCH_CATEGORIES), rows, title=title)
+        for name, reason in self.skipped_workloads:
+            text += f"\nnote: workload {name} skipped ({reason})"
+        return text
 
 
 def run_uarch_campaign(config: UarchCampaignConfig) -> UarchCampaignResult:
-    """Run the campaign over every configured workload."""
-    rng = DeterministicRng(config.seed).child("uarch-campaign")
-    trials: list[UarchTrialResult] = []
-    total_bits = 0
-    for name in config.workloads:
-        workload_trials, bits = _run_workload(name, config, rng.child(name))
-        trials.extend(workload_trials)
-        total_bits = bits
-    return UarchCampaignResult(config, trials, total_bits)
+    """Run the campaign over every configured workload.
+
+    A thin serial wrapper over :func:`repro.campaign.runner.run_campaign`;
+    use that entry point directly for journaling, resume, containment
+    budgets, and parallel execution.
+    """
+    from repro.campaign.runner import run_campaign
+
+    return run_campaign("uarch", config).result
 
 
-def _run_workload(
-    name: str, config: UarchCampaignConfig, rng: DeterministicRng
-) -> tuple[list[UarchTrialResult], int]:
-    bundle = build_workload(name, config.workload_scale, config.seed)
+def run_workload_trials(
+    config: UarchCampaignConfig,
+    workload: str,
+    completed: Collection[str] = frozenset(),
+    guard: TrialGuard | None = None,
+    on_outcome: Callable[[TrialOutcome], None] | None = None,
+) -> WorkloadRunOutcome:
+    """Execute one workload's trials under containment.
 
-    # Choose injection cycles before running golden: spread uniformly over
-    # the run. We need golden's length first, so run it now.
-    golden = _run_golden(bundle, config, inject_cycles=None)
-    end_cycle = golden.end_cycle
-    first = min(config.warmup_cycles, max(1, end_cycle // 10))
-    last = max(first + 1, end_cycle - 100)
-    point_count = min(config.injection_points, last - first)
-    points = sorted(rng.sample(range(first, last), point_count))
-    # Re-run golden to capture snapshots at each trial-end cycle.
-    snapshot_cycles = [
-        point + config.window_cycles
-        for point in points
-        if point + config.window_cycles < end_cycle
-    ]
-    golden = _run_golden(bundle, config, inject_cycles=snapshot_cycles)
+    Mirrors :func:`repro.faults.arch_campaign.run_workload_trials`:
+    per-trial randomness is derived from ``(seed, workload, point,
+    index)`` so resumed, sharded, and single-shot runs all produce the
+    same records; journaled keys in ``completed`` are skipped; a failing
+    golden run degrades to a skipped workload with a structured warning.
+    """
+    guard = guard or TrialGuard()
+    wrng = DeterministicRng(config.seed).child("uarch-campaign").child(workload)
+    try:
+        bundle = build_workload(workload, config.workload_scale, config.seed)
+        # Choose injection cycles before running golden: spread uniformly
+        # over the run. We need golden's length first, so run it now.
+        golden = _run_golden(bundle, config, inject_cycles=None)
+        end_cycle = golden.end_cycle
+        first = min(config.warmup_cycles, max(1, end_cycle // 10))
+        last = max(first + 1, end_cycle - 100)
+        point_count = min(config.injection_points, last - first)
+        points = sorted(wrng.child("points").sample(range(first, last), point_count))
+        # Re-run golden to capture snapshots at each trial-end cycle.
+        snapshot_cycles = [
+            point + config.window_cycles
+            for point in points
+            if point + config.window_cycles < end_cycle
+        ]
+        golden = _run_golden(bundle, config, inject_cycles=snapshot_cycles)
+    except Exception as exc:
+        reason = f"{type(exc).__name__}: {exc}"
+        warnings.warn(
+            f"skipping workload {workload}: {reason}",
+            CampaignWorkloadWarning,
+            stacklevel=2,
+        )
+        return WorkloadRunOutcome(workload, skip_reason=reason)
 
     per_point = -(-config.trials_per_workload // point_count)
     prefix = load_pipeline(
         bundle.program, record_cache_symptoms=config.record_cache_symptoms
     )
-    results: list[UarchTrialResult] = []
+    outcomes: list[TrialOutcome] = []
     for point in points:
         prefix.run(point - prefix.cycle_count)
         if not prefix.running:
             break
-        for _ in range(per_point):
+        for index in range(per_point):
+            key = trial_key(workload, point, index)
+            if key in completed:
+                continue
+            trial_rng = wrng.child(f"trial:{point}:{index}")
             field_index, flip_field, bit = _pick_bit(
-                prefix, config.fault_model, rng
+                prefix, config.fault_model, trial_rng
             )
-            results.append(
-                _run_trial(
-                    name, prefix, golden, config, point, field_index, bit
-                )
+            outcome = guard.run(
+                key, workload, point, index,
+                lambda: _run_trial(
+                    workload, prefix, golden, config, point, field_index, bit
+                ),
+                descriptor={
+                    "level": "uarch",
+                    "seed": config.seed,
+                    "trial_seed": trial_rng.seed,
+                    "field": flip_field.name,
+                    "bit": bit,
+                },
             )
-    return results, prefix.registry.total_bits()
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+    return WorkloadRunOutcome(
+        workload, outcomes, total_bits=prefix.registry.total_bits()
+    )
 
 
 def _pick_bit(prefix: Pipeline, fault_model: StateBitFlip, rng: DeterministicRng):

@@ -5,6 +5,14 @@ stack (ISA, architectural simulator, pipeline model, fault injection) builds
 on them.
 """
 
+from repro.util.journal import (
+    JournalError,
+    JournalWriter,
+    config_to_dict,
+    read_journal,
+    repair_tail,
+    stable_digest,
+)
 from repro.util.bitops import (
     MASK32,
     MASK64,
@@ -32,6 +40,12 @@ __all__ = [
     "BinomialEstimate",
     "CategoryCounter",
     "DeterministicRng",
+    "JournalError",
+    "JournalWriter",
+    "config_to_dict",
+    "read_journal",
+    "repair_tail",
+    "stable_digest",
     "bit_is_set",
     "derive_seed",
     "extract_bits",

@@ -1,0 +1,137 @@
+"""Append-only JSONL journals and run manifests for campaign durability.
+
+A journal is a plain-text file with one JSON object per line. The first
+line is a *manifest* describing the run (campaign level, seed, a stable
+digest of the full configuration, and the package version); every later
+line is a trial outcome or a per-workload sentinel. The format is chosen
+for crash-durability: the writer flushes after every line, so a campaign
+killed at any moment loses at most the line being written, and the reader
+tolerates exactly that one torn trailing line.
+
+These helpers are campaign-agnostic — :mod:`repro.campaign` layers the
+trial/sentinel schema on top.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, IO
+
+
+class JournalError(Exception):
+    """A journal is unreadable or inconsistent with the requested run."""
+
+
+def config_to_dict(config: Any) -> dict:
+    """A JSON-serializable dict for a (possibly nested) config dataclass."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        raw = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        raw = dict(config)
+    else:
+        raise TypeError(f"cannot serialize config of type {type(config)!r}")
+    return json.loads(json.dumps(raw, sort_keys=True, default=_jsonable))
+
+
+def _jsonable(value: Any):
+    if isinstance(value, tuple):
+        return list(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    raise TypeError(f"not JSON-serializable: {value!r}")
+
+
+def stable_digest(obj: Any) -> str:
+    """A hex digest that is stable across processes and Python versions."""
+    canonical = json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                           default=_jsonable)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def repair_tail(path: str) -> None:
+    """Remove a torn trailing line left by an interrupted write.
+
+    Appending after a torn fragment would glue new entries onto it and
+    turn a recoverable tail into mid-file corruption, so the writer calls
+    this before reopening a journal in append mode. A complete trailing
+    line that merely lost its newline gets the newline back instead of
+    being dropped.
+    """
+    if not os.path.exists(path):
+        return
+    with open(path, "rb+") as handle:
+        data = handle.read()
+        if not data:
+            return
+        if data.endswith(b"\n"):
+            last_start = data.rfind(b"\n", 0, len(data) - 1) + 1
+            tail = data[last_start:-1]
+        else:
+            last_start = data.rfind(b"\n") + 1
+            tail = data[last_start:]
+        try:
+            json.loads(tail)
+            torn = False
+        except json.JSONDecodeError:
+            torn = True
+        if torn:
+            handle.truncate(last_start)
+        elif not data.endswith(b"\n"):
+            handle.write(b"\n")
+
+
+class JournalWriter:
+    """Append JSON entries to a journal file, one flushed line at a time."""
+
+    def __init__(self, path: str, append: bool = False):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        if append:
+            repair_tail(path)
+        self._handle: IO[str] | None = open(path, "a" if append else "w")
+
+    def write(self, entry: dict) -> None:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} is closed")
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_journal(path: str) -> list[dict]:
+    """All complete entries of a journal, oldest first.
+
+    A torn *final* line — the signature of a run killed mid-write — is
+    silently dropped; corruption anywhere else raises :class:`JournalError`
+    because it means the file was edited or truncated by something other
+    than an interrupted append.
+    """
+    entries: list[dict] = []
+    with open(path) as handle:
+        lines = handle.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for index, line in enumerate(lines):
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn trailing line from an interrupted write
+            raise JournalError(
+                f"{path}:{index + 1}: corrupt journal entry"
+            ) from None
+    return entries

@@ -1,0 +1,355 @@
+"""The resilient campaign runner: containment, resume, parallelism."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignWorkloadWarning,
+    OUTCOME_CRASH,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    TrialGuard,
+    TrialOutcome,
+    format_status,
+    run_campaign,
+    summarize_journal,
+    timeout_supported,
+)
+from repro.faults import (
+    ArchCampaignConfig,
+    ArchTrialResult,
+    UarchCampaignConfig,
+    UarchTrialResult,
+)
+from repro.faults import arch_campaign
+from repro.util.journal import JournalError
+
+ARCH_CONFIG = ArchCampaignConfig(
+    trials_per_workload=8, injection_points=4, workloads=("gcc",)
+)
+
+
+class TestTrialGuard:
+    def test_ok_outcome_carries_record(self):
+        guard = TrialGuard()
+        outcome = guard.run("w:1:0", "w", 1, 0, lambda: "record")
+        assert outcome.status == OUTCOME_OK
+        assert outcome.record == "record"
+
+    def test_crash_contained_with_traceback_and_descriptor(self):
+        guard = TrialGuard()
+
+        def boom():
+            raise RuntimeError("simulator exploded")
+
+        outcome = guard.run(
+            "w:1:0", "w", 1, 0, boom, descriptor={"trial_seed": 99}
+        )
+        assert outcome.status == OUTCOME_CRASH
+        assert outcome.record is None
+        assert outcome.error["type"] == "RuntimeError"
+        assert "simulator exploded" in outcome.error["message"]
+        assert "RuntimeError" in outcome.error["traceback"]
+        assert outcome.error["descriptor"] == {"trial_seed": 99}
+
+    def test_keyboard_interrupt_not_swallowed(self):
+        guard = TrialGuard()
+
+        def interrupt():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            guard.run("w:1:0", "w", 1, 0, interrupt)
+
+    @pytest.mark.skipif(not timeout_supported(), reason="no SIGALRM here")
+    def test_spin_converted_to_timeout(self):
+        guard = TrialGuard(timeout=0.2)
+
+        def spin():
+            while True:
+                pass
+
+        outcome = guard.run("w:1:0", "w", 1, 0, spin)
+        assert outcome.status == OUTCOME_TIMEOUT
+        assert outcome.error["timeout_seconds"] == 0.2
+
+
+class TestOutcomeSerialization:
+    def test_arch_round_trip(self):
+        record = ArchTrialResult(
+            workload="gcc", inject_step=12, bit=3,
+            exception_latency=4, failing=True,
+        )
+        outcome = TrialOutcome(
+            key="gcc:12:0", workload="gcc", point=12, index=0,
+            status=OUTCOME_OK, record=record,
+        )
+        entry = json.loads(json.dumps(outcome.to_entry()))
+        assert TrialOutcome.from_entry(entry, "arch") == outcome
+
+    def test_uarch_round_trip(self):
+        record = UarchTrialResult(
+            workload="mcf", inject_cycle=500, target="prf",
+            state_class="ram", bit=9, cfv_latency=17,
+        )
+        outcome = TrialOutcome(
+            key="mcf:500:2", workload="mcf", point=500, index=2,
+            status=OUTCOME_OK, record=record,
+        )
+        entry = json.loads(json.dumps(outcome.to_entry()))
+        assert TrialOutcome.from_entry(entry, "uarch") == outcome
+
+
+class TestContainment:
+    def test_trial_crash_becomes_harness_crash_record(self, monkeypatch):
+        real = arch_campaign._run_trial
+        calls = []
+
+        def flaky(workload, prefix, trace, memop_counts, point, bit, config):
+            calls.append(point)
+            if len(calls) == 2:
+                raise ValueError("rigged kernel crash")
+            return real(workload, prefix, trace, memop_counts, point, bit, config)
+
+        monkeypatch.setattr(arch_campaign, "_run_trial", flaky)
+        report = run_campaign("arch", ARCH_CONFIG)
+        counts = report.outcome_counts()
+        assert counts[OUTCOME_CRASH] == 1
+        assert counts[OUTCOME_OK] == len(report.outcomes) - 1
+        assert len(report.result.trials) == counts[OUTCOME_OK]
+        crash = next(
+            o for o in report.outcomes if o.status == OUTCOME_CRASH
+        )
+        assert "rigged kernel crash" in crash.error["message"]
+        assert crash.error["descriptor"]["level"] == "arch"
+        assert "trial_seed" in crash.error["descriptor"]
+
+    @pytest.mark.skipif(not timeout_supported(), reason="no SIGALRM here")
+    def test_trial_hang_becomes_harness_timeout_record(self, monkeypatch):
+        real = arch_campaign._run_trial
+        calls = []
+
+        def spinner(workload, prefix, trace, memop_counts, point, bit, config):
+            calls.append(point)
+            if len(calls) == 1:
+                while True:
+                    pass
+            return real(workload, prefix, trace, memop_counts, point, bit, config)
+
+        monkeypatch.setattr(arch_campaign, "_run_trial", spinner)
+        report = run_campaign("arch", ARCH_CONFIG, trial_timeout=0.3)
+        counts = report.outcome_counts()
+        assert counts[OUTCOME_TIMEOUT] == 1
+        assert counts[OUTCOME_OK] == len(report.outcomes) - 1
+        assert report.harness_timeouts == 1
+
+    def test_outcome_table_reports_harness_rows(self, monkeypatch):
+        monkeypatch.setattr(
+            arch_campaign, "_run_trial",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("all broken")),
+        )
+        report = run_campaign("arch", ARCH_CONFIG)
+        table = report.outcome_table()
+        assert "harness-crash" in table and "harness-timeout" in table
+        assert len(report.result.trials) == 0
+
+
+class TestGoldenRunDegradation:
+    def test_failing_golden_run_skips_workload_not_campaign(self, monkeypatch):
+        real_build = arch_campaign.build_workload
+
+        def broken_build(name, scale, seed):
+            if name == "gzip":
+                raise RuntimeError("golden run exploded")
+            return real_build(name, scale, seed)
+
+        monkeypatch.setattr(arch_campaign, "build_workload", broken_build)
+        config = ArchCampaignConfig(
+            trials_per_workload=6, injection_points=3,
+            workloads=("gcc", "gzip"),
+        )
+        with pytest.warns(CampaignWorkloadWarning, match="gzip"):
+            report = run_campaign("arch", config)
+        assert dict(report.skipped_workloads)["gzip"].startswith("RuntimeError")
+        assert all(t.workload == "gcc" for t in report.result.trials)
+        assert len(report.result.trials) > 0
+        assert "gzip skipped" in report.result.table((25, None))
+
+
+class TestJournalAndResume:
+    def test_interrupted_run_resumes_bit_identical(self, tmp_path):
+        config = ArchCampaignConfig(
+            trials_per_workload=10, injection_points=5, workloads=("gcc",)
+        )
+        full_journal = str(tmp_path / "full.jsonl")
+        uninterrupted = run_campaign("arch", config, journal_path=full_journal)
+
+        # Simulate a campaign killed mid-run: keep the manifest, the first
+        # half of the trial lines, and a torn final line.
+        lines = open(full_journal).read().splitlines()
+        trial_lines = [l for l in lines if '"kind": "trial"' in l]
+        keep = [lines[0]] + trial_lines[: len(trial_lines) // 2]
+        interrupted = str(tmp_path / "interrupted.jsonl")
+        with open(interrupted, "w") as handle:
+            handle.write("\n".join(keep) + "\n")
+            handle.write(trial_lines[-1][: 40])  # torn write
+
+        resumed = run_campaign(
+            "arch", config, journal_path=interrupted, resume=True
+        )
+        assert resumed.resumed == len(trial_lines) // 2
+        assert resumed.executed == len(trial_lines) - resumed.resumed
+        assert resumed.result.trials == uninterrupted.result.trials
+        assert resumed.result.table() == uninterrupted.result.table()
+
+        # The resume must have repaired the torn line before appending,
+        # leaving the journal readable for status and further resumes.
+        status = summarize_journal(interrupted)
+        assert status.complete
+        again = run_campaign(
+            "arch", config, journal_path=interrupted, resume=True
+        )
+        assert again.executed == 0
+        assert again.result.trials == uninterrupted.result.trials
+
+    def test_fully_journaled_run_executes_nothing(self, tmp_path):
+        config = ArchCampaignConfig(
+            trials_per_workload=6, injection_points=3, workloads=("gcc",)
+        )
+        journal = str(tmp_path / "run.jsonl")
+        first = run_campaign("arch", config, journal_path=journal)
+        second = run_campaign(
+            "arch", config, journal_path=journal, resume=True
+        )
+        assert second.executed == 0
+        assert second.resumed == len(first.outcomes)
+        assert second.result.trials == first.result.trials
+
+    def test_existing_journal_requires_resume(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        run_campaign("arch", ARCH_CONFIG, journal_path=journal)
+        with pytest.raises(JournalError, match="--resume"):
+            run_campaign("arch", ARCH_CONFIG, journal_path=journal)
+
+    def test_resume_rejects_different_config(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        run_campaign("arch", ARCH_CONFIG, journal_path=journal)
+        other = ArchCampaignConfig(
+            trials_per_workload=8, injection_points=4,
+            workloads=("gcc",), seed=2006,
+        )
+        with pytest.raises(JournalError, match="different configuration"):
+            run_campaign("arch", other, journal_path=journal, resume=True)
+
+    def test_resume_rejects_wrong_level(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        run_campaign("arch", ARCH_CONFIG, journal_path=journal)
+        uarch = UarchCampaignConfig(
+            trials_per_workload=8, injection_points=4, workloads=("gcc",)
+        )
+        with pytest.raises(JournalError, match="arch"):
+            run_campaign("uarch", uarch, journal_path=journal, resume=True)
+
+
+class TestParallelExecution:
+    def test_jobs_match_serial_results(self):
+        config = ArchCampaignConfig(
+            trials_per_workload=6, injection_points=3,
+            workloads=("gcc", "gzip"),
+        )
+        serial = run_campaign("arch", config)
+        parallel = run_campaign("arch", config, jobs=2)
+        assert parallel.result.trials == serial.result.trials
+        assert parallel.result.table() == serial.result.table()
+
+    def test_parallel_journal_resumes_serially(self, tmp_path):
+        config = ArchCampaignConfig(
+            trials_per_workload=6, injection_points=3,
+            workloads=("gcc", "gzip"),
+        )
+        journal = str(tmp_path / "par.jsonl")
+        parallel = run_campaign("arch", config, journal_path=journal, jobs=2)
+        resumed = run_campaign(
+            "arch", config, journal_path=journal, resume=True
+        )
+        assert resumed.executed == 0
+        assert resumed.result.trials == parallel.result.trials
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_campaign("arch", ARCH_CONFIG, jobs=0)
+        with pytest.raises(ValueError, match="trial_timeout"):
+            run_campaign("arch", ARCH_CONFIG, trial_timeout=0)
+        with pytest.raises(ValueError, match="journal"):
+            run_campaign("arch", ARCH_CONFIG, resume=True)
+        with pytest.raises(ValueError, match="level"):
+            run_campaign("rtl", ARCH_CONFIG)
+
+
+class TestStatus:
+    def test_status_summarizes_journal(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        report = run_campaign("arch", ARCH_CONFIG, journal_path=journal)
+        status = summarize_journal(journal)
+        assert status.total_trials == len(report.outcomes)
+        assert status.complete
+        assert status.workloads["gcc"].state == "done"
+        text = format_status(status)
+        assert "gcc" in text and "complete" in text
+
+    def test_status_flags_incomplete_run(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        run_campaign("arch", ARCH_CONFIG, journal_path=journal)
+        lines = open(journal).read().splitlines()
+        torn = str(tmp_path / "torn.jsonl")
+        with open(torn, "w") as handle:  # manifest + two trials, no sentinel
+            handle.write("\n".join(lines[:3]) + "\n")
+        status = summarize_journal(torn)
+        assert not status.complete
+        assert "resumable" in format_status(status)
+
+    def test_status_rejects_non_journal(self, tmp_path):
+        path = tmp_path / "not_a_journal.jsonl"
+        path.write_text('{"kind": "trial"}\n')
+        with pytest.raises(JournalError, match="manifest"):
+            summarize_journal(str(path))
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"trials_per_workload": 0},
+            {"injection_points": 0},
+            {"injection_points": 50, "trials_per_workload": 10},
+            {"seed": -1},
+            {"workload_scale": 0},
+            {"max_instructions": 0},
+            {"post_injection_slack": -1},
+            {"workloads": ()},
+            {"workloads": ("gcc", "spice")},
+        ],
+    )
+    def test_arch_config_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            ArchCampaignConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"trials_per_workload": 0},
+            {"injection_points": 0},
+            {"injection_points": 50, "trials_per_workload": 10},
+            {"window_cycles": 0},
+            {"warmup_cycles": -1},
+            {"seed": -1},
+            {"workload_scale": 0},
+            {"max_golden_cycles": 0},
+            {"workloads": ()},
+            {"workloads": ("gcc", "spice")},
+        ],
+    )
+    def test_uarch_config_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            UarchCampaignConfig(**kwargs)

@@ -63,6 +63,95 @@ class TestCampaign:
         with pytest.raises(SystemExit):
             main(["campaign", "arch", "--workloads", "gcc,bogus"])
 
+    def test_journal_and_status_round_trip(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.jsonl")
+        assert main(
+            ["campaign", "arch", "--trials", "6", "--workloads", "gcc",
+             "--journal", journal]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Harness outcomes" in out and "harness-crash" in out
+        assert main(["campaign", "status", journal]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out and "gcc" in out
+
+    def test_resume_skips_journaled_trials(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.jsonl")
+        main(["campaign", "arch", "--trials", "6", "--workloads", "gcc",
+              "--journal", journal])
+        capsys.readouterr()
+        assert main(
+            ["campaign", "arch", "--trials", "6", "--workloads", "gcc",
+             "--journal", journal, "--resume"]
+        ) == 0
+        assert "trials executed: 0" in capsys.readouterr().out
+
+    def test_parallel_campaign(self, capsys):
+        assert main(
+            ["campaign", "arch", "--trials", "6",
+             "--workloads", "gcc,gzip", "--jobs", "2"]
+        ) == 0
+        assert "jobs: 2" in capsys.readouterr().out
+
+
+class TestCampaignHardening:
+    def test_zero_trials_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="invalid campaign configuration"):
+            main(["campaign", "arch", "--trials", "0", "--workloads", "gcc"])
+
+    def test_negative_seed_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="seed"):
+            main(["campaign", "uarch", "--trials", "6", "--seed", "-3",
+                  "--workloads", "gcc"])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["campaign", "arch", "--trials", "6", "--jobs", "0",
+                  "--workloads", "gcc"])
+
+    def test_bad_trial_timeout_rejected(self):
+        with pytest.raises(SystemExit, match="--trial-timeout"):
+            main(["campaign", "arch", "--trials", "6", "--trial-timeout",
+                  "0", "--workloads", "gcc"])
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SystemExit, match="--resume requires --journal"):
+            main(["campaign", "arch", "--trials", "6", "--resume",
+                  "--workloads", "gcc"])
+
+    def test_existing_journal_requires_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.jsonl")
+        main(["campaign", "arch", "--trials", "6", "--workloads", "gcc",
+              "--journal", journal])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="--resume"):
+            main(["campaign", "arch", "--trials", "6", "--workloads", "gcc",
+                  "--journal", journal])
+
+    def test_status_requires_path(self):
+        with pytest.raises(SystemExit, match="journal path"):
+            main(["campaign", "status"])
+
+    def test_status_missing_journal(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such journal"):
+            main(["campaign", "status", str(tmp_path / "nope.jsonl")])
+
+    def test_positional_journal_only_for_status(self, tmp_path):
+        with pytest.raises(SystemExit, match="--journal"):
+            main(["campaign", "arch", str(tmp_path / "run.jsonl")])
+
+    def test_inject_zero_cycle_rejected(self):
+        with pytest.raises(SystemExit, match="--cycle"):
+            main(["inject", "gcc", "--cycle", "0"])
+
+    def test_inject_negative_seed_rejected(self):
+        with pytest.raises(SystemExit, match="--seed"):
+            main(["inject", "gcc", "--seed", "-1"])
+
+    def test_inject_max_cycles_must_exceed_cycle(self):
+        with pytest.raises(SystemExit, match="--max-cycles"):
+            main(["inject", "gcc", "--cycle", "500", "--max-cycles", "400"])
+
 
 class TestFitAndPerf:
     def test_fit_table(self, capsys):

@@ -1,0 +1,110 @@
+"""Append-only JSONL journal and manifest helpers."""
+
+import json
+
+import pytest
+
+from repro.faults import ArchCampaignConfig
+from repro.util.journal import (
+    JournalError,
+    JournalWriter,
+    config_to_dict,
+    read_journal,
+    repair_tail,
+    stable_digest,
+)
+
+
+class TestWriterReader:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with JournalWriter(path) as writer:
+            writer.write({"kind": "manifest", "seed": 7})
+            writer.write({"kind": "trial", "key": "gcc:5:0"})
+        entries = read_journal(path)
+        assert entries == [
+            {"kind": "manifest", "seed": 7},
+            {"kind": "trial", "key": "gcc:5:0"},
+        ]
+
+    def test_append_mode_preserves_existing_entries(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with JournalWriter(path) as writer:
+            writer.write({"n": 1})
+        with JournalWriter(path, append=True) as writer:
+            writer.write({"n": 2})
+        assert [entry["n"] for entry in read_journal(path)] == [1, 2]
+
+    def test_write_after_close_rejected(self, tmp_path):
+        writer = JournalWriter(str(tmp_path / "run.jsonl"))
+        writer.close()
+        with pytest.raises(JournalError):
+            writer.write({"n": 1})
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "run.jsonl")
+        with JournalWriter(path) as writer:
+            writer.write({"n": 1})
+        assert read_journal(path) == [{"n": 1}]
+
+
+class TestTornLines:
+    def test_torn_trailing_line_dropped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps({"n": 1}) + "\n" + '{"kind": "trial", "key": "gc'
+        )
+        assert read_journal(str(path)) == [{"n": 1}]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"n": 1}\nnot json at all\n{"n": 3}\n')
+        with pytest.raises(JournalError, match="corrupt"):
+            read_journal(str(path))
+
+    def test_repair_tail_truncates_torn_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"n": 1}\n{"kind": "trial", "key": "gc')
+        repair_tail(str(path))
+        assert path.read_text() == '{"n": 1}\n'
+
+    def test_repair_tail_restores_missing_newline(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"n": 1}\n{"n": 2}')
+        repair_tail(str(path))
+        assert read_journal(str(path)) == [{"n": 1}, {"n": 2}]
+        assert path.read_text().endswith("\n")
+
+    def test_append_after_torn_line_keeps_journal_readable(self, tmp_path):
+        # Without tail repair the appended entries would land after the
+        # torn fragment, turning it into mid-file corruption that poisons
+        # every later read.
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"n": 1}\n{"kind": "trial", "key": "gc')
+        with JournalWriter(str(path), append=True) as writer:
+            writer.write({"n": 2})
+        assert [entry["n"] for entry in read_journal(str(path))] == [1, 2]
+        # A second append/read cycle must also stay clean.
+        with JournalWriter(str(path), append=True) as writer:
+            writer.write({"n": 3})
+        assert [entry["n"] for entry in read_journal(str(path))] == [1, 2, 3]
+
+
+class TestDigests:
+    def test_digest_is_stable(self):
+        config = ArchCampaignConfig(trials_per_workload=10, injection_points=5)
+        first = stable_digest(config_to_dict(config))
+        second = stable_digest(config_to_dict(
+            ArchCampaignConfig(trials_per_workload=10, injection_points=5)
+        ))
+        assert first == second
+
+    def test_digest_tracks_config_changes(self):
+        base = config_to_dict(ArchCampaignConfig())
+        changed = config_to_dict(ArchCampaignConfig(seed=2006))
+        assert stable_digest(base) != stable_digest(changed)
+
+    def test_config_dict_is_json_serializable(self):
+        as_dict = config_to_dict(ArchCampaignConfig(workloads=("gcc", "mcf")))
+        json.dumps(as_dict)  # must not raise
+        assert as_dict["workloads"] == ["gcc", "mcf"]
