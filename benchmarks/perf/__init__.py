@@ -1,0 +1,6 @@
+"""Performance microbenchmark suite for the simulation hot paths.
+
+Run ``python benchmarks/perf/perfbench.py --scale smoke`` to measure
+throughput, and ``python benchmarks/perf/compare.py`` to gate against the
+committed baseline. See README.md ("Performance") for the workflow.
+"""

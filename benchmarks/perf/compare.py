@@ -1,0 +1,119 @@
+"""Compare a perf run against the committed baseline and gate regressions.
+
+Exit status 0 when every shared throughput metric is within the allowed
+regression threshold (and any ``--require`` floors hold), 1 on usage or
+schema errors, 2 when the gate fails. Usage::
+
+    python benchmarks/perf/compare.py benchmarks/out/perf_baseline.json \
+        benchmarks/out/perf_current.json --threshold 0.15 \
+        --require arch_speedup=3.0 --require uarch_speedup=1.5
+
+All metrics are higher-is-better throughputs or ratios. A regression of
+more than ``--threshold`` (fractional, default 0.15) on any metric fails
+the gate; ``--require name=floor`` additionally fails when the current
+value of ``name`` is below ``floor`` (used for the machine-independent
+speedup ratios, which do not drift with runner hardware).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA = "repro-perf/1"
+
+
+def load_report(path: str) -> dict:
+    with open(path) as handle:
+        report = json.load(handle)
+    schema = report.get("schema")
+    if schema != EXPECTED_SCHEMA:
+        raise ValueError(f"{path}: unexpected schema {schema!r}")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError(f"{path}: no metrics")
+    for name, entry in metrics.items():
+        if not isinstance(entry.get("value"), (int, float)):
+            raise ValueError(f"{path}: metric {name} has no numeric value")
+    return report
+
+
+def parse_requirement(text: str) -> tuple[str, float]:
+    name, _, floor = text.partition("=")
+    if not name or not floor:
+        raise ValueError(f"--require expects name=floor, got {text!r}")
+    return name, float(floor)
+
+
+def compare(baseline: dict, current: dict, threshold: float,
+            requirements: list[tuple[str, float]]) -> tuple[list[str], list[str]]:
+    """Returns (report_lines, failure_lines)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    base_metrics = baseline["metrics"]
+    cur_metrics = current["metrics"]
+    shared = sorted(set(base_metrics) & set(cur_metrics))
+    if not shared:
+        failures.append("no shared metrics between baseline and current run")
+    header = f"{'metric':<26} {'baseline':>14} {'current':>14} {'change':>9}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in shared:
+        base = float(base_metrics[name]["value"])
+        cur = float(cur_metrics[name]["value"])
+        change = (cur - base) / base if base else 0.0
+        flag = ""
+        if base and change < -threshold:
+            flag = "  REGRESSION"
+            failures.append(
+                f"{name}: {cur:,.1f} is {-change:.1%} below baseline "
+                f"{base:,.1f} (threshold {threshold:.0%})"
+            )
+        lines.append(f"{name:<26} {base:>14,.1f} {cur:>14,.1f} {change:>+8.1%}{flag}")
+    missing = sorted(set(base_metrics) - set(cur_metrics))
+    for name in missing:
+        lines.append(f"{name:<26} {'(missing in current run)':>38}")
+    for name, floor in requirements:
+        entry = cur_metrics.get(name)
+        if entry is None:
+            failures.append(f"required metric {name} missing from current run")
+            continue
+        value = float(entry["value"])
+        status = "ok" if value >= floor else "BELOW FLOOR"
+        lines.append(f"require {name:<18} {floor:>14,.2f} {value:>14,.2f}  {status}")
+        if value < floor:
+            failures.append(f"{name}: {value:,.2f} is below required floor {floor:,.2f}")
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline perf JSON")
+    parser.add_argument("current", help="current perf JSON")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed fractional regression (default 0.15)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME=FLOOR",
+                        help="fail unless current metric NAME >= FLOOR")
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_report(args.baseline)
+        current = load_report(args.current)
+        requirements = [parse_requirement(text) for text in args.require]
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    lines, failures = compare(baseline, current, args.threshold, requirements)
+    print("\n".join(lines))
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 2
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,12 @@ class SparseMemory:
     def __init__(self):
         self._pages: dict[int, bytearray] = {}
         self._protection: dict[int, PageProtection] = {}
+        # Bumped by every route that can change read-only (text) bytes:
+        # mapping and the protection-bypassing loader. Consumers that cache
+        # derived views of text pages (the simulator's pre-decoded
+        # instruction cache) compare this to detect staleness — ordinary
+        # ``write`` calls cannot touch read-only pages, so they do not bump.
+        self.image_version = 0
 
     # -------------------------------------------------------------- mapping
 
@@ -53,6 +59,7 @@ class SparseMemory:
             if page not in self._pages:
                 self._pages[page] = bytearray(PAGE_SIZE)
             self._protection[page] = protection
+        self.image_version += 1
 
     def is_mapped(self, address: int) -> bool:
         return (address & MASK64) >> PAGE_SHIFT in self._pages
@@ -67,7 +74,14 @@ class SparseMemory:
     # ------------------------------------------------------------- loading
 
     def load_bytes(self, base: int, data: bytes) -> None:
-        """Write raw bytes ignoring protection (loader use only)."""
+        """Write raw bytes ignoring protection (loader and fault injection).
+
+        This is the one route that can mutate read-only text, so it bumps
+        ``image_version`` — which is what invalidates any pre-decoded
+        instruction cache built over the text segment (e.g. after a fault
+        campaign flips an instruction encoding bit in place).
+        """
+        self.image_version += 1
         address = base & MASK64
         offset = 0
         while offset < len(data):
@@ -141,6 +155,7 @@ class SparseMemory:
         copy = SparseMemory()
         copy._pages = {page: bytearray(data) for page, data in self._pages.items()}
         copy._protection = dict(self._protection)
+        copy.image_version = self.image_version
         return copy
 
     def equals(self, other: "SparseMemory") -> bool:

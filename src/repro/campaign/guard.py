@@ -9,7 +9,10 @@ Wall-clock enforcement uses ``signal.setitimer(ITIMER_REAL)``, which can
 interrupt a pure-Python busy loop. It is only armed when running on the
 main thread of a process with ``SIGALRM`` support (true for the serial
 runner and for ``concurrent.futures`` worker processes on POSIX); where
-unavailable the guard degrades to exception containment only.
+unavailable — a worker *thread*, Windows, an embedded interpreter — the
+guard degrades to exception containment only and emits one
+``RuntimeWarning`` so the degradation is visible instead of an uncaught
+``ValueError`` from ``signal.signal``.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 import signal
 import threading
 import traceback
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
@@ -42,16 +46,47 @@ def timeout_supported() -> bool:
     )
 
 
+_warned_no_timeout = False
+
+
+def _warn_no_timeout(reason: str) -> None:
+    """Warn once per process that timeouts degraded to containment-only."""
+    global _warned_no_timeout
+    if _warned_no_timeout:
+        return
+    _warned_no_timeout = True
+    warnings.warn(
+        f"trial wall-clock timeout disabled ({reason}); trials remain "
+        "exception-contained but a spinning trial can hang this runner",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
 @contextmanager
 def _wall_clock_limit(seconds: float | None):
-    if not seconds or not timeout_supported():
+    if not seconds:
+        yield
+        return
+    if not timeout_supported():
+        _warn_no_timeout(
+            "SIGALRM timers require POSIX signal support and the main thread"
+        )
         yield
         return
 
     def on_alarm(signum, frame):
         raise TrialTimeout(f"trial exceeded {seconds:g}s wall-clock budget")
 
-    previous = signal.signal(signal.SIGALRM, on_alarm)
+    try:
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+    except ValueError as exc:
+        # Belt and braces: signal.signal itself refuses outside the main
+        # thread (and the support probe can race a thread handoff), so
+        # degrade exactly as if the probe had failed.
+        _warn_no_timeout(str(exc))
+        yield
+        return
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
         yield

@@ -185,6 +185,75 @@ class DecodedInst:
         return disassemble(self.word)
 
 
+class PredecodedInst:
+    """A flattened :class:`DecodedInst` with every property precomputed.
+
+    The classification properties above re-derive their answers from the
+    opcode on every access; pipeline stages consult them several times per
+    instruction per cycle, which makes property dispatch a measurable cost.
+    This mirror exposes the same read interface as plain slot attributes,
+    computed once per distinct word and cached by the consumer (the
+    pipeline's decode cache). Both types flow through identical stage
+    code, so the slow/fast paths cannot diverge semantically.
+    """
+
+    __slots__ = (
+        "spec", "word", "ra", "rb", "rc", "is_literal", "literal", "disp",
+        "mnemonic", "opcode", "format", "is_halt", "is_load", "is_store",
+        "is_memory", "is_lda", "is_cond_branch", "is_uncond_branch",
+        "is_jump", "is_control", "is_call", "is_return", "is_cmov",
+        "inst_class", "access_size", "dest_reg", "source_regs",
+        "_branch_delta",
+    )
+
+    def __init__(self, inst: DecodedInst):
+        self.spec = inst.spec
+        self.word = inst.word
+        self.ra = inst.ra
+        self.rb = inst.rb
+        self.rc = inst.rc
+        self.is_literal = inst.is_literal
+        self.literal = inst.literal
+        self.disp = inst.disp
+        self.mnemonic = inst.mnemonic
+        self.opcode = inst.opcode
+        self.format = inst.format
+        self.is_halt = inst.is_halt
+        self.is_load = inst.is_load
+        self.is_store = inst.is_store
+        self.is_memory = inst.is_memory
+        self.is_lda = inst.is_lda
+        self.is_cond_branch = inst.is_cond_branch
+        self.is_uncond_branch = inst.is_uncond_branch
+        self.is_jump = inst.is_jump
+        self.is_control = inst.is_control
+        self.is_call = inst.is_call
+        self.is_return = inst.is_return
+        self.is_cmov = inst.is_cmov
+        self.inst_class = inst.inst_class
+        self.access_size = op.ACCESS_SIZE.get(self.opcode, 0)
+        self.dest_reg = inst.dest_reg
+        self.source_regs = inst.source_regs
+        if self.format is op.Format.BRANCH:
+            offset = self.disp
+            if offset >= 1 << 63:
+                offset -= 1 << 64
+            self._branch_delta = 4 + 4 * offset
+        else:
+            self._branch_delta = None
+
+    def branch_target(self, pc: int) -> int:
+        """Static (PC-relative) target for branch-format instructions."""
+        if self._branch_delta is None:
+            raise ValueError(f"{self.mnemonic} has no static branch target")
+        return to_unsigned64(pc + self._branch_delta)
+
+    def __str__(self) -> str:
+        from repro.isa.disassembler import disassemble
+
+        return disassemble(self.word)
+
+
 def fallthrough_pc(pc: int) -> int:
     """Address of the next sequential instruction."""
     return (pc + 4) & MASK64

@@ -7,11 +7,19 @@ the architectural simulator as a golden reference for the pipeline.
 
 Everything here is a pure function of the decoded instruction and its
 operand values. Memory access and exceptions are the caller's business.
+
+Dispatch is table-driven: each operation is one small handler function, and
+``(opcode, func)``-indexed dictionaries replace per-call ``if``/``elif``
+chains. The tables are also exported (:func:`value_handler`,
+:data:`BRANCH_PREDICATES`, :func:`load_extender`, :func:`store_mask`) so the
+architectural simulator's instruction compiler can bind a handler once per
+static instruction and skip all per-step dispatch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.isa import opcodes as op
 from repro.isa.instructions import DecodedInst
@@ -46,71 +54,186 @@ def _signed_overflows(value: int) -> bool:
     return not SIGNED_MIN <= value <= SIGNED_MAX
 
 
+# ------------------------------------------------------- operate handlers
+#
+# A "value handler" maps two unsigned-64 operands to the unsigned-64
+# result; a "trapping handler" additionally reports overflow. One handler
+# per operation — these small functions *are* the semantics, and every
+# dispatch path (table lookup here, bound closure in the simulator) calls
+# the same object.
+
+
+def _addl(a: int, b: int) -> int:
+    return sign_extend((a + b) & MASK32, 32)
+
+
+def _subl(a: int, b: int) -> int:
+    return sign_extend((a - b) & MASK32, 32)
+
+
+def _addq(a: int, b: int) -> int:
+    return (a + b) & MASK64
+
+
+def _subq(a: int, b: int) -> int:
+    return (a - b) & MASK64
+
+
+def _cmpeq(a: int, b: int) -> int:
+    return 1 if a == b else 0
+
+
+def _cmplt(a: int, b: int) -> int:
+    return 1 if to_signed64(a) < to_signed64(b) else 0
+
+
+def _cmple(a: int, b: int) -> int:
+    return 1 if to_signed64(a) <= to_signed64(b) else 0
+
+
+def _cmpult(a: int, b: int) -> int:
+    return 1 if a < b else 0
+
+
+def _cmpule(a: int, b: int) -> int:
+    return 1 if a <= b else 0
+
+
+def _and(a: int, b: int) -> int:
+    return a & b
+
+
+def _bic(a: int, b: int) -> int:
+    return a & ~b & MASK64
+
+
+def _bis(a: int, b: int) -> int:
+    return a | b
+
+
+def _ornot(a: int, b: int) -> int:
+    return (a | (~b & MASK64)) & MASK64
+
+
+def _xor(a: int, b: int) -> int:
+    return a ^ b
+
+
+def _eqv(a: int, b: int) -> int:
+    return (a ^ b) ^ MASK64
+
+
+def _sll(a: int, b: int) -> int:
+    return (a << (b & 0x3F)) & MASK64
+
+
+def _srl(a: int, b: int) -> int:
+    return a >> (b & 0x3F)
+
+
+def _sra(a: int, b: int) -> int:
+    return to_unsigned64(to_signed64(a) >> (b & 0x3F))
+
+
+def _mull(a: int, b: int) -> int:
+    return sign_extend((a * b) & MASK32, 32)
+
+
+def _mulq(a: int, b: int) -> int:
+    return (a * b) & MASK64
+
+
+def _umulh(a: int, b: int) -> int:
+    return ((a * b) >> 64) & MASK64
+
+
+def _addqv(a: int, b: int) -> tuple[int, bool]:
+    total = to_signed64(a) + to_signed64(b)
+    return to_unsigned64(total), _signed_overflows(total)
+
+
+def _subqv(a: int, b: int) -> tuple[int, bool]:
+    total = to_signed64(a) - to_signed64(b)
+    return to_unsigned64(total), _signed_overflows(total)
+
+
+def _mulqv(a: int, b: int) -> tuple[int, bool]:
+    product = to_signed64(a) * to_signed64(b)
+    return to_unsigned64(product), _signed_overflows(product)
+
+
+VALUE_HANDLERS: dict[tuple[int, int], Callable[[int, int], int]] = {
+    (op.OP_INTA, op.FUNC_ADDL): _addl,
+    (op.OP_INTA, op.FUNC_SUBL): _subl,
+    (op.OP_INTA, op.FUNC_ADDQ): _addq,
+    (op.OP_INTA, op.FUNC_SUBQ): _subq,
+    (op.OP_INTA, op.FUNC_CMPEQ): _cmpeq,
+    (op.OP_INTA, op.FUNC_CMPLT): _cmplt,
+    (op.OP_INTA, op.FUNC_CMPLE): _cmple,
+    (op.OP_INTA, op.FUNC_CMPULT): _cmpult,
+    (op.OP_INTA, op.FUNC_CMPULE): _cmpule,
+    (op.OP_INTL, op.FUNC_AND): _and,
+    (op.OP_INTL, op.FUNC_BIC): _bic,
+    (op.OP_INTL, op.FUNC_BIS): _bis,
+    (op.OP_INTL, op.FUNC_ORNOT): _ornot,
+    (op.OP_INTL, op.FUNC_XOR): _xor,
+    (op.OP_INTL, op.FUNC_EQV): _eqv,
+    (op.OP_INTS, op.FUNC_SLL): _sll,
+    (op.OP_INTS, op.FUNC_SRL): _srl,
+    (op.OP_INTS, op.FUNC_SRA): _sra,
+    (op.OP_INTM, op.FUNC_MULL): _mull,
+    (op.OP_INTM, op.FUNC_MULQ): _mulq,
+    (op.OP_INTM, op.FUNC_UMULH): _umulh,
+}
+
+TRAPPING_HANDLERS: dict[tuple[int, int], Callable[[int, int], tuple[int, bool]]] = {
+    (op.OP_INTA, op.FUNC_ADDQV): _addqv,
+    (op.OP_INTA, op.FUNC_SUBQV): _subqv,
+    (op.OP_INTM, op.FUNC_MULQV): _mulqv,
+}
+
+_CMOV_FUNCS = frozenset(
+    (op.FUNC_CMOVEQ, op.FUNC_CMOVNE, op.FUNC_CMOVLT, op.FUNC_CMOVGE)
+)
+
+_OPCODE_GROUPS = {
+    op.OP_INTA: "INTA",
+    op.OP_INTL: "INTL",
+    op.OP_INTS: "INTS",
+    op.OP_INTM: "INTM",
+}
+
+
+def value_handler(inst: DecodedInst) -> Callable[[int, int], int] | None:
+    """The non-trapping value handler for an operate instruction, if any."""
+    return VALUE_HANDLERS.get((inst.opcode, inst.spec.func))
+
+
+def trapping_handler(
+    inst: DecodedInst,
+) -> Callable[[int, int], tuple[int, bool]] | None:
+    """The overflow-reporting handler for a *V operate instruction, if any."""
+    return TRAPPING_HANDLERS.get((inst.opcode, inst.spec.func))
+
+
 def execute_operate(inst: DecodedInst, a: int, b: int) -> OperateResult:
     """Compute an operate-format instruction on unsigned-64 operands."""
     opcode = inst.opcode
     func = inst.spec.func
-    if opcode == op.OP_INTA:
-        return _execute_arith(func, a, b)
-    if opcode == op.OP_INTL:
-        return _execute_logic(func, a, b)
-    if opcode == op.OP_INTS:
-        return _execute_shift(func, a, b)
-    if opcode == op.OP_INTM:
-        return _execute_multiply(func, a, b)
-    raise ValueError(f"{inst.mnemonic} is not an operate instruction")
-
-
-def _execute_arith(func: int, a: int, b: int) -> OperateResult:
-    signed_a = to_signed64(a)
-    signed_b = to_signed64(b)
-    if func == op.FUNC_ADDL:
-        return OperateResult(sign_extend((a + b) & MASK32, 32))
-    if func == op.FUNC_SUBL:
-        return OperateResult(sign_extend((a - b) & MASK32, 32))
-    if func == op.FUNC_ADDQ:
-        return OperateResult(to_unsigned64(a + b))
-    if func == op.FUNC_SUBQ:
-        return OperateResult(to_unsigned64(a - b))
-    if func == op.FUNC_ADDQV:
-        total = signed_a + signed_b
-        return OperateResult(to_unsigned64(total), overflow=_signed_overflows(total))
-    if func == op.FUNC_SUBQV:
-        total = signed_a - signed_b
-        return OperateResult(to_unsigned64(total), overflow=_signed_overflows(total))
-    if func == op.FUNC_CMPEQ:
-        return OperateResult(1 if a == b else 0)
-    if func == op.FUNC_CMPLT:
-        return OperateResult(1 if signed_a < signed_b else 0)
-    if func == op.FUNC_CMPLE:
-        return OperateResult(1 if signed_a <= signed_b else 0)
-    if func == op.FUNC_CMPULT:
-        return OperateResult(1 if a < b else 0)
-    if func == op.FUNC_CMPULE:
-        return OperateResult(1 if a <= b else 0)
-    raise ValueError(f"unknown INTA function 0x{func:02x}")
-
-
-def _execute_logic(func: int, a: int, b: int) -> OperateResult:
-    if func == op.FUNC_AND:
-        return OperateResult(a & b)
-    if func == op.FUNC_BIC:
-        return OperateResult(a & ~b & MASK64)
-    if func == op.FUNC_BIS:
-        return OperateResult(a | b)
-    if func == op.FUNC_ORNOT:
-        return OperateResult((a | (~b & MASK64)) & MASK64)
-    if func == op.FUNC_XOR:
-        return OperateResult(a ^ b)
-    if func == op.FUNC_EQV:
-        return OperateResult((a ^ b) ^ MASK64)
-    if func == op.FUNC_CMOVEQ:
-        # CMOV semantics: result is B when the condition on A holds, else the
-        # old RC value. The caller merges; we report the condition via value.
+    handler = VALUE_HANDLERS.get((opcode, func))
+    if handler is not None:
+        return OperateResult(handler(a, b))
+    trapping = TRAPPING_HANDLERS.get((opcode, func))
+    if trapping is not None:
+        value, overflow = trapping(a, b)
+        return OperateResult(value, overflow=overflow)
+    if opcode == op.OP_INTL and func in _CMOV_FUNCS:
+        # CMOV also reads RC; the caller merges via execute_cmov.
         raise ValueError("CMOV must be executed with execute_cmov")
-    if func in (op.FUNC_CMOVNE, op.FUNC_CMOVLT, op.FUNC_CMOVGE):
-        raise ValueError("CMOV must be executed with execute_cmov")
-    raise ValueError(f"unknown INTL function 0x{func:02x}")
+    group = _OPCODE_GROUPS.get(opcode)
+    if group is None:
+        raise ValueError(f"{inst.mnemonic} is not an operate instruction")
+    raise ValueError(f"unknown {group} function 0x{func:02x}")
 
 
 def is_cmov(inst: DecodedInst) -> bool:
@@ -118,88 +241,76 @@ def is_cmov(inst: DecodedInst) -> bool:
     return inst.is_cmov
 
 
+CMOV_PREDICATES: dict[int, Callable[[int], bool]] = {
+    op.FUNC_CMOVEQ: lambda a: a == 0,
+    op.FUNC_CMOVNE: lambda a: a != 0,
+    op.FUNC_CMOVLT: lambda a: to_signed64(a) < 0,
+    op.FUNC_CMOVGE: lambda a: to_signed64(a) >= 0,
+}
+
+
+def cmov_predicate(inst: DecodedInst) -> Callable[[int], bool]:
+    """The take-condition predicate of a conditional move."""
+    predicate = CMOV_PREDICATES.get(inst.spec.func)
+    if predicate is None:
+        raise ValueError(f"{inst.mnemonic} is not a conditional move")
+    return predicate
+
+
 def execute_cmov(inst: DecodedInst, a: int, b: int, old_rc: int) -> OperateResult:
     """Conditional move: RC = B if cond(A) else old RC."""
-    func = inst.spec.func
-    signed_a = to_signed64(a)
-    if func == op.FUNC_CMOVEQ:
-        take = a == 0
-    elif func == op.FUNC_CMOVNE:
-        take = a != 0
-    elif func == op.FUNC_CMOVLT:
-        take = signed_a < 0
-    elif func == op.FUNC_CMOVGE:
-        take = signed_a >= 0
-    else:
-        raise ValueError(f"{inst.mnemonic} is not a conditional move")
-    return OperateResult(b if take else old_rc)
+    return OperateResult(b if cmov_predicate(inst)(a) else old_rc)
 
 
-def _execute_shift(func: int, a: int, b: int) -> OperateResult:
-    amount = b & 0x3F
-    if func == op.FUNC_SLL:
-        return OperateResult((a << amount) & MASK64)
-    if func == op.FUNC_SRL:
-        return OperateResult(a >> amount)
-    if func == op.FUNC_SRA:
-        return OperateResult(to_unsigned64(to_signed64(a) >> amount))
-    raise ValueError(f"unknown INTS function 0x{func:02x}")
+BRANCH_PREDICATES: dict[int, Callable[[int], bool]] = {
+    op.OP_BEQ: lambda a: a == 0,
+    op.OP_BNE: lambda a: a != 0,
+    op.OP_BLT: lambda a: to_signed64(a) < 0,
+    op.OP_BGE: lambda a: to_signed64(a) >= 0,
+    op.OP_BLE: lambda a: to_signed64(a) <= 0,
+    op.OP_BGT: lambda a: to_signed64(a) > 0,
+    op.OP_BLBC: lambda a: (a & 1) == 0,
+    op.OP_BLBS: lambda a: (a & 1) == 1,
+}
 
 
-def _execute_multiply(func: int, a: int, b: int) -> OperateResult:
-    if func == op.FUNC_MULL:
-        return OperateResult(sign_extend((a * b) & MASK32, 32))
-    if func == op.FUNC_MULQ:
-        return OperateResult((a * b) & MASK64)
-    if func == op.FUNC_UMULH:
-        return OperateResult(((a * b) >> 64) & MASK64)
-    if func == op.FUNC_MULQV:
-        product = to_signed64(a) * to_signed64(b)
-        return OperateResult(
-            to_unsigned64(product), overflow=_signed_overflows(product)
-        )
-    raise ValueError(f"unknown INTM function 0x{func:02x}")
+def branch_predicate(inst: DecodedInst) -> Callable[[int], bool]:
+    """The taken-condition predicate of a conditional branch."""
+    predicate = BRANCH_PREDICATES.get(inst.opcode)
+    if predicate is None:
+        raise ValueError(f"{inst.mnemonic} is not a conditional branch")
+    return predicate
 
 
 def branch_taken(inst: DecodedInst, a: int) -> bool:
     """Evaluate a conditional branch's condition on the RA operand."""
-    opcode = inst.opcode
-    signed_a = to_signed64(a)
-    if opcode == op.OP_BEQ:
-        return a == 0
-    if opcode == op.OP_BNE:
-        return a != 0
-    if opcode == op.OP_BLT:
-        return signed_a < 0
-    if opcode == op.OP_BGE:
-        return signed_a >= 0
-    if opcode == op.OP_BLE:
-        return signed_a <= 0
-    if opcode == op.OP_BGT:
-        return signed_a > 0
-    if opcode == op.OP_BLBC:
-        return (a & 1) == 0
-    if opcode == op.OP_BLBS:
-        return (a & 1) == 1
-    raise ValueError(f"{inst.mnemonic} is not a conditional branch")
+    return branch_predicate(inst)(a)
+
+
+def signed_displacement(inst: DecodedInst) -> int:
+    """The memory-format displacement as a signed integer."""
+    offset = inst.disp
+    if offset >= 1 << 63:
+        offset -= 1 << 64
+    return offset
 
 
 def effective_address(inst: DecodedInst, base: int) -> int:
     """Base-plus-displacement address of a memory operation."""
-    offset = inst.disp
-    if offset >= 1 << 63:
-        offset -= 1 << 64
-    return to_unsigned64(base + offset)
+    return (base + signed_displacement(inst)) & MASK64
+
+
+def lda_displacement(inst: DecodedInst) -> int:
+    """The signed displacement of LDA / LDAH (scaled for LDAH)."""
+    offset = signed_displacement(inst)
+    if inst.opcode == op.OP_LDAH:
+        offset *= 65536
+    return offset
 
 
 def lda_value(inst: DecodedInst, base: int) -> int:
     """Result of LDA / LDAH (address arithmetic, no memory access)."""
-    offset = inst.disp
-    if offset >= 1 << 63:
-        offset -= 1 << 64
-    if inst.opcode == op.OP_LDAH:
-        offset *= 65536
-    return to_unsigned64(base + offset)
+    return (base + lda_displacement(inst)) & MASK64
 
 
 def jump_target(rb_value: int) -> int:
@@ -207,25 +318,41 @@ def jump_target(rb_value: int) -> int:
     return rb_value & ~0x3 & MASK64
 
 
+LOAD_EXTENDERS: dict[int, Callable[[int], int]] = {
+    op.OP_LDBU: lambda raw: raw & 0xFF,
+    op.OP_LDL: lambda raw: sign_extend(raw & MASK32, 32),
+    op.OP_LDQ: lambda raw: raw & MASK64,
+}
+
+
+def load_extender(inst: DecodedInst) -> Callable[[int], int]:
+    """The raw-bytes-to-register extension function of a load."""
+    extender = LOAD_EXTENDERS.get(inst.opcode)
+    if extender is None:
+        raise ValueError(f"{inst.mnemonic} is not a load")
+    return extender
+
+
 def extend_loaded(inst: DecodedInst, raw: int) -> int:
     """Extend raw loaded bytes per the load flavour."""
-    opcode = inst.opcode
-    if opcode == op.OP_LDBU:
-        return raw & 0xFF
-    if opcode == op.OP_LDL:
-        return sign_extend(raw & MASK32, 32)
-    if opcode == op.OP_LDQ:
-        return raw & MASK64
-    raise ValueError(f"{inst.mnemonic} is not a load")
+    return load_extender(inst)(raw)
+
+
+STORE_MASKS: dict[int, int] = {
+    op.OP_STB: 0xFF,
+    op.OP_STL: MASK32,
+    op.OP_STQ: MASK64,
+}
+
+
+def store_mask(inst: DecodedInst) -> int:
+    """The access-width mask applied to store data."""
+    mask = STORE_MASKS.get(inst.opcode)
+    if mask is None:
+        raise ValueError(f"{inst.mnemonic} is not a store")
+    return mask
 
 
 def store_value(inst: DecodedInst, value: int) -> int:
     """Truncate the store data to the access width."""
-    opcode = inst.opcode
-    if opcode == op.OP_STB:
-        return value & 0xFF
-    if opcode == op.OP_STL:
-        return value & MASK32
-    if opcode == op.OP_STQ:
-        return value & MASK64
-    raise ValueError(f"{inst.mnemonic} is not a store")
+    return value & store_mask(inst)

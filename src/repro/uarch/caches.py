@@ -34,12 +34,15 @@ class SetAssociativeCache:
 
     def access(self, address: int) -> bool:
         """Access a line; returns True on hit. Misses fill (allocate)."""
-        set_index, tag = self._set_tag(address)
+        line = address // self.line_bytes
+        set_index = line % self.sets
+        tag = line // self.sets
         tags = self._tags[set_index]
         order = self._order[set_index]
         for position, way in enumerate(order):
             if tags[way] == tag:
-                order.insert(0, order.pop(position))
+                if position:  # already MRU otherwise; moving is a no-op
+                    order.insert(0, order.pop(position))
                 self.hits += 1
                 return True
         # Miss: replace the LRU way.

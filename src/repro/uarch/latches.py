@@ -100,10 +100,18 @@ class StateRegistry:
         base_name: str,
         storage: list[int],
         width: int,
+        on_set: Callable[[], None] | None = None,
     ) -> None:
         """Register every slot of a list of ints (an SRAM array or a latch
         bank). The list object must stay in place — slots are accessed by
-        index through closures."""
+        index through closures.
+
+        ``on_set``, when given, fires after every write through the
+        registered setter — i.e. on fault injection (:meth:`StateField.flip`)
+        and on :meth:`restore`, but not on the structure's own direct list
+        writes. Structures use it to invalidate derived lookup indexes
+        (e.g. the scheduler's wakeup index) when state changes behind
+        their back."""
 
         def make_get(index: int) -> Callable[[], int]:
             return lambda: storage[index]
@@ -111,10 +119,18 @@ class StateRegistry:
         def make_set(index: int) -> Callable[[int], None]:
             mask = (1 << width) - 1
 
-            def setter(value: int, index: int = index) -> None:
-                storage[index] = value & mask
+            if on_set is None:
 
-            return setter
+                def setter(value: int, index: int = index) -> None:
+                    storage[index] = value & mask
+
+                return setter
+
+            def notifying_setter(value: int, index: int = index) -> None:
+                storage[index] = value & mask
+                on_set()
+
+            return notifying_setter
 
         for index in range(len(storage)):
             self.register(

@@ -22,9 +22,10 @@ from dataclasses import dataclass
 
 from repro.arch.exceptions import AccessViolation
 from repro.arch.memory import PageProtection, SparseMemory
+from repro.isa import opcodes as op
 from repro.isa import semantics
 from repro.isa.encoding import try_decode_word
-from repro.isa.instructions import DecodedInst, InstClass
+from repro.isa.instructions import DecodedInst, InstClass, PredecodedInst
 from repro.isa.program import STACK_BYTES, STACK_TOP, Program
 from repro.isa.registers import REG_GP, REG_SP
 from repro.uarch.branch_predictor import (
@@ -55,6 +56,9 @@ from repro.uarch.structures import (
     StoreQueue,
 )
 from repro.util.bitops import MASK64
+
+# Instruction classes sharing the ALU functional units at issue.
+_ALU_CLASSES = (InstClass.ALU, InstClass.MULTIPLY)
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,9 +99,14 @@ class Pipeline:
         config: PipelineConfig | None = None,
         collect_retired: bool = False,
         record_cache_symptoms: bool = False,
+        fast: bool = True,
     ):
         self.config = config or PipelineConfig()
         self.memory = memory
+        # fast=False selects the unoptimised reference path — per-access
+        # property decode, full-scan wakeup, unconditional retire records —
+        # kept as the differential-testing anchor for the fast path.
+        self.fast = fast
         self.registry = StateRegistry()
         cfg = self.config
 
@@ -112,6 +121,7 @@ class Pipeline:
         self.ldq = LoadQueue(cfg, self.registry)
         self.stq = StoreQueue(cfg, self.registry)
         self.storebuf = StoreBuffer(cfg, self.registry)
+        self.sched.use_wakeup_index = fast
         self._fetch_pc = [entry_pc]
         self.registry.register_list("fetch", "data", "fetch.pc", self._fetch_pc, 64)
 
@@ -177,16 +187,32 @@ class Pipeline:
         # to defer the free of a retiring instruction's old mapping.
         self.preg_free_hook = None
 
-        # Decode cache (pure word -> DecodedInst | None).
-        self._decode_cache: dict[int, DecodedInst | None] = {}
+        # Decode cache: pure word -> decoded record (or None for an illegal
+        # word). The fast path caches flattened PredecodedInst records so
+        # classification is paid once per distinct word instead of through
+        # property calls on every access; the reference path caches plain
+        # DecodedInst exactly as the unoptimised pipeline did. Both types
+        # expose the same read interface, so all stage code is shared.
+        self._decode_cache: dict[int, DecodedInst | PredecodedInst | None] = {}
+        # Per-cycle scratch reused by the issue stage (fast path only).
+        self._issue_scratch: list[tuple[int, int]] = []
+        # Fast-path fetch cache: pc -> (word, decoded) for instructions on
+        # READ_ONLY pages. Stores can never write those pages (the bus drops
+        # the access), so the only way the word under a pc changes is a
+        # load_bytes/map_region call — which bumps memory.image_version and
+        # invalidates the whole cache at the top of the next fetch stage.
+        self._fetch_cache: dict[int, tuple[int, DecodedInst | PredecodedInst | None]] = {}
+        self._fetch_cache_version = memory.image_version
 
     # ------------------------------------------------------------ utilities
 
-    def _decode(self, word: int) -> DecodedInst | None:
+    def _decode(self, word: int) -> DecodedInst | PredecodedInst | None:
         cached = self._decode_cache.get(word, False)
         if cached is not False:
             return cached
         inst = try_decode_word(word)
+        if inst is not None and self.fast:
+            inst = PredecodedInst(inst)
         self._decode_cache[word] = inst
         return inst
 
@@ -213,10 +239,11 @@ class Pipeline:
     def run(self, max_cycles: int, max_retired: int | None = None) -> None:
         """Advance until halt, stop, or a cycle/retirement budget expires."""
         target_cycle = self.cycle_count + max_cycles
-        while self.running and self.cycle_count < target_cycle:
+        step = self.step_cycle
+        while not (self.halted or self.stopped) and self.cycle_count < target_cycle:
             if max_retired is not None and self.retired_count >= max_retired:
                 break
-            self.step_cycle()
+            step()
 
     def step_cycle(self) -> None:
         """Advance the machine by one clock cycle."""
@@ -225,9 +252,9 @@ class Pipeline:
             self.pre_cycle_hook()
         retired_before = self.retired_count
         self._process_events()
-        if self.running:
+        if not (self.halted or self.stopped):
             self._retire_stage()
-        if self.running:
+        if not (self.halted or self.stopped):
             self._issue_stage()
             self._rename_stage()
             self._fetch_stage()
@@ -270,11 +297,22 @@ class Pipeline:
         if self.retire_stall:
             return
         rob = self.rob
+        # Building a RetiredInst per retirement is pure observability; skip
+        # the allocation when nobody is listening (fast path only — the
+        # reference path keeps the unoptimised allocation behaviour).
+        observe = (
+            self.retired_log is not None
+            or self.on_retire is not None
+            or not self.fast
+        )
+        rob_count = rob._count
+        rob_valid = rob.valid
+        rob_done = rob.done
         for _ in range(self.config.retire_width):
-            if rob.count == 0:
+            if rob_count[0] == 0:
                 return
-            index = rob.head
-            if not rob.valid[index] or not rob.done[index]:
+            index = rob._head[0]
+            if not rob_valid[index] or not rob_done[index]:
                 return
             exc = rob.exc[index]
             pc = rob.pc[index]
@@ -325,32 +363,33 @@ class Pipeline:
                             except AccessViolation:
                                 pass
                 store_addr, store_data, store_size = self._retire_store(index)
-            if rob.is_branch[index] and rob.actual_taken[index]:
-                next_pc = rob.actual_target[index]
-            else:
-                next_pc = (pc + 4) & MASK64
             if rob.is_branch[index] and self.branch_oracle is not None:
                 self.branch_oracle.on_retire(pc)
             is_load = bool(rob.is_load[index])
-            load_addr = -1
-            if is_load:
-                load_addr = self.ldq.addr[rob.lsq_idx[index] % self.ldq.size]
-            self._record_retired(
-                RetiredInst(
-                    pc,
-                    dest,
-                    value,
-                    store_addr,
-                    store_data,
-                    store_size,
-                    EXC_NONE,
-                    bool(rob.is_cond[index]),
-                    bool(rob.actual_taken[index]),
-                    next_pc,
-                    is_load,
-                    load_addr,
+            if observe:
+                if rob.is_branch[index] and rob.actual_taken[index]:
+                    next_pc = rob.actual_target[index]
+                else:
+                    next_pc = (pc + 4) & MASK64
+                load_addr = -1
+                if is_load:
+                    load_addr = self.ldq.addr[rob.lsq_idx[index] % self.ldq.size]
+                self._record_retired(
+                    RetiredInst(
+                        pc,
+                        dest,
+                        value,
+                        store_addr,
+                        store_data,
+                        store_size,
+                        EXC_NONE,
+                        bool(rob.is_cond[index]),
+                        bool(rob.actual_taken[index]),
+                        next_pc,
+                        is_load,
+                        load_addr,
+                    )
                 )
-            )
             if is_load:
                 self.ldq.valid[rob.lsq_idx[index] % self.ldq.size] = 0
             self._pop_rob_head(index)
@@ -360,9 +399,14 @@ class Pipeline:
                 self._drain_store_buffer()
 
     def _pop_rob_head(self, index: int) -> None:
-        self.rob.valid[index] = 0
-        self.rob.head = index + 1
-        self.rob.count -= 1
+        rob = self.rob
+        rob.valid[index] = 0
+        rob._head[0] = (index + 1) % rob.size
+        # Callers only pop when count > 0, so the decrement cannot go
+        # negative; the upper clamp matters when injection has flipped a
+        # high bit of the count register (the property clamped to size).
+        count = rob._count[0] - 1
+        rob._count[0] = count if count < rob.size else rob.size
 
     def _retire_store(self, rob_index: int) -> tuple[int, int, int]:
         stq = self.stq
@@ -414,28 +458,47 @@ class Pipeline:
     def _issue_stage(self) -> None:
         cfg = self.config
         sched = self.sched
-        candidates = []
+        rob = self.rob
+        valid = sched.valid
+        issued_flags = sched.issued
+        src1_ready = sched.src1_ready
+        src2_ready = sched.src2_ready
+        src3_ready = sched.src3_ready
+        sched_rob_idx = sched.rob_idx
+        rob_head = rob._head[0]
+        rob_size = rob.size
+        if self.fast:
+            candidates = self._issue_scratch
+            candidates.clear()
+        else:
+            candidates = []
         for slot in range(sched.size):
-            if not sched.valid[slot] or sched.issued[slot]:
+            if not valid[slot] or issued_flags[slot]:
                 continue
-            if not (
-                sched.src1_ready[slot]
-                and sched.src2_ready[slot]
-                and sched.src3_ready[slot]
-            ):
+            if not (src1_ready[slot] and src2_ready[slot] and src3_ready[slot]):
                 continue
-            rob_idx = sched.rob_idx[slot]
-            candidates.append((self.rob.age_of(rob_idx), slot))
+            # Inlined rob.age_of: distance from head (0 = oldest in flight).
+            candidates.append(((sched_rob_idx[slot] - rob_head) % rob_size, slot))
+        if not candidates:
+            return
         candidates.sort()
         alu_free = cfg.alu_units
         branch_free = cfg.branch_units
         agen_free = cfg.agen_units
+        issue_width = cfg.issue_width
+        decode_cache = self._decode_cache
+        sched_word = sched.word
+        rob_seq = rob.seq
+        wheel = self._events
+        exec_cycle = self.cycle_count + max(1, cfg.regread_delay)
         issued = 0
         for _, slot in candidates:
-            if issued >= cfg.issue_width:
+            if issued >= issue_width:
                 break
-            inst = self._decode(self.sched.word[slot])
-            if inst is None or inst.inst_class in (InstClass.ALU, InstClass.MULTIPLY):
+            inst = decode_cache.get(sched_word[slot], False)
+            if inst is False:
+                inst = self._decode(sched_word[slot])
+            if inst is None or inst.inst_class in _ALU_CLASSES:
                 if alu_free == 0:
                     continue
                 alu_free -= 1
@@ -447,12 +510,14 @@ class Pipeline:
                 if agen_free == 0:
                     continue
                 agen_free -= 1
-            sched.issued[slot] = 1
-            rob_idx = sched.rob_idx[slot]
-            self._schedule(
-                self.config.regread_delay,
-                ("exec", slot, rob_idx, self.rob.seq[rob_idx]),
-            )
+            issued_flags[slot] = 1
+            rob_idx = sched_rob_idx[slot]
+            event = ("exec", slot, rob_idx, rob_seq[rob_idx])
+            bucket = wheel.get(exec_cycle)
+            if bucket is None:
+                wheel[exec_cycle] = [event]
+            else:
+                bucket.append(event)
             issued += 1
 
     # ------------------------------------------------------------- execute
@@ -470,13 +535,16 @@ class Pipeline:
         return self.prf.values[preg]
 
     def _execute(self, slot: int, rob_idx: int, seq: int) -> None:
-        if not self._entry_live(rob_idx, seq):
+        rob = self.rob
+        if not rob.valid[rob_idx] or rob.seq[rob_idx] != seq:
             self._free_sched_slot(slot, seq)
             return
         sched = self.sched
         word = sched.word[slot]
         pc = sched.pc[slot]
-        inst = self._decode(word)
+        inst = self._decode_cache.get(word, False)
+        if inst is False:
+            inst = self._decode(word)
         if inst is None or inst.is_halt:
             # The control word was corrupted after dispatch.
             self._mark_exception(rob_idx, EXC_ILLEGAL)
@@ -495,26 +563,27 @@ class Pipeline:
 
     def _execute_operate(self, slot, rob_idx, seq, inst: DecodedInst) -> None:
         sched = self.sched
+        values = self.prf.values
         if inst.is_lda:
-            base = self._operand(sched.src2_preg[slot])
+            base = values[sched.src2_preg[slot]]
             value = semantics.lda_value(inst, base)
             overflow = False
         elif inst.is_cmov:
-            a = self._operand(sched.src1_preg[slot])
+            a = values[sched.src1_preg[slot]]
             b = (
                 inst.literal
                 if inst.is_literal
-                else self._operand(sched.src2_preg[slot])
+                else values[sched.src2_preg[slot]]
             )
-            old = self._operand(sched.src3_preg[slot])
+            old = values[sched.src3_preg[slot]]
             result = semantics.execute_cmov(inst, a, b, old)
             value, overflow = result.value, result.overflow
         else:
-            a = self._operand(sched.src1_preg[slot])
+            a = values[sched.src1_preg[slot]]
             b = (
                 inst.literal
                 if inst.is_literal
-                else self._operand(sched.src2_preg[slot])
+                else values[sched.src2_preg[slot]]
             )
             result = semantics.execute_operate(inst, a, b)
             value, overflow = result.value, result.overflow
@@ -801,6 +870,10 @@ class Pipeline:
 
     def _read_through_store_buffer(self, address: int, size: int) -> int:
         """Read bytes, honouring committed-but-ungated stores."""
+        if self.storebuf.is_empty():
+            # Ungated store buffers drain at retirement, so this is the
+            # overwhelmingly common case — skip building the entry list.
+            return self.memory.read(address, size)
         pending = self.storebuf.entries_youngest_first()
         if not pending:
             return self.memory.read(address, size)
@@ -888,43 +961,73 @@ class Pipeline:
     # ----------------------------------------------------------- writeback
 
     def _writeback(self, slot, rob_idx, seq, value) -> None:
-        if not self._entry_live(rob_idx, seq):
+        rob = self.rob
+        if not rob.valid[rob_idx] or rob.seq[rob_idx] != seq:
             self._free_sched_slot(slot, seq)
             return
-        rob = self.rob
         if value is not None and rob.has_dest[rob_idx]:
             preg = rob.new_preg[rob_idx]
-            self.prf.values[preg] = value & MASK64
-            self.prf.ready[preg] = 1
+            prf = self.prf
+            prf.values[preg] = value & MASK64
+            prf.ready[preg] = 1
             self.sched.wakeup(preg)
         rob.done[rob_idx] = 1
-        self._free_sched_slot(slot)
+        sched = self.sched
+        sched.valid[slot] = 0
+        sched.issued[slot] = 0
 
     # -------------------------------------------------------------- rename
 
     def _rename_stage(self) -> None:
+        fetchq = self.fetchq
+        fq_head = fetchq._head
+        fq_valid = fetchq.valid
+        fq_ready = fetchq.ready_cycle
+        fq_word = fetchq.word
+        now = self.cycle_count
+        rob_count = self.rob._count
+        rob_size = self.rob.size
+        decode_cache = self._decode_cache
         for _ in range(self.config.rename_width):
-            slot = self.fetchq.front_ready(self.cycle_count)
-            if slot is None:
+            # Inlined fetchq.front_ready / rob.is_full.
+            slot = fq_head[0]
+            if not fq_valid[slot] or fq_ready[slot] > now:
                 return
-            if self.rob.is_full():
+            if rob_count[0] >= rob_size:
                 return
-            word = self.fetchq.word[slot]
-            inst = self._decode(word)
-            # Resource pre-checks so allocation never has to unwind.
+            word = fq_word[slot]
+            inst = decode_cache.get(word, False)
+            if inst is False:
+                inst = self._decode(word)
+            # Resource pre-checks so allocation never has to unwind; the
+            # slots found here feed allocation directly, so the free-slot
+            # scans run once per instruction instead of twice.
+            sched_slot = ldq_idx = stq_idx = None
             if inst is not None and not inst.is_halt:
-                needs_sched = True
                 if inst.dest_reg is not None and self.freelist.count < 1:
                     return
-                if needs_sched and self.sched.find_free() is None:
+                sched_slot = self.sched.find_free()
+                if sched_slot is None:
                     return
-                if inst.is_load and self.ldq.find_free() is None:
-                    return
-                if inst.is_store and self.stq.find_free() is None:
-                    return
-            self._rename_one(slot, word, inst)
+                if inst.is_load:
+                    ldq_idx = self.ldq.find_free()
+                    if ldq_idx is None:
+                        return
+                if inst.is_store:
+                    stq_idx = self.stq.find_free()
+                    if stq_idx is None:
+                        return
+            self._rename_one(slot, word, inst, sched_slot, ldq_idx, stq_idx)
 
-    def _rename_one(self, fq_slot: int, word: int, inst: DecodedInst | None) -> None:
+    def _rename_one(
+        self,
+        fq_slot: int,
+        word: int,
+        inst: DecodedInst | PredecodedInst | None,
+        sched_slot: int | None = None,
+        ldq_idx: int | None = None,
+        stq_idx: int | None = None,
+    ) -> None:
         fetchq = self.fetchq
         rob = self.rob
         seq = self._next_seq
@@ -939,7 +1042,9 @@ class Pipeline:
         rob.conf[rob_idx] = fetchq.conf[fq_slot]
         rob.hist[rob_idx] = fetchq.hist[fq_slot]
         fetch_fault = fetchq.fetch_fault[fq_slot]
-        fetchq.pop()
+        # Inlined fetchq.pop().
+        fetchq.valid[fq_slot] = 0
+        fetchq._head[0] = (fq_slot + 1) % fetchq.size
 
         if fetch_fault:
             rob.exc[rob_idx] = EXC_ACCESS
@@ -958,7 +1063,7 @@ class Pipeline:
         spec_map = self.spec_rat.map
         src1 = src2 = src3 = 0
         src1_used = src2_used = src3_used = False
-        if inst.format.value == "operate":
+        if inst.format is op.Format.OPERATE:
             src1 = spec_map[inst.ra]
             src1_used = True
             if not inst.is_literal:
@@ -999,7 +1104,8 @@ class Pipeline:
             rob.is_branch[rob_idx] = 1
             rob.is_cond[rob_idx] = int(inst.is_cond_branch)
         if inst.is_load:
-            ldq_idx = self.ldq.find_free()
+            if ldq_idx is None:
+                ldq_idx = self.ldq.find_free()
             rob.is_load[rob_idx] = 1
             rob.lsq_idx[rob_idx] = ldq_idx
             self.ldq.valid[ldq_idx] = 1
@@ -1008,7 +1114,8 @@ class Pipeline:
             self.ldq.done[ldq_idx] = 0
             self.ldq.speculative[ldq_idx] = 0
         if inst.is_store:
-            stq_idx = self.stq.find_free()
+            if stq_idx is None:
+                stq_idx = self.stq.find_free()
             rob.is_store[rob_idx] = 1
             rob.lsq_idx[rob_idx] = stq_idx
             self.stq.valid[stq_idx] = 1
@@ -1017,7 +1124,8 @@ class Pipeline:
             self.stq.data_valid[stq_idx] = 0
 
         # Scheduler dispatch.
-        sched_slot = self.sched.find_free()
+        if sched_slot is None:
+            sched_slot = self.sched.find_free()
         if sched_slot is None:  # pragma: no cover - guarded in rename stage
             rob.done[rob_idx] = 1
             return
@@ -1031,9 +1139,11 @@ class Pipeline:
         sched.src1_preg[sched_slot] = src1
         sched.src2_preg[sched_slot] = src2
         sched.src3_preg[sched_slot] = src3
-        sched.src1_ready[sched_slot] = 1 if not src1_used else self.prf.ready[src1]
-        sched.src2_ready[sched_slot] = 1 if not src2_used else self.prf.ready[src2]
-        sched.src3_ready[sched_slot] = 1 if not src3_used else self.prf.ready[src3]
+        prf_ready = self.prf.ready
+        sched.src1_ready[sched_slot] = 1 if not src1_used else prf_ready[src1]
+        sched.src2_ready[sched_slot] = 1 if not src2_used else prf_ready[src2]
+        sched.src3_ready[sched_slot] = 1 if not src3_used else prf_ready[src3]
+        sched.note_dispatch(sched_slot)
 
     # --------------------------------------------------------------- fetch
 
@@ -1041,42 +1151,64 @@ class Pipeline:
         if self._fetch_faulted or self.cycle_count < self._fetch_stalled_until:
             return
         cfg = self.config
+        memory = self.memory
+        fetchq = self.fetchq
+        fq_valid = fetchq.valid
+        fq_tail = fetchq._tail
+        itlb_access = self.itlb.access
+        icache_access = self.icache.access
+        predictor = self.predictor
+        fetch_cache = self._fetch_cache if self.fast else None
+        if fetch_cache is not None and self._fetch_cache_version != memory.image_version:
+            fetch_cache.clear()
+            self._fetch_cache_version = memory.image_version
         pc = self._fetch_pc[0]
         ready_cycle = self.cycle_count + cfg.frontend_delay
         for _ in range(cfg.fetch_width):
-            if self.fetchq.is_full():
+            if fq_valid[fq_tail[0]]:  # inlined fetchq.is_full
                 break
             if pc & 3:
                 # Misaligned fetch target (e.g. a corrupted jump): the
                 # fetched "instruction" faults at retirement.
-                self.fetchq.push(pc, 0, False, 0, False,
-                                 self.predictor.history, ready_cycle,
-                                 fetch_fault=True)
+                fetchq.push(pc, 0, False, 0, False,
+                            predictor.history, ready_cycle,
+                            fetch_fault=True)
                 self._fetch_faulted = True
                 break
-            if not self.itlb.access(pc):
+            if not itlb_access(pc):
                 self._fetch_stalled_until = self.cycle_count + cfg.tlb_miss_penalty
                 if self.record_cache_symptoms:
                     self._emit_symptom("itlb_miss", pc)
                 break
-            if not self.icache.access(pc):
+            if not icache_access(pc):
                 self._fetch_stalled_until = self.cycle_count + cfg.icache_miss_latency
                 if self.record_cache_symptoms:
                     self._emit_symptom("icache_miss", pc)
                 break
-            try:
-                word = self.memory.read(pc, 4)
-            except AccessViolation:
-                self.fetchq.push(pc, 0, False, 0, False,
-                                 self.predictor.history, ready_cycle,
-                                 fetch_fault=True)
-                self._fetch_faulted = True
-                break
-            inst = self._decode(word)
+            cached = None if fetch_cache is None else fetch_cache.get(pc)
+            if cached is not None:
+                word, inst = cached
+            else:
+                try:
+                    word = memory.read(pc, 4)
+                except AccessViolation:
+                    fetchq.push(pc, 0, False, 0, False,
+                                predictor.history, ready_cycle,
+                                fetch_fault=True)
+                    self._fetch_faulted = True
+                    break
+                inst = self._decode_cache.get(word, False)
+                if inst is False:
+                    inst = self._decode(word)
+                if (
+                    fetch_cache is not None
+                    and memory.protection_at(pc) is PageProtection.READ_ONLY
+                ):
+                    fetch_cache[pc] = (word, inst)
             pred_taken = False
             pred_target = 0
             conf = False
-            history = self.predictor.history
+            history = predictor.history
             if inst is not None and inst.is_control:
                 if inst.is_cond_branch:
                     oracle_outcome = None
@@ -1085,9 +1217,9 @@ class Pipeline:
                     if oracle_outcome is not None:
                         pred_taken = oracle_outcome
                     else:
-                        pred_taken = self.predictor.predict(pc)
+                        pred_taken = predictor.predict(pc)
                     conf = self.confidence.estimate(pc, history)
-                    self.predictor.push_history(pred_taken)
+                    predictor.push_history(pred_taken)
                     if pred_taken:
                         pred_target = inst.branch_target(pc)
                 elif inst.is_uncond_branch:
@@ -1106,8 +1238,19 @@ class Pipeline:
                             pred_target = btb_target
                         if inst.is_call:
                             self.ras.push((pc + 4) & MASK64)
-            self.fetchq.push(pc, word, pred_taken, pred_target, conf, history,
-                             ready_cycle)
+            # Inlined fetchq.push — the is_full check at the loop top
+            # guarantees the slot is free.
+            slot = fq_tail[0]
+            fq_valid[slot] = 1
+            fetchq.pc[slot] = pc
+            fetchq.word[slot] = word
+            fetchq.pred_taken[slot] = int(pred_taken)
+            fetchq.pred_target[slot] = pred_target
+            fetchq.conf[slot] = int(conf)
+            fetchq.fetch_fault[slot] = 0
+            fetchq.hist[slot] = history
+            fetchq.ready_cycle[slot] = ready_cycle
+            fq_tail[0] = (slot + 1) % fetchq.size
             if pred_taken:
                 pc = pred_target
                 self._fetch_pc[0] = pc
@@ -1132,6 +1275,7 @@ class Pipeline:
             config=self.config,
             collect_retired=False,
             record_cache_symptoms=self.record_cache_symptoms,
+            fast=self.fast,
         )
         copy.registry.restore(self.registry.snapshot())
         # Predictors.
@@ -1224,6 +1368,7 @@ def load_pipeline(
     collect_retired: bool = False,
     record_cache_symptoms: bool = False,
     stack_bytes: int = STACK_BYTES,
+    fast: bool = True,
 ) -> Pipeline:
     """Build a pipeline with the program loaded per the ABI conventions
     (mirrors :func:`repro.arch.simulator.load_program`)."""
@@ -1244,6 +1389,7 @@ def load_pipeline(
         config=config,
         collect_retired=collect_retired,
         record_cache_symptoms=record_cache_symptoms,
+        fast=fast,
     )
     pipeline.prf.values[REG_SP] = STACK_TOP - 64
     pipeline.prf.values[REG_GP] = program.data_base

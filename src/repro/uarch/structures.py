@@ -115,9 +115,9 @@ class FetchQueue:
         ready_cycle: int,
         fetch_fault: bool = False,
     ) -> bool:
-        if self.is_full():
+        slot = self._tail[0]
+        if self.valid[slot]:
             return False
-        slot = self.tail
         self.valid[slot] = 1
         self.pc[slot] = pc
         self.word[slot] = word
@@ -127,20 +127,20 @@ class FetchQueue:
         self.fetch_fault[slot] = int(fetch_fault)
         self.hist[slot] = hist
         self.ready_cycle[slot] = ready_cycle
-        self.tail = slot + 1
+        self._tail[0] = (slot + 1) % self.size
         return True
 
     def front_ready(self, now: int) -> int | None:
         """Slot index of the head entry if present and past front-end delay."""
-        slot = self.head
+        slot = self._head[0]
         if self.valid[slot] and self.ready_cycle[slot] <= now:
             return slot
         return None
 
     def pop(self) -> None:
-        slot = self.head
+        slot = self._head[0]
         self.valid[slot] = 0
-        self.head = slot + 1
+        self._head[0] = (slot + 1) % self.size
 
 
 class PhysicalRegisterFile:
@@ -216,7 +216,20 @@ class FreeList:
 
 
 class Scheduler:
-    """32-entry issue window."""
+    """32-entry issue window.
+
+    Wakeup is hardware CAM behaviour: broadcast a physical register number,
+    set the ready bit of every matching source in a valid slot. The fast
+    path keeps a preg -> {slots} *waiter index* so a broadcast only visits
+    slots that were ever dispatched waiting on that preg, validating each
+    hit against the live ``valid``/``src?_preg`` fields (so a stale index
+    entry can never set a wrong bit). The index is rebuilt from a full scan
+    whenever injection or snapshot-restore writes a scheduler field through
+    the registry (see ``on_set`` in :mod:`repro.uarch.latches`), which keeps
+    the indexed broadcast bit-identical to the full scan even with flipped
+    ``valid`` or source-tag bits. Set ``use_wakeup_index = False`` to force
+    the reference full scan.
+    """
 
     def __init__(self, config: PipelineConfig, registry: StateRegistry):
         size = config.scheduler_entries
@@ -237,16 +250,23 @@ class Scheduler:
         # Unregistered bookkeeping: sequence tag guarding slot reuse against
         # events that belong to a squashed previous occupant.
         self.seq = [0] * size
-        registry.register_list("sched", "ctrl", "sched.valid", self.valid, 1)
+        self.use_wakeup_index = True
+        self._waiters: dict[int, set[int]] | None = None
+        invalidate = self._invalidate_waiters
+        registry.register_list("sched", "ctrl", "sched.valid", self.valid, 1,
+                               on_set=invalidate)
         registry.register_list("sched", "ctrl", "sched.issued", self.issued, 1)
         registry.register_list("sched", "ctrl", "sched.rob_idx", self.rob_idx, rob_bits)
         registry.register_list("sched", "data", "sched.word", self.word, 32)
         registry.register_list("sched", "data", "sched.pc", self.pc, 64)
-        registry.register_list("sched", "ctrl", "sched.src1_preg", self.src1_preg, preg_bits)
+        registry.register_list("sched", "ctrl", "sched.src1_preg", self.src1_preg,
+                               preg_bits, on_set=invalidate)
         registry.register_list("sched", "ctrl", "sched.src1_ready", self.src1_ready, 1)
-        registry.register_list("sched", "ctrl", "sched.src2_preg", self.src2_preg, preg_bits)
+        registry.register_list("sched", "ctrl", "sched.src2_preg", self.src2_preg,
+                               preg_bits, on_set=invalidate)
         registry.register_list("sched", "ctrl", "sched.src2_ready", self.src2_ready, 1)
-        registry.register_list("sched", "ctrl", "sched.src3_preg", self.src3_preg, preg_bits)
+        registry.register_list("sched", "ctrl", "sched.src3_preg", self.src3_preg,
+                               preg_bits, on_set=invalidate)
         registry.register_list("sched", "ctrl", "sched.src3_ready", self.src3_ready, 1)
 
     def find_free(self) -> int | None:
@@ -255,8 +275,80 @@ class Scheduler:
                 return index
         return None
 
+    def _invalidate_waiters(self) -> None:
+        self._waiters = None
+
+    def _rebuild_waiters(self) -> dict[int, set[int]]:
+        waiters: dict[int, set[int]] = {}
+        for index in range(self.size):
+            if not self.valid[index]:
+                continue
+            for preg in (
+                self.src1_preg[index],
+                self.src2_preg[index],
+                self.src3_preg[index],
+            ):
+                waiters.setdefault(preg, set()).add(index)
+        self._waiters = waiters
+        return waiters
+
+    def note_dispatch(self, slot: int) -> None:
+        """Index a freshly dispatched slot's source tags (fast path)."""
+        waiters = self._waiters
+        if waiters is None:
+            return  # next wakeup rebuilds from a full scan anyway
+        for preg in (
+            self.src1_preg[slot],
+            self.src2_preg[slot],
+            self.src3_preg[slot],
+        ):
+            bucket = waiters.get(preg)
+            if bucket is None:
+                waiters[preg] = {slot}
+            else:
+                bucket.add(slot)
+
     def wakeup(self, preg: int) -> None:
         """Broadcast a completed physical register to waiting sources."""
+        if self.use_wakeup_index:
+            waiters = self._waiters
+            if waiters is None:
+                waiters = self._rebuild_waiters()
+            slots = waiters.get(preg)
+            if not slots:
+                return
+            valid = self.valid
+            src1_preg = self.src1_preg
+            src2_preg = self.src2_preg
+            src3_preg = self.src3_preg
+            stale = None
+            for index in slots:
+                if valid[index]:
+                    hit = False
+                    if src1_preg[index] == preg:
+                        self.src1_ready[index] = 1
+                        hit = True
+                    if src2_preg[index] == preg:
+                        self.src2_ready[index] = 1
+                        hit = True
+                    if src3_preg[index] == preg:
+                        self.src3_ready[index] = 1
+                        hit = True
+                    if hit:
+                        continue
+                # The slot no longer waits on this preg: either it was freed
+                # or it was re-dispatched with different sources. Freed slots
+                # re-enter the index through note_dispatch and source tags
+                # only change behind our back via the registry (which drops
+                # the whole index), so pruning here can never lose a waiter.
+                if stale is None:
+                    stale = [index]
+                else:
+                    stale.append(index)
+            if stale is not None:
+                for index in stale:
+                    slots.discard(index)
+            return
         for index in range(self.size):
             if not self.valid[index]:
                 continue
@@ -357,9 +449,9 @@ class ReorderBuffer:
         return self.count >= self.size
 
     def allocate(self, next_seq: int) -> int | None:
-        if self.is_full():
+        if self._count[0] >= self.size:
             return None
-        index = self.tail
+        index = self._tail[0]
         self.valid[index] = 1
         self.done[index] = 0
         self.exc[index] = EXC_NONE
@@ -373,8 +465,10 @@ class ReorderBuffer:
         self.mispredicted[index] = 0
         self.actual_taken[index] = 0
         self.seq[index] = next_seq
-        self.tail = index + 1
-        self.count += 1
+        # Direct ring-pointer updates; the allocate guard above keeps the
+        # count within [0, size] exactly as the clamping property would.
+        self._tail[0] = (index + 1) % self.size
+        self._count[0] += 1
         return index
 
     def age_of(self, index: int) -> int:
@@ -497,6 +591,11 @@ class StoreBuffer:
 
     def is_full(self) -> bool:
         return self.valid[self.tail] == 1
+
+    def is_empty(self) -> bool:
+        # The youngest slot (tail - 1) is valid iff anything is buffered;
+        # see entries_youngest_first, which walks backwards from there.
+        return self.valid[(self._tail[0] - 1) % self.size] == 0
 
     def push(self, addr: int, data: int, size_log2: int) -> bool:
         if self.is_full():

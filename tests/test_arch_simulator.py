@@ -1,7 +1,5 @@
 """Architectural simulator: execution, exceptions, traces."""
 
-import pytest
-
 from repro.arch import (
     ArchSimulator,
     ExceptionKind,

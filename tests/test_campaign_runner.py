@@ -74,6 +74,41 @@ class TestTrialGuard:
         assert outcome.status == OUTCOME_TIMEOUT
         assert outcome.error["timeout_seconds"] == 0.2
 
+    def test_worker_thread_degrades_to_containment_with_one_warning(self):
+        import threading
+        import warnings
+
+        from repro.campaign import guard as guard_module
+
+        guard = TrialGuard(timeout=0.2)
+        results = []
+
+        def worker():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = guard.run("w:1:0", "w", 1, 0, lambda: "done")
+                second = guard.run("w:1:1", "w", 1, 1, lambda: "done")
+            results.append((first, second, caught))
+
+        previously_warned = guard_module._warned_no_timeout
+        guard_module._warned_no_timeout = False
+        try:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        finally:
+            guard_module._warned_no_timeout = previously_warned
+
+        first, second, caught = results[0]
+        # No uncaught ValueError from signal.signal: both trials complete.
+        assert first.status == OUTCOME_OK
+        assert second.status == OUTCOME_OK
+        runtime_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(runtime_warnings) == 1  # warned once, not per trial
+        assert "timeout disabled" in str(runtime_warnings[0].message)
+
 
 class TestOutcomeSerialization:
     def test_arch_round_trip(self):

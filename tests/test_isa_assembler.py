@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.isa import opcodes as op
 from repro.isa.assembler import AssemblerError, assemble
 from repro.isa.encoding import decode_word
 from repro.isa.program import DATA_BASE, TEXT_BASE

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.isa import assemble
-from repro.isa.program import DATA_BASE, TEXT_BASE, Program, Segment
+from repro.isa.program import DATA_BASE, TEXT_BASE, Segment
 
 
 class TestSegments:

@@ -7,7 +7,6 @@ from repro.perfmodel import (
     AnalyticPerfModel,
     measure_restore_performance,
 )
-from repro.restore.controller import RollbackPolicy
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.uarch.latches import LATCH_CLASSES, StateField, StateRegistry
+from repro.uarch.latches import LATCH_CLASSES, StateRegistry
 from repro.util.rng import DeterministicRng
 
 

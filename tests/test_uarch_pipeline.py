@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.arch import load_program
 from repro.isa import assemble
 from repro.uarch import PipelineConfig, load_pipeline
 from repro.uarch.structures import EXC_ACCESS, EXC_ALIGN, EXC_ARITH, EXC_ILLEGAL

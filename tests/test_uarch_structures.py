@@ -1,7 +1,5 @@
 """Pipeline storage structures."""
 
-import pytest
-
 from repro.uarch.config import PipelineConfig
 from repro.uarch.latches import StateRegistry
 from repro.uarch.structures import (
