@@ -19,6 +19,12 @@ interruptible, resumable, optionally parallel batch jobs:
   :mod:`concurrent.futures`. A worker that dies (not a trial that fails —
   the guard already contains those) is retried once in the parent; a
   second failure classifies the workload as skipped rather than raising.
+- **Telemetry** — with a journal, the run appends one ``telemetry``
+  aggregate entry (per-detector coverage/latency and rollback-distance
+  histograms; see :mod:`repro.telemetry.metrics`) after the trial lines;
+  ``repro campaign report`` renders it. An optional ``trace`` sink
+  receives schema'd ``trial_begin``/``injection``/``trial_end`` events as
+  trials complete, so an external observer can follow a campaign live.
 
 The work unit shipped to a worker is one workload: each workload needs
 its own golden run and prefix walk anyway, so sharding finer would
@@ -179,6 +185,33 @@ def _workload_sentinel(outcome: WorkloadRunOutcome) -> dict:
     return entry
 
 
+def _emit_trial_events(trace, level: str, outcome: TrialOutcome) -> None:
+    """Bracket one completed trial with schema'd trace events."""
+    cycle = 0
+    position = 0
+    record = outcome.record
+    if record is not None:
+        if level == "uarch":
+            cycle = record.inject_cycle
+            position = getattr(record, "inject_retired", 0)
+        else:
+            position = record.inject_step
+    trace.emit({
+        "kind": "trial_begin", "cycle": cycle, "position": position,
+        "workload": outcome.workload, "point": outcome.point,
+        "index": outcome.index,
+    })
+    if record is not None:
+        trace.emit({
+            "kind": "injection", "cycle": cycle, "position": position,
+            "target": getattr(record, "target", "arch"), "bit": record.bit,
+        })
+    trace.emit({
+        "kind": "trial_end", "cycle": cycle, "position": position,
+        "status": outcome.status,
+    })
+
+
 def _workload_task(
     level: str,
     config,
@@ -240,6 +273,7 @@ def run_campaign(
     resume: bool = False,
     jobs: int = 1,
     trial_timeout: float | None = None,
+    trace=None,
 ) -> CampaignRunReport:
     """Run a fault-injection campaign resiliently.
 
@@ -247,7 +281,10 @@ def run_campaign(
     trial in serial mode, per completed workload in parallel mode);
     ``resume`` replays an existing journal and runs only missing trials;
     ``jobs`` fans workloads out across processes; ``trial_timeout`` is the
-    per-trial wall-clock budget in seconds.
+    per-trial wall-clock budget in seconds; ``trace`` is an optional
+    :class:`repro.telemetry.TraceSink` receiving per-trial events (emitted
+    from the parent process — with ``jobs > 1`` they arrive per completed
+    workload rather than interleaved live).
     """
     module = _campaign_module(level)
     if jobs < 1:
@@ -298,8 +335,12 @@ def run_campaign(
                 prior = list(state.outcomes.get(name, []))
                 resumed += len(prior)
                 on_outcome = None
-                if writer is not None:
-                    on_outcome = lambda o: writer.write(o.to_entry())  # noqa: E731
+                if writer is not None or trace is not None:
+                    def on_outcome(o, _level=level):  # noqa: E306
+                        if writer is not None:
+                            writer.write(o.to_entry())
+                        if trace is not None:
+                            _emit_trial_events(trace, _level, o)
                 workload_outcome = module.run_workload_trials(
                     config,
                     name,
@@ -355,6 +396,9 @@ def run_campaign(
                     if writer is not None:
                         for outcome in workload_outcome.outcomes:
                             writer.write(outcome.to_entry())
+                    if trace is not None:
+                        for outcome in workload_outcome.outcomes:
+                            _emit_trial_events(trace, level, outcome)
                     workload_outcome.outcomes = prior + workload_outcome.outcomes
                     by_workload[name] = workload_outcome
                     if writer is not None:
@@ -364,6 +408,19 @@ def run_campaign(
             writer.close()
 
     result, ordered_outcomes, skipped = _build_result(level, config, by_workload)
+    if journal_path is not None:
+        # Journal the derived telemetry aggregate after the trial lines.
+        # Resume and report always recompute from the trials themselves, so
+        # a stale aggregate from an interrupted run is harmless; appending a
+        # fresh one keeps the journal's last telemetry entry authoritative.
+        from repro.telemetry.metrics import aggregate_campaign
+
+        metrics = aggregate_campaign(
+            level,
+            [o.record for o in ordered_outcomes if o.status == OUTCOME_OK],
+        )
+        with JournalWriter(journal_path, append=True) as tail:
+            tail.write(metrics.to_entry())
     return CampaignRunReport(
         level=level,
         config=config,

@@ -39,6 +39,8 @@ class CampaignStatus:
     path: str
     manifest: dict
     workloads: dict[str, WorkloadStatus]
+    # The newest journaled telemetry aggregate entry, if the run wrote one.
+    telemetry: dict | None = None
 
     @property
     def total_trials(self) -> int:
@@ -68,6 +70,7 @@ def summarize_journal(path: str) -> CampaignStatus:
     for name in manifest.get("config", {}).get("workloads", ()):  # planned order
         workloads[name] = WorkloadStatus(name)
     seen_keys: set[str] = set()
+    telemetry: dict | None = None
     for entry in entries[1:]:
         kind = entry.get("kind")
         if kind == "trial":
@@ -85,7 +88,11 @@ def summarize_journal(path: str) -> CampaignStatus:
             )
             status.state = entry.get("status", "done")
             status.skip_reason = entry.get("reason")
-    return CampaignStatus(path=path, manifest=manifest, workloads=workloads)
+        elif kind == "telemetry":
+            telemetry = entry  # keep the newest (a resumed run re-appends)
+    return CampaignStatus(
+        path=path, manifest=manifest, workloads=workloads, telemetry=telemetry
+    )
 
 
 def format_status(status: CampaignStatus) -> str:
@@ -121,4 +128,10 @@ def format_status(status: CampaignStatus) -> str:
         "run state: " + ("complete" if status.complete
                          else "incomplete (resumable with --resume)"),
     ]
+    if status.telemetry is not None:
+        lines.append(
+            f"telemetry: aggregate over {status.telemetry.get('trials', 0)} "
+            f"trials ({status.telemetry.get('failing', 0)} failing) — render "
+            f"with 'repro campaign report'"
+        )
     return "\n".join(lines)

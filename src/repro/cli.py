@@ -11,6 +11,8 @@ Exposes the library's main flows without writing Python::
         --trial-timeout 30
     repro campaign uarch --trials 500 --journal run.jsonl --resume
     repro campaign status run.jsonl
+    repro campaign report run.jsonl
+    repro trace validate run.trace.jsonl
     repro perf --intervals 50,100,500
     repro fit --baseline 0.07 --restore 0.035 --lhf 0.03 --combined 0.01
     repro workloads
@@ -34,6 +36,12 @@ from repro.reliability import (
 )
 from repro.restore import ReStoreController
 from repro.restore.controller import RollbackPolicy
+from repro.telemetry import (
+    JsonlTraceSink,
+    TelemetryError,
+    render_campaign_report,
+    validate_trace,
+)
 from repro.uarch import load_pipeline
 from repro.uarch.latches import LATCH_CLASSES
 from repro.util.journal import JournalError
@@ -76,14 +84,23 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     bundle = build_workload(args.workload, scale=args.scale)
     pipeline = load_pipeline(bundle.program)
+    trace = JsonlTraceSink(args.trace) if args.trace else None
+    if trace is not None:
+        pipeline.telemetry = trace
     controller = None
     if args.restore:
         controller = ReStoreController(
             pipeline,
             interval=args.interval,
             policy=RollbackPolicy(args.policy),
+            telemetry=trace,
         )
-    pipeline.run(args.max_cycles)
+    try:
+        pipeline.run(args.max_cycles)
+    finally:
+        if trace is not None:
+            trace.close()
+            print(f"trace: {trace.emitted} events -> {args.trace}")
     status = "halted" if pipeline.halted else (
         f"stopped ({pipeline.exception_name() or 'deadlock'})"
         if pipeline.stopped else "cycle budget exhausted"
@@ -157,13 +174,32 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    path = args.journal_file or args.journal
+    if not path:
+        raise SystemExit(
+            "campaign report needs a journal path: "
+            "repro campaign report <journal>"
+        )
+    try:
+        print(render_campaign_report(path))
+    except FileNotFoundError:
+        raise SystemExit(f"no such journal: {path}") from None
+    except JournalError as exc:
+        raise SystemExit(str(exc)) from None
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     if args.level == "status":
         return cmd_campaign_status(args)
+    if args.level == "report":
+        return cmd_campaign_report(args)
     if args.journal_file:
         raise SystemExit(
-            "positional journal argument is only used with "
-            "'repro campaign status'; use --journal for arch/uarch runs"
+            "positional journal argument is only used with 'repro campaign "
+            "status' and 'repro campaign report'; use --journal for "
+            "arch/uarch runs"
         )
     workloads = _parse_workloads(args.workloads)
     if args.jobs < 1:
@@ -191,6 +227,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             )
     except ValueError as exc:
         raise SystemExit(f"invalid campaign configuration: {exc}") from None
+    trace = JsonlTraceSink(args.trace) if args.trace else None
     try:
         report = run_campaign(
             args.level,
@@ -199,6 +236,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             resume=args.resume,
             jobs=args.jobs,
             trial_timeout=args.trial_timeout,
+            trace=trace,
         )
     except JournalError as exc:
         raise SystemExit(str(exc)) from None
@@ -210,6 +248,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         raise
+    finally:
+        if trace is not None:
+            trace.close()
+    if trace is not None:
+        print(f"trace: {trace.emitted} events -> {args.trace}")
     result = report.result
     if args.level == "arch":
         print(result.table())
@@ -226,6 +269,17 @@ def cmd_campaign(args: argparse.Namespace) -> int:
           f"{report.resumed}  jobs: {report.jobs}")
     for name, reason in report.skipped_workloads:
         print(f"warning: workload {name} skipped: {reason}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        count = validate_trace(args.trace_file)
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace: {args.trace_file}") from None
+    except TelemetryError as exc:
+        raise SystemExit(f"invalid trace: {exc}") from None
+    print(f"{args.trace_file}: {count} events, all schema-valid")
     return 0
 
 
@@ -279,6 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interval", type=int, default=100)
     p.add_argument("--policy", choices=["imm", "delayed"], default="imm")
     p.add_argument("--max-cycles", type=int, default=5_000_000)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="stream telemetry events (symptoms, rollbacks, "
+                        "checkpoints) to a JSONL trace file")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("inject", help="inject one bit flip into a live run")
@@ -295,11 +352,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "campaign",
         help="run a fault-injection campaign (or inspect one: "
-             "campaign status <journal>)",
+             "campaign status <journal>, campaign report <journal>)",
     )
-    p.add_argument("level", choices=["arch", "uarch", "status"])
+    p.add_argument("level", choices=["arch", "uarch", "status", "report"])
     p.add_argument("journal_file", nargs="?", default=None,
-                   help="journal path (status subcommand only)")
+                   help="journal path (status/report subcommands only)")
     p.add_argument("--trials", type=int, default=30,
                    help="trials per workload")
     p.add_argument("--workloads", default=",".join(WORKLOAD_NAMES))
@@ -314,7 +371,15 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="wall-clock budget per trial; overruns are recorded "
                         "as harness-timeout outcomes")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="stream per-trial telemetry events to a JSONL trace")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("trace",
+                       help="telemetry trace utilities (trace validate)")
+    p.add_argument("action", choices=["validate"])
+    p.add_argument("trace_file", help="JSONL trace path")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("perf", help="measure Figure 7 performance points")
     p.add_argument("--intervals", default="50,100,500")

@@ -108,6 +108,11 @@ class UarchTrialResult:
     in failure-unlikely state (the paper's *other* category).
     ``protected`` marks trials whose flip landed on a parity/ECC-protected
     bit in the hardened-pipeline study and was corrected.
+    ``inject_retired`` is the architectural position (retired-instruction
+    count) at injection time; together with a symptom latency it pins down
+    the symptom's architectural position, which telemetry uses to derive
+    rollback distances. It defaults to 0 so journals written before the
+    field existed still replay.
     """
 
     workload: str
@@ -115,6 +120,7 @@ class UarchTrialResult:
     target: str
     state_class: str
     bit: int
+    inject_retired: int = 0
     deadlock_latency: int | None = None
     exception_latency: int | None = None
     cfv_latency: int | None = None

@@ -533,6 +533,7 @@ def _run_trial(
         target=flip_field.structure,
         state_class=flip_field.state_class,
         bit=bit,
+        inject_retired=base,
         deadlock_latency=deadlock_latency,
         exception_latency=exception_latency,
         cfv_latency=cfv_latency,

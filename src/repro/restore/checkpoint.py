@@ -42,11 +42,12 @@ class CheckpointManager:
     (or a campaign) reads ``checkpoints`` and calls :meth:`rollback`.
     """
 
-    def __init__(self, pipeline: Pipeline, interval: int):
+    def __init__(self, pipeline: Pipeline, interval: int, *, telemetry=None):
         if interval < 1:
             raise ValueError("checkpoint interval must be >= 1")
         self.pipeline = pipeline
         self.interval = interval
+        self.telemetry = telemetry
         pipeline.store_buffer_gated = True
         self.checkpoints: list[Checkpoint] = []
         self.created = 0
@@ -55,6 +56,21 @@ class CheckpointManager:
         # Initial checkpoint at the current architectural state.
         self._create(pipeline._fetch_pc[0])
         pipeline.storebuf_full_hook = self.force_checkpoint
+
+    @property
+    def since_last_checkpoint(self) -> int:
+        """Instructions retired since the newest checkpoint was created."""
+        return self._since_last
+
+    def _emit(self, kind: str, checkpoint: Checkpoint) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.emit({
+            "kind": kind,
+            "cycle": self.pipeline.cycle_count,
+            "position": self.pipeline.retired_count,
+            "checkpoint_position": checkpoint.retired_count,
+        })
 
     # ------------------------------------------------------------- creation
 
@@ -86,12 +102,14 @@ class CheckpointManager:
         )
         self.checkpoints.append(checkpoint)
         self._on_created(checkpoint)
+        self._emit("checkpoint_create", checkpoint)
         self.created += 1
         self._since_last = 0
         if len(self.checkpoints) > 2:
             released = self.checkpoints.pop(0)
             self.released += 1
             self._on_released(released)
+            self._emit("checkpoint_release", released)
             # Stores older than the *new oldest* checkpoint are now
             # unconditionally committed: release them to memory.
             self.pipeline.drain_store_buffer_until(
@@ -171,12 +189,12 @@ class MappingCheckpointManager(CheckpointManager):
     """
 
     def __init__(self, pipeline: Pipeline, interval: int,
-                 low_free_threshold: int = 8):
+                 low_free_threshold: int = 8, *, telemetry=None):
         self._pins: dict[int, int] = {}
         self._deferred: set[int] = set()
         self.low_free_threshold = low_free_threshold
         self.forced_by_pressure = 0
-        super().__init__(pipeline, interval)
+        super().__init__(pipeline, interval, telemetry=telemetry)
         pipeline.preg_free_hook = self._maybe_defer_free
 
     # -- pinning ----------------------------------------------------------

@@ -28,6 +28,7 @@ symptoms temporarily disables the control-flow detector.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -68,7 +69,9 @@ class ControllerStats:
     suppressed_symptoms: int = 0
     tuning_activations: int = 0
     lvq_mismatches: int = 0
-    fp_positions: list[int] = field(default_factory=list)
+    # Recent false-positive positions, pruned to the tuning window at every
+    # append so memory stays bounded over arbitrarily long campaigns.
+    fp_positions: deque[int] = field(default_factory=deque)
 
 
 class ReStoreController:
@@ -83,6 +86,7 @@ class ReStoreController:
         use_event_log: bool = True,
         arbitration: bool = False,
         tuning: TuningConfig | None = None,
+        telemetry=None,
     ):
         self.pipeline = pipeline
         self.interval = interval
@@ -90,8 +94,10 @@ class ReStoreController:
         self.use_event_log = use_event_log
         self.arbitration = arbitration
         self.tuning = tuning or TuningConfig(enabled=False)
+        self.telemetry = telemetry
         self.detectors = detectors if detectors is not None else default_detectors()
-        self.checkpoints = CheckpointManager(pipeline, interval)
+        self.checkpoints = CheckpointManager(pipeline, interval,
+                                             telemetry=telemetry)
         self.branch_log = BranchOutcomeLog()
         self.lvq = LoadValueQueue()
         self.stats = ControllerStats()
@@ -103,7 +109,8 @@ class ReStoreController:
         self._rollback_history: dict[tuple[str, int, int], int] = {}
         self._divergence_in_reexec = False
         self._pending_rollback = False
-        self._fire_rollback: tuple[str, int, int] | None = None
+        # Deferred rollback: (trigger key, which checkpoint to restore).
+        self._fire_rollback: tuple[tuple[str, int, int], str] | None = None
         self._cfv_disabled_until = -1
 
         # External observer called after the controller's own retire work.
@@ -112,6 +119,21 @@ class ReStoreController:
         pipeline.symptom_handler = self._on_symptom
         pipeline.on_retire = self._on_retire
         pipeline.pre_cycle_hook = self._on_cycle_start
+        if telemetry is not None:
+            pipeline.telemetry = telemetry
+
+    def _emit(self, kind: str, **fields) -> None:
+        """Emit a trace event; all call sites are cold (symptom/rollback/
+        breaker frequency, never per cycle or per retirement)."""
+        if self.telemetry is None:
+            return
+        event = {
+            "kind": kind,
+            "cycle": self.pipeline.cycle_count,
+            "position": self.pipeline.retired_count,
+        }
+        event.update(fields)
+        self.telemetry.emit(event)
 
     # -------------------------------------------------------------- retire
 
@@ -123,7 +145,7 @@ class ReStoreController:
             else:
                 recorded = self.branch_log.outcome_at(position)
                 if recorded is not None and recorded != (record.pc, record.taken):
-                    self._handle_divergence(position)
+                    self._handle_divergence(position, record.pc)
                 # During re-execution the redundant outcome becomes the new
                 # truth for any later comparison round.
                 self.branch_log.record(position, record.pc, record.taken)
@@ -142,16 +164,20 @@ class ReStoreController:
         if (
             self._pending_rollback
             and self.mode == "normal"
-            and self.checkpoints._since_last + 1 >= self.interval
+            and self.checkpoints.since_last_checkpoint + 1 >= self.interval
         ):
-            # Delayed policy: the interval is complete. Schedule the
-            # rollback for the top of the next cycle (rolling back from
-            # inside the retire stage would corrupt it) and freeze
-            # retirement, so the boundary checkpoint is never created and
-            # the older checkpoint — which predates the symptom — survives.
+            # Delayed policy: the interval is complete. Restore the
+            # checkpoint at the *start* of the polluted interval (the newer
+            # of the two live ones) so the interval is re-executed exactly
+            # once.
             self._pending_rollback = False
-            self._fire_rollback = self._trigger
-            self.pipeline.retire_stall = True
+            self._schedule_rollback(self._trigger, "newest")
+        if self._fire_rollback is not None:
+            # A rollback is scheduled for the top of the next cycle
+            # (rolling back from inside the retire stage would corrupt it).
+            # Retirement is frozen and checkpoint bookkeeping is skipped so
+            # no boundary checkpoint is created and the restore target
+            # survives until the rollback fires.
             if self.user_retire_hook is not None:
                 self.user_retire_hook(record)
             return
@@ -165,40 +191,66 @@ class ReStoreController:
         if self.user_retire_hook is not None:
             self.user_retire_hook(record)
 
-    def _on_cycle_start(self) -> None:
-        """Deferred (delayed-policy) rollback, outside the retire stage.
+    def _schedule_rollback(self, trigger: tuple[str, int, int],
+                           which: str) -> None:
+        """Arrange a rollback at the top of the next cycle, restoring the
+        ``"newest"`` or ``"oldest"`` live checkpoint, and freeze retirement
+        until it fires (a rollback inside the retire stage would corrupt
+        the stage's own bookkeeping)."""
+        self._fire_rollback = (trigger, which)
+        self.pipeline.retire_stall = True
 
-        The delayed policy restores the checkpoint at the *start* of the
-        polluted interval (the newer of the two live checkpoints): the
-        interval is re-executed exactly once, which is what lets delayed
-        amortise multiple symptoms per interval and overtake the immediate
-        policy at long intervals (Figure 7)."""
+    def _on_cycle_start(self) -> None:
+        """Execute a deferred rollback, outside the retire stage.
+
+        Two paths defer: the delayed policy (restore the *newest* live
+        checkpoint — the start of the polluted interval — which is what
+        lets delayed amortise multiple symptoms per interval and overtake
+        the immediate policy at long intervals, Figure 7) and arbitration
+        (restore the *oldest*, guaranteeing the third execution replays the
+        diverging branch)."""
         if self._fire_rollback is None:
             return
-        trigger = self._fire_rollback
+        trigger, which = self._fire_rollback
         self._fire_rollback = None
         self.pipeline.retire_stall = False
-        self._do_rollback(trigger, checkpoint=self.checkpoints.newest)
+        checkpoint = (
+            self.checkpoints.newest if which == "newest"
+            else self.checkpoints.oldest
+        )
+        self._do_rollback(trigger, checkpoint=checkpoint)
 
-    def _handle_divergence(self, position: int) -> None:
+    def _handle_divergence(self, position: int, pc: int) -> None:
         self.stats.divergences += 1
         self.stats.detected_errors += 1
+        # Mark the re-execution as having found a real error so
+        # _finish_reexecution does not also count it as a false positive.
+        self._divergence_in_reexec = True
+        self._emit("replay_divergence", pc=pc)
         if self.arbitration:
             # Third execution: roll back again and let majority decide. The
             # redundant execution has already overwritten the log entries up
             # to this position, so the third run compares against the second.
             self.stats.arbitrations += 1
+            self._schedule_rollback(("arbitration", position, pc), "oldest")
 
     def _finish_reexecution(self) -> None:
         kind = self._trigger[0] if self._trigger else ""
-        if kind == "hc_mispredict" and not self._divergence_in_reexec:
+        if self._divergence_in_reexec:
+            verdict = "divergence"
+        elif kind == "hc_mispredict":
+            verdict = "false_positive"
             self.stats.false_positives += 1
             self.stats.fp_positions.append(self.pipeline.retired_count)
             self._maybe_trip_breaker()
-        if kind == "exception" and not self._divergence_in_reexec:
+        elif kind == "exception":
             # The exception did not reappear: a soft error was detected and
             # recovered (Section 3.2.1).
+            verdict = "exception_absent"
             self.stats.detected_errors += 1
+        else:
+            verdict = "clean"
+        self._emit("rollback_end", verdict=verdict)
         self.mode = "normal"
         self._trigger = None
         self._divergence_in_reexec = False
@@ -206,13 +258,20 @@ class ReStoreController:
         self.pipeline.branch_oracle = None
 
     def _maybe_trip_breaker(self) -> None:
+        now = self.pipeline.retired_count
+        positions = self.stats.fp_positions
+        # Drop entries that have aged out of the tuning window. Entries are
+        # appended in time order, so pruning from the left is enough; this
+        # also bounds the deque over arbitrarily long campaigns.
+        cutoff = now - self.tuning.window
+        while positions and positions[0] < cutoff:
+            positions.popleft()
         if not self.tuning.enabled:
             return
-        now = self.pipeline.retired_count
-        recent = [p for p in self.stats.fp_positions if p >= now - self.tuning.window]
-        if len(recent) >= self.tuning.threshold:
+        if len(positions) >= self.tuning.threshold:
             self._cfv_disabled_until = now + self.tuning.cooldown
             self.stats.tuning_activations += 1
+            self._emit("breaker_trip", disabled_until=self._cfv_disabled_until)
 
     # ------------------------------------------------------------ symptoms
 
@@ -227,27 +286,37 @@ class ReStoreController:
 
         if kind != "exception" and self._cfv_disabled_until > position:
             self.stats.suppressed_symptoms += 1
+            self._emit("symptom_suppressed", symptom=kind, pc=pc,
+                       reason="breaker")
             return False
         if self.mode == "reexec":
             if kind == "exception":
                 if self._rollback_history.get(key):
                     # Same exception at the same point: genuine.
                     self.stats.genuine_exceptions += 1
+                    self._emit("symptom_suppressed", symptom=kind, pc=pc,
+                               reason="genuine_exception")
                     return False
                 # A different exception surfaced during re-execution: the
                 # original execution was the corrupt one; errors detected.
                 self._divergence_in_reexec = True
                 self.stats.detected_errors += 1
+                self._emit("symptom_fired", symptom=kind, pc=pc,
+                           detector=type(detector).__name__)
                 self._do_rollback(key)
                 return True
             # Control-flow and deadlock symptoms are suppressed while the
             # machine is still re-executing the suspicious window.
             if position <= self._reexec_until:
                 self.stats.suppressed_symptoms += 1
+                self._emit("symptom_suppressed", symptom=kind, pc=pc,
+                           reason="reexec_window")
                 return False
             # Past the window: treat as a fresh symptom below.
             self._finish_reexecution()
 
+        self._emit("symptom_fired", symptom=kind, pc=pc,
+                   detector=type(detector).__name__)
         if kind == "hc_mispredict" and self.policy is RollbackPolicy.DELAYED:
             self._trigger = key
             self._pending_rollback = True
@@ -273,13 +342,19 @@ class ReStoreController:
         if checkpoint is None:
             checkpoint = self.checkpoints.oldest
         self.stats.rollbacks += 1
-        self.stats.rollback_distance_total += max(
-            0, position - checkpoint.retired_count
-        )
+        distance = max(0, position - checkpoint.retired_count)
+        self.stats.rollback_distance_total += distance
+        self._emit("rollback_begin", symptom=kind, from_position=position,
+                   to_position=checkpoint.retired_count, distance=distance)
         if self.use_event_log:
             self.branch_log.begin_replay(checkpoint.retired_count)
             self.pipeline.branch_oracle = self.branch_log
         self.checkpoints.rollback(checkpoint)
+        # The rollback rewound the architectural position; detectors keyed
+        # by retired position must discard observations past the restore
+        # point or their windows poison post-rollback decisions.
+        for detector in self.detectors:
+            detector.on_rollback(checkpoint.retired_count)
         self.mode = "reexec"
         self._trigger = key
         self._reexec_until = position

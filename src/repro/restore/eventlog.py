@@ -22,7 +22,7 @@ executions line up by construction.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 
 
 class BranchOutcomeLog:
@@ -37,7 +37,13 @@ class BranchOutcomeLog:
     def __init__(self, capacity: int = 8192):
         self.capacity = capacity
         self._entries: dict[int, tuple[int, bool]] = {}  # position -> (pc, taken)
-        self._order: list[int] = []
+        # Effectively ascending positions: a position is appended only on
+        # its first recording, and re-execution re-records existing
+        # positions without appending, so eviction and pruning are O(1)
+        # popleft operations. (A divergent re-execution retiring a branch
+        # at a brand-new position can append out of order; pruning then
+        # defers the straggler to a later prune or capacity eviction.)
+        self._order: deque[int] = deque()
         # Replay state.
         self._by_pc: dict[int, list[bool]] = {}
         self._retired_index: dict[int, int] = {}
@@ -48,10 +54,10 @@ class BranchOutcomeLog:
 
     def record(self, position: int, pc: int, taken: bool) -> None:
         """Record a retired conditional branch (normal-mode execution)."""
-        if position not in self._entries and len(self._order) >= self.capacity:
-            evicted = self._order.pop(0)
-            self._entries.pop(evicted, None)
         if position not in self._entries:
+            if len(self._order) >= self.capacity:
+                evicted = self._order.popleft()
+                self._entries.pop(evicted, None)
             self._order.append(position)
         self._entries[position] = (pc, taken)
 
@@ -60,11 +66,9 @@ class BranchOutcomeLog:
 
     def prune_before(self, position: int) -> None:
         """Drop entries older than ``position`` (a released checkpoint)."""
-        keep = [p for p in self._order if p >= position]
-        dropped = set(self._order) - set(keep)
-        for p in dropped:
-            self._entries.pop(p, None)
-        self._order = keep
+        order = self._order
+        while order and order[0] < position:
+            self._entries.pop(order.popleft(), None)
 
     def __len__(self) -> int:
         return len(self._order)
@@ -133,13 +137,14 @@ class LoadValueQueue:
     def __init__(self, capacity: int = 16384):
         self.capacity = capacity
         self._entries: dict[int, tuple[int, int]] = {}
-        self._order: list[int] = []
+        # Ascending, as in BranchOutcomeLog: O(1) eviction and pruning.
+        self._order: deque[int] = deque()
 
     def record(self, position: int, address: int, value: int) -> None:
-        if position not in self._entries and len(self._order) >= self.capacity:
-            evicted = self._order.pop(0)
-            self._entries.pop(evicted, None)
         if position not in self._entries:
+            if len(self._order) >= self.capacity:
+                evicted = self._order.popleft()
+                self._entries.pop(evicted, None)
             self._order.append(position)
         self._entries[position] = (address, value)
 
@@ -147,11 +152,9 @@ class LoadValueQueue:
         return self._entries.get(position)
 
     def prune_before(self, position: int) -> None:
-        keep = [p for p in self._order if p >= position]
-        dropped = set(self._order) - set(keep)
-        for p in dropped:
-            self._entries.pop(p, None)
-        self._order = keep
+        order = self._order
+        while order and order[0] < position:
+            self._entries.pop(order.popleft(), None)
 
     def __len__(self) -> int:
         return len(self._order)

@@ -44,6 +44,14 @@ class SymptomDetector:
             self.triggered += 1
         return fire
 
+    def on_rollback(self, position: int) -> None:
+        """A rollback rewound the architectural position to ``position``.
+
+        Detectors keyed by retired-instruction position must drop state
+        recorded at now-unreachable (higher) positions, or it leaks into
+        the re-execution and distorts windowed decisions.
+        """
+
 
 class ExceptionSymptomDetector(SymptomDetector):
     """Any ISA-defined exception triggers rollback (Section 3.2.1).
@@ -112,6 +120,13 @@ class CacheMissSymptomDetector(SymptomDetector):
         cutoff = position - self.window
         self._recent = [p for p in self._recent if p >= cutoff]
         return len(self._recent) >= self.threshold
+
+    def on_rollback(self, position: int) -> None:
+        # The window is keyed by retired position, which just rewound:
+        # pre-rollback entries sit at *higher* positions than anything the
+        # re-execution will produce, so the >= cutoff prune would keep them
+        # forever and every burst count would be inflated.
+        self._recent = [p for p in self._recent if p <= position]
 
 
 def default_detectors() -> list[SymptomDetector]:

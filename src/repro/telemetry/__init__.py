@@ -1,0 +1,67 @@
+"""Structured tracing and derived metrics for the ReStore reproduction.
+
+The paper evaluates a symptom by exactly three numbers (Section 3.3): how
+often failure-causing errors produce it, its error-to-symptom propagation
+latency, and how often it fires in error-free execution. This package is
+the instrumentation layer that makes those numbers observable instead of
+inferable: schema'd trace events tagged with the cycle and architectural
+position at which they happened, pluggable sinks to capture them, and
+derived per-trial/per-campaign metrics rendered by ``repro campaign
+report``.
+
+Layers:
+
+- :mod:`repro.telemetry.events` — the event schema (kinds, required
+  fields) plus validation for emitted JSONL traces.
+- :mod:`repro.telemetry.sinks` — the :class:`TraceSink` protocol and the
+  JSONL / in-memory ring-buffer backends.
+- :mod:`repro.telemetry.metrics` — latency histograms, rollback-distance
+  distributions, and per-detector coverage/false-positive aggregation.
+- :mod:`repro.telemetry.report` — the Section 3.3 metric table and
+  figure-style breakdowns for a journaled campaign.
+
+Design rule: every hook in the simulator and controller is guarded by an
+``is None`` check on the sink, so the default (``telemetry=None``) costs
+one attribute test on paths that already fire rarely, and nothing at all
+on the per-cycle hot paths — enforced by ``benchmarks/perf/compare.py``.
+"""
+
+from repro.telemetry.events import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    TelemetryError,
+    make_event,
+    validate_event,
+    validate_trace,
+)
+from repro.telemetry.metrics import (
+    CampaignMetrics,
+    DetectorMetrics,
+    Histogram,
+    LATENCY_EDGES,
+    aggregate_campaign,
+)
+from repro.telemetry.report import render_campaign_report
+from repro.telemetry.sinks import (
+    JsonlTraceSink,
+    RingBufferTraceSink,
+    TraceSink,
+)
+
+__all__ = [
+    "CampaignMetrics",
+    "DetectorMetrics",
+    "EVENT_KINDS",
+    "Histogram",
+    "JsonlTraceSink",
+    "LATENCY_EDGES",
+    "RingBufferTraceSink",
+    "SCHEMA_VERSION",
+    "TelemetryError",
+    "TraceSink",
+    "aggregate_campaign",
+    "make_event",
+    "render_campaign_report",
+    "validate_event",
+    "validate_trace",
+]

@@ -1,0 +1,125 @@
+"""Render the Section 3.3 metric table and breakdowns from a journal.
+
+``repro campaign report <journal>`` reads the trial lines of a campaign
+journal (the same ones ``--resume`` replays), aggregates them with
+:func:`repro.telemetry.metrics.aggregate_campaign`, and renders:
+
+1. the symptom-evaluation table — coverage of failing trials (with the
+   Wald margin the paper quotes for its proportions), mean/median
+   error-to-symptom latency, and the error-free firing rate;
+2. a latency histogram per detector (Figure 2/5-style breakdown);
+3. the rollback-distance distribution per checkpoint interval implied by
+   the two-live-checkpoints scheme (mean ~1.5 intervals, Section 5.2.3).
+
+Aggregation always recomputes from the trial lines — the journaled
+``telemetry`` aggregate written by the runner is a convenience for
+external consumers, not the source of truth (a resumed run appends a
+fresh aggregate, and the trial lines are what both must agree with).
+"""
+
+from __future__ import annotations
+
+from repro.campaign.outcomes import OUTCOME_OK, TrialOutcome
+from repro.telemetry.metrics import (
+    CampaignMetrics,
+    DEFAULT_INTERVALS,
+    aggregate_campaign,
+)
+from repro.util.journal import JournalError, read_journal
+from repro.util.stats import wald_interval
+from repro.util.tables import format_table
+
+_BAR_WIDTH = 40
+
+
+def metrics_from_journal(
+    path: str, intervals: tuple[int, ...] = DEFAULT_INTERVALS
+) -> CampaignMetrics:
+    """Aggregate a journal's ``ok`` trial records into campaign metrics."""
+    entries = read_journal(path)
+    if not entries or entries[0].get("kind") != "manifest":
+        raise JournalError(f"{path}: missing manifest line; not a campaign journal")
+    level = entries[0].get("level")
+    records = []
+    seen: set[str] = set()
+    for entry in entries[1:]:
+        if entry.get("kind") != "trial" or entry.get("status") != OUTCOME_OK:
+            continue
+        if entry["key"] in seen:  # a retried workload may re-journal a key
+            continue
+        seen.add(entry["key"])
+        records.append(TrialOutcome.from_entry(entry, level).record)
+    return aggregate_campaign(level, records, intervals=intervals)
+
+
+def _wald_margin_text(successes: int, trials: int) -> str:
+    if not trials:
+        return "n/a"
+    low, high = wald_interval(successes, trials)
+    return f"±{(high - low) / 2:.1%}"
+
+
+def _symptom_table(metrics: CampaignMetrics) -> str:
+    rows = []
+    for name, detector in metrics.detectors.items():
+        histogram = detector.latency
+        rows.append(
+            [
+                name,
+                f"{detector.coverage:.1%}",
+                _wald_margin_text(detector.fired_on_failing,
+                                  detector.failing_trials),
+                f"{histogram.mean:.1f}" if histogram.total else "n/a",
+                str(histogram.quantile(0.5)) if histogram.total else "n/a",
+                f"{detector.benign_rate:.1%}",
+            ]
+        )
+    return format_table(
+        ["detector", "coverage", "95% margin", "mean latency",
+         "median latency", "error-free rate"],
+        rows,
+        title=(
+            f"Section 3.3 symptom metrics ({metrics.level} campaign, "
+            f"{metrics.failing}/{metrics.trials} trials failing)"
+        ),
+    )
+
+
+def _histogram_block(title: str, histogram) -> str:
+    lines = [title]
+    total = histogram.total
+    if not total:
+        return title + "\n  (no events)"
+    peak = max(histogram.counts)
+    for label, count in zip(histogram.bucket_labels(), histogram.counts):
+        bar = "#" * round(count / peak * _BAR_WIDTH) if peak else ""
+        lines.append(f"  {label:>12} | {count:>6} | {bar}")
+    lines.append(f"  total {total}, mean {histogram.mean:.1f}")
+    return "\n".join(lines)
+
+
+def render_campaign_report(
+    path: str, intervals: tuple[int, ...] = DEFAULT_INTERVALS
+) -> str:
+    """The full ``repro campaign report`` text for one journal."""
+    metrics = metrics_from_journal(path, intervals=intervals)
+    blocks = [_symptom_table(metrics)]
+    for name, detector in metrics.detectors.items():
+        if detector.latency.total:
+            blocks.append(
+                _histogram_block(
+                    f"error-to-symptom latency: {name} (retired instructions)",
+                    detector.latency,
+                )
+            )
+    for interval, histogram in metrics.rollback_distance.items():
+        blocks.append(
+            _histogram_block(
+                f"rollback distance @ interval {interval} "
+                f"(older-checkpoint restore)",
+                histogram,
+            )
+        )
+    if metrics.trials == 0:
+        blocks.append("no completed trials journaled yet")
+    return "\n\n".join(blocks)

@@ -1,0 +1,92 @@
+"""Trace sinks: where emitted events go.
+
+A sink is anything with ``emit(event: dict)`` and ``close()``. Emitters
+hold a sink-or-``None`` and guard every emission with an ``is None``
+check, so the disabled configuration costs a single attribute test on
+paths that fire at most once per symptom/rollback/checkpoint — never per
+cycle.
+
+Two backends cover the two usage modes:
+
+- :class:`JsonlTraceSink` streams one flushed JSON line per event to a
+  file, the same crash-durable shape as the campaign journal; a trace
+  survives a killed run up to its last complete line.
+- :class:`RingBufferTraceSink` keeps the most recent ``capacity`` events
+  in memory — the "flight recorder" mode for tests and for long runs
+  where only the window leading up to an incident matters.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """The sink protocol: accept events, release resources on close."""
+
+    def emit(self, event: dict) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class JsonlTraceSink:
+    """Append events to a JSONL file, one flushed line per event."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.emitted = 0
+        self._handle: IO[str] | None = open(path, "w")
+
+    def emit(self, event: dict) -> None:
+        if self._handle is None:
+            raise ValueError(f"trace sink {self.path} is closed")
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RingBufferTraceSink:
+    """Keep the newest ``capacity`` events in memory.
+
+    ``emitted`` counts every event ever seen, so a reader can tell that
+    the buffer wrapped (``emitted > len(events())``) — a silent-truncation
+    guard for incident analysis.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.emitted = 0
+        self._buffer: deque[dict] = deque(maxlen=capacity)
+
+    def emit(self, event: dict) -> None:
+        self._buffer.append(event)
+        self.emitted += 1
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        """Buffered events, oldest first; optionally filtered by kind."""
+        if kind is None:
+            return list(self._buffer)
+        return [event for event in self._buffer if event.get("kind") == kind]
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._buffer)
+
+    def close(self) -> None:
+        """Nothing to release; kept for sink-protocol symmetry."""

@@ -171,6 +171,9 @@ class Pipeline:
         # watchdog saturates; a ReStore controller installs itself here.
         # Signature: handler(kind: str, payload) -> bool (True = handled).
         self.symptom_handler = None
+        # Optional trace sink (repro.telemetry); None keeps symptom
+        # emission on the allocation-free fast path.
+        self.telemetry = None
 
         # Optional branch-outcome oracle used during ReStore re-execution
         # (the event log provides perfect prediction; Section 3.2.3).
@@ -220,6 +223,14 @@ class Pipeline:
         self.symptoms.append(
             SymptomEvent(kind, self.cycle_count, self.retired_count, pc)
         )
+        if self.telemetry is not None:
+            self.telemetry.emit({
+                "kind": "symptom",
+                "cycle": self.cycle_count,
+                "position": self.retired_count,
+                "symptom": kind,
+                "pc": pc,
+            })
 
     def _schedule(self, delay: int, event: tuple) -> None:
         cycle = self.cycle_count + max(1, delay)

@@ -26,6 +26,36 @@ def mean(values: Iterable[float]) -> float:
     return sum(items) / len(items)
 
 
+def _check_binomial(successes: int, trials: int) -> None:
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+
+
+def wald_interval(
+    successes: int, trials: int, z: float = Z_95
+) -> tuple[float, float]:
+    """Normal-approximation (Wald) interval: p ± z*sqrt(p(1-p)/n).
+
+    This is the interval the paper's margin numbers correspond to ("error
+    margin of less than 0.9% at a 95% confidence level" for ~12-13k trials
+    per experiment). Bounds are clipped to [0, 1]; prefer the Wilson
+    interval (:func:`proportion_confidence_interval`) for small samples or
+    extreme proportions, where Wald degenerates to zero width.
+    """
+    _check_binomial(successes, trials)
+    p_hat = successes / trials
+    margin = z * math.sqrt(p_hat * (1 - p_hat) / trials)
+    return (max(0.0, p_hat - margin), min(1.0, p_hat + margin))
+
+
+def wald_margin(successes: int, trials: int, z: float = Z_95) -> float:
+    """Half-width of the Wald interval (the paper's "error margin")."""
+    low, high = wald_interval(successes, trials, z)
+    return (high - low) / 2
+
+
 def proportion_confidence_interval(
     successes: int, trials: int, z: float = Z_95
 ) -> tuple[float, float]:

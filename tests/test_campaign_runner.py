@@ -388,3 +388,69 @@ class TestConfigValidation:
     def test_uarch_config_rejects(self, kwargs):
         with pytest.raises(ValueError):
             UarchCampaignConfig(**kwargs)
+
+
+class TestTraceEmission:
+    """run_campaign(trace=...) journals trial lifecycle events."""
+
+    def _run(self, trace, jobs=1, journal_path=None):
+        return run_campaign(
+            "arch", ARCH_CONFIG, trace=trace, jobs=jobs,
+            journal_path=journal_path,
+        )
+
+    def test_serial_run_emits_one_lifecycle_per_trial(self):
+        from repro.telemetry import RingBufferTraceSink, validate_event
+
+        sink = RingBufferTraceSink(capacity=10_000)
+        result = self._run(sink)
+        begins = sink.events("trial_begin")
+        ends = sink.events("trial_end")
+        assert len(begins) == len(ends) == result.executed
+        for event in sink.events():
+            validate_event(event)
+        # Every contained trial carries an injection event with its target.
+        injections = sink.events("injection")
+        ok = result.outcome_counts()[OUTCOME_OK]
+        assert len(injections) == ok
+        assert {event["target"] for event in injections} == {"arch"}
+
+    def test_parallel_run_emits_same_events(self):
+        from repro.telemetry import RingBufferTraceSink
+
+        serial, parallel = (RingBufferTraceSink(10_000) for _ in range(2))
+        self._run(serial)
+        self._run(parallel, jobs=2)
+        def key(event):
+            return (event["kind"], event["position"],
+                    event.get("status") or "")
+
+        assert sorted(map(key, serial.events())) == sorted(
+            map(key, parallel.events())
+        )
+
+    def test_journal_gains_telemetry_aggregate(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        result = self._run(None, journal_path=journal)
+        entries = [json.loads(line) for line in open(journal)]
+        aggregates = [e for e in entries if e.get("kind") == "telemetry"]
+        assert len(aggregates) == 1
+        ok = result.outcome_counts()[OUTCOME_OK]
+        assert aggregates[0]["trials"] == ok
+
+    def test_resume_appends_fresh_aggregate_and_status_uses_newest(
+        self, tmp_path
+    ):
+        journal = str(tmp_path / "run.jsonl")
+        self._run(None, journal_path=journal)
+        run_campaign("arch", ARCH_CONFIG, journal_path=journal, resume=True)
+        entries = [json.loads(line) for line in open(journal)]
+        aggregates = [e for e in entries if e.get("kind") == "telemetry"]
+        assert len(aggregates) == 2
+        status = summarize_journal(journal)
+        assert status.telemetry == aggregates[-1]
+        assert "repro campaign report" in format_status(status)
+
+    def test_trace_is_optional(self):
+        result = self._run(None)
+        assert result.executed == ARCH_CONFIG.trials_per_workload

@@ -171,3 +171,49 @@ class TestWorkloadsListing:
         out = capsys.readouterr().out
         for name in ("bzip2", "gap", "gcc", "gzip", "mcf", "parser", "vortex"):
             assert name in out
+
+
+class TestTelemetryCli:
+    def test_run_with_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.trace.jsonl")
+        assert main(
+            ["run", "gcc", "--restore", "--interval", "50", "--trace", trace]
+        ) == 0
+        assert "trace:" in capsys.readouterr().out
+        assert main(["trace", "validate", trace]) == 0
+        assert "all schema-valid" in capsys.readouterr().out
+
+    def test_campaign_trace_and_report(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.jsonl")
+        trace = str(tmp_path / "run.trace.jsonl")
+        assert main(
+            ["campaign", "uarch", "--trials", "8", "--workloads", "gcc",
+             "--journal", journal, "--trace", trace]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "validate", trace]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", journal]) == 0
+        assert "telemetry: aggregate" in capsys.readouterr().out
+        assert main(["campaign", "report", journal]) == 0
+        out = capsys.readouterr().out
+        assert "Section 3.3 symptom metrics" in out
+        assert "rollback distance" in out
+
+    def test_report_requires_journal_path(self):
+        with pytest.raises(SystemExit, match="needs a journal path"):
+            main(["campaign", "report"])
+
+    def test_report_missing_journal(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such journal"):
+            main(["campaign", "report", str(tmp_path / "nope.jsonl")])
+
+    def test_trace_validate_rejects_bad_trace(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "unheard_of", "cycle": 0, "position": 0}\n')
+        with pytest.raises(SystemExit, match="invalid trace"):
+            main(["trace", "validate", str(bad)])
+
+    def test_trace_validate_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace"):
+            main(["trace", "validate", str(tmp_path / "nope.jsonl")])

@@ -160,6 +160,136 @@ class TestDynamicTuning:
         assert controller.stats.tuning_activations == 0
 
 
+class TestDivergenceHandling:
+    """Divergence accounting and the arbitration third execution."""
+
+    def _run_with_tampered_log(self, arbitration, workload="bzip2",
+                               interval=50):
+        """Corrupt one recorded branch outcome during the first
+        re-execution so the redundant run provably diverges from the log
+        (machine state itself stays healthy)."""
+        bundle = build_workload(workload)
+        pipeline = load_pipeline(bundle.program)
+        controller = ReStoreController(
+            pipeline, interval=interval, arbitration=arbitration
+        )
+        tampered = {"done": False}
+
+        def tamper(record):
+            if controller.mode != "reexec" or tampered["done"]:
+                return
+            position = pipeline.retired_count
+            for logged in sorted(controller.branch_log._entries):
+                if position < logged <= controller._reexec_until:
+                    pc, taken = controller.branch_log._entries[logged]
+                    controller.branch_log._entries[logged] = (pc, not taken)
+                    tampered["done"] = True
+                    return
+
+        controller.user_retire_hook = tamper
+        pipeline.run(2_000_000)
+        assert tampered["done"], "no re-execution window with logged branches"
+        return bundle, pipeline, controller
+
+    def test_divergence_is_not_double_counted_as_false_positive(self):
+        _, pipeline, controller = self._run_with_tampered_log(arbitration=False)
+        stats = controller.stats
+        assert stats.divergences == 1
+        # Every other rollback is a genuine fault-free false positive; the
+        # divergent one must be excluded from the FP count.
+        assert stats.false_positives == stats.rollbacks - 1
+        assert pipeline.halted
+
+    def test_arbitration_performs_third_execution_rollback(self):
+        bundle, pipeline, controller = self._run_with_tampered_log(
+            arbitration=True
+        )
+        stats = controller.stats
+        assert stats.divergences >= 1
+        assert stats.arbitrations >= 1
+        arbitration_rollbacks = [
+            key for key in controller._rollback_history
+            if key[0] == "arbitration"
+        ]
+        assert arbitration_rollbacks, (
+            "a divergence under arbitration must roll back a third time"
+        )
+        # The third execution replays the diverging branch from the older
+        # checkpoint and the run still completes correctly.
+        assert stats.rollbacks >= 2
+        assert pipeline.halted and bundle.check(pipeline.memory) == []
+
+    def test_arbitration_off_trusts_redundant_execution(self):
+        bundle, pipeline, controller = self._run_with_tampered_log(
+            arbitration=False
+        )
+        assert controller.stats.arbitrations == 0
+        assert not any(
+            key[0] == "arbitration"
+            for key in controller._rollback_history
+        )
+        assert pipeline.halted and bundle.check(pipeline.memory) == []
+
+
+class TestStateCarryover:
+    """Rollback must reset position-keyed state (detectors, FP window)."""
+
+    def test_detectors_are_notified_of_rollback_position(self):
+        calls = []
+
+        class Spy(HighConfidenceMispredictDetector):
+            def on_rollback(self, position):
+                calls.append(position)
+
+        bundle = build_workload("bzip2")
+        pipeline = load_pipeline(bundle.program)
+        controller = ReStoreController(
+            pipeline, interval=50, detectors=[Spy()]
+        )
+        pipeline.run(2_000_000)
+        assert controller.stats.rollbacks > 0
+        assert len(calls) == controller.stats.rollbacks
+        # Each notification carries the restored (rewound) position.
+        for position in calls:
+            assert position >= 0
+
+    def test_fp_positions_memory_stays_bounded(self):
+        """The FP window must not grow with campaign length (it used to
+        accumulate every false positive ever seen)."""
+        bundle = build_workload("gcc")
+        pipeline = load_pipeline(bundle.program)
+        tuning = TuningConfig(enabled=False, window=2_000)
+        controller = ReStoreController(pipeline, interval=100, tuning=tuning)
+        # Synthesize a long campaign's worth of false positives through the
+        # real bookkeeping path.
+        for index in range(5_000):
+            pipeline.retired_count = index * 150
+            controller._trigger = ("hc_mispredict", pipeline.retired_count, 0)
+            controller.mode = "reexec"
+            controller._finish_reexecution()
+        assert controller.stats.false_positives == 5_000
+        # Only positions inside the tuning window may be retained.
+        assert len(controller.stats.fp_positions) <= tuning.window // 150 + 2
+
+    def test_breaker_decision_unchanged_by_pruning(self):
+        tuning = TuningConfig(enabled=True, window=10_000, threshold=2,
+                              cooldown=4_000)
+        _, _, controller = run_with_controller(
+            "bzip2", interval=50, tuning=tuning
+        )
+        assert controller.stats.tuning_activations >= 1
+        assert len(controller.stats.fp_positions) <= controller.stats.false_positives
+
+    def test_controller_uses_public_checkpoint_property(self):
+        bundle = build_workload("gcc")
+        pipeline = load_pipeline(bundle.program)
+        controller = ReStoreController(pipeline, interval=100)
+        pipeline.run(5_000)
+        manager = controller.checkpoints
+        assert manager.since_last_checkpoint == manager._since_last
+        assert 0 <= manager.since_last_checkpoint < manager.interval
+
+
 class TestDetectorConfigurations:
     def test_exceptions_only_configuration(self):
         bundle, pipeline, controller = run_with_controller(

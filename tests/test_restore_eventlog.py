@@ -106,3 +106,56 @@ class TestLoadValueQueue:
             lvq.record(position, 0, 0)
         lvq.prune_before(4)
         assert len(lvq) == 2
+
+
+class TestConstantTimeEviction:
+    """Eviction/pruning must be O(1) deque operations, not list.pop(0)."""
+
+    def test_order_structures_are_deques(self):
+        from collections import deque
+
+        assert isinstance(BranchOutcomeLog()._order, deque)
+        assert isinstance(LoadValueQueue()._order, deque)
+
+    def test_branch_log_eviction_behaviour_preserved(self):
+        log = BranchOutcomeLog(capacity=4)
+        for position in range(10):
+            log.record(position, 0x100 + position, position % 2 == 0)
+        assert len(log) == 4
+        assert log.outcome_at(5) is None
+        for position in range(6, 10):
+            assert log.outcome_at(position) == (0x100 + position,
+                                                position % 2 == 0)
+
+    def test_branch_log_reexec_rerecording_does_not_grow_order(self):
+        log = BranchOutcomeLog(capacity=8)
+        for position in range(5):
+            log.record(position, 0x100, True)
+        # Re-execution re-records the same positions with fresh outcomes.
+        for position in range(5):
+            log.record(position, 0x100, False)
+        assert len(log) == 5
+        assert log.outcome_at(3) == (0x100, False)
+
+    def test_lvq_eviction_and_prune_behaviour_preserved(self):
+        lvq = LoadValueQueue(capacity=3)
+        for position in range(6):
+            lvq.record(position, position * 8, position * 100)
+        assert len(lvq) == 3
+        assert lvq.entry_at(2) is None
+        assert lvq.entry_at(5) == (40, 500)
+        lvq.prune_before(5)
+        assert len(lvq) == 1
+        assert lvq.entry_at(4) is None
+
+    def test_interleaved_prune_and_record(self):
+        log = BranchOutcomeLog()
+        for position in range(0, 100, 2):
+            log.record(position, position, True)
+        log.prune_before(50)
+        assert len(log) == 25
+        log.record(100, 100, False)
+        log.prune_before(98)
+        assert log.outcome_at(98) == (98, True)
+        assert log.outcome_at(100) == (100, False)
+        assert len(log) == 2

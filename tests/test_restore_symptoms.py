@@ -53,3 +53,32 @@ class TestCacheMissDetector:
         detector = CacheMissSymptomDetector(kinds=("dtlb_miss",), threshold=1)
         assert not detector.observe("dcache_miss", 1)
         assert detector.observe("dtlb_miss", 1)
+
+
+class TestRollbackReset:
+    def test_base_detector_hook_is_a_no_op(self):
+        for detector in default_detectors():
+            detector.on_rollback(0)  # must exist and not raise
+
+    def test_cache_window_discards_positions_past_rollback(self):
+        """Pre-rollback misses sit at *higher* positions than anything the
+        re-execution produces; the >= cutoff prune alone would keep them
+        forever and inflate every later burst count."""
+        detector = CacheMissSymptomDetector(threshold=3, window=50)
+        assert not detector.observe("dcache_miss", 480)
+        assert not detector.observe("dcache_miss", 490)
+        # Rollback rewinds the architectural position to 400.
+        detector.on_rollback(400)
+        assert detector._recent == []
+        # A single post-rollback miss must not complete the stale burst.
+        assert not detector.observe("dcache_miss", 410)
+
+    def test_rollback_keeps_observations_at_or_before_restore_point(self):
+        detector = CacheMissSymptomDetector(threshold=3, window=100)
+        assert not detector.observe("dcache_miss", 395)
+        assert not detector.observe("dcache_miss", 450)
+        detector.on_rollback(400)
+        assert detector._recent == [395]
+        # The surviving pre-checkpoint miss still counts toward a burst.
+        assert not detector.observe("dcache_miss", 405)
+        assert detector.observe("dcache_miss", 410)

@@ -8,6 +8,8 @@ from repro.util.stats import (
     CategoryCounter,
     mean,
     proportion_confidence_interval,
+    wald_interval,
+    wald_margin,
 )
 
 
@@ -119,3 +121,45 @@ class TestCategoryCounter:
             counter.add("y")
         estimate = counter.estimate("x")
         assert estimate.proportion == pytest.approx(0.3)
+
+
+class TestWaldInterval:
+    def test_symmetric_margin_formula(self):
+        low, high = wald_interval(50, 100)
+        # z * sqrt(p(1-p)/n) with p=0.5, n=100 -> 0.098.
+        assert high - 0.5 == pytest.approx(0.5 - low)
+        assert (high - low) / 2 == pytest.approx(0.0980, abs=1e-4)
+
+    def test_reproduces_paper_error_margin_claim(self):
+        """~12,800 trials per experiment: "error margin of less than 0.9%
+        at a 95% confidence level". The margin is maximal at p=0.5."""
+        margin = wald_margin(6400, 12800)
+        assert margin < 0.009
+        assert margin == pytest.approx(0.00866, abs=1e-4)
+        # Any other proportion gives a smaller margin at the same n.
+        assert wald_margin(1280, 12800) < margin
+
+    def test_bounds_clipped_to_unit_interval(self):
+        low, high = wald_interval(1, 1000)
+        assert 0.0 <= low <= high <= 1.0
+        low, high = wald_interval(999, 1000)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_degenerate_extremes_collapse(self):
+        # The known Wald pathology the docstring warns about.
+        assert wald_interval(0, 50) == (0.0, 0.0)
+        assert wald_interval(50, 50) == (1.0, 1.0)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            wald_interval(1, 0)
+        with pytest.raises(ValueError):
+            wald_interval(5, 4)
+        with pytest.raises(ValueError):
+            wald_margin(-1, 10)
+
+    def test_wilson_and_wald_agree_for_large_balanced_samples(self):
+        wilson = proportion_confidence_interval(5000, 10000)
+        wald = wald_interval(5000, 10000)
+        assert wilson[0] == pytest.approx(wald[0], abs=1e-4)
+        assert wilson[1] == pytest.approx(wald[1], abs=1e-4)
