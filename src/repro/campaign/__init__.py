@@ -28,10 +28,12 @@ from repro.campaign.outcomes import (
     TrialOutcome,
     WorkloadRunOutcome,
     trial_key,
+    validate_shard,
 )
 from repro.campaign.runner import (
     CAMPAIGN_LEVELS,
     CampaignRunReport,
+    ExecutionPolicy,
     run_campaign,
 )
 from repro.campaign.status import (
@@ -46,6 +48,7 @@ __all__ = [
     "CampaignRunReport",
     "CampaignStatus",
     "CampaignWorkloadWarning",
+    "ExecutionPolicy",
     "GoldenRunError",
     "HARNESS_STATUSES",
     "OUTCOME_CRASH",
@@ -61,4 +64,5 @@ __all__ = [
     "summarize_journal",
     "timeout_supported",
     "trial_key",
+    "validate_shard",
 ]

@@ -58,6 +58,19 @@ def trial_key(workload: str, point: int, index: int) -> str:
     return f"{workload}:{point}:{index}"
 
 
+def validate_shard(shard: tuple[int, int] | None) -> None:
+    """Check a ``(shard_index, shard_count)`` stride-slice descriptor."""
+    if shard is None:
+        return
+    shard_index, shard_count = shard
+    if shard_count < 1:
+        raise ValueError(f"shard count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard index must be in [0, {shard_count}), got {shard_index}"
+        )
+
+
 @dataclass(frozen=True)
 class TrialOutcome:
     """One journaled trial: its identity, status, and result or error."""

@@ -36,6 +36,7 @@ them or in what order).
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
@@ -50,6 +51,7 @@ from repro.campaign.outcomes import (
 )
 from repro.util.journal import (
     JournalError,
+    JournalTearWarning,
     JournalWriter,
     config_to_dict,
     read_journal,
@@ -59,6 +61,37 @@ from repro.util.tables import format_table
 
 CAMPAIGN_LEVELS = ("arch", "uarch")
 JOURNAL_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a campaign executes, as opposed to *what* it measures.
+
+    Kept separate from the scientific configs (whose digests identify a
+    run's results) because neither knob can change a single trial record:
+    ``jobs`` only picks how workloads fan out across processes and
+    ``trial_timeout`` only bounds the harness's patience.
+
+    ``jobs=None`` means "use every core" (``os.cpu_count()``).
+    """
+
+    jobs: int | None = None
+    trial_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        jobs = self.jobs
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ValueError(
+                f"jobs must be a positive integer (or None for all "
+                f"cores), got {self.jobs!r}"
+            )
+        object.__setattr__(self, "jobs", jobs)
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise ValueError(
+                f"trial_timeout must be positive, got {self.trial_timeout}"
+            )
 
 
 def _campaign_module(level: str):
@@ -141,9 +174,25 @@ def _manifest(level: str, config) -> dict:
     }
 
 
-def _load_journal(path: str, level: str, config) -> _JournalState:
+def _load_journal(path: str, level: str, config) -> _JournalState | None:
+    """Replay a journal into a :class:`_JournalState`.
+
+    Returns ``None`` when the file holds no complete entry at all — the
+    residue of a run killed during its *first* append (a torn manifest).
+    Such a journal contributes nothing to resume, so the caller rewrites
+    it from scratch instead of aborting; refusing here used to brick the
+    journal path until the operator deleted the file by hand.
+    """
     entries = read_journal(path)
-    if not entries or entries[0].get("kind") != "manifest":
+    if not entries:
+        warnings.warn(
+            f"{path}: journal holds no complete entry (run killed during "
+            f"its first append?); starting it fresh",
+            JournalTearWarning,
+            stacklevel=3,
+        )
+        return None
+    if entries[0].get("kind") != "manifest":
         raise JournalError(f"{path}: missing manifest line; not a campaign journal")
     manifest = entries[0]
     if manifest.get("level") != level:
@@ -271,7 +320,7 @@ def run_campaign(
     *,
     journal_path: str | None = None,
     resume: bool = False,
-    jobs: int = 1,
+    jobs: int | None = 1,
     trial_timeout: float | None = None,
     trace=None,
 ) -> CampaignRunReport:
@@ -280,17 +329,17 @@ def run_campaign(
     ``journal_path`` enables durable progress (one flushed JSONL line per
     trial in serial mode, per completed workload in parallel mode);
     ``resume`` replays an existing journal and runs only missing trials;
-    ``jobs`` fans workloads out across processes; ``trial_timeout`` is the
-    per-trial wall-clock budget in seconds; ``trace`` is an optional
-    :class:`repro.telemetry.TraceSink` receiving per-trial events (emitted
-    from the parent process — with ``jobs > 1`` they arrive per completed
-    workload rather than interleaved live).
+    ``jobs`` fans workloads out across processes (``None`` means one per
+    core); ``trial_timeout`` is the per-trial wall-clock budget in
+    seconds; ``trace`` is an optional :class:`repro.telemetry.TraceSink`
+    receiving per-trial events (emitted from the parent process — with
+    ``jobs > 1`` they arrive per completed workload rather than
+    interleaved live).
     """
     module = _campaign_module(level)
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    if trial_timeout is not None and trial_timeout <= 0:
-        raise ValueError(f"trial_timeout must be positive, got {trial_timeout}")
+    policy = ExecutionPolicy(jobs=jobs, trial_timeout=trial_timeout)
+    jobs = policy.jobs
+    assert jobs is not None  # __post_init__ resolved None to cpu_count
     if resume and journal_path is None:
         raise ValueError("resume requires a journal path")
 
@@ -298,13 +347,27 @@ def run_campaign(
     writer: JournalWriter | None = None
     if journal_path is not None:
         exists = os.path.exists(journal_path) and os.path.getsize(journal_path) > 0
-        if exists and not resume:
-            raise JournalError(
-                f"{journal_path} already exists; pass resume=True (--resume) "
-                f"to continue it, or choose a fresh journal path"
-            )
+        loaded: _JournalState | None = None
         if exists:
-            state = _load_journal(journal_path, level, config)
+            if resume:
+                loaded = _load_journal(journal_path, level, config)
+            elif read_journal(journal_path):
+                raise JournalError(
+                    f"{journal_path} already exists; pass resume=True "
+                    f"(--resume) to continue it, or choose a fresh journal "
+                    f"path"
+                )
+            else:
+                # The file holds nothing but a torn fragment (a run killed
+                # during its first append); it is safe to overwrite.
+                warnings.warn(
+                    f"{journal_path}: journal holds no complete entry (run "
+                    f"killed during its first append?); starting it fresh",
+                    JournalTearWarning,
+                    stacklevel=2,
+                )
+        if loaded is not None:
+            state = loaded
             writer = JournalWriter(journal_path, append=True)
         else:
             writer = JournalWriter(journal_path)

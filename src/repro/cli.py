@@ -12,6 +12,11 @@ Exposes the library's main flows without writing Python::
     repro campaign uarch --trials 500 --journal run.jsonl --resume
     repro campaign status run.jsonl
     repro campaign report run.jsonl
+    repro serve --port 8642 --workers 2       # the campaign service
+    repro submit uarch --trials 120 --shards 2 --wait
+    repro jobs                                # list service jobs
+    repro jobs job-000001 --results
+    repro worker --url http://host:8642       # join the worker fleet
     repro trace validate run.trace.jsonl
     repro perf --intervals 50,100,500
     repro fit --baseline 0.07 --restore 0.035 --lhf 0.03 --combined 0.01
@@ -24,9 +29,16 @@ Installed as the ``repro`` console script; also runnable as
 from __future__ import annotations
 
 import argparse
+import asyncio
+import os
 import sys
 
-from repro.campaign import format_status, run_campaign, summarize_journal
+from repro.campaign import (
+    ExecutionPolicy,
+    format_status,
+    run_campaign,
+    summarize_journal,
+)
 from repro.faults import ArchCampaignConfig, UarchCampaignConfig
 from repro.perfmodel import measure_restore_performance
 from repro.reliability import (
@@ -158,6 +170,19 @@ def cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _execution_policy(
+    jobs: int | None, trial_timeout: float | None
+) -> ExecutionPolicy:
+    """Validate execution knobs, converting field names to flag names.
+
+    ``jobs=None`` (flag omitted) resolves to one worker per core.
+    """
+    try:
+        return ExecutionPolicy(jobs=jobs, trial_timeout=trial_timeout)
+    except ValueError as exc:
+        raise SystemExit("--" + str(exc).replace("_", "-")) from None
+
+
 def cmd_campaign_status(args: argparse.Namespace) -> int:
     path = args.journal_file or args.journal
     if not path:
@@ -202,12 +227,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             "arch/uarch runs"
         )
     workloads = _parse_workloads(args.workloads)
-    if args.jobs < 1:
-        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
-    if args.trial_timeout is not None and args.trial_timeout <= 0:
-        raise SystemExit(
-            f"--trial-timeout must be positive, got {args.trial_timeout}"
-        )
+    policy = _execution_policy(args.jobs, args.trial_timeout)
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal")
     try:
@@ -234,8 +254,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             config,
             journal_path=args.journal,
             resume=args.resume,
-            jobs=args.jobs,
-            trial_timeout=args.trial_timeout,
+            jobs=policy.jobs,
+            trial_timeout=policy.trial_timeout,
             trace=trace,
         )
     except JournalError as exc:
@@ -269,6 +289,211 @@ def cmd_campaign(args: argparse.Namespace) -> int:
           f"{report.resumed}  jobs: {report.jobs}")
     for name, reason in report.skipped_workloads:
         print(f"warning: workload {name} skipped: {reason}")
+    return 0
+
+
+def _campaign_config_options(
+    level: str, trials: int, workloads: tuple[str, ...], seed: int
+) -> dict:
+    """The JSON config options for a job, derived exactly as
+    ``repro campaign`` derives its local config — so a service job's
+    config digest matches a serial CLI run of the same parameters."""
+    return {
+        "trials_per_workload": trials,
+        "injection_points": min(trials, max(4, trials // 3)),
+        "workloads": list(workloads),
+        "seed": seed,
+    }
+
+
+async def _serve_async(args: argparse.Namespace) -> int:
+    from repro.service import (
+        CampaignScheduler,
+        CampaignService,
+        LocalWorkerPool,
+        ResultStore,
+    )
+
+    store = ResultStore(os.path.join(args.data_dir, "service.db"))
+    scheduler = CampaignScheduler(
+        store,
+        args.data_dir,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+    )
+    service = CampaignService(scheduler, host=args.host, port=args.port)
+    await service.start()
+    pool = None
+    if args.workers > 0:
+        pool = LocalWorkerPool(scheduler, workers=args.workers)
+        pool.start()
+    print(
+        f"campaign service listening on {service.address} "
+        f"(data: {args.data_dir}, local workers: {args.workers})",
+        flush=True,
+    )
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        if pool is not None:
+            await pool.stop()
+        await service.stop()
+        store.close()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers < 0:
+        raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+    if args.lease_ttl <= 0:
+        raise SystemExit(f"--lease-ttl must be positive, got {args.lease_ttl}")
+    if args.max_attempts < 1:
+        raise SystemExit(
+            f"--max-attempts must be >= 1, got {args.max_attempts}"
+        )
+    os.makedirs(args.data_dir, exist_ok=True)
+    try:
+        return asyncio.run(_serve_async(args))
+    except KeyboardInterrupt:
+        print("campaign service stopped", file=sys.stderr)
+        return 0
+
+
+def _job_summary_lines(view: dict) -> list[str]:
+    units = view.get("units") or {}
+    outcomes = view.get("outcomes") or {}
+    lines = [
+        f"job:     {view['job_id']}  ({view['level']}, {view['state']})",
+        "units:   " + (", ".join(
+            f"{state}={count}" for state, count in sorted(units.items())
+        ) or "none"),
+        f"trials:  {view.get('trials', 0)}"
+        + ("  [" + ", ".join(
+            f"{status}={count}" for status, count in sorted(outcomes.items())
+        ) + "]" if outcomes else ""),
+    ]
+    if view.get("journal_path"):
+        lines.append(f"journal: {view['journal_path']}")
+    if view.get("trace_path"):
+        lines.append(f"trace:   {view['trace_path']}")
+    if view.get("error"):
+        lines.append(f"note:    {view['error']}")
+    return lines
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.service import ServiceClientError
+    from repro.service.client import ServiceClient
+
+    if args.level not in ("arch", "uarch"):
+        raise SystemExit(f"level must be arch or uarch, got {args.level!r}")
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    workloads = _parse_workloads(args.workloads)
+    payload = {
+        "level": args.level,
+        "config": _campaign_config_options(
+            args.level, args.trials, workloads, args.seed
+        ),
+        "shards_per_workload": args.shards,
+        "trial_timeout": args.trial_timeout,
+        "trace": args.trace,
+    }
+    client = ServiceClient(args.url)
+    try:
+        view = client.submit(payload)
+        if args.wait:
+            view = client.wait(view["job_id"], timeout=args.timeout)
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        print(json_module.dumps(view, indent=2))
+    else:
+        print("\n".join(_job_summary_lines(view)))
+    return 0 if view["state"] in ("queued", "running", "done") else 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.service import ServiceClientError
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id is None:
+            listing = client.jobs(offset=args.offset, limit=args.limit)
+            if args.json:
+                print(json_module.dumps(listing, indent=2))
+                return 0
+            rows = [
+                [v["job_id"], v["level"], v["state"], str(v.get("trials", 0))]
+                for v in listing["jobs"]
+            ]
+            print(format_table(
+                ["job", "level", "state", "trials"], rows,
+                title=f"Campaign jobs ({listing['total']} total; "
+                      f"showing {len(rows)} from offset {listing['offset']})",
+            ))
+            return 0
+        if args.cancel:
+            view = client.cancel(args.job_id)
+        else:
+            view = client.job(args.job_id)
+        if args.results:
+            page = client.results(
+                args.job_id, offset=args.offset, limit=args.limit
+            )
+            if args.json:
+                print(json_module.dumps(page, indent=2))
+            else:
+                for entry in page["results"]:
+                    print(json_module.dumps(entry))
+                print(
+                    f"# {len(page['results'])} of {page['total']} trials "
+                    f"(offset {page['offset']})",
+                    file=sys.stderr,
+                )
+            return 0
+        if args.json:
+            print(json_module.dumps(view, indent=2))
+        else:
+            print("\n".join(_job_summary_lines(view)))
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc)) from None
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service import RemoteWorker, ServiceClientError
+    from repro.service.client import ServiceClient
+
+    if args.max_units is not None and args.max_units < 1:
+        raise SystemExit(f"--max-units must be >= 1, got {args.max_units}")
+    name = args.name or f"worker-{os.getpid()}"
+    client = ServiceClient(args.url)
+    try:
+        client.health()
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc)) from None
+    worker = RemoteWorker(
+        client,
+        name,
+        poll_interval=args.poll,
+        max_units=args.max_units,
+        exit_when_idle=args.exit_when_idle,
+    )
+    try:
+        done = worker.run()
+    except KeyboardInterrupt:
+        done = worker.units_done
+        print(f"\n{name}: interrupted", file=sys.stderr)
+    print(f"{name}: {done} unit(s) completed, "
+          f"{worker.units_failed} failed")
     return 0
 
 
@@ -365,8 +590,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream trial results to an append-only JSONL journal")
     p.add_argument("--resume", action="store_true",
                    help="skip trials already recorded in --journal")
-    p.add_argument("--jobs", type=int, default=1, metavar="N",
-                   help="fan workloads out across N worker processes")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="fan workloads out across N worker processes "
+                        "(default: one per core)")
     p.add_argument("--trial-timeout", type=float, default=None,
                    metavar="SECONDS",
                    help="wall-clock budget per trial; overruns are recorded "
@@ -374,6 +600,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="stream per-trial telemetry events to a JSONL trace")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the campaign service (scheduler + HTTP API + local "
+             "worker pool)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="listen port (0 picks a free port)")
+    p.add_argument("--data-dir", default="service-data", metavar="DIR",
+                   help="where the SQLite store and job journals live")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="in-process worker loops (0 = rely on external "
+                        "'repro worker' processes)")
+    p.add_argument("--lease-ttl", type=float, default=60.0, metavar="SECONDS",
+                   help="work-unit lease duration; an un-heartbeated unit "
+                        "is requeued after this long")
+    p.add_argument("--max-attempts", type=int, default=2, metavar="N",
+                   help="attempts before a unit is retired as failed")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a campaign job to a service")
+    p.add_argument("level", choices=["arch", "uarch"])
+    p.add_argument("--url", default="http://127.0.0.1:8642",
+                   help="campaign service base URL")
+    p.add_argument("--trials", type=int, default=30,
+                   help="trials per workload")
+    p.add_argument("--workloads", default=",".join(WORKLOAD_NAMES))
+    p.add_argument("--seed", type=int, default=2005)
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="work units per workload (stride slices of the "
+                        "trial index space)")
+    p.add_argument("--trial-timeout", type=float, default=None,
+                   metavar="SECONDS")
+    p.add_argument("--trace", action="store_true",
+                   help="have the job produce a merged telemetry trace")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes")
+    p.add_argument("--timeout", type=float, default=600.0, metavar="SECONDS",
+                   help="how long --wait polls before giving up")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw job view as JSON")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs",
+                       help="list, inspect, or cancel campaign-service jobs")
+    p.add_argument("job_id", nargs="?", default=None)
+    p.add_argument("--url", default="http://127.0.0.1:8642")
+    p.add_argument("--cancel", action="store_true")
+    p.add_argument("--results", action="store_true",
+                   help="page through a job's trial entries (serial order)")
+    p.add_argument("--offset", type=int, default=0)
+    p.add_argument("--limit", type=int, default=50)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser(
+        "worker",
+        help="lease and run work units from a campaign service",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8642")
+    p.add_argument("--name", default=None,
+                   help="worker identity (default: worker-<pid>)")
+    p.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                   help="idle polling interval")
+    p.add_argument("--max-units", type=int, default=None, metavar="N",
+                   help="exit after completing N units")
+    p.add_argument("--exit-when-idle", action="store_true",
+                   help="exit when the queue has no leasable unit")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("trace",
                        help="telemetry trace utilities (trace validate)")

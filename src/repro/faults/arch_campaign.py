@@ -31,6 +31,7 @@ from repro.campaign.outcomes import (
     TrialOutcome,
     WorkloadRunOutcome,
     trial_key,
+    validate_shard,
 )
 from repro.faults.classify import (
     ARCH_CATEGORIES,
@@ -180,6 +181,7 @@ def run_workload_trials(
     completed: Collection[str] = frozenset(),
     guard: TrialGuard | None = None,
     on_outcome: Callable[[TrialOutcome], None] | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> WorkloadRunOutcome:
     """Execute one workload's trials under containment.
 
@@ -191,10 +193,19 @@ def run_workload_trials(
     observes each fresh outcome as soon as it exists, which is how the
     runner streams results to the journal.
 
+    ``shard=(shard_index, shard_count)`` restricts execution to the
+    stride slice of the per-point trial index space with
+    ``index % shard_count == shard_index``. A stride (rather than a
+    contiguous range) is used because the per-point trial count is only
+    known once the golden run has been walked; the stride slices cover
+    the index space for any per-point count, so the union of all shards
+    is exactly the serial campaign, trial for trial.
+
     A failing golden run skips the workload with a structured warning
     instead of aborting the campaign.
     """
     guard = guard or TrialGuard()
+    validate_shard(shard)
     wrng = DeterministicRng(config.seed).child("arch-campaign").child(workload)
     try:
         bundle = build_workload(workload, config.workload_scale, config.seed)
@@ -231,6 +242,8 @@ def run_workload_trials(
         if not prefix.running:  # pragma: no cover - golden ran fine
             break
         for index in range(per_point):
+            if shard is not None and index % shard[1] != shard[0]:
+                continue
             key = trial_key(workload, point, index)
             if key in completed:
                 continue

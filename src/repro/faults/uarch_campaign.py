@@ -41,6 +41,7 @@ from repro.campaign.outcomes import (
     TrialOutcome,
     WorkloadRunOutcome,
     trial_key,
+    validate_shard,
 )
 from repro.faults.classify import (
     UARCH_CATEGORIES,
@@ -280,6 +281,7 @@ def run_workload_trials(
     completed: Collection[str] = frozenset(),
     guard: TrialGuard | None = None,
     on_outcome: Callable[[TrialOutcome], None] | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> WorkloadRunOutcome:
     """Execute one workload's trials under containment.
 
@@ -287,9 +289,14 @@ def run_workload_trials(
     per-trial randomness is derived from ``(seed, workload, point,
     index)`` so resumed, sharded, and single-shot runs all produce the
     same records; journaled keys in ``completed`` are skipped; a failing
-    golden run degrades to a skipped workload with a structured warning.
+    golden run degrades to a skipped workload with a structured warning;
+    ``shard=(shard_index, shard_count)`` restricts execution to the
+    stride slice ``index % shard_count == shard_index`` of the per-point
+    trial index space (the union of all shards is exactly the serial
+    campaign).
     """
     guard = guard or TrialGuard()
+    validate_shard(shard)
     wrng = DeterministicRng(config.seed).child("uarch-campaign").child(workload)
     try:
         bundle = build_workload(workload, config.workload_scale, config.seed)
@@ -327,6 +334,8 @@ def run_workload_trials(
         if not prefix.running:
             break
         for index in range(per_point):
+            if shard is not None and index % shard[1] != shard[0]:
+                continue
             key = trial_key(workload, point, index)
             if key in completed:
                 continue

@@ -1,0 +1,53 @@
+"""The campaign service: fault injection at fleet scale.
+
+Statistical fault-injection campaigns (the paper's Section 3 methodology)
+are embarrassingly parallel *because* of a deliberate property of this
+reproduction: every trial's randomness derives from
+``(seed, workload, point, index)`` alone. This package exploits that to
+turn campaigns into a service — jobs sharded into ``(workload,
+seed-slice)`` work units, a pull-based worker protocol with leases and
+heartbeats so a dead worker's units are requeued, a SQLite result store
+ingesting trial records idempotently, and an HTTP JSON API with SSE
+progress streaming. A finished job's journal is **bit-identical** to a
+serial ``run_campaign`` of the same spec (see
+:mod:`repro.service.shard` for the invariant and DESIGN.md for why it
+holds).
+
+Layers:
+
+- :mod:`repro.service.spec` — job specs and config reconstruction.
+- :mod:`repro.service.shard` — work units and the stride-sharding model.
+- :mod:`repro.service.store` — the SQLite job/unit/trial store.
+- :mod:`repro.service.scheduler` — lifecycle, leases, finalization.
+- :mod:`repro.service.worker` — unit execution, local pool, remote loop.
+- :mod:`repro.service.api` — the asyncio HTTP front end.
+- :mod:`repro.service.client` — the urllib client the CLI uses.
+
+CLI: ``repro serve`` runs scheduler + API + local pool; ``repro submit``
+submits and optionally waits; ``repro jobs`` lists/inspects/cancels;
+``repro worker`` drains the queue from another process or machine.
+"""
+
+from repro.service.api import CampaignService
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.scheduler import CampaignScheduler
+from repro.service.shard import WorkUnit, shard_job
+from repro.service.spec import JobSpec, ServiceError, build_config
+from repro.service.store import ResultStore
+from repro.service.worker import LocalWorkerPool, RemoteWorker, execute_unit
+
+__all__ = [
+    "CampaignScheduler",
+    "CampaignService",
+    "JobSpec",
+    "LocalWorkerPool",
+    "RemoteWorker",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "WorkUnit",
+    "build_config",
+    "execute_unit",
+    "shard_job",
+]

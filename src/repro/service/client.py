@@ -1,0 +1,141 @@
+"""A stdlib HTTP client for the campaign service.
+
+Wraps :mod:`urllib.request` with JSON encoding/decoding and turns the
+API's error envelopes into :class:`ServiceClientError`. Used by the
+``repro submit`` / ``repro jobs`` / ``repro worker`` CLI commands and by
+the end-to-end tests; anything else can speak the same trivially-curlable
+protocol directly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from urllib.parse import urlencode
+
+
+class ServiceClientError(Exception):
+    """The service rejected a request (or could not be reached)."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """A thin JSON-over-HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None,
+        query: dict | None = None,
+    ) -> dict:
+        url = f"{self.base_url}{path}"
+        if query:
+            url += "?" + urlencode(
+                {k: v for k, v in query.items() if v is not None}
+            )
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except ValueError:
+                message = body or str(exc)
+            raise ServiceClientError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                f"cannot reach campaign service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from None
+
+    # ----------------------------------------------------- client side
+
+    def health(self) -> dict:
+        return self._request("GET", "/api/health")
+
+    def submit(self, payload: dict) -> dict:
+        return self._request("POST", "/api/jobs", payload)
+
+    def jobs(self, offset: int = 0, limit: int = 50) -> dict:
+        return self._request(
+            "GET", "/api/jobs", query={"offset": offset, "limit": limit}
+        )
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/api/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/api/jobs/{job_id}/cancel", {})
+
+    def results(
+        self, job_id: str, *, offset: int = 0, limit: int = 100,
+        status: str | None = None, workload: str | None = None,
+    ) -> dict:
+        return self._request(
+            "GET", f"/api/jobs/{job_id}/results",
+            query={"offset": offset, "limit": limit, "status": status,
+                   "workload": workload},
+        )
+
+    def metrics(self, job_id: str) -> dict:
+        return self._request("GET", f"/api/jobs/{job_id}/metrics")
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.2
+    ) -> dict:
+        """Poll until the job reaches a terminal state."""
+        from repro.service.store import JOB_TERMINAL_STATES
+
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["state"] in JOB_TERMINAL_STATES:
+                return view
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"timed out after {timeout:.0f}s waiting for {job_id} "
+                    f"(state: {view['state']})"
+                )
+            time.sleep(poll)
+
+    # ----------------------------------------------------- worker side
+
+    def lease(self, worker: str) -> dict | None:
+        lease = self._request("POST", "/api/lease", {"worker": worker})
+        return lease if lease.get("unit") else None
+
+    def heartbeat(self, job_id: str, unit_id: str, worker: str) -> bool:
+        return bool(self._request(
+            "POST", f"/api/jobs/{job_id}/units/{unit_id}/heartbeat",
+            {"worker": worker},
+        ).get("ok"))
+
+    def complete(
+        self, job_id: str, unit_id: str, worker: str, result: dict
+    ) -> bool:
+        return bool(self._request(
+            "POST", f"/api/jobs/{job_id}/units/{unit_id}/complete",
+            {"worker": worker, "result": result},
+        ).get("accepted"))
+
+    def fail(self, job_id: str, unit_id: str, worker: str, error: str) -> bool:
+        return bool(self._request(
+            "POST", f"/api/jobs/{job_id}/units/{unit_id}/fail",
+            {"worker": worker, "error": error},
+        ).get("accepted"))

@@ -1,0 +1,436 @@
+"""The campaign scheduler: job lifecycle, leases, and finalization.
+
+The scheduler owns every state transition in the service. It shards a
+submitted :class:`~repro.service.spec.JobSpec` into work units, hands
+units to workers through a pull-based lease protocol (lease → heartbeat
+→ complete/fail, with expiry requeue when a worker vanishes), ingests
+per-unit results into the :class:`~repro.service.store.ResultStore`, and
+— once a job has no unit left in flight — finalizes it by writing a
+campaign journal **bit-identical to a serial ``run_campaign``** of the
+same spec: the same manifest, the same trial lines in the same order,
+the same workload sentinels, the same trailing telemetry aggregate.
+
+Lease protocol invariants:
+
+- A unit's ``attempts`` counter increments when it is leased, never when
+  it is reported. A unit is retired as ``failed`` only once it has been
+  attempted ``max_attempts`` times (default 2 — the serial runner's
+  retry-once semantics), whether the attempts ended in explicit failure
+  reports or silent lease expiries.
+- Results are only accepted from the worker that holds the lease; a
+  late report from an expired lease is dropped (its trial rows would be
+  ignored anyway — trial ingestion is idempotent on the trial key).
+- A permanently failed unit marks its workload's sentinel ``skipped``
+  (mirroring the parallel runner's worker-died-twice classification);
+  the job still finalizes.
+
+The scheduler is synchronous and loop-agnostic: the asyncio API layer
+and the in-process worker pool call into it directly, and tests drive it
+with a fake clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Callable
+
+from repro.campaign.outcomes import TrialOutcome, WorkloadRunOutcome
+from repro.campaign.runner import (
+    _emit_trial_events,
+    _manifest,
+    _workload_sentinel,
+)
+from repro.service.shard import WorkUnit, shard_job
+from repro.service.spec import JobSpec, ServiceError
+from repro.service.store import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_TERMINAL_STATES,
+    UNIT_DONE,
+    UNIT_FAILED,
+    UNIT_LEASED,
+    UNIT_PENDING,
+    ResultStore,
+)
+from repro.util.journal import JournalWriter
+
+#: How many progress events each job retains for SSE replay.
+EVENT_HISTORY = 256
+
+
+def _system_clock() -> float:
+    import time
+
+    return time.time()
+
+
+class CampaignScheduler:
+    """Coordinates jobs, units, workers, and results for the service."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        data_dir: str,
+        *,
+        lease_ttl: float = 60.0,
+        max_attempts: int = 2,
+        clock: Callable[[], float] | None = None,
+    ):
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.store = store
+        self.data_dir = data_dir
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self.clock = clock or _system_clock
+        self._specs: dict[str, JobSpec] = {}
+        self._events: dict[str, deque] = {}
+        self._listeners: dict[str, list[Callable[[dict], None]]] = {}
+        os.makedirs(os.path.join(data_dir, "jobs"), exist_ok=True)
+
+    # ----------------------------------------------------------- events
+
+    def _emit(self, job_id: str, kind: str, **payload) -> None:
+        event = {"event": kind, "job_id": job_id, **payload}
+        self._events.setdefault(job_id, deque(maxlen=EVENT_HISTORY)).append(event)
+        for listener in self._listeners.get(job_id, []):
+            listener(event)
+
+    def events(self, job_id: str) -> list[dict]:
+        """The retained progress-event history for a job."""
+        return list(self._events.get(job_id, ()))
+
+    def add_listener(self, job_id: str, listener: Callable[[dict], None]) -> None:
+        self._listeners.setdefault(job_id, []).append(listener)
+
+    def remove_listener(
+        self, job_id: str, listener: Callable[[dict], None]
+    ) -> None:
+        listeners = self._listeners.get(job_id, [])
+        if listener in listeners:
+            listeners.remove(listener)
+
+    # ------------------------------------------------------------- jobs
+
+    def submit(self, spec: JobSpec) -> dict:
+        """Accept a job: persist it, shard it, and queue its units."""
+        seq = self.store.next_sequence()
+        job_id = f"job-{seq:06d}"
+        self._specs[job_id] = spec
+        self.store.create_job(
+            job_id, seq, spec.level, spec.to_dict(), created=self.clock()
+        )
+        units = shard_job(job_id, spec)
+        self.store.add_units(units)
+        self._emit(
+            job_id, "submitted",
+            level=spec.level, units=len(units),
+            config_digest=spec.config_digest,
+        )
+        return self.job_view(job_id)
+
+    def spec(self, job_id: str) -> JobSpec:
+        spec = self._specs.get(job_id)
+        if spec is None:
+            row = self.store.job(job_id)
+            if row is None:
+                raise ServiceError(f"no such job: {job_id}")
+            spec = JobSpec.from_dict(json.loads(row["spec"]))
+            self._specs[job_id] = spec
+        return spec
+
+    def job_view(self, job_id: str) -> dict:
+        """The API-facing status object for one job."""
+        row = self.store.job(job_id)
+        if row is None:
+            raise ServiceError(f"no such job: {job_id}")
+        view = {
+            "job_id": row["job_id"],
+            "state": row["state"],
+            "level": row["level"],
+            "created": row["created"],
+            "finished": row["finished"],
+            "error": row["error"],
+            "config_digest": self.spec(job_id).config_digest,
+            "units": self.store.unit_state_counts(job_id),
+            "trials": self.store.trial_count(job_id),
+            "outcomes": self.store.outcome_counts(job_id),
+            "journal_path": row["journal_path"],
+            "trace_path": row["trace_path"],
+        }
+        if row["metrics"]:
+            view["metrics"] = json.loads(row["metrics"])
+        return view
+
+    def jobs_view(self, offset: int = 0, limit: int = 50) -> dict:
+        rows = self.store.jobs(offset=offset, limit=limit)
+        return {
+            "total": self.store.job_count(),
+            "offset": offset,
+            "limit": limit,
+            "jobs": [self.job_view(row["job_id"]) for row in rows],
+        }
+
+    def cancel(self, job_id: str) -> dict:
+        row = self.store.job(job_id)
+        if row is None:
+            raise ServiceError(f"no such job: {job_id}")
+        if row["state"] not in JOB_TERMINAL_STATES:
+            self.store.cancel_pending_units(job_id)
+            self.store.set_job_state(
+                job_id, JOB_CANCELLED, finished=self.clock()
+            )
+            self._emit(job_id, "cancelled")
+        return self.job_view(job_id)
+
+    # ------------------------------------------------------ the lease protocol
+
+    def lease(self, worker: str) -> dict | None:
+        """Lease the next available work unit to ``worker``.
+
+        Returns ``{"unit": ..., "spec": ...}`` or ``None`` when the queue
+        is idle. Expired leases are swept first so a stalled unit is
+        re-offered before untouched ones of later jobs.
+        """
+        now = self.clock()
+        self.requeue_expired(now)
+        unit = self.store.lease_next(worker, now, self.lease_ttl)
+        if unit is None:
+            return None
+        job_id = unit["job_id"]
+        job = self.store.job(job_id)
+        if job is not None and job["state"] == JOB_QUEUED:
+            self.store.set_job_state(job_id, JOB_RUNNING)
+            self._emit(job_id, "running")
+        spec = self.spec(job_id)
+        self._emit(
+            job_id, "leased",
+            unit_id=unit["unit_id"], worker=worker, attempt=unit["attempts"],
+        )
+        return {
+            "unit": WorkUnit(
+                job_id=job_id,
+                unit_id=unit["unit_id"],
+                workload=unit["workload"],
+                shard_index=unit["shard_index"],
+                shard_count=unit["shard_count"],
+            ).to_dict(),
+            "spec": spec.to_dict(),
+            "lease_ttl": self.lease_ttl,
+            "attempt": unit["attempts"],
+        }
+
+    def heartbeat(self, job_id: str, unit_id: str, worker: str) -> bool:
+        """Extend a worker's lease; False means the lease is gone."""
+        return self.store.heartbeat(
+            job_id, unit_id, worker, self.clock() + self.lease_ttl
+        )
+
+    def complete(
+        self, job_id: str, unit_id: str, worker: str, result: dict
+    ) -> bool:
+        """Ingest a finished unit's results. False when the lease is gone
+        (a late report after expiry-requeue); the results are dropped —
+        the retry attempt will regenerate the identical records."""
+        accepted = self.store.complete_unit(
+            job_id, unit_id, worker,
+            skip_reason=result.get("skip_reason"),
+            total_bits=int(result.get("total_bits", 0)),
+            metrics=result.get("metrics"),
+        )
+        if not accepted:
+            return False
+        spec = self.spec(job_id)
+        positions = {name: i for i, name in enumerate(spec.config.workloads)}
+        rows = []
+        for entry in result.get("outcomes", []):
+            rows.append((
+                entry["key"],
+                positions.get(entry["workload"], len(positions)),
+                entry["workload"],
+                entry["point"],
+                entry["index"],
+                entry["status"],
+                json.dumps(entry),
+            ))
+        new = self.store.add_trials(job_id, rows)
+        self._emit(
+            job_id, "unit_done",
+            unit_id=unit_id, worker=worker, trials=new,
+            skip_reason=result.get("skip_reason"),
+        )
+        self._maybe_finalize(job_id)
+        return True
+
+    def fail(
+        self, job_id: str, unit_id: str, worker: str, error: str
+    ) -> bool:
+        """Record an attempt failure: requeue the unit, or retire it once
+        it has exhausted ``max_attempts``."""
+        unit = self.store.unit(job_id, unit_id)
+        if unit is None or unit["state"] != UNIT_LEASED or unit["worker"] != worker:
+            return False
+        self._retire_or_requeue(unit, error)
+        self._maybe_finalize(job_id)
+        return True
+
+    def requeue_expired(self, now: float | None = None) -> int:
+        """Sweep expired leases back into the queue (or retire them)."""
+        if now is None:
+            now = self.clock()
+        expired = self.store.expired_units(now)
+        for unit in expired:
+            self._retire_or_requeue(
+                unit,
+                f"lease expired (worker {unit['worker']!r} stopped "
+                f"heartbeating)",
+            )
+            self._maybe_finalize(unit["job_id"])
+        return len(expired)
+
+    def _retire_or_requeue(self, unit: dict, error: str) -> None:
+        job_id, unit_id = unit["job_id"], unit["unit_id"]
+        if unit["attempts"] >= self.max_attempts:
+            self.store.release_unit(
+                job_id, unit_id, state=UNIT_FAILED,
+                error=f"{error} (attempt {unit['attempts']} of "
+                      f"{self.max_attempts})",
+            )
+            self._emit(job_id, "unit_failed", unit_id=unit_id, error=error)
+        else:
+            self.store.release_unit(
+                job_id, unit_id, state=UNIT_PENDING, error=error
+            )
+            self._emit(job_id, "unit_requeued", unit_id=unit_id, error=error)
+
+    # ----------------------------------------------------- finalization
+
+    def _maybe_finalize(self, job_id: str) -> None:
+        job = self.store.job(job_id)
+        if job is None or job["state"] in JOB_TERMINAL_STATES:
+            return
+        counts = self.store.unit_state_counts(job_id)
+        if counts.get(UNIT_PENDING, 0) or counts.get(UNIT_LEASED, 0):
+            return
+        self._finalize(job_id)
+
+    def _finalize(self, job_id: str) -> None:
+        """Assemble the job's journal — bit-identical to a serial run's.
+
+        A serial ``run_campaign`` writes: the manifest; then, workload by
+        workload in config order, each trial line in (point, index) order
+        followed by the workload sentinel; then one telemetry aggregate.
+        The store indexes trials by (workload position, point, index) and
+        the per-unit metrics merge exactly (integer tallies), so this
+        reconstruction reproduces that byte stream without re-running
+        anything — the serial-equivalence invariant the end-to-end tests
+        pin down.
+        """
+        from repro.telemetry.metrics import (
+            CampaignMetrics,
+            aggregate_campaign,
+            merge_campaign_metrics,
+        )
+
+        spec = self.spec(job_id)
+        level = spec.level
+        units = self.store.units(job_id)
+        by_workload: dict[str, list[dict]] = {}
+        for unit in units:
+            by_workload.setdefault(unit["workload"], []).append(unit)
+
+        journal_path = os.path.join(self.data_dir, "jobs", f"{job_id}.jsonl")
+        trace_path: str | None = None
+        trace_sink = None
+        if spec.trace:
+            from repro.telemetry.sinks import JsonlTraceSink
+
+            trace_path = os.path.join(
+                self.data_dir, "jobs", f"{job_id}.trace.jsonl"
+            )
+            trace_sink = JsonlTraceSink(trace_path)
+
+        part_metrics: list[CampaignMetrics] = []
+        skipped: list[str] = []
+        try:
+            with JournalWriter(journal_path) as writer:
+                writer.write(_manifest(level, spec.config))
+                for workload in spec.config.workloads:
+                    workload_units = by_workload.get(workload, [])
+                    entries = self.store.trial_entries(
+                        job_id, workload=workload, limit=-1
+                    )
+                    for entry in entries:
+                        writer.write(entry)
+                        if trace_sink is not None:
+                            _emit_trial_events(
+                                trace_sink, level,
+                                TrialOutcome.from_entry(entry, level),
+                            )
+                    failed = [
+                        u for u in workload_units if u["state"] == UNIT_FAILED
+                    ]
+                    done = [
+                        u for u in workload_units if u["state"] == UNIT_DONE
+                    ]
+                    skip_reason = None
+                    if failed:
+                        skip_reason = "; ".join(
+                            f"unit {u['unit_id']}: {u['error']}" for u in failed
+                        )
+                        skipped.append(workload)
+                    elif done and done[0]["skip_reason"]:
+                        # The workload itself could not run (its golden run
+                        # failed) — every shard reports the identical reason,
+                        # which is exactly the serial runner's sentinel.
+                        skip_reason = done[0]["skip_reason"]
+                        skipped.append(workload)
+                    elif not done:
+                        # Every unit was cancelled before running.
+                        continue
+                    writer.write(_workload_sentinel(WorkloadRunOutcome(
+                        workload,
+                        skip_reason=skip_reason,
+                        total_bits=max(
+                            (u["total_bits"] or 0 for u in workload_units),
+                            default=0,
+                        ),
+                    )))
+                    for unit in workload_units:
+                        if unit["state"] == UNIT_DONE and unit["metrics"]:
+                            part_metrics.append(
+                                CampaignMetrics.from_entry(
+                                    json.loads(unit["metrics"])
+                                )
+                            )
+                if part_metrics:
+                    metrics = merge_campaign_metrics(part_metrics)
+                else:
+                    metrics = aggregate_campaign(level, [])
+                metrics_entry = metrics.to_entry()
+                writer.write(metrics_entry)
+        finally:
+            if trace_sink is not None:
+                trace_sink.close()
+
+        error = None
+        if skipped:
+            error = f"skipped workloads: {', '.join(skipped)}"
+        self.store.finalize_job(
+            job_id, state=JOB_DONE, journal_path=journal_path,
+            trace_path=trace_path, metrics=metrics_entry,
+            finished=self.clock(),
+        )
+        if error:
+            self.store.set_job_state(job_id, JOB_DONE, error=error)
+        self._emit(
+            job_id, "done",
+            journal_path=journal_path, trials=self.store.trial_count(job_id),
+            skipped=skipped,
+        )

@@ -1,0 +1,91 @@
+"""Sharding: splitting a campaign job into resumable work units.
+
+A work unit is ``(workload, seed-slice)``: one workload of the campaign,
+restricted to the stride slice ``index % shard_count == shard_index`` of
+the per-point trial index space. Because every trial's randomness is
+derived from ``(seed, workload, point, index)`` — never from execution
+order or from which process runs it — the slice boundaries cannot change
+a single trial record: the union of a workload's shards is exactly the
+serial campaign, trial for trial, bit for bit. That is the service's
+**serial-equivalence invariant**, and the end-to-end tests assert it by
+diffing a sharded job's journal against a serial ``run_campaign`` of the
+same config and seed.
+
+A stride (rather than a contiguous index range) is used because the
+per-point trial count is only known after the workload's golden run has
+been walked; stride slices partition the index space whatever that count
+turns out to be.
+
+Sharding finer than one unit per workload duplicates the workload's
+golden run and prefix walk in every unit — the classic
+throughput-versus-redundancy trade. One unit per workload (the default)
+matches the PR 1 parallel runner's work division; more shards buy
+horizontal scale across a worker fleet once trial counts dominate the
+golden-run cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.spec import JobSpec
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One leasable slice of a job: a workload restricted to a seed-slice."""
+
+    job_id: str
+    unit_id: str
+    workload: str
+    shard_index: int
+    shard_count: int
+
+    @property
+    def shard(self) -> tuple[int, int] | None:
+        """The executor-facing stride descriptor (None for a whole workload)."""
+        if self.shard_count == 1:
+            return None
+        return (self.shard_index, self.shard_count)
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "unit_id": self.unit_id,
+            "workload": self.workload,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkUnit":
+        return cls(
+            job_id=data["job_id"],
+            unit_id=data["unit_id"],
+            workload=data["workload"],
+            shard_index=int(data["shard_index"]),
+            shard_count=int(data["shard_count"]),
+        )
+
+
+def shard_job(job_id: str, spec: JobSpec) -> list[WorkUnit]:
+    """Split a job into its work units, in deterministic dispatch order.
+
+    Units are ordered workload-major (the spec's workload order, which is
+    also the serial runner's execution order) so a single worker draining
+    the queue processes the job in the same order a serial run would.
+    """
+    units: list[WorkUnit] = []
+    count = spec.shards_per_workload
+    for workload in spec.config.workloads:
+        for index in range(count):
+            units.append(
+                WorkUnit(
+                    job_id=job_id,
+                    unit_id=f"{workload}:{index}of{count}",
+                    workload=workload,
+                    shard_index=index,
+                    shard_count=count,
+                )
+            )
+    return units

@@ -1,0 +1,149 @@
+"""Job specifications: what a client asks the campaign service to run.
+
+A :class:`JobSpec` is the wire-level description of one campaign job —
+the campaign level, a full scientific configuration (reconstructed into
+the same frozen dataclasses the serial runner uses, so the config digest
+and therefore the journal manifest are identical to a local
+``run_campaign`` of the same parameters), the number of shards each
+workload is split into, the per-trial wall-clock budget, and whether the
+job should produce a merged telemetry trace.
+
+The service constructs configs from JSON-able keyword options only;
+custom fault-model objects cannot travel over the wire, so every job
+uses the level's default fault model (exactly what the CLI produces).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.campaign.runner import CAMPAIGN_LEVELS
+from repro.util.journal import config_to_dict, stable_digest
+
+
+class ServiceError(Exception):
+    """A campaign-service request is invalid or cannot be honored."""
+
+
+def _config_class(level: str):
+    # Lazily imported: repro.faults pulls in the whole simulator stack.
+    from repro.faults import ArchCampaignConfig, UarchCampaignConfig
+
+    if level == "arch":
+        return ArchCampaignConfig
+    if level == "uarch":
+        return UarchCampaignConfig
+    raise ServiceError(
+        f"unknown campaign level {level!r}; know {CAMPAIGN_LEVELS}"
+    )
+
+
+def build_config(level: str, options: dict) -> Any:
+    """Construct a campaign config from JSON-able keyword options.
+
+    ``fault_model`` is not constructible over the wire and is silently
+    dropped (the config's default factory supplies the level's standard
+    model); any other unknown key is an error so typos fail loudly.
+    """
+    cls = _config_class(level)
+    allowed = {field.name for field in dataclasses.fields(cls)}
+    kwargs = {}
+    for key, value in options.items():
+        if key == "fault_model":
+            continue
+        if key not in allowed:
+            raise ServiceError(
+                f"unknown {level} config option {key!r}; "
+                f"know {sorted(allowed - {'fault_model'})}"
+            )
+        if key == "workloads":
+            value = tuple(value)
+        kwargs[key] = value
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"invalid {level} campaign configuration: {exc}") from None
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One campaign job as submitted to the service."""
+
+    level: str
+    config: Any
+    shards_per_workload: int = 1
+    trial_timeout: float | None = None
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.level not in CAMPAIGN_LEVELS:
+            raise ServiceError(
+                f"unknown campaign level {self.level!r}; know {CAMPAIGN_LEVELS}"
+            )
+        if not isinstance(self.shards_per_workload, int) or isinstance(
+            self.shards_per_workload, bool
+        ) or self.shards_per_workload < 1:
+            raise ServiceError(
+                f"shards_per_workload must be a positive integer, "
+                f"got {self.shards_per_workload!r}"
+            )
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise ServiceError(
+                f"trial_timeout must be positive, got {self.trial_timeout}"
+            )
+
+    @property
+    def config_digest(self) -> str:
+        return stable_digest(config_to_dict(self.config))
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "config": config_to_dict(self.config),
+            "shards_per_workload": self.shards_per_workload,
+            "trial_timeout": self.trial_timeout,
+            "trace": self.trace,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return cls(
+            level=data["level"],
+            config=build_config(data["level"], data.get("config", {})),
+            shards_per_workload=int(data.get("shards_per_workload", 1)),
+            trial_timeout=data.get("trial_timeout"),
+            trace=bool(data.get("trace", False)),
+        )
+
+    @classmethod
+    def from_request(cls, payload: dict) -> "JobSpec":
+        """Build a spec from a submit-request body, with friendly errors."""
+        if not isinstance(payload, dict):
+            raise ServiceError("job submission body must be a JSON object")
+        if "level" not in payload:
+            raise ServiceError("job submission needs a 'level' field")
+        config = payload.get("config", {})
+        if not isinstance(config, dict):
+            raise ServiceError("'config' must be a JSON object of config options")
+        shards = payload.get("shards_per_workload", payload.get("shards", 1))
+        timeout = payload.get("trial_timeout")
+        if timeout is not None:
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    f"trial_timeout must be a number, got {timeout!r}"
+                ) from None
+        if not isinstance(shards, int) or isinstance(shards, bool):
+            raise ServiceError(
+                f"shards_per_workload must be an integer, got {shards!r}"
+            )
+        return cls(
+            level=payload["level"],
+            config=build_config(payload["level"], config),
+            shards_per_workload=shards,
+            trial_timeout=timeout,
+            trace=bool(payload.get("trace", False)),
+        )

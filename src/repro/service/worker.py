@@ -1,0 +1,222 @@
+"""Workers: the processes that actually run leased work units.
+
+:func:`execute_unit` is the single entry point a worker of any kind
+runs: rebuild the spec and unit, run the workload's stride slice under a
+:class:`~repro.campaign.guard.TrialGuard`, and return a JSON-able result
+(trial entries, skip reason, bit population, and this slice's telemetry
+aggregate). It is a top-level function of picklable arguments so a
+:class:`~concurrent.futures.ProcessPoolExecutor` can ship it across a
+fork, and it takes/returns plain dicts so the same code serves the HTTP
+worker protocol unchanged.
+
+Two drivers wrap it:
+
+- :class:`LocalWorkerPool` — asyncio tasks inside the ``repro serve``
+  process, each looping lease → execute (in an executor, so the event
+  loop keeps serving HTTP) → complete/fail, with a concurrent heartbeat
+  keeping the lease alive for long units.
+- :class:`RemoteWorker` — a standalone ``repro worker`` process that
+  speaks the same protocol over HTTP through
+  :class:`~repro.service.client.ServiceClient`, so a fleet on other
+  machines can drain the queue. Heartbeats run on a daemon thread while
+  the unit executes.
+
+Both report failures instead of crashing: an exception inside
+``execute_unit`` (beyond what the guard already contains) becomes a
+``fail`` report, and the scheduler's attempt accounting decides whether
+the unit is requeued or retired.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor
+
+from repro.campaign.guard import TrialGuard
+from repro.campaign.outcomes import OUTCOME_OK
+from repro.campaign.runner import _campaign_module
+from repro.service.shard import WorkUnit
+from repro.service.spec import JobSpec
+
+
+def execute_unit(spec_dict: dict, unit_dict: dict) -> dict:
+    """Run one work unit and return its JSON-able result payload."""
+    spec = JobSpec.from_dict(spec_dict)
+    unit = WorkUnit.from_dict(unit_dict)
+    module = _campaign_module(spec.level)
+    guard = TrialGuard(timeout=spec.trial_timeout)
+    outcome = module.run_workload_trials(
+        spec.config, unit.workload, guard=guard, shard=unit.shard
+    )
+    from repro.telemetry.metrics import aggregate_campaign
+
+    metrics = aggregate_campaign(
+        spec.level,
+        [o.record for o in outcome.outcomes if o.status == OUTCOME_OK],
+    )
+    return {
+        "outcomes": [o.to_entry() for o in outcome.outcomes],
+        "skip_reason": outcome.skip_reason,
+        "total_bits": outcome.total_bits,
+        "metrics": metrics.to_entry(),
+    }
+
+
+class LocalWorkerPool:
+    """In-process workers for ``repro serve``: asyncio loops over a pool.
+
+    Each of the ``workers`` loops leases directly from the scheduler (no
+    HTTP round trip for the built-in fleet) and runs
+    :func:`execute_unit` on ``executor`` — a process pool by default, so
+    trial execution parallelizes across cores while the event loop stays
+    responsive. While a unit executes, the loop heartbeats its lease at a
+    third of the TTL.
+    """
+
+    def __init__(
+        self,
+        scheduler,
+        workers: int = 1,
+        *,
+        executor: Executor | None = None,
+        poll_interval: float = 0.2,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.scheduler = scheduler
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._tasks: list[asyncio.Task] = []
+        self.units_done = 0
+        self.units_failed = 0
+
+    def start(self) -> None:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._worker_loop(f"local-{index}"))
+            for index in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    async def _worker_loop(self, name: str) -> None:
+        while True:
+            lease = self.scheduler.lease(name)
+            if lease is None:
+                await asyncio.sleep(self.poll_interval)
+                continue
+            await self._run_unit(name, lease)
+
+    async def _run_unit(self, name: str, lease: dict) -> None:
+        unit = lease["unit"]
+        job_id, unit_id = unit["job_id"], unit["unit_id"]
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._executor, execute_unit, lease["spec"], unit
+        )
+        interval = max(0.05, lease.get("lease_ttl", 60.0) / 3)
+        try:
+            while True:
+                done, _ = await asyncio.wait({future}, timeout=interval)
+                if done:
+                    break
+                self.scheduler.heartbeat(job_id, unit_id, name)
+            result = future.result()
+        except asyncio.CancelledError:
+            self.scheduler.fail(job_id, unit_id, name, "worker shut down")
+            raise
+        except Exception as exc:
+            self.units_failed += 1
+            self.scheduler.fail(job_id, unit_id, name, repr(exc))
+            return
+        self.units_done += 1
+        self.scheduler.complete(job_id, unit_id, name, result)
+
+
+class RemoteWorker:
+    """A pull-based worker process speaking the HTTP lease protocol."""
+
+    def __init__(
+        self,
+        client,
+        name: str,
+        *,
+        poll_interval: float = 0.5,
+        max_units: int | None = None,
+        exit_when_idle: bool = False,
+    ):
+        self.client = client
+        self.name = name
+        self.poll_interval = poll_interval
+        self.max_units = max_units
+        self.exit_when_idle = exit_when_idle
+        self.units_done = 0
+        self.units_failed = 0
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> int:
+        """Drain the queue until stopped; returns units completed."""
+        while not self._stop.is_set():
+            if self.max_units is not None and (
+                self.units_done + self.units_failed >= self.max_units
+            ):
+                break
+            lease = self.client.lease(self.name)
+            if lease is None:
+                if self.exit_when_idle:
+                    break
+                self._stop.wait(self.poll_interval)
+                continue
+            self._run_unit(lease)
+        return self.units_done
+
+    def _run_unit(self, lease: dict) -> None:
+        unit = lease["unit"]
+        job_id, unit_id = unit["job_id"], unit["unit_id"]
+        interval = max(0.05, float(lease.get("lease_ttl", 60.0)) / 3)
+        beat_stop = threading.Event()
+
+        def beat() -> None:
+            while not beat_stop.wait(interval):
+                try:
+                    if not self.client.heartbeat(job_id, unit_id, self.name):
+                        return  # lease lost; the executor's report will bounce
+                except Exception:
+                    return
+
+        beater = threading.Thread(target=beat, daemon=True)
+        beater.start()
+        try:
+            result = execute_unit(lease["spec"], unit)
+        except Exception as exc:
+            beat_stop.set()
+            self.units_failed += 1
+            try:
+                self.client.fail(job_id, unit_id, self.name, repr(exc))
+            except Exception:
+                pass
+            return
+        finally:
+            beat_stop.set()
+            beater.join(timeout=1.0)
+        self.units_done += 1
+        self.client.complete(job_id, unit_id, self.name, result)

@@ -40,6 +40,7 @@ from repro.telemetry.metrics import (
     Histogram,
     LATENCY_EDGES,
     aggregate_campaign,
+    merge_campaign_metrics,
 )
 from repro.telemetry.report import render_campaign_report
 from repro.telemetry.sinks import (
@@ -61,6 +62,7 @@ __all__ = [
     "TraceSink",
     "aggregate_campaign",
     "make_event",
+    "merge_campaign_metrics",
     "render_campaign_report",
     "validate_event",
     "validate_trace",

@@ -141,6 +141,18 @@ class DetectorMetrics:
             return 0.0
         return self.fired_on_benign / self.benign_trials
 
+    def merge(self, other: "DetectorMetrics") -> None:
+        """Fold another shard's tallies for the same symptom into this one."""
+        if other.symptom != self.symptom:
+            raise ValueError(
+                f"cannot merge detector {other.symptom!r} into {self.symptom!r}"
+            )
+        self.fired_on_failing += other.fired_on_failing
+        self.fired_on_benign += other.fired_on_benign
+        self.failing_trials += other.failing_trials
+        self.benign_trials += other.benign_trials
+        self.latency.merge(other.latency)
+
     def as_dict(self) -> dict:
         return {
             "symptom": self.symptom,
@@ -206,6 +218,39 @@ class CampaignMetrics:
             },
         )
 
+    def merge(self, other: "CampaignMetrics") -> None:
+        """Fold another shard's aggregate into this one.
+
+        Every constituent is an integer tally (trial counts, detector
+        firings, histogram buckets), so merging per-shard aggregates is
+        exact: summing the aggregates of any partition of a campaign's
+        trials yields the same object as aggregating all trials serially.
+        The campaign service relies on this to combine per-unit metrics
+        into per-job metrics without re-reading trial records.
+        """
+        if other.level != self.level:
+            raise ValueError(
+                f"cannot merge {other.level!r} metrics into {self.level!r}"
+            )
+        self.trials += other.trials
+        self.failing += other.failing
+        for name, detector in other.detectors.items():
+            mine = self.detectors.get(name)
+            if mine is None:
+                self.detectors[name] = DetectorMetrics.from_dict(
+                    detector.as_dict()
+                )
+            else:
+                mine.merge(detector)
+        for interval, histogram in other.rollback_distance.items():
+            mine_hist = self.rollback_distance.get(interval)
+            if mine_hist is None:
+                self.rollback_distance[interval] = Histogram.from_dict(
+                    histogram.as_dict()
+                )
+            else:
+                mine_hist.merge(histogram)
+
 
 def _distance_histogram(interval: int) -> Histogram:
     """Buckets spanning [interval, 2*interval], the reachable range."""
@@ -238,6 +283,23 @@ def _inject_position(level: str, record) -> int:
     if level == "arch":
         return record.inject_step
     return getattr(record, "inject_retired", 0)
+
+
+def merge_campaign_metrics(parts) -> CampaignMetrics:
+    """Merge an iterable of :class:`CampaignMetrics` shards into one.
+
+    The inputs are not mutated. Raises :class:`ValueError` when ``parts``
+    is empty or the shards disagree on the campaign level.
+    """
+    merged: CampaignMetrics | None = None
+    for part in parts:
+        if merged is None:
+            merged = CampaignMetrics.from_entry(part.to_entry())
+        else:
+            merged.merge(part)
+    if merged is None:
+        raise ValueError("cannot merge an empty collection of metrics")
+    return merged
 
 
 def aggregate_campaign(

@@ -18,11 +18,21 @@ import dataclasses
 import hashlib
 import json
 import os
+import warnings
 from typing import Any, IO
 
 
 class JournalError(Exception):
     """A journal is unreadable or inconsistent with the requested run."""
+
+
+class JournalTearWarning(UserWarning):
+    """A journal ends in a torn line — the residue of an interrupted append.
+
+    The torn fragment is tolerated (dropped on read, truncated before
+    append) but surfaced as a warning so an operator can tell the run was
+    killed mid-write rather than having completed cleanly.
+    """
 
 
 def config_to_dict(config: Any) -> dict:
@@ -116,9 +126,9 @@ def read_journal(path: str) -> list[dict]:
     """All complete entries of a journal, oldest first.
 
     A torn *final* line — the signature of a run killed mid-write — is
-    silently dropped; corruption anywhere else raises :class:`JournalError`
-    because it means the file was edited or truncated by something other
-    than an interrupted append.
+    dropped with a :class:`JournalTearWarning`; corruption anywhere else
+    raises :class:`JournalError` because it means the file was edited or
+    truncated by something other than an interrupted append.
     """
     entries: list[dict] = []
     with open(path) as handle:
@@ -130,7 +140,16 @@ def read_journal(path: str) -> list[dict]:
             entries.append(json.loads(line))
         except json.JSONDecodeError:
             if index == len(lines) - 1:
-                break  # torn trailing line from an interrupted write
+                # Torn trailing line from an interrupted write: every
+                # complete record before it is still good.
+                warnings.warn(
+                    f"{path}: dropping a partial final record "
+                    f"(interrupted append); {len(entries)} complete "
+                    f"entries retained",
+                    JournalTearWarning,
+                    stacklevel=2,
+                )
+                break
             raise JournalError(
                 f"{path}:{index + 1}: corrupt journal entry"
             ) from None

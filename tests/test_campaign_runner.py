@@ -454,3 +454,193 @@ class TestTraceEmission:
     def test_trace_is_optional(self):
         result = self._run(None)
         assert result.executed == ARCH_CONFIG.trials_per_workload
+
+
+class TestExecutionPolicy:
+    def test_none_jobs_resolves_to_core_count(self):
+        import os
+
+        from repro.campaign import ExecutionPolicy
+
+        policy = ExecutionPolicy()
+        assert policy.jobs == (os.cpu_count() or 1)
+        assert policy.trial_timeout is None
+
+    def test_explicit_jobs_preserved(self):
+        from repro.campaign import ExecutionPolicy
+
+        assert ExecutionPolicy(jobs=3).jobs == 3
+
+    @pytest.mark.parametrize("jobs", [0, -2, True, 1.5, "4"])
+    def test_bad_jobs_rejected(self, jobs):
+        from repro.campaign import ExecutionPolicy
+
+        with pytest.raises(ValueError, match="jobs"):
+            ExecutionPolicy(jobs=jobs)
+
+    @pytest.mark.parametrize("timeout", [0, -1.0])
+    def test_bad_timeout_rejected(self, timeout):
+        from repro.campaign import ExecutionPolicy
+
+        with pytest.raises(ValueError, match="trial_timeout"):
+            ExecutionPolicy(trial_timeout=timeout)
+
+
+class TestTornManifestRecovery:
+    """A journal holding only a torn fragment (a run killed during its
+    first append) must not brick the journal path."""
+
+    def _write_torn_fragment(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        journal.write_text('{"kind": "manifest", "level": "ar')  # no newline
+        return str(journal)
+
+    def test_resume_starts_fresh_with_a_warning(self, tmp_path):
+        from repro.util.journal import JournalTearWarning
+
+        journal = self._write_torn_fragment(tmp_path)
+        with pytest.warns(JournalTearWarning, match="no complete entry"):
+            report = run_campaign(
+                "arch", ARCH_CONFIG, journal_path=journal, resume=True
+            )
+        assert report.executed == ARCH_CONFIG.trials_per_workload
+        # The rewritten journal is a healthy, fully resumable one.
+        resumed = run_campaign(
+            "arch", ARCH_CONFIG, journal_path=journal, resume=True
+        )
+        assert resumed.executed == 0
+
+    def test_fresh_run_overwrites_instead_of_refusing(self, tmp_path):
+        from repro.util.journal import JournalTearWarning
+
+        journal = self._write_torn_fragment(tmp_path)
+        with pytest.warns(JournalTearWarning, match="no complete entry"):
+            report = run_campaign("arch", ARCH_CONFIG, journal_path=journal)
+        assert report.executed == ARCH_CONFIG.trials_per_workload
+        assert summarize_journal(journal).complete
+
+    def test_journal_with_complete_entries_still_requires_resume(
+        self, tmp_path
+    ):
+        journal = str(tmp_path / "run.jsonl")
+        run_campaign("arch", ARCH_CONFIG, journal_path=journal)
+        with pytest.raises(JournalError, match="--resume"):
+            run_campaign("arch", ARCH_CONFIG, journal_path=journal)
+
+
+class TestWorkerRetryTelemetry:
+    """Worker retry-once semantics must not duplicate results: a workload
+    whose worker dies is re-run in the parent, and the journal, trace,
+    and tables see each trial exactly once."""
+
+    def _fake_pool(self, doomed):
+        from concurrent.futures import Future
+
+        deaths = {name: True for name in doomed}
+
+        class FakePool:
+            def __init__(self, max_workers=None):
+                self.max_workers = max_workers
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def submit(self, fn, *args):
+                future = Future()
+                name = args[2]  # (level, config, workload, completed, timeout)
+                if deaths.pop(name, False):
+                    future.set_exception(
+                        RuntimeError("worker process died mid-workload")
+                    )
+                else:
+                    future.set_result(fn(*args))
+                return future
+
+        return FakePool
+
+    def test_retried_workload_emits_no_duplicate_events(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.campaign import runner as runner_module
+        from repro.telemetry import RingBufferTraceSink
+
+        config = ArchCampaignConfig(
+            trials_per_workload=6, injection_points=3,
+            workloads=("gcc", "gzip"),
+        )
+        serial_sink = RingBufferTraceSink(10_000)
+        serial = run_campaign("arch", config, trace=serial_sink)
+
+        monkeypatch.setattr(
+            runner_module, "ProcessPoolExecutor", self._fake_pool({"gcc"})
+        )
+        journal = str(tmp_path / "retry.jsonl")
+        retry_sink = RingBufferTraceSink(10_000)
+        retried = run_campaign(
+            "arch", config, journal_path=journal, jobs=2, trace=retry_sink
+        )
+
+        # No workload was skipped: the in-parent retry succeeded.
+        assert retried.skipped_workloads == ()
+        assert retried.result.table() == serial.result.table()
+
+        # The journal holds each trial key exactly once.
+        entries = [json.loads(line) for line in open(journal)]
+        keys = [e["key"] for e in entries if e.get("kind") == "trial"]
+        assert len(keys) == len(set(keys)) == len(serial.outcomes)
+
+        # The merged trace carries one lifecycle per trial — no duplicates
+        # from the doomed first attempt.
+        begins = retry_sink.events("trial_begin")
+        ends = retry_sink.events("trial_end")
+        assert len(begins) == len(ends) == len(serial.outcomes)
+
+        def key(event):
+            return (event["kind"], event["position"],
+                    event.get("status") or "")
+
+        assert sorted(map(key, retry_sink.events())) == sorted(
+            map(key, serial_sink.events())
+        )
+
+    def test_twice_dead_worker_skips_workload_without_duplicates(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.campaign import runner as runner_module
+        from repro.telemetry import RingBufferTraceSink
+
+        config = ArchCampaignConfig(
+            trials_per_workload=6, injection_points=3,
+            workloads=("gcc", "gzip"),
+        )
+        monkeypatch.setattr(
+            runner_module, "ProcessPoolExecutor", self._fake_pool({"gcc"})
+        )
+        # Make the in-parent retry die too — but only for gcc; the fake
+        # pool routes gzip through this same function and gzip must run.
+        real_task = runner_module._workload_task
+
+        def dying_task(level, cfg, workload, completed, timeout):
+            if workload == "gcc":
+                raise RuntimeError("retry also died")
+            return real_task(level, cfg, workload, completed, timeout)
+
+        monkeypatch.setattr(runner_module, "_workload_task", dying_task)
+        journal = str(tmp_path / "skip.jsonl")
+        sink = RingBufferTraceSink(10_000)
+        report = run_campaign(
+            "arch", config, journal_path=journal, jobs=2, trace=sink
+        )
+        assert [name for name, _ in report.skipped_workloads] == ["gcc"]
+        entries = [json.loads(line) for line in open(journal)]
+        keys = [e["key"] for e in entries if e.get("kind") == "trial"]
+        assert len(keys) == len(set(keys))
+        assert all(k.startswith("gzip:") for k in keys)
+        sentinels = {
+            e["workload"]: e["status"]
+            for e in entries if e.get("kind") == "workload"
+        }
+        assert sentinels == {"gcc": "skipped", "gzip": "done"}

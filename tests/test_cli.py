@@ -217,3 +217,93 @@ class TestTelemetryCli:
     def test_trace_validate_missing_file(self, tmp_path):
         with pytest.raises(SystemExit, match="no such trace"):
             main(["trace", "validate", str(tmp_path / "nope.jsonl")])
+
+
+class TestServiceCli:
+    """The service-facing commands: submit, jobs, worker, serve."""
+
+    def test_submit_wait_and_inspect(self, tmp_path, capsys):
+        from tests.test_service_api import running_service
+
+        with running_service(tmp_path / "svc", workers=1) as (service, _):
+            assert main([
+                "submit", "arch", "--url", service.address,
+                "--trials", "6", "--workloads", "gcc", "--seed", "7",
+                "--shards", "2", "--wait", "--timeout", "120",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "done" in out and "job-000001" in out
+
+            assert main(["jobs", "--url", service.address]) == 0
+            out = capsys.readouterr().out
+            assert "job-000001" in out and "done" in out
+
+            assert main([
+                "jobs", "job-000001", "--url", service.address, "--json"
+            ]) == 0
+            import json
+
+            view = json.loads(capsys.readouterr().out)
+            assert view["state"] == "done" and view["trials"] > 0
+
+            assert main([
+                "jobs", "job-000001", "--url", service.address,
+                "--results", "--limit", "3",
+            ]) == 0
+            lines = capsys.readouterr().out.strip().splitlines()
+            assert len(lines) == 3
+            assert json.loads(lines[0])["kind"] == "trial"
+
+    def test_worker_cli_drains_service(self, tmp_path, capsys):
+        from tests.test_service_api import running_service
+
+        with running_service(tmp_path / "svc", workers=0) as (service, _):
+            assert main([
+                "submit", "arch", "--url", service.address,
+                "--trials", "6", "--workloads", "gcc",
+            ]) == 0
+            capsys.readouterr()
+            assert main([
+                "worker", "--url", service.address, "--name", "cli-worker",
+                "--exit-when-idle", "--poll", "0.05",
+            ]) == 0
+            assert "1 unit(s) completed" in capsys.readouterr().out
+            assert main([
+                "jobs", "job-000001", "--url", service.address
+            ]) == 0
+            assert "done" in capsys.readouterr().out
+
+    def test_jobs_cancel(self, tmp_path, capsys):
+        from tests.test_service_api import running_service
+
+        with running_service(tmp_path / "svc", workers=0) as (service, _):
+            assert main([
+                "submit", "arch", "--url", service.address,
+                "--trials", "6", "--workloads", "gcc",
+            ]) == 0
+            capsys.readouterr()
+            assert main([
+                "jobs", "job-000001", "--url", service.address, "--cancel"
+            ]) == 0
+            assert "cancelled" in capsys.readouterr().out
+
+    def test_submit_validation(self):
+        with pytest.raises(SystemExit, match="--shards"):
+            main(["submit", "arch", "--shards", "0"])
+        with pytest.raises(SystemExit):
+            main(["submit", "arch", "--workloads", "spice"])
+
+    def test_submit_unreachable_service(self):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main([
+                "submit", "arch", "--url", "http://127.0.0.1:1",
+                "--trials", "6", "--workloads", "gcc",
+            ])
+
+    def test_serve_validation(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--workers", "-1"])
+        with pytest.raises(SystemExit, match="--lease-ttl"):
+            main(["serve", "--lease-ttl", "0"])
+        with pytest.raises(SystemExit, match="--max-attempts"):
+            main(["serve", "--max-attempts", "0"])

@@ -1,0 +1,323 @@
+"""The campaign service: specs, sharding, store, scheduler, leases."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.faults import ArchCampaignConfig
+from repro.service import (
+    CampaignScheduler,
+    JobSpec,
+    ResultStore,
+    ServiceError,
+    WorkUnit,
+    build_config,
+    execute_unit,
+    shard_job,
+)
+from repro.util.journal import config_to_dict, stable_digest
+
+CONFIG_OPTIONS = {
+    "trials_per_workload": 6,
+    "injection_points": 4,
+    "workloads": ["gcc"],
+    "seed": 7,
+}
+
+
+def make_spec(**overrides):
+    payload = {"level": "arch", "config": dict(CONFIG_OPTIONS)}
+    payload.update(overrides)
+    return JobSpec.from_request(payload)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def scheduler(tmp_path):
+    store = ResultStore(":memory:")
+    clock = FakeClock()
+    sched = CampaignScheduler(
+        store, str(tmp_path), lease_ttl=60.0, max_attempts=2, clock=clock
+    )
+    sched.test_clock = clock
+    yield sched
+    store.close()
+
+
+def drain(scheduler, worker="w0", fail_units=()):
+    """Run the lease protocol to completion as one synchronous worker."""
+    while True:
+        lease = scheduler.lease(worker)
+        if lease is None:
+            return
+        unit = lease["unit"]
+        if unit["unit_id"] in fail_units:
+            scheduler.fail(
+                unit["job_id"], unit["unit_id"], worker, "induced failure"
+            )
+            continue
+        result = execute_unit(lease["spec"], unit)
+        scheduler.complete(unit["job_id"], unit["unit_id"], worker, result)
+
+
+class TestJobSpec:
+    def test_from_request_round_trips_config(self):
+        spec = make_spec()
+        expected = ArchCampaignConfig(
+            trials_per_workload=6, injection_points=4,
+            workloads=("gcc",), seed=7,
+        )
+        assert spec.config == expected
+        assert spec.config_digest == stable_digest(config_to_dict(expected))
+
+    def test_unknown_config_option_rejected(self):
+        with pytest.raises(ServiceError, match="unknown arch config option"):
+            build_config("arch", {"trails_per_workload": 6})
+
+    def test_fault_model_dropped_not_rejected(self):
+        config = build_config(
+            "arch", {**CONFIG_OPTIONS, "fault_model": {"whatever": 1}}
+        )
+        assert config == build_config("arch", CONFIG_OPTIONS)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ServiceError, match="unknown campaign level"):
+            make_spec(level="rtl")
+
+    def test_bad_shards_rejected(self):
+        with pytest.raises(ServiceError, match="shards_per_workload"):
+            make_spec(shards=0)
+        with pytest.raises(ServiceError, match="shards_per_workload"):
+            make_spec(shards="two")
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ServiceError, match="trial_timeout"):
+            make_spec(trial_timeout=-1)
+        with pytest.raises(ServiceError, match="trial_timeout"):
+            make_spec(trial_timeout="soon")
+
+    def test_dict_round_trip(self):
+        spec = make_spec(shards=3, trial_timeout=2.5, trace=True)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestSharding:
+    def test_units_cover_workloads_in_order(self):
+        spec = make_spec(
+            config={**CONFIG_OPTIONS, "workloads": ["gcc", "gzip"]}, shards=2
+        )
+        units = shard_job("job-1", spec)
+        assert [u.unit_id for u in units] == [
+            "gcc:0of2", "gcc:1of2", "gzip:0of2", "gzip:1of2",
+        ]
+        assert all(u.shard == (u.shard_index, 2) for u in units)
+
+    def test_single_shard_maps_to_whole_workload(self):
+        (unit,) = shard_job("job-1", make_spec())
+        assert unit.shard is None
+
+    def test_work_unit_round_trip(self):
+        unit = WorkUnit("job-1", "gcc:1of2", "gcc", 1, 2)
+        assert WorkUnit.from_dict(unit.to_dict()) == unit
+
+    def test_shards_partition_the_trial_space(self):
+        """The union of the stride slices is the serial trial set, each
+        trial exactly once — the foundation of serial equivalence."""
+        spec = make_spec(shards=3)
+        keys = []
+        for unit in shard_job("job-1", spec):
+            result = execute_unit(spec.to_dict(), unit.to_dict())
+            keys.extend(entry["key"] for entry in result["outcomes"])
+        serial = run_campaign("arch", spec.config)
+        assert sorted(keys) == sorted(o.key for o in serial.outcomes)
+        assert len(keys) == len(set(keys))
+
+
+class TestResultStore:
+    def test_trial_ingestion_is_idempotent(self):
+        store = ResultStore(":memory:")
+        store.create_job("j", 1, "arch", {}, created=0.0)
+        rows = [("gcc:1:0", 0, "gcc", 1, 0, "ok", "{}")]
+        assert store.add_trials("j", rows) == 1
+        assert store.add_trials("j", rows) == 0  # retry re-report: no dup
+        assert store.trial_count("j") == 1
+        store.close()
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "svc.db")
+        store = ResultStore(path)
+        store.create_job("j", 1, "arch", {"level": "arch"}, created=0.0)
+        store.close()
+        store = ResultStore(path)
+        assert store.job("j")["state"] == "queued"
+        store.close()
+
+    def test_lease_respects_job_order(self):
+        store = ResultStore(":memory:")
+        store.create_job("a", 1, "arch", {}, created=0.0)
+        store.create_job("b", 2, "arch", {}, created=1.0)
+        store.add_units([
+            WorkUnit("b", "gcc:0of1", "gcc", 0, 1),
+            WorkUnit("a", "gcc:0of1", "gcc", 0, 1),
+        ])
+        leased = store.lease_next("w", now=10.0, ttl=5.0)
+        assert leased["job_id"] == "a"  # oldest job first, not insert order
+        store.close()
+
+    def test_reports_require_lease_ownership(self):
+        store = ResultStore(":memory:")
+        store.create_job("a", 1, "arch", {}, created=0.0)
+        store.add_units([WorkUnit("a", "gcc:0of1", "gcc", 0, 1)])
+        store.lease_next("w1", now=0.0, ttl=5.0)
+        assert not store.heartbeat("a", "gcc:0of1", "w2", expiry=99.0)
+        assert not store.complete_unit(
+            "a", "gcc:0of1", "w2", skip_reason=None, total_bits=0, metrics=None
+        )
+        assert store.complete_unit(
+            "a", "gcc:0of1", "w1", skip_reason=None, total_bits=0, metrics=None
+        )
+        store.close()
+
+
+class TestSchedulerEndToEnd:
+    def test_sharded_job_matches_serial_run_bit_for_bit(
+        self, scheduler, tmp_path
+    ):
+        """The acceptance invariant: a 2-shard job's journal and merged
+        telemetry are byte-identical to a serial ``run_campaign``."""
+        spec = make_spec(
+            config={**CONFIG_OPTIONS, "workloads": ["gcc", "gzip"]},
+            shards=2, trace=True,
+        )
+        view = scheduler.submit(spec)
+        drain(scheduler)
+        view = scheduler.job_view(view["job_id"])
+        assert view["state"] == "done"
+
+        serial_journal = str(tmp_path / "serial.jsonl")
+        serial_trace = str(tmp_path / "serial.trace.jsonl")
+        from repro.telemetry import JsonlTraceSink
+
+        sink = JsonlTraceSink(serial_trace)
+        serial = run_campaign(
+            "arch", spec.config, journal_path=serial_journal, trace=sink
+        )
+        sink.close()
+
+        with open(view["journal_path"]) as f, open(serial_journal) as g:
+            assert f.read() == g.read()
+        with open(view["trace_path"]) as f, open(serial_trace) as g:
+            assert f.read() == g.read()
+        assert view["outcomes"] == {"ok": len(serial.outcomes)}
+
+    def test_lease_expiry_requeues_killed_workers_unit(self, scheduler):
+        """A worker that leases a unit and dies (no heartbeat, no report)
+        loses the lease after the TTL; another worker completes the job."""
+        scheduler.submit(make_spec())
+        lease = scheduler.lease("doomed")
+        assert lease is not None
+        assert scheduler.lease("idle") is None  # nothing else leasable
+
+        scheduler.test_clock.advance(61.0)  # past the 60 s TTL
+        drain(scheduler, worker="survivor")
+        view = scheduler.job_view("job-000001")
+        assert view["state"] == "done"
+        assert view["error"] is None  # requeued, not retired
+
+        # The dead worker's late report must bounce, not double-ingest.
+        unit = lease["unit"]
+        stale = execute_unit(lease["spec"], unit)
+        assert not scheduler.complete(
+            unit["job_id"], unit["unit_id"], "doomed", stale
+        )
+        assert scheduler.job_view("job-000001")["trials"] == view["trials"]
+
+    def test_heartbeat_keeps_a_slow_unit_leased(self, scheduler):
+        scheduler.submit(make_spec())
+        lease = scheduler.lease("slow")
+        unit = lease["unit"]
+        for _ in range(5):
+            scheduler.test_clock.advance(40.0)
+            assert scheduler.heartbeat(unit["job_id"], unit["unit_id"], "slow")
+        assert scheduler.lease("thief") is None  # never expired
+        result = execute_unit(lease["spec"], unit)
+        assert scheduler.complete(unit["job_id"], unit["unit_id"], "slow", result)
+        assert scheduler.job_view(unit["job_id"])["state"] == "done"
+
+    def test_exhausted_attempts_retire_unit_and_skip_workload(self, scheduler):
+        spec = make_spec(config={**CONFIG_OPTIONS, "workloads": ["gcc", "gzip"]})
+        view = scheduler.submit(spec)
+        job_id = view["job_id"]
+        drain(scheduler, fail_units=("gcc:0of1",))
+        view = scheduler.job_view(job_id)
+        assert view["state"] == "done"  # the job completes regardless
+        assert "skipped workloads: gcc" in view["error"]
+        assert view["units"] == {"done": 1, "failed": 1}
+
+        entries = [
+            json.loads(line)
+            for line in open(view["journal_path"]).read().splitlines()
+        ]
+        sentinels = {
+            e["workload"]: e for e in entries if e["kind"] == "workload"
+        }
+        assert sentinels["gcc"]["status"] == "skipped"
+        assert "induced failure" in sentinels["gcc"]["reason"]
+        assert sentinels["gzip"]["status"] == "done"
+
+    def test_cancel_stops_pending_work(self, scheduler):
+        view = scheduler.submit(make_spec(
+            config={**CONFIG_OPTIONS, "workloads": ["gcc", "gzip"]}, shards=2
+        ))
+        job_id = view["job_id"]
+        lease = scheduler.lease("w0")
+        cancelled = scheduler.cancel(job_id)
+        assert cancelled["state"] == "cancelled"
+        assert scheduler.lease("w0") is None
+        # An in-flight result after cancellation is dropped.
+        unit = lease["unit"]
+        result = execute_unit(lease["spec"], unit)
+        assert not scheduler.complete(unit["job_id"], unit["unit_id"], "w0", result)
+        assert scheduler.job_view(job_id)["trials"] == 0
+
+    def test_events_tell_the_jobs_story(self, scheduler):
+        view = scheduler.submit(make_spec())
+        seen = []
+        scheduler.add_listener(view["job_id"], seen.append)
+        drain(scheduler)
+        kinds = [e["event"] for e in scheduler.events(view["job_id"])]
+        assert kinds[0] == "submitted"
+        assert kinds[-1] == "done"
+        assert "leased" in kinds and "unit_done" in kinds
+        # The live listener saw everything after it subscribed.
+        assert [e["event"] for e in seen] == kinds[1:]
+
+    def test_unknown_job_raises(self, scheduler):
+        with pytest.raises(ServiceError, match="no such job"):
+            scheduler.job_view("job-999999")
+
+    def test_jobs_view_paginates(self, scheduler):
+        for _ in range(3):
+            scheduler.submit(make_spec())
+        page = scheduler.jobs_view(offset=1, limit=1)
+        assert page["total"] == 3
+        assert len(page["jobs"]) == 1
+        assert page["jobs"][0]["job_id"] == "job-000002"  # newest first
+
+    def test_journals_land_under_the_data_dir(self, scheduler, tmp_path):
+        view = scheduler.submit(make_spec())
+        drain(scheduler)
+        journal = scheduler.job_view(view["job_id"])["journal_path"]
+        assert os.path.dirname(journal) == str(tmp_path / "jobs")

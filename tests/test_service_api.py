@@ -1,0 +1,254 @@
+"""The campaign service over HTTP: API routes, workers, end-to-end runs."""
+
+import asyncio
+import contextlib
+import json
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.campaign import run_campaign, summarize_journal, format_status
+from repro.service import (
+    CampaignScheduler,
+    CampaignService,
+    LocalWorkerPool,
+    RemoteWorker,
+    ResultStore,
+    ServiceClientError,
+)
+from repro.service.client import ServiceClient
+
+CONFIG_OPTIONS = {
+    "trials_per_workload": 6,
+    "injection_points": 4,
+    "workloads": ["gcc", "gzip"],
+    "seed": 7,
+}
+
+
+@contextlib.contextmanager
+def running_service(data_dir, *, workers=2, lease_ttl=60.0, sweep_interval=0.05):
+    """Run scheduler + HTTP API (+ local pool) on a background event loop.
+
+    The local pool executes units on threads rather than processes: the
+    results are identical (trial records depend only on derived seeds)
+    and the tests stay fast on small machines.
+    """
+    store = ResultStore(":memory:")
+    scheduler = CampaignScheduler(store, str(data_dir), lease_ttl=lease_ttl)
+    service = CampaignService(scheduler, port=0, sweep_interval=sweep_interval)
+    pool = None
+    if workers:
+        pool = LocalWorkerPool(
+            scheduler, workers=workers,
+            executor=ThreadPoolExecutor(max_workers=workers),
+        )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    stopping: list = []
+
+    async def main():
+        await service.start()
+        if pool is not None:
+            pool.start()
+        stop = asyncio.Event()
+        stopping.append(stop)
+        started.set()
+        await stop.wait()
+        if pool is not None:
+            await pool.stop()
+        await service.stop()
+
+    thread = threading.Thread(
+        target=lambda: loop.run_until_complete(main()), daemon=True
+    )
+    thread.start()
+    assert started.wait(10), "service failed to start"
+    try:
+        yield service, scheduler
+    finally:
+        loop.call_soon_threadsafe(stopping[0].set)
+        thread.join(timeout=10)
+        loop.close()
+        store.close()
+
+
+def submit_payload(**overrides):
+    payload = {"level": "arch", "config": dict(CONFIG_OPTIONS)}
+    payload.update(overrides)
+    return payload
+
+
+class TestEndToEnd:
+    def test_two_worker_sharded_job_equals_serial_run(self, tmp_path):
+        """The headline acceptance test: a 2-worker, 2-shard job's journal
+        is byte-identical to a serial ``run_campaign``, and the status
+        summary of both journals agrees."""
+        with running_service(tmp_path / "svc", workers=2) as (service, _):
+            client = ServiceClient(service.address)
+            view = client.submit(submit_payload(shards=2))
+            view = client.wait(view["job_id"], timeout=120)
+            assert view["state"] == "done"
+            metrics = client.metrics(view["job_id"])["metrics"]
+
+            page, results = {"total": 1}, []
+            offset = 0
+            while offset < client.results(view["job_id"], limit=1)["total"]:
+                page = client.results(view["job_id"], offset=offset, limit=7)
+                results.extend(page["results"])
+                offset += len(page["results"])
+
+        serial_path = str(tmp_path / "serial.jsonl")
+        from repro.service import build_config
+
+        serial = run_campaign(
+            "arch", build_config("arch", CONFIG_OPTIONS),
+            journal_path=serial_path,
+        )
+        with open(view["journal_path"]) as f, open(serial_path) as g:
+            assert f.read() == g.read()
+        def status_lines(path):
+            # Identical apart from the header naming the journal file.
+            return [
+                line for line in
+                format_status(summarize_journal(path)).splitlines()
+                if not line.startswith("Campaign journal")
+            ]
+
+        assert status_lines(view["journal_path"]) == status_lines(serial_path)
+        # The paginated API walk returns the same trials, in serial order.
+        assert [r["key"] for r in results] == [o.key for o in serial.outcomes]
+        # The merged metrics equal the serial journal's telemetry entry.
+        tail = [
+            json.loads(line)
+            for line in open(serial_path).read().splitlines()
+        ][-1]
+        assert tail["kind"] == "telemetry" and metrics == tail
+
+    def test_remote_worker_drains_the_queue_over_http(self, tmp_path):
+        with running_service(tmp_path / "svc", workers=0) as (service, _):
+            client = ServiceClient(service.address)
+            view = client.submit(submit_payload(
+                config={**CONFIG_OPTIONS, "workloads": ["gcc"]}, shards=2
+            ))
+            worker = RemoteWorker(
+                ServiceClient(service.address), "remote-1",
+                exit_when_idle=True, poll_interval=0.05,
+            )
+            assert worker.run() == 2
+            final = client.job(view["job_id"])
+            assert final["state"] == "done"
+            assert final["outcomes"].get("ok", 0) > 0
+
+    def test_killed_worker_lease_expires_and_job_still_finishes(self, tmp_path):
+        """A worker leases a unit over HTTP and is killed (never reports,
+        never heartbeats): the sweeper requeues the unit after the TTL
+        and a healthy worker finishes the job."""
+        with running_service(
+            tmp_path / "svc", workers=0, lease_ttl=0.3, sweep_interval=0.05
+        ) as (service, scheduler):
+            client = ServiceClient(service.address)
+            view = client.submit(submit_payload(
+                config={**CONFIG_OPTIONS, "workloads": ["gcc"]}
+            ))
+            lease = client.lease("doomed")
+            assert lease is not None  # ... and then the worker dies.
+
+            healthy = RemoteWorker(
+                ServiceClient(service.address), "healthy",
+                exit_when_idle=False, poll_interval=0.05, max_units=1,
+            )
+            assert healthy.run() == 1
+            final = client.wait(view["job_id"], timeout=30)
+            assert final["state"] == "done"
+            events = [e["event"] for e in scheduler.events(view["job_id"])]
+            assert "unit_requeued" in events
+
+
+class TestApiContract:
+    def test_health(self, tmp_path):
+        with running_service(tmp_path, workers=0) as (service, _):
+            health = ServiceClient(service.address).health()
+            assert health["ok"] is True and "version" in health
+
+    def test_unknown_job_is_404(self, tmp_path):
+        with running_service(tmp_path, workers=0) as (service, _):
+            with pytest.raises(ServiceClientError, match="no such job") as info:
+                ServiceClient(service.address).job("job-424242")
+            assert info.value.status == 404
+
+    def test_invalid_submission_is_400(self, tmp_path):
+        with running_service(tmp_path, workers=0) as (service, _):
+            client = ServiceClient(service.address)
+            with pytest.raises(ServiceClientError, match="level") as info:
+                client.submit({"config": {}})
+            assert info.value.status == 400
+            with pytest.raises(
+                ServiceClientError, match="unknown arch config option"
+            ):
+                client.submit(submit_payload(config={"trails": 3}))
+
+    def test_unknown_route_is_404(self, tmp_path):
+        with running_service(tmp_path, workers=0) as (service, _):
+            with pytest.raises(ServiceClientError) as info:
+                ServiceClient(service.address)._request("GET", "/api/nope")
+            assert info.value.status in (404, 405)
+
+    def test_bad_pagination_is_400(self, tmp_path):
+        with running_service(tmp_path, workers=0) as (service, _):
+            client = ServiceClient(service.address)
+            view = client.submit(submit_payload())
+            with pytest.raises(ServiceClientError, match="offset"):
+                client.results(view["job_id"], offset=-1)
+
+    def test_cancel_via_api(self, tmp_path):
+        with running_service(tmp_path, workers=0) as (service, _):
+            client = ServiceClient(service.address)
+            view = client.submit(submit_payload())
+            cancelled = client.cancel(view["job_id"])
+            assert cancelled["state"] == "cancelled"
+            assert client.lease("w") is None
+
+    def test_job_listing_paginates(self, tmp_path):
+        with running_service(tmp_path, workers=0) as (service, _):
+            client = ServiceClient(service.address)
+            for _ in range(3):
+                client.submit(submit_payload(
+                    config={**CONFIG_OPTIONS, "workloads": ["gcc"]}
+                ))
+            page = client.jobs(offset=1, limit=1)
+            assert page["total"] == 3 and len(page["jobs"]) == 1
+
+    def test_sse_stream_replays_history_to_terminal_event(self, tmp_path):
+        with running_service(tmp_path / "svc", workers=1) as (service, _):
+            client = ServiceClient(service.address)
+            view = client.submit(submit_payload(
+                config={**CONFIG_OPTIONS, "workloads": ["gcc"]}
+            ))
+            client.wait(view["job_id"], timeout=120)
+
+            with socket.create_connection(
+                ("127.0.0.1", service.port), timeout=10
+            ) as sock:
+                sock.sendall(
+                    f"GET /api/jobs/{view['job_id']}/events HTTP/1.1\r\n"
+                    f"Host: x\r\n\r\n".encode()
+                )
+                sock.settimeout(10)
+                blob = b""
+                while b"event: done" not in blob:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    blob += chunk
+            text = blob.decode()
+            assert "text/event-stream" in text
+            assert "event: submitted" in text
+            datas = [
+                json.loads(line[6:]) for line in text.splitlines()
+                if line.startswith("data: ")
+            ]
+            assert datas[0]["event"] == "submitted"
+            assert datas[-1]["event"] == "done"

@@ -299,3 +299,61 @@ class TestCampaignReport:
         path.write_text('{"kind": "trial"}\n')
         with pytest.raises(JournalError, match="missing manifest"):
             render_campaign_report(str(path))
+
+
+class TestMetricsMerge:
+    """Per-shard aggregates merge exactly into the serial aggregate."""
+
+    def _records(self, seed, n=12):
+        from repro.faults import ArchTrialResult
+
+        records = []
+        for i in range(n):
+            records.append(ArchTrialResult(
+                workload="gcc", inject_step=10 + i, bit=i % 8,
+                exception_latency=(i * seed) % 40 if i % 3 else None,
+                cfv_latency=(i * 7) % 25 if i % 4 else None,
+                failing=bool(i % 2),
+            ))
+        return records
+
+    def test_merged_partition_equals_whole_aggregate(self):
+        from repro.telemetry import aggregate_campaign, merge_campaign_metrics
+
+        records = self._records(seed=3)
+        whole = aggregate_campaign("arch", records)
+        parts = [
+            aggregate_campaign("arch", records[0::3]),
+            aggregate_campaign("arch", records[1::3]),
+            aggregate_campaign("arch", records[2::3]),
+        ]
+        merged = merge_campaign_metrics(parts)
+        assert merged.to_entry() == whole.to_entry()
+        # The inputs were not mutated by the merge.
+        assert parts[0].trials == len(records[0::3])
+
+    def test_merge_rejects_level_mismatch(self):
+        from repro.telemetry import aggregate_campaign, merge_campaign_metrics
+
+        arch = aggregate_campaign("arch", [])
+        uarch = aggregate_campaign("uarch", [])
+        with pytest.raises(ValueError, match="cannot merge"):
+            merge_campaign_metrics([arch, uarch])
+
+    def test_merge_rejects_empty_collection(self):
+        from repro.telemetry import merge_campaign_metrics
+
+        with pytest.raises(ValueError, match="empty"):
+            merge_campaign_metrics([])
+
+    def test_detector_merge_rejects_symptom_mismatch(self):
+        from repro.telemetry.metrics import DetectorMetrics
+
+        with pytest.raises(ValueError, match="cannot merge detector"):
+            DetectorMetrics("cfv").merge(DetectorMetrics("exception"))
+
+    def test_histogram_merge_rejects_different_edges(self):
+        from repro.telemetry.metrics import Histogram
+
+        with pytest.raises(ValueError, match="different edges"):
+            Histogram((1, 2)).merge(Histogram((1, 3)))

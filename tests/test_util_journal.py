@@ -108,3 +108,40 @@ class TestDigests:
         as_dict = config_to_dict(ArchCampaignConfig(workloads=("gcc", "mcf")))
         json.dumps(as_dict)  # must not raise
         assert as_dict["workloads"] == ["gcc", "mcf"]
+
+
+class TestTearWarnings:
+    """Partial final records are tolerated with a warning, never an abort."""
+
+    def test_torn_final_line_warns_and_keeps_complete_entries(self, tmp_path):
+        from repro.util.journal import JournalTearWarning
+
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"n": 1}\n{"n": 2}\n{"kind": "trial", "key": "gc')
+        with pytest.warns(
+            JournalTearWarning, match="2 complete entries retained"
+        ):
+            entries = read_journal(str(path))
+        assert entries == [{"n": 1}, {"n": 2}]
+
+    def test_intact_journal_does_not_warn(self, tmp_path):
+        import warnings
+
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"n": 1}\n{"n": 2}\n')
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert read_journal(str(path)) == [{"n": 1}, {"n": 2}]
+
+    def test_lone_torn_fragment_warns_and_yields_nothing(self, tmp_path):
+        from repro.util.journal import JournalTearWarning
+
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "manifest", "level": "ar')
+        with pytest.warns(JournalTearWarning, match="0 complete entries"):
+            assert read_journal(str(path)) == []
+
+    def test_tear_warning_is_a_user_warning(self):
+        from repro.util.journal import JournalTearWarning
+
+        assert issubclass(JournalTearWarning, UserWarning)
