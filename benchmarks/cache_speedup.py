@@ -1,0 +1,215 @@
+"""Golden-artifact cache benchmark: cold vs. warm campaign startup.
+
+Every campaign work unit pays a startup preamble before its first fault:
+the golden run, the comparator prefix counts, and the walk to the first
+injection point. The :mod:`repro.cache` store memoizes that preamble on
+disk, so a warm unit loads it instead of recomputing. This benchmark
+measures the difference two ways:
+
+- ``*_unit_starts_per_sec_{cold,warm}`` — single-trial workload units
+  per second (one trial pins down the full startup path, including the
+  snapshot fast-forward, while keeping the common trial cost identical
+  on both sides). Cold units each write into a fresh cache directory;
+  warm units all hit one populated directory.
+- ``campaign_trials_per_sec_{cold,warm}`` — end-to-end ``run_campaign``
+  trial throughput against a cold vs. a warm cache directory.
+
+plus the machine-independent ratios the CI gate pins:
+
+- ``arch_cache_warm_speedup``  — cold/warm arch unit startup (gate: 2x)
+- ``uarch_cache_warm_speedup`` — cold/warm uarch unit startup
+
+Results use the same ``repro-perf/1`` schema as ``perf/perfbench.py``,
+so ``perf/compare.py`` can diff them against the committed baseline::
+
+    PYTHONPATH=src python benchmarks/cache_speedup.py --scale smoke \
+        --out benchmarks/out/cache_speedup.json --min-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro import __version__  # noqa: E402
+from repro.cache import GoldenArtifactCache  # noqa: E402
+from repro.campaign import run_campaign  # noqa: E402
+from repro.faults import ArchCampaignConfig, UarchCampaignConfig  # noqa: E402
+from repro.faults import arch_campaign, uarch_campaign  # noqa: E402
+
+SCHEMA = "repro-perf/1"
+SEED = 2005
+
+SCALES = {
+    "smoke": {
+        "min_seconds": 0.8,
+        "arch_workloads": ("gcc", "gzip", "mcf"),
+        "uarch_workloads": ("gcc", "mcf"),
+        "campaign": {"trials_per_workload": 12, "injection_points": 6,
+                     "workloads": ("gzip", "mcf")},
+    },
+    "full": {
+        "min_seconds": 3.0,
+        "arch_workloads": ("bzip2", "gap", "gcc", "gzip", "mcf", "parser",
+                           "vortex"),
+        "uarch_workloads": ("gcc", "gzip", "mcf", "parser"),
+        "campaign": {"trials_per_workload": 40, "injection_points": 10,
+                     "workloads": ("gzip", "mcf", "parser")},
+    },
+}
+
+_LEVELS = {
+    "arch": (arch_campaign, ArchCampaignConfig, {}),
+    "uarch": (uarch_campaign, UarchCampaignConfig, {"window_cycles": 1200}),
+}
+
+
+def _unit_config(level: str, workload: str):
+    _, config_cls, extra = _LEVELS[level]
+    return config_cls(
+        trials_per_workload=1, injection_points=1, seed=SEED,
+        workloads=(workload,), **extra,
+    )
+
+
+def _bench_unit_starts(level: str, workloads, min_seconds: float):
+    """(cold units/s, warm units/s): single-trial workload runs, each
+    cold one against a fresh cache directory, each warm one against the
+    same populated directory."""
+    module = _LEVELS[level][0]
+    configs = {name: _unit_config(level, name) for name in workloads}
+    with tempfile.TemporaryDirectory(prefix="repro-cache-bench-") as root:
+        warm_dir = os.path.join(root, "warm")
+        for name in workloads:  # populate (and JIT-warm) outside the clock
+            module.run_workload_trials(
+                configs[name], name, cache=GoldenArtifactCache(warm_dir)
+            )
+
+        fills = 0
+        units = 0
+        start = time.perf_counter()
+        while True:
+            for name in workloads:
+                cold_dir = os.path.join(root, f"cold-{fills}")
+                fills += 1
+                module.run_workload_trials(
+                    configs[name], name, cache=GoldenArtifactCache(cold_dir)
+                )
+                units += 1
+            cold_elapsed = time.perf_counter() - start
+            if cold_elapsed >= min_seconds:
+                break
+        cold_rate = units / cold_elapsed
+
+        units = 0
+        cache = GoldenArtifactCache(warm_dir)
+        start = time.perf_counter()
+        while True:
+            for name in workloads:
+                outcome = module.run_workload_trials(
+                    configs[name], name, cache=cache
+                )
+                assert outcome.golden_cache == "hit"
+                units += 1
+            warm_elapsed = time.perf_counter() - start
+            if warm_elapsed >= min_seconds:
+                break
+        warm_rate = units / warm_elapsed
+    return cold_rate, warm_rate
+
+
+def _bench_campaign(campaign_cfg: dict):
+    """(cold trials/s, warm trials/s) for an end-to-end arch campaign."""
+    config = ArchCampaignConfig(seed=SEED, **campaign_cfg)
+    with tempfile.TemporaryDirectory(prefix="repro-cache-bench-") as root:
+        cache_dir = os.path.join(root, "cache")
+        rates = []
+        for _ in ("cold", "warm"):
+            start = time.perf_counter()
+            report = run_campaign("arch", config, cache_dir=cache_dir)
+            elapsed = time.perf_counter() - start
+            rates.append(len(report.result.trials) / elapsed)
+    return rates[0], rates[1]
+
+
+def run_benchmarks(scale: str) -> dict:
+    knobs = SCALES[scale]
+    min_seconds = knobs["min_seconds"]
+    metrics: dict[str, dict] = {}
+
+    for level in ("arch", "uarch"):
+        workloads = knobs[f"{level}_workloads"]
+        cold, warm = _bench_unit_starts(level, workloads, min_seconds)
+        details = {"workloads": list(workloads)}
+        metrics[f"{level}_unit_starts_per_sec_cold"] = {
+            "value": round(cold, 2), "unit": "units/s", "details": details,
+        }
+        metrics[f"{level}_unit_starts_per_sec_warm"] = {
+            "value": round(warm, 2), "unit": "units/s", "details": details,
+        }
+        metrics[f"{level}_cache_warm_speedup"] = {
+            "value": round(warm / cold, 2), "unit": "x", "details": details,
+        }
+
+    cold, warm = _bench_campaign(knobs["campaign"])
+    metrics["campaign_trials_per_sec_cold"] = {
+        "value": round(cold, 2), "unit": "trials/s",
+        "details": dict(knobs["campaign"]),
+    }
+    metrics["campaign_trials_per_sec_warm"] = {
+        "value": round(warm, 2), "unit": "trials/s",
+        "details": dict(knobs["campaign"]),
+    }
+
+    return {
+        "schema": SCHEMA,
+        "version": __version__,
+        "scale": scale,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "metrics": metrics,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--out", default=None,
+                        help="write JSON here (default: stdout)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail (exit 2) when arch_cache_warm_speedup "
+                             "lands below this ratio")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(args.scale)
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+        print(f"wrote {args.out}")
+    sys.stdout.write(payload)
+
+    if args.min_speedup is not None:
+        speedup = report["metrics"]["arch_cache_warm_speedup"]["value"]
+        if speedup < args.min_speedup:
+            print(f"FAIL: arch_cache_warm_speedup {speedup}x is below the "
+                  f"required {args.min_speedup}x", file=sys.stderr)
+            return 2
+        print(f"OK: arch_cache_warm_speedup {speedup}x >= "
+              f"{args.min_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,7 +50,7 @@ from repro.arch.exceptions import (
 )
 from repro.arch.memory import PageProtection, SparseMemory
 from repro.arch.state import ArchState
-from repro.arch.tracing import ExecutionTrace
+from repro.arch.tracing import ArchSnapshot, ExecutionTrace
 from repro.isa import opcodes as op
 from repro.isa import semantics
 from repro.isa.encoding import IllegalInstructionError, decode_word
@@ -103,8 +103,13 @@ class ArchSimulator:
         # one cache across the thousands of simulator instances they create.
         self._closures = shared_closures if shared_closures is not None else {}
         # PC-keyed pre-decoded instruction cache over text pages, valid
-        # while the memory image's version is unchanged.
+        # while the memory image's version is unchanged. Forks share it
+        # copy-on-write (``_predecode_shared``): entries are pure per-word
+        # closures over read-only text, so sharers with the same image
+        # version see the same bytes; any text rewrite bumps the version,
+        # and the rewriter detaches before touching the dict.
         self._predecoded: dict[int, _Closure] = {}
+        self._predecode_shared = False
         self._predecode_version = state.memory.image_version
 
     def fork(self) -> "ArchSimulator":
@@ -117,11 +122,32 @@ class ArchSimulator:
         copy = ArchSimulator(
             state, shared_closures=self._closures, predecode=self.predecode
         )
-        # The clone's text bytes and version match ours, so the PC cache
-        # carries over; it revalidates against the clone's own memory.
-        copy._predecoded = dict(self._predecoded)
+        # The clone's text bytes and version match ours, so the PC cache is
+        # shared rather than copied; both sides mark it shared so whichever
+        # machine first sees a text rewrite detaches instead of clearing the
+        # dict out from under the other (see _invalidate_predecoded).
+        copy._predecoded = self._predecoded
         copy._predecode_version = self._predecode_version
+        if self.predecode:
+            self._predecode_shared = True
+            copy._predecode_shared = True
         return copy
+
+    def _invalidate_predecoded(self, image_version: int) -> None:
+        """Drop stale PC-cache entries after a text image change.
+
+        A fork-shared cache is abandoned, not cleared: the other sharers'
+        text is unchanged (their image version still matches), so their
+        entries remain valid and must not be destroyed — and entries this
+        machine would compile from its rewritten text must not leak to
+        them.
+        """
+        if self._predecode_shared:
+            self._predecoded = {}
+            self._predecode_shared = False
+        else:
+            self._predecoded.clear()
+        self._predecode_version = image_version
 
     # ------------------------------------------------------------- running
 
@@ -141,8 +167,7 @@ class ArchSimulator:
             if self.predecode:
                 memory = self.memory
                 if self._predecode_version != memory.image_version:
-                    self._predecoded.clear()
-                    self._predecode_version = memory.image_version
+                    self._invalidate_predecoded(memory.image_version)
                 closure = self._predecoded.get(pc)
                 if closure is None:
                     closure = self._fetch_closure(pc, memory)
@@ -200,8 +225,7 @@ class ArchSimulator:
         state = self.state
         memory = self.memory
         if self._predecode_version != memory.image_version:
-            self._predecoded.clear()
-            self._predecode_version = memory.image_version
+            self._invalidate_predecoded(memory.image_version)
         lookup = self._predecoded.get
         fetch = self._fetch_closure
         pc = state.pc
@@ -234,8 +258,16 @@ class ArchSimulator:
         if self.stop_reason is StopReason.LIMIT:
             self.stop_reason = StopReason.RUNNING
 
-    def run_with_trace(self, max_instructions: int) -> ExecutionTrace:
-        """Run while recording the golden trace used by fault campaigns."""
+    def run_with_trace(
+        self, max_instructions: int, snapshot_every: int = 0
+    ) -> ExecutionTrace:
+        """Run while recording the golden trace used by fault campaigns.
+
+        With ``snapshot_every`` > 0, a full architectural checkpoint
+        (:class:`~repro.arch.tracing.ArchSnapshot`) is captured every that
+        many retired instructions, letting later prefix walks fast-forward
+        to an injection point instead of re-executing from reset.
+        """
         trace = ExecutionTrace()
         pcs = trace.pcs
         memops = trace.memops
@@ -255,6 +287,19 @@ class ArchSimulator:
                 trace_step = len(pcs) - 1
                 writers.append(trace_step)
             budget -= 1
+            if (
+                snapshot_every
+                and self.stop_reason is StopReason.RUNNING
+                and self.retired % snapshot_every == 0
+            ):
+                trace.snapshots.append(
+                    ArchSnapshot(
+                        retired=self.retired,
+                        pc=self.state.pc,
+                        regs=tuple(self.state.regs),
+                        memory=self.state.memory.clone(),
+                    )
+                )
         if self.stop_reason is StopReason.RUNNING:
             self.stop_reason = StopReason.LIMIT
         trace.final_regs = tuple(self.state.regs)

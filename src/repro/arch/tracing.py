@@ -21,6 +21,20 @@ if TYPE_CHECKING:
 MemoryOp = tuple[str, int, int]
 
 
+@dataclass(frozen=True)
+class ArchSnapshot:
+    """Full architectural state captured mid-run, after ``retired``
+    instructions have retired (the instruction at trace index ``retired``
+    has not executed yet). Restoring one and resuming is bit-identical to
+    having stepped the simulator from reset — architectural state is only
+    regs + pc + memory; decode caches and the like are derived."""
+
+    retired: int
+    pc: int
+    regs: tuple[int, ...]
+    memory: "SparseMemory"
+
+
 @dataclass
 class ExecutionTrace:
     """Everything recorded from one golden run."""
@@ -32,6 +46,9 @@ class ExecutionTrace:
     final_memory: "SparseMemory | None" = None
     exception: "IsaException | None" = None
     halted: bool = False
+    # Periodic checkpoints (optional; populated when the golden run is
+    # captured for the golden-artifact cache).
+    snapshots: list[ArchSnapshot] = field(default_factory=list)
 
     @property
     def length(self) -> int:

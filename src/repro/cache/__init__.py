@@ -1,0 +1,23 @@
+"""Content-addressed golden-artifact cache shared across campaign runs."""
+
+from repro.cache.store import (
+    SCHEMA_VERSION,
+    ArchGoldenArtifact,
+    CacheCorruptionWarning,
+    CacheStats,
+    GoldenArtifactCache,
+    UarchGoldenArtifact,
+    format_cache_stats,
+    program_digest,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArchGoldenArtifact",
+    "CacheCorruptionWarning",
+    "CacheStats",
+    "GoldenArtifactCache",
+    "UarchGoldenArtifact",
+    "format_cache_stats",
+    "program_digest",
+]

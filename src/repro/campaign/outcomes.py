@@ -126,10 +126,15 @@ class WorkloadRunOutcome:
     ``skip_reason`` is set when the workload could not run at all (its
     golden run raised, or a parallel worker died twice); its trials are
     then absent rather than failed. ``total_bits`` is the injectable-state
-    population for uarch campaigns (zero for arch).
+    population for uarch campaigns (zero for arch). ``golden_cache``
+    reports how the golden artifacts were obtained — ``"hit"`` (loaded
+    from the cache), ``"miss"`` (computed and stored), or ``None`` (no
+    cache in use); it is report-level metadata and never journaled, so
+    cached and uncached journals stay byte-identical.
     """
 
     workload: str
     outcomes: list[TrialOutcome] = field(default_factory=list)
     skip_reason: str | None = None
     total_bits: int = 0
+    golden_cache: str | None = None

@@ -68,15 +68,19 @@ class ExecutionPolicy:
     """How a campaign executes, as opposed to *what* it measures.
 
     Kept separate from the scientific configs (whose digests identify a
-    run's results) because neither knob can change a single trial record:
-    ``jobs`` only picks how workloads fan out across processes and
-    ``trial_timeout`` only bounds the harness's patience.
+    run's results) because none of these knobs can change a single trial
+    record: ``jobs`` only picks how workloads fan out across processes,
+    ``trial_timeout`` only bounds the harness's patience, and
+    ``cache_dir`` only memoizes golden artifacts that are bit-identical
+    to recomputing them.
 
-    ``jobs=None`` means "use every core" (``os.cpu_count()``).
+    ``jobs=None`` means "use every core" (``os.cpu_count()``);
+    ``cache_dir=None`` disables the golden-artifact cache.
     """
 
     jobs: int | None = None
     trial_timeout: float | None = None
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         jobs = self.jobs
@@ -91,6 +95,13 @@ class ExecutionPolicy:
         if self.trial_timeout is not None and self.trial_timeout <= 0:
             raise ValueError(
                 f"trial_timeout must be positive, got {self.trial_timeout}"
+            )
+        if self.cache_dir is not None and (
+            not isinstance(self.cache_dir, str) or not self.cache_dir
+        ):
+            raise ValueError(
+                f"cache_dir must be a non-empty path (or None to disable "
+                f"the cache), got {self.cache_dir!r}"
             )
 
 
@@ -121,6 +132,11 @@ class CampaignRunReport:
     skipped_workloads: tuple[tuple[str, str], ...]
     journal_path: str | None
     jobs: int
+    # Golden-artifact cache accounting (zeros when no cache is in use):
+    # one hit or miss per executed workload, never reflected in journals.
+    cache_dir: str | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def outcome_counts(self) -> dict[str, int]:
         counts = {OUTCOME_OK: 0, OUTCOME_CRASH: 0, OUTCOME_TIMEOUT: 0}
@@ -267,12 +283,18 @@ def _workload_task(
     workload: str,
     completed: frozenset[str],
     trial_timeout: float | None,
+    cache_dir: str | None = None,
 ) -> WorkloadRunOutcome:
     """One process-pool work unit: run a whole workload under containment."""
     module = _campaign_module(level)
     guard = TrialGuard(timeout=trial_timeout)
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import GoldenArtifactCache
+
+        cache = GoldenArtifactCache(cache_dir)
     return module.run_workload_trials(
-        config, workload, completed=completed, guard=guard
+        config, workload, completed=completed, guard=guard, cache=cache
     )
 
 
@@ -323,6 +345,7 @@ def run_campaign(
     jobs: int | None = 1,
     trial_timeout: float | None = None,
     trace=None,
+    cache_dir: str | None = None,
 ) -> CampaignRunReport:
     """Run a fault-injection campaign resiliently.
 
@@ -334,14 +357,24 @@ def run_campaign(
     seconds; ``trace`` is an optional :class:`repro.telemetry.TraceSink`
     receiving per-trial events (emitted from the parent process — with
     ``jobs > 1`` they arrive per completed workload rather than
-    interleaved live).
+    interleaved live); ``cache_dir`` points at a shared golden-artifact
+    cache directory (see :mod:`repro.cache`) — golden runs are loaded
+    from it when present and stored into it when not, with no effect on
+    any trial record or journal byte.
     """
     module = _campaign_module(level)
-    policy = ExecutionPolicy(jobs=jobs, trial_timeout=trial_timeout)
+    policy = ExecutionPolicy(
+        jobs=jobs, trial_timeout=trial_timeout, cache_dir=cache_dir
+    )
     jobs = policy.jobs
     assert jobs is not None  # __post_init__ resolved None to cpu_count
     if resume and journal_path is None:
         raise ValueError("resume requires a journal path")
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import GoldenArtifactCache
+
+        cache = GoldenArtifactCache(cache_dir)
 
     state = _JournalState()
     writer: JournalWriter | None = None
@@ -410,6 +443,7 @@ def run_campaign(
                     completed=frozenset(o.key for o in prior),
                     guard=guard,
                     on_outcome=on_outcome,
+                    cache=cache,
                 )
                 executed += len(workload_outcome.outcomes)
                 workload_outcome.outcomes = prior + workload_outcome.outcomes
@@ -429,6 +463,7 @@ def run_campaign(
                         name,
                         completed_keys[name],
                         trial_timeout,
+                        cache_dir,
                     ): name
                     for name in pending
                 }
@@ -444,6 +479,7 @@ def run_campaign(
                             workload_outcome = _workload_task(
                                 level, config, name,
                                 completed_keys[name], trial_timeout,
+                                cache_dir,
                             )
                         except Exception as second_error:
                             workload_outcome = WorkloadRunOutcome(
@@ -471,6 +507,12 @@ def run_campaign(
             writer.close()
 
     result, ordered_outcomes, skipped = _build_result(level, config, by_workload)
+    cache_hits = sum(
+        1 for wo in by_workload.values() if wo.golden_cache == "hit"
+    )
+    cache_misses = sum(
+        1 for wo in by_workload.values() if wo.golden_cache == "miss"
+    )
     if journal_path is not None:
         # Journal the derived telemetry aggregate after the trial lines.
         # Resume and report always recompute from the trials themselves, so
@@ -494,4 +536,7 @@ def run_campaign(
         skipped_workloads=skipped,
         journal_path=journal_path,
         jobs=jobs,
+        cache_dir=cache_dir,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )

@@ -12,6 +12,9 @@ Exposes the library's main flows without writing Python::
     repro campaign uarch --trials 500 --journal run.jsonl --resume
     repro campaign status run.jsonl
     repro campaign report run.jsonl
+    repro campaign arch --trials 60 --cache-dir .repro-cache
+    repro cache stats --cache-dir .repro-cache
+    repro cache clear --cache-dir .repro-cache
     repro serve --port 8642 --workers 2       # the campaign service
     repro submit uarch --trials 120 --shards 2 --wait
     repro jobs                                # list service jobs
@@ -171,16 +174,47 @@ def cmd_inject(args: argparse.Namespace) -> int:
 
 
 def _execution_policy(
-    jobs: int | None, trial_timeout: float | None
+    jobs: int | None,
+    trial_timeout: float | None,
+    cache_dir: str | None = None,
 ) -> ExecutionPolicy:
     """Validate execution knobs, converting field names to flag names.
 
     ``jobs=None`` (flag omitted) resolves to one worker per core.
     """
     try:
-        return ExecutionPolicy(jobs=jobs, trial_timeout=trial_timeout)
+        return ExecutionPolicy(
+            jobs=jobs, trial_timeout=trial_timeout, cache_dir=cache_dir
+        )
     except ValueError as exc:
         raise SystemExit("--" + str(exc).replace("_", "-")) from None
+
+
+def _resolve_cache_dir(cache_dir: str | None, no_cache: bool) -> str | None:
+    """Resolve the golden-artifact cache directory for a command.
+
+    Precedence: ``--no-cache`` (off) > ``--cache-dir PATH`` >
+    ``$REPRO_CACHE_DIR`` > off. The cache defaults to off so casual runs
+    leave no stray state; fleets opt in via the env var or flag.
+    """
+    if no_cache:
+        return None
+    if cache_dir:
+        return cache_dir
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="golden-artifact cache directory (shared across runs and "
+             "workers; default: $REPRO_CACHE_DIR, else no cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the golden-artifact cache even if $REPRO_CACHE_DIR "
+             "is set",
+    )
 
 
 def cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -227,7 +261,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             "arch/uarch runs"
         )
     workloads = _parse_workloads(args.workloads)
-    policy = _execution_policy(args.jobs, args.trial_timeout)
+    cache_dir = _resolve_cache_dir(args.cache_dir, args.no_cache)
+    policy = _execution_policy(args.jobs, args.trial_timeout, cache_dir)
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal")
     try:
@@ -257,6 +292,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             jobs=policy.jobs,
             trial_timeout=policy.trial_timeout,
             trace=trace,
+            cache_dir=policy.cache_dir,
         )
     except JournalError as exc:
         raise SystemExit(str(exc)) from None
@@ -287,6 +323,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     print(report.outcome_table())
     print(f"\ntrials executed: {report.executed}  resumed from journal: "
           f"{report.resumed}  jobs: {report.jobs}")
+    if report.cache_dir:
+        print(f"golden cache: hits={report.cache_hits} "
+              f"misses={report.cache_misses} ({report.cache_dir})")
     for name, reason in report.skipped_workloads:
         print(f"warning: workload {name} skipped: {reason}")
     return 0
@@ -325,7 +364,11 @@ async def _serve_async(args: argparse.Namespace) -> int:
     await service.start()
     pool = None
     if args.workers > 0:
-        pool = LocalWorkerPool(scheduler, workers=args.workers)
+        pool = LocalWorkerPool(
+            scheduler,
+            workers=args.workers,
+            cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
+        )
         pool.start()
     print(
         f"campaign service listening on {service.address} "
@@ -486,6 +529,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
         poll_interval=args.poll,
         max_units=args.max_units,
         exit_when_idle=args.exit_when_idle,
+        cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
     )
     try:
         done = worker.run()
@@ -494,6 +538,24 @@ def cmd_worker(args: argparse.Namespace) -> int:
         print(f"\n{name}: interrupted", file=sys.stderr)
     print(f"{name}: {done} unit(s) completed, "
           f"{worker.units_failed} failed")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import GoldenArtifactCache, format_cache_stats
+
+    cache_dir = _resolve_cache_dir(args.cache_dir, False)
+    if not cache_dir:
+        raise SystemExit(
+            "no cache directory: pass --cache-dir or set $REPRO_CACHE_DIR"
+        )
+    cache = GoldenArtifactCache(cache_dir)
+    if args.action == "stats":
+        print(format_cache_stats(cache.stats()))
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cache "
+              f"entr{'y' if removed == 1 else 'ies'} from {cache_dir}")
     return 0
 
 
@@ -599,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "as harness-timeout outcomes")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="stream per-trial telemetry events to a JSONL trace")
+    _add_cache_flags(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
@@ -619,6 +682,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "is requeued after this long")
     p.add_argument("--max-attempts", type=int, default=2, metavar="N",
                    help="attempts before a unit is retired as failed")
+    _add_cache_flags(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit", help="submit a campaign job to a service")
@@ -669,7 +733,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit after completing N units")
     p.add_argument("--exit-when-idle", action="store_true",
                    help="exit when the queue has no leasable unit")
+    _add_cache_flags(p)
     p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or clear the golden-artifact cache "
+             "(cache stats, cache clear)",
+    )
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache directory (default: $REPRO_CACHE_DIR)")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("trace",
                        help="telemetry trace utilities (trace validate)")

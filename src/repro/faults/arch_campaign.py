@@ -24,6 +24,8 @@ from collections.abc import Callable, Collection
 from dataclasses import dataclass, field
 
 from repro.arch.simulator import ArchSimulator, StopReason, load_program
+from repro.arch.state import ArchState
+from repro.cache import ArchGoldenArtifact, GoldenArtifactCache
 from repro.campaign.guard import TrialGuard
 from repro.campaign.outcomes import (
     CampaignWorkloadWarning,
@@ -49,6 +51,12 @@ from repro.workloads import WORKLOAD_NAMES, build_workload
 FIGURE2_WINDOWS: tuple[int | None, ...] = (
     25, 50, 100, 200, 500, 1000, 10_000, 100_000, None,
 )
+
+# Architectural checkpoint cadence for cached golden runs, in retired
+# instructions — the paper's periodic-checkpoint idea applied to campaign
+# startup. Smaller means finer fast-forward granularity but bigger cache
+# entries (each snapshot clones the memory image).
+ARCH_SNAPSHOT_INTERVAL = 20_000
 
 
 @dataclass(frozen=True)
@@ -182,6 +190,7 @@ def run_workload_trials(
     guard: TrialGuard | None = None,
     on_outcome: Callable[[TrialOutcome], None] | None = None,
     shard: tuple[int, int] | None = None,
+    cache: GoldenArtifactCache | None = None,
 ) -> WorkloadRunOutcome:
     """Execute one workload's trials under containment.
 
@@ -201,22 +210,54 @@ def run_workload_trials(
     the index space for any per-point count, so the union of all shards
     is exactly the serial campaign, trial for trial.
 
+    With a :class:`~repro.cache.GoldenArtifactCache`, the golden run,
+    comparator indices, and periodic architectural snapshots are loaded
+    from (or stored into) the content-addressed store, and the prefix
+    simulator fast-forwards from the nearest snapshot at or before the
+    first pending injection point instead of stepping from reset. Cached
+    and uncached executions are bit-identical.
+
     A failing golden run skips the workload with a structured warning
     instead of aborting the campaign.
     """
     guard = guard or TrialGuard()
     validate_shard(shard)
     wrng = DeterministicRng(config.seed).child("arch-campaign").child(workload)
+    golden_cache: str | None = None
     try:
         bundle = build_workload(workload, config.workload_scale, config.seed)
-        golden_sim = load_program(bundle.program)
-        trace = golden_sim.run_with_trace(config.max_instructions)
-        if trace.exception is not None:
-            raise GoldenRunError(
-                f"golden run of {workload} raised {trace.exception}"
+        artifact = (
+            cache.load("arch", bundle.program, config)
+            if cache is not None
+            else None
+        )
+        if artifact is not None:
+            trace = artifact.trace
+            memop_counts = artifact.memop_counts
+            golden_cache = "hit"
+        else:
+            golden_sim = load_program(bundle.program)
+            trace = golden_sim.run_with_trace(
+                config.max_instructions,
+                snapshot_every=ARCH_SNAPSHOT_INTERVAL if cache is not None else 0,
             )
-        if not trace.writer_steps:
-            raise GoldenRunError(f"workload {workload} wrote no registers")
+            if trace.exception is not None:
+                raise GoldenRunError(
+                    f"golden run of {workload} raised {trace.exception}"
+                )
+            if not trace.writer_steps:
+                raise GoldenRunError(f"workload {workload} wrote no registers")
+            # Number of memory operations retired up to and including each
+            # step.
+            memop_counts = _memop_prefix_counts(trace)
+            if cache is not None:
+                cache.store(
+                    "arch",
+                    bundle.program,
+                    config,
+                    ArchGoldenArtifact(trace=trace, memop_counts=memop_counts),
+                )
+                golden_cache = "miss"
     except Exception as exc:
         reason = f"{type(exc).__name__}: {exc}"
         warnings.warn(
@@ -226,19 +267,23 @@ def run_workload_trials(
         )
         return WorkloadRunOutcome(workload, skip_reason=reason)
 
-    # Number of memory operations retired up to and including each step.
-    memop_counts = _memop_prefix_counts(trace)
-
     point_count = min(config.injection_points, len(trace.writer_steps))
     points = sorted(wrng.child("points").sample(trace.writer_steps, point_count))
-    per_point = -(-config.trials_per_workload // point_count)  # ceil
+    # Distribute trials so exactly trials_per_workload run: the first
+    # ``extra`` points (in sorted order) take one more than the rest.
+    base_trials, extra = divmod(config.trials_per_workload, point_count)
 
-    # One prefix simulator walks forward through all injection points.
-    prefix = load_program(bundle.program)
+    # One prefix simulator walks forward through all injection points,
+    # starting from the nearest cached snapshot when one is available.
+    prefix = _prefix_simulator(
+        bundle, trace, workload, points, base_trials, extra, completed, shard
+    )
     outcomes: list[TrialOutcome] = []
-    for point in points:
-        while prefix.retired < point and prefix.running:
-            prefix.step()
+    for position, point in enumerate(points):
+        per_point = base_trials + (1 if position < extra else 0)
+        if prefix.retired < point and prefix.running:
+            prefix.run(point - prefix.retired)
+            prefix.resume()
         if not prefix.running:  # pragma: no cover - golden ran fine
             break
         for index in range(per_point):
@@ -264,7 +309,53 @@ def run_workload_trials(
             outcomes.append(outcome)
             if on_outcome is not None:
                 on_outcome(outcome)
-    return WorkloadRunOutcome(workload, outcomes)
+    return WorkloadRunOutcome(workload, outcomes, golden_cache=golden_cache)
+
+
+def _prefix_simulator(
+    bundle,
+    trace,
+    workload: str,
+    points: list[int],
+    base_trials: int,
+    extra: int,
+    completed: Collection[str],
+    shard: tuple[int, int] | None,
+) -> ArchSimulator:
+    """A prefix simulator positioned as far forward as snapshots allow.
+
+    The earliest injection point with any pending trial (respecting the
+    shard stride and already-journaled keys) bounds how far we may fast-
+    forward; the nearest snapshot at or before it is restored. With no
+    snapshots (uncached runs) or none early enough, the walk starts from
+    reset — exactly the pre-cache behaviour.
+    """
+    first_pending: int | None = None
+    for position, point in enumerate(points):
+        per_point = base_trials + (1 if position < extra else 0)
+        for index in range(per_point):
+            if shard is not None and index % shard[1] != shard[0]:
+                continue
+            if trial_key(workload, point, index) in completed:
+                continue
+            first_pending = point
+            break
+        if first_pending is not None:
+            break
+    best = None
+    if first_pending is not None:
+        for snap in trace.snapshots:
+            if snap.retired <= first_pending and (
+                best is None or snap.retired > best.retired
+            ):
+                best = snap
+    if best is None:
+        return load_program(bundle.program)
+    sim = ArchSimulator(
+        ArchState(regs=list(best.regs), pc=best.pc, memory=best.memory.clone())
+    )
+    sim.retired = best.retired
+    return sim
 
 
 def _memop_prefix_counts(trace) -> list[int]:

@@ -35,6 +35,8 @@ import warnings
 from collections.abc import Callable, Collection
 from dataclasses import dataclass, field
 
+from repro.arch.memory import SparseMemory
+from repro.cache import GoldenArtifactCache, UarchGoldenArtifact
 from repro.campaign.guard import TrialGuard
 from repro.campaign.outcomes import (
     CampaignWorkloadWarning,
@@ -118,12 +120,18 @@ class UarchCampaignConfig:
 
 @dataclass
 class _GoldenRun:
-    pipeline: Pipeline
+    """Golden-run artifacts the trial comparators need.
+
+    Carries only final state and logs (not the pipeline object itself), so
+    the whole bundle round-trips through the golden-artifact cache.
+    """
+
     retired: list
     end_cycle: int
     snapshots: dict[int, list[int]]
     retired_at: dict[int, int]
     final_arch_regs: list[int]
+    final_memory: "SparseMemory"
 
 
 @dataclass
@@ -282,6 +290,7 @@ def run_workload_trials(
     guard: TrialGuard | None = None,
     on_outcome: Callable[[TrialOutcome], None] | None = None,
     shard: tuple[int, int] | None = None,
+    cache: GoldenArtifactCache | None = None,
 ) -> WorkloadRunOutcome:
     """Execute one workload's trials under containment.
 
@@ -293,28 +302,67 @@ def run_workload_trials(
     ``shard=(shard_index, shard_count)`` restricts execution to the
     stride slice ``index % shard_count == shard_index`` of the per-point
     trial index space (the union of all shards is exactly the serial
-    campaign).
+    campaign). With a :class:`~repro.cache.GoldenArtifactCache`, both
+    golden pipeline runs (length probe + snapshot capture) are replaced
+    by one cache load; injection cycles are recomputed deterministically
+    from the cached end cycle, so cached and uncached runs are
+    bit-identical.
     """
     guard = guard or TrialGuard()
     validate_shard(shard)
     wrng = DeterministicRng(config.seed).child("uarch-campaign").child(workload)
+    golden_cache: str | None = None
     try:
         bundle = build_workload(workload, config.workload_scale, config.seed)
-        # Choose injection cycles before running golden: spread uniformly
-        # over the run. We need golden's length first, so run it now.
-        golden = _run_golden(bundle, config, inject_cycles=None)
-        end_cycle = golden.end_cycle
+        artifact = (
+            cache.load("uarch", bundle.program, config)
+            if cache is not None
+            else None
+        )
+        if artifact is not None:
+            golden = _GoldenRun(
+                retired=artifact.retired,
+                end_cycle=artifact.end_cycle,
+                snapshots=artifact.snapshots,
+                retired_at=artifact.retired_at,
+                final_arch_regs=artifact.final_arch_regs,
+                final_memory=artifact.final_memory,
+            )
+            end_cycle = golden.end_cycle
+            golden_cache = "hit"
+        else:
+            # Choose injection cycles before running golden: spread
+            # uniformly over the run. We need golden's length first, so
+            # run it now.
+            golden = _run_golden(bundle, config, inject_cycles=None)
+            end_cycle = golden.end_cycle
         first = min(config.warmup_cycles, max(1, end_cycle // 10))
         last = max(first + 1, end_cycle - 100)
         point_count = min(config.injection_points, last - first)
         points = sorted(wrng.child("points").sample(range(first, last), point_count))
-        # Re-run golden to capture snapshots at each trial-end cycle.
-        snapshot_cycles = [
-            point + config.window_cycles
-            for point in points
-            if point + config.window_cycles < end_cycle
-        ]
-        golden = _run_golden(bundle, config, inject_cycles=snapshot_cycles)
+        if artifact is None:
+            # Re-run golden to capture snapshots at each trial-end cycle.
+            snapshot_cycles = [
+                point + config.window_cycles
+                for point in points
+                if point + config.window_cycles < end_cycle
+            ]
+            golden = _run_golden(bundle, config, inject_cycles=snapshot_cycles)
+            if cache is not None:
+                cache.store(
+                    "uarch",
+                    bundle.program,
+                    config,
+                    UarchGoldenArtifact(
+                        end_cycle=golden.end_cycle,
+                        retired=golden.retired,
+                        snapshots=golden.snapshots,
+                        retired_at=golden.retired_at,
+                        final_arch_regs=golden.final_arch_regs,
+                        final_memory=golden.final_memory,
+                    ),
+                )
+                golden_cache = "miss"
     except Exception as exc:
         reason = f"{type(exc).__name__}: {exc}"
         warnings.warn(
@@ -324,12 +372,15 @@ def run_workload_trials(
         )
         return WorkloadRunOutcome(workload, skip_reason=reason)
 
-    per_point = -(-config.trials_per_workload // point_count)
+    # Distribute trials so exactly trials_per_workload run: the first
+    # ``extra`` points (in sorted order) take one more than the rest.
+    base_trials, extra = divmod(config.trials_per_workload, point_count)
     prefix = load_pipeline(
         bundle.program, record_cache_symptoms=config.record_cache_symptoms
     )
     outcomes: list[TrialOutcome] = []
-    for point in points:
+    for position, point in enumerate(points):
+        per_point = base_trials + (1 if position < extra else 0)
         prefix.run(point - prefix.cycle_count)
         if not prefix.running:
             break
@@ -360,7 +411,10 @@ def run_workload_trials(
             if on_outcome is not None:
                 on_outcome(outcome)
     return WorkloadRunOutcome(
-        workload, outcomes, total_bits=prefix.registry.total_bits()
+        workload,
+        outcomes,
+        total_bits=prefix.registry.total_bits(),
+        golden_cache=golden_cache,
     )
 
 
@@ -394,12 +448,12 @@ def _run_golden(bundle, config: UarchCampaignConfig, inject_cycles) -> _GoldenRu
             f"(exception={pipeline.exception_name()})"
         )
     return _GoldenRun(
-        pipeline=pipeline,
         retired=pipeline.retired_log,
         end_cycle=pipeline.cycle_count,
         snapshots=snapshots,
         retired_at=retired_at,
         final_arch_regs=pipeline.arch_reg_values(),
+        final_memory=pipeline.memory,
     )
 
 
@@ -516,7 +570,7 @@ def _run_trial(
             # The program finished: compare final architectural state.
             if len(faulty.retired_log) + base != len(golden_log):
                 cfv_latency = len(faulty.retired_log) + 1
-            elif not faulty.memory.equals(golden.pipeline.memory):
+            elif not faulty.memory.equals(golden.final_memory):
                 arch_corrupt = True
             elif faulty.arch_reg_values() != golden.final_arch_regs:
                 arch_corrupt = True

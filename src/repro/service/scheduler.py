@@ -62,14 +62,35 @@ from repro.util.journal import JournalWriter
 EVENT_HISTORY = 256
 
 
-def _system_clock() -> float:
+def _lease_clock() -> float:
+    """The clock lease bookkeeping runs on: monotonic, immune to NTP.
+
+    Lease expiry compares *durations* (now vs. lease start + ttl), so a
+    wall-clock step — NTP slew, DST, an operator fixing the date — must
+    not mass-expire every live lease (backwards step never reaches
+    expiry) or immortalise a dead one (forwards step makes expiry
+    unreachable). ``time.monotonic()`` has exactly the right contract.
+    """
+    import time
+
+    return time.monotonic()
+
+
+def _wall_clock() -> float:
+    """Wall time, used only for human-facing display fields."""
     import time
 
     return time.time()
 
 
 class CampaignScheduler:
-    """Coordinates jobs, units, workers, and results for the service."""
+    """Coordinates jobs, units, workers, and results for the service.
+
+    ``clock`` drives every lease/heartbeat/expiry comparison and defaults
+    to :func:`time.monotonic`; ``wall_clock`` supplies the display-only
+    ``created``/``finished`` timestamps and defaults to :func:`time.time`
+    (or to ``clock`` when a test injects one fake clock for both).
+    """
 
     def __init__(
         self,
@@ -79,6 +100,7 @@ class CampaignScheduler:
         lease_ttl: float = 60.0,
         max_attempts: int = 2,
         clock: Callable[[], float] | None = None,
+        wall_clock: Callable[[], float] | None = None,
     ):
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
@@ -88,11 +110,18 @@ class CampaignScheduler:
         self.data_dir = data_dir
         self.lease_ttl = lease_ttl
         self.max_attempts = max_attempts
-        self.clock = clock or _system_clock
+        self.clock = clock or _lease_clock
+        self.wall_clock = wall_clock or clock or _wall_clock
         self._specs: dict[str, JobSpec] = {}
         self._events: dict[str, deque] = {}
         self._listeners: dict[str, list[Callable[[dict], None]]] = {}
         os.makedirs(os.path.join(data_dir, "jobs"), exist_ok=True)
+        # Monotonic timestamps do not survive a process restart (each boot
+        # has its own epoch), so leases persisted by a previous scheduler
+        # carry meaningless expiries. Re-arm them against this process's
+        # clock: the worst case is one extra ttl of patience before a
+        # genuinely dead worker's unit is requeued.
+        self.store.rearm_leases(self.clock() + self.lease_ttl)
 
     # ----------------------------------------------------------- events
 
@@ -124,7 +153,7 @@ class CampaignScheduler:
         job_id = f"job-{seq:06d}"
         self._specs[job_id] = spec
         self.store.create_job(
-            job_id, seq, spec.level, spec.to_dict(), created=self.clock()
+            job_id, seq, spec.level, spec.to_dict(), created=self.wall_clock()
         )
         units = shard_job(job_id, spec)
         self.store.add_units(units)
@@ -184,7 +213,7 @@ class CampaignScheduler:
         if row["state"] not in JOB_TERMINAL_STATES:
             self.store.cancel_pending_units(job_id)
             self.store.set_job_state(
-                job_id, JOB_CANCELLED, finished=self.clock()
+                job_id, JOB_CANCELLED, finished=self.wall_clock()
             )
             self._emit(job_id, "cancelled")
         return self.job_view(job_id)
@@ -425,7 +454,7 @@ class CampaignScheduler:
         self.store.finalize_job(
             job_id, state=JOB_DONE, journal_path=journal_path,
             trace_path=trace_path, metrics=metrics_entry,
-            finished=self.clock(),
+            finished=self.wall_clock(),
         )
         if error:
             self.store.set_job_state(job_id, JOB_DONE, error=error)

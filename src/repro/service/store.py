@@ -276,6 +276,21 @@ class ResultStore:
         ).fetchall()
         return [dict(row) for row in rows]
 
+    def rearm_leases(self, expiry: float) -> int:
+        """Reset every live lease's expiry; returns how many were re-armed.
+
+        Lease expiries are monotonic-clock readings, which are meaningless
+        across process restarts (each boot has its own epoch); a restarted
+        scheduler re-arms persisted leases against its own clock so stale
+        timestamps can neither mass-expire nor immortalise them.
+        """
+        cursor = self._conn.execute(
+            "UPDATE units SET lease_expiry = ? WHERE state = ?",
+            (expiry, UNIT_LEASED),
+        )
+        self._conn.commit()
+        return cursor.rowcount
+
     def cancel_pending_units(self, job_id: str) -> int:
         cursor = self._conn.execute(
             "UPDATE units SET state = ? WHERE job_id = ? AND state IN (?, ?)",

@@ -40,14 +40,28 @@ from repro.service.shard import WorkUnit
 from repro.service.spec import JobSpec
 
 
-def execute_unit(spec_dict: dict, unit_dict: dict) -> dict:
-    """Run one work unit and return its JSON-able result payload."""
+def execute_unit(
+    spec_dict: dict, unit_dict: dict, cache_dir: str | None = None
+) -> dict:
+    """Run one work unit and return its JSON-able result payload.
+
+    ``cache_dir`` is a worker-deployment knob, not part of the job spec:
+    pointing every worker of a fleet at one shared directory lets the
+    first to reach a (workload, config) pay for its golden run and every
+    other shard load it. The ``golden_cache`` field of the result is
+    observability only — trial entries are bit-identical either way.
+    """
     spec = JobSpec.from_dict(spec_dict)
     unit = WorkUnit.from_dict(unit_dict)
     module = _campaign_module(spec.level)
     guard = TrialGuard(timeout=spec.trial_timeout)
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import GoldenArtifactCache
+
+        cache = GoldenArtifactCache(cache_dir)
     outcome = module.run_workload_trials(
-        spec.config, unit.workload, guard=guard, shard=unit.shard
+        spec.config, unit.workload, guard=guard, shard=unit.shard, cache=cache
     )
     from repro.telemetry.metrics import aggregate_campaign
 
@@ -60,6 +74,7 @@ def execute_unit(spec_dict: dict, unit_dict: dict) -> dict:
         "skip_reason": outcome.skip_reason,
         "total_bits": outcome.total_bits,
         "metrics": metrics.to_entry(),
+        "golden_cache": outcome.golden_cache,
     }
 
 
@@ -81,12 +96,14 @@ class LocalWorkerPool:
         *,
         executor: Executor | None = None,
         poll_interval: float = 0.2,
+        cache_dir: str | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.scheduler = scheduler
         self.workers = workers
         self.poll_interval = poll_interval
+        self.cache_dir = cache_dir
         self._executor = executor
         self._owns_executor = executor is None
         self._tasks: list[asyncio.Task] = []
@@ -128,7 +145,7 @@ class LocalWorkerPool:
         job_id, unit_id = unit["job_id"], unit["unit_id"]
         loop = asyncio.get_running_loop()
         future = loop.run_in_executor(
-            self._executor, execute_unit, lease["spec"], unit
+            self._executor, execute_unit, lease["spec"], unit, self.cache_dir
         )
         interval = max(0.05, lease.get("lease_ttl", 60.0) / 3)
         try:
@@ -160,12 +177,14 @@ class RemoteWorker:
         poll_interval: float = 0.5,
         max_units: int | None = None,
         exit_when_idle: bool = False,
+        cache_dir: str | None = None,
     ):
         self.client = client
         self.name = name
         self.poll_interval = poll_interval
         self.max_units = max_units
         self.exit_when_idle = exit_when_idle
+        self.cache_dir = cache_dir
         self.units_done = 0
         self.units_failed = 0
         self._stop = threading.Event()
@@ -206,7 +225,7 @@ class RemoteWorker:
         beater = threading.Thread(target=beat, daemon=True)
         beater.start()
         try:
-            result = execute_unit(lease["spec"], unit)
+            result = execute_unit(lease["spec"], unit, self.cache_dir)
         except Exception as exc:
             beat_stop.set()
             self.units_failed += 1

@@ -186,3 +186,74 @@ class TestFork:
         sim = load_program(program)
         fork = sim.fork()
         assert fork._closures is sim._closures
+
+
+class TestPredecodeCopyOnWrite:
+    """``fork()`` shares the pre-decoded instruction dict copy-on-write:
+    both sides read it freely, and whichever side first rewrites its text
+    detaches to a private dict instead of clearing the shared one."""
+
+    SOURCE = (
+        ".text\n"
+        "start: li r1, 0\n"
+        " li r2, 3\n"
+        "loop: addq r1, 5, r1\n"
+        " subq r2, 1, r2\n"
+        " bne r2, loop\n"
+        " halt\n"
+    )
+    PATCHED = SOURCE.replace("addq r1, 5, r1", "addq r1, 7, r1")
+
+    def _mid_loop_pair(self):
+        """A simulator stopped after one loop iteration, plus its fork."""
+        sim = load_program(assemble(self.SOURCE))
+        sim.run(4)  # li, li, addq(+5), subq — the loop body is predecoded
+        sim.resume()
+        return sim, sim.fork()
+
+    def _patch_text(self, sim):
+        text = assemble(self.PATCHED).text_segment
+        sim.state.memory.load_bytes(text.base, bytes(text.data))
+
+    def test_fork_shares_the_predecode_dict(self):
+        sim, fork = self._mid_loop_pair()
+        assert fork._predecoded is sim._predecoded
+        assert sim._predecode_shared and fork._predecode_shared
+
+    def test_fork_runs_bit_identically_to_a_fresh_simulator(self):
+        _, fork = self._mid_loop_pair()
+        fresh = load_program(assemble(self.SOURCE))
+        assert fork.run(100) is StopReason.HALTED
+        assert fresh.run(100) is StopReason.HALTED
+        assert fork.state.regs == fresh.state.regs
+        assert fork.state.pc == fresh.state.pc
+
+    def test_parent_text_rewrite_cannot_leak_into_fork(self):
+        """Regression: fork() shared the dict without marking the parent
+        as a sharer, so a parent text rewrite cleared and refilled the
+        shared dict in place — and the fork, whose own memory never
+        changed, executed closures compiled from the parent's new text."""
+        sim, fork = self._mid_loop_pair()
+        self._patch_text(sim)
+        assert sim.run(100) is StopReason.HALTED
+        assert sim.state.regs[1] == 5 + 7 + 7  # two patched iterations
+        assert fork.run(100) is StopReason.HALTED
+        assert fork.state.regs[1] == 15  # original text throughout
+
+    def test_fork_text_rewrite_cannot_leak_into_parent(self):
+        sim, fork = self._mid_loop_pair()
+        self._patch_text(fork)
+        assert fork.run(100) is StopReason.HALTED
+        assert fork.state.regs[1] == 5 + 7 + 7
+        assert sim.run(100) is StopReason.HALTED
+        assert sim.state.regs[1] == 15
+
+    def test_sole_owner_rewrite_clears_in_place(self):
+        sim = load_program(assemble(self.SOURCE))
+        sim.run(4)
+        sim.resume()
+        predecoded = sim._predecoded
+        self._patch_text(sim)
+        assert sim.run(100) is StopReason.HALTED
+        assert sim._predecoded is predecoded  # no fork: no detach needed
+        assert sim.state.regs[1] == 5 + 7 + 7

@@ -623,10 +623,12 @@ class TestWorkerRetryTelemetry:
         # pool routes gzip through this same function and gzip must run.
         real_task = runner_module._workload_task
 
-        def dying_task(level, cfg, workload, completed, timeout):
+        def dying_task(level, cfg, workload, completed, timeout,
+                       cache_dir=None):
             if workload == "gcc":
                 raise RuntimeError("retry also died")
-            return real_task(level, cfg, workload, completed, timeout)
+            return real_task(level, cfg, workload, completed, timeout,
+                             cache_dir)
 
         monkeypatch.setattr(runner_module, "_workload_task", dying_task)
         journal = str(tmp_path / "skip.jsonl")

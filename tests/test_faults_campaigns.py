@@ -131,3 +131,35 @@ class TestUarchCampaign:
     def test_table_renders(self, uarch_result):
         text = uarch_result.table((25, 100))
         assert "deadlock" in text and "latent" in text
+
+
+class TestExactTrialBudget:
+    """Regression: per-point allocation used ``ceil(trials / points)``
+    everywhere, so any non-divisible budget overran — 7 trials over 3
+    points ran 9. Exactly the requested count must run, with the
+    remainder going to the earliest injection points."""
+
+    def test_arch_runs_exactly_the_requested_trials(self):
+        config = ArchCampaignConfig(
+            trials_per_workload=7, injection_points=3, workloads=("gcc",)
+        )
+        assert len(run_arch_campaign(config).trials) == 7
+
+    def test_arch_remainder_lands_on_the_earliest_points(self):
+        from collections import Counter
+
+        from repro.faults import arch_campaign
+
+        config = ArchCampaignConfig(
+            trials_per_workload=7, injection_points=3, workloads=("gcc",)
+        )
+        outcome = arch_campaign.run_workload_trials(config, "gcc")
+        counts = Counter(o.to_entry()["point"] for o in outcome.outcomes)
+        assert [counts[point] for point in sorted(counts)] == [3, 2, 2]
+
+    def test_uarch_runs_exactly_the_requested_trials(self):
+        config = UarchCampaignConfig(
+            trials_per_workload=8, injection_points=3,
+            window_cycles=1200, workloads=("gcc",),
+        )
+        assert len(run_uarch_campaign(config).trials) == 8

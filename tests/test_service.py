@@ -321,3 +321,105 @@ class TestSchedulerEndToEnd:
         drain(scheduler)
         journal = scheduler.job_view(view["job_id"])["journal_path"]
         assert os.path.dirname(journal) == str(tmp_path / "jobs")
+
+
+class TestMonotonicLeases:
+    """Lease bookkeeping must run on a monotonic clock (regression: it
+    ran on wall time, so an NTP step or an operator fixing the date
+    could mass-expire every live lease — or immortalise a dead one)."""
+
+    def _scheduler(self, tmp_path, monkeypatch, **kwargs):
+        import repro.service.scheduler as scheduler_module
+
+        mono = FakeClock(start=50.0)
+        wall = FakeClock(start=1_700_000_000.0)
+        monkeypatch.setattr(scheduler_module, "_lease_clock", mono)
+        monkeypatch.setattr(scheduler_module, "_wall_clock", wall)
+        store = ResultStore(":memory:")
+        sched = CampaignScheduler(
+            store, str(tmp_path), lease_ttl=60.0, max_attempts=2, **kwargs
+        )
+        return sched, mono, wall
+
+    def test_backwards_wall_step_does_not_expire_leases(
+        self, tmp_path, monkeypatch
+    ):
+        sched, mono, wall = self._scheduler(tmp_path, monkeypatch)
+        sched.submit(make_spec())
+        lease = sched.lease("w0")
+        assert lease is not None
+        wall.advance(-86_400.0)  # the machine's date was a day ahead
+        mono.advance(30.0)  # well inside the 60s ttl
+        assert sched.requeue_expired() == 0
+        unit = lease["unit"]
+        assert sched.heartbeat(unit["job_id"], unit["unit_id"], "w0")
+
+    def test_forwards_wall_jump_does_not_expire_leases(
+        self, tmp_path, monkeypatch
+    ):
+        sched, mono, wall = self._scheduler(tmp_path, monkeypatch)
+        sched.submit(make_spec())
+        assert sched.lease("w0") is not None
+        wall.advance(86_400.0)  # NTP catches a slow clock up by a day
+        mono.advance(30.0)
+        assert sched.requeue_expired() == 0
+
+    def test_leases_expire_by_elapsed_monotonic_time_alone(
+        self, tmp_path, monkeypatch
+    ):
+        sched, mono, wall = self._scheduler(tmp_path, monkeypatch)
+        sched.submit(make_spec())
+        assert sched.lease("w0") is not None
+        wall.advance(-86_400.0)  # irrelevant to expiry either way
+        mono.advance(61.0)
+        assert sched.requeue_expired() == 1  # genuinely stale: requeued
+        assert sched.lease("w1") is not None  # and re-offerable
+
+    def test_display_timestamps_use_the_wall_clock(
+        self, tmp_path, monkeypatch
+    ):
+        sched, mono, wall = self._scheduler(tmp_path, monkeypatch)
+        view = sched.submit(make_spec())
+        assert view["created"] == 1_700_000_000.0
+        drain(sched)
+        finished = sched.job_view(view["job_id"])["finished"]
+        assert finished == 1_700_000_000.0  # wall clock, not monotonic
+
+    def test_one_injected_test_clock_drives_both(self, tmp_path):
+        """The established test idiom — one FakeClock as ``clock`` —
+        keeps serving display fields too."""
+        store = ResultStore(":memory:")
+        clock = FakeClock(start=123.0)
+        sched = CampaignScheduler(store, str(tmp_path), clock=clock)
+        assert sched.submit(make_spec())["created"] == 123.0
+
+    def test_restart_rearms_persisted_leases(self, tmp_path):
+        """Monotonic timestamps are meaningless across a restart (every
+        boot has its own epoch), so a new scheduler re-arms persisted
+        leases against its own clock: one extra ttl of patience, after
+        which a genuinely dead worker's unit is requeued — never an
+        immortal lease, never an instant mass expiry."""
+        db = str(tmp_path / "service.sqlite")
+        store = ResultStore(db)
+        first_boot = FakeClock(start=10_000.0)
+        sched = CampaignScheduler(
+            store, str(tmp_path), lease_ttl=60.0, clock=first_boot
+        )
+        sched.submit(make_spec())
+        lease = sched.lease("w0")
+        assert lease is not None
+        store.close()
+
+        # New process, fresh monotonic epoch far below the persisted
+        # expiry of ~10060 — which, taken literally, would pin the unit
+        # to its vanished worker for nearly three hours.
+        store = ResultStore(db)
+        second_boot = FakeClock(start=5.0)
+        sched = CampaignScheduler(
+            store, str(tmp_path), lease_ttl=60.0, clock=second_boot
+        )
+        assert sched.requeue_expired() == 0  # within the grace ttl
+        second_boot.advance(61.0)
+        assert sched.requeue_expired() == 1  # requeued, not immortal
+        assert sched.lease("w1") is not None
+        store.close()
