@@ -468,6 +468,31 @@ def cmd_jobs(args: argparse.Namespace) -> int:
 
     client = ServiceClient(args.url)
     try:
+        if args.requeue is not None:
+            if args.job_id is None:
+                raise SystemExit("--requeue requires a job id")
+            view = client.requeue(args.job_id, args.requeue)
+            if args.json:
+                print(json_module.dumps(view, indent=2))
+            else:
+                print(f"{args.job_id}/{args.requeue}: requeued "
+                      f"(job state: {view['state']})")
+            return 0
+        if args.dead_letter:
+            listing = client.dead_letter(args.job_id)
+            if args.json:
+                print(json_module.dumps(listing, indent=2))
+                return 0
+            rows = [
+                [u["job_id"], u["unit_id"], u["workload"],
+                 str(u["attempts"]), u.get("error") or ""]
+                for u in listing["units"]
+            ]
+            print(format_table(
+                ["job", "unit", "workload", "attempts", "error"], rows,
+                title=f"Dead-lettered units ({listing['total']} total)",
+            ))
+            return 0
         if args.job_id is None:
             listing = client.jobs(offset=args.offset, limit=args.limit)
             if args.json:
@@ -513,12 +538,36 @@ def cmd_jobs(args: argparse.Namespace) -> int:
 
 def cmd_worker(args: argparse.Namespace) -> int:
     from repro.service import RemoteWorker, ServiceClientError
-    from repro.service.client import ServiceClient
+    from repro.service.client import DEFAULT_RETRY_POLICY, ServiceClient
+    from repro.util.retry import RetryPolicy
 
     if args.max_units is not None and args.max_units < 1:
         raise SystemExit(f"--max-units must be >= 1, got {args.max_units}")
     name = args.name or f"worker-{os.getpid()}"
-    client = ServiceClient(args.url)
+    retry = DEFAULT_RETRY_POLICY
+    if args.retry_attempts is not None:
+        if args.retry_attempts < 1:
+            raise SystemExit(
+                f"--retry-attempts must be >= 1, got {args.retry_attempts}"
+            )
+        retry = RetryPolicy(
+            attempts=args.retry_attempts,
+            base_delay=DEFAULT_RETRY_POLICY.base_delay,
+            multiplier=DEFAULT_RETRY_POLICY.multiplier,
+            max_delay=DEFAULT_RETRY_POLICY.max_delay,
+            jitter=DEFAULT_RETRY_POLICY.jitter,
+        )
+    transport = None
+    if args.chaos_rate != 0.0:
+        from repro.service.chaos import ChaosPlan, ChaosTransport
+
+        try:
+            plan = ChaosPlan.uniform(args.chaos_seed, args.chaos_rate,
+                                     max_faults=args.chaos_max_faults)
+        except ValueError as exc:
+            raise SystemExit(f"--chaos-rate: {exc}") from None
+        transport = ChaosTransport(plan)
+    client = ServiceClient(args.url, transport=transport, retry=retry)
     try:
         client.health()
     except ServiceClientError as exc:
@@ -530,6 +579,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
         max_units=args.max_units,
         exit_when_idle=args.exit_when_idle,
         cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
+        outbox_dir=args.outbox_dir,
     )
     try:
         done = worker.run()
@@ -538,6 +588,16 @@ def cmd_worker(args: argparse.Namespace) -> int:
         print(f"\n{name}: interrupted", file=sys.stderr)
     print(f"{name}: {done} unit(s) completed, "
           f"{worker.units_failed} failed")
+    counters = {k: v for k, v in worker.counters().items() if v}
+    counters.update(
+        {k: v for k, v in client.counters.items()
+         if v and k != "requests"}
+    )
+    if transport is not None and transport.faults_injected():
+        counters["chaos_faults"] = transport.faults_injected()
+    if counters:
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        print(f"{name}: {detail}", file=sys.stderr)
     return 0
 
 
@@ -715,6 +775,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cancel", action="store_true")
     p.add_argument("--results", action="store_true",
                    help="page through a job's trial entries (serial order)")
+    p.add_argument("--dead-letter", action="store_true",
+                   help="list attempt-exhausted units (for one job, or all "
+                        "jobs when no job id is given)")
+    p.add_argument("--requeue", default=None, metavar="UNIT_ID",
+                   help="return a dead-lettered unit of the given job to "
+                        "the queue with a fresh attempt budget")
     p.add_argument("--offset", type=int, default=0)
     p.add_argument("--limit", type=int, default=50)
     p.add_argument("--json", action="store_true")
@@ -733,6 +799,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit after completing N units")
     p.add_argument("--exit-when-idle", action="store_true",
                    help="exit when the queue has no leasable unit")
+    p.add_argument("--outbox-dir", default=None, metavar="DIR",
+                   help="directory for the durable result outbox "
+                        "(default: a per-run temp directory)")
+    p.add_argument("--retry-attempts", type=int, default=None, metavar="N",
+                   help="HTTP attempts per request before giving up "
+                        "(default: 3)")
+    p.add_argument("--chaos-seed", type=int, default=2005,
+                   help="seed for the chaos transport schedule")
+    p.add_argument("--chaos-rate", type=float, default=0.0, metavar="P",
+                   help="inject seeded transport faults (drop/reset/"
+                        "duplicate/truncate/delay each at rate P; testing "
+                        "only)")
+    p.add_argument("--chaos-max-faults", type=int, default=None, metavar="N",
+                   help="total chaos fault budget (default: unbounded)")
     _add_cache_flags(p)
     p.set_defaults(func=cmd_worker)
 

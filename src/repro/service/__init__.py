@@ -21,7 +21,11 @@ Layers:
 - :mod:`repro.service.scheduler` — lifecycle, leases, finalization.
 - :mod:`repro.service.worker` — unit execution, local pool, remote loop.
 - :mod:`repro.service.api` — the asyncio HTTP front end.
-- :mod:`repro.service.client` — the urllib client the CLI uses.
+- :mod:`repro.service.client` — the urllib client the CLI uses, with
+  retries, retryable-vs-fatal error classification, and per-endpoint
+  circuit breakers.
+- :mod:`repro.service.chaos` — the seeded fault-injection transport and
+  worker-killer driver the chaos tests and CI chaos-smoke job use.
 
 CLI: ``repro serve`` runs scheduler + API + local pool; ``repro submit``
 submits and optionally waits; ``repro jobs`` lists/inspects/cancels;
@@ -29,16 +33,28 @@ submits and optionally waits; ``repro jobs`` lists/inspects/cancels;
 """
 
 from repro.service.api import CampaignService
-from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.chaos import ChaosPlan, ChaosTransport, WorkerProcess
+from repro.service.client import (
+    ServiceClient,
+    ServiceClientError,
+    TransportError,
+)
 from repro.service.scheduler import CampaignScheduler
 from repro.service.shard import WorkUnit, shard_job
 from repro.service.spec import JobSpec, ServiceError, build_config
 from repro.service.store import ResultStore
-from repro.service.worker import LocalWorkerPool, RemoteWorker, execute_unit
+from repro.service.worker import (
+    LocalWorkerPool,
+    RemoteWorker,
+    WorkerOutbox,
+    execute_unit,
+)
 
 __all__ = [
     "CampaignScheduler",
     "CampaignService",
+    "ChaosPlan",
+    "ChaosTransport",
     "JobSpec",
     "LocalWorkerPool",
     "RemoteWorker",
@@ -46,7 +62,10 @@ __all__ = [
     "ServiceClient",
     "ServiceClientError",
     "ServiceError",
+    "TransportError",
     "WorkUnit",
+    "WorkerOutbox",
+    "WorkerProcess",
     "build_config",
     "execute_unit",
     "shard_job",

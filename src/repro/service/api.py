@@ -16,6 +16,12 @@ clients (``repro submit`` / ``repro jobs`` / any curl):
 - ``GET  /api/jobs/<id>/events`` — Server-Sent Events progress stream
   (history replay, then live events until the job reaches a terminal
   state).
+- ``GET  /api/metrics`` — service-level resilience counters (leases,
+  duplicate completes, lease expiries, dead-letter totals).
+- ``GET  /api/dead-letter`` / ``GET /api/jobs/<id>/dead-letter`` —
+  attempt-exhausted units awaiting operator triage.
+- ``POST /api/jobs/<id>/units/<unit>/requeue`` — return a dead-lettered
+  unit to the queue with a fresh attempt budget.
 
 workers (``repro worker`` or anything speaking the lease protocol):
 
@@ -204,6 +210,21 @@ class CampaignService:
                 await self._send_json(
                     writer, 200, {"ok": True, "version": __version__}
                 )
+            elif route == ["metrics"] and method == "GET":
+                await self._send_json(
+                    writer, 200, self.scheduler.service_metrics()
+                )
+            elif route == ["dead-letter"] and method == "GET":
+                await self._send_json(
+                    writer, 200, self.scheduler.dead_letter_view()
+                )
+            elif (
+                route[:1] == ["jobs"] and len(route) == 3
+                and route[2] == "dead-letter" and method == "GET"
+            ):
+                await self._send_json(
+                    writer, 200, self.scheduler.dead_letter_view(route[1])
+                )
             elif route == ["jobs"] and method == "POST":
                 spec = JobSpec.from_request(self._json_payload(body))
                 view = self.scheduler.submit(spec)
@@ -312,6 +333,9 @@ class CampaignService:
                 job_id, unit_id, worker, str(payload.get("error") or "unknown")
             )
             await self._send_json(writer, 200, {"accepted": accepted})
+        elif action == "requeue":
+            view = self.scheduler.requeue_unit(job_id, unit_id)
+            await self._send_json(writer, 200, view)
         else:
             raise ServiceError(f"unknown unit action {action!r}")
 

@@ -1,0 +1,234 @@
+"""The chaos harness: seeded fault injection for the service's own stack.
+
+ReStore's methodology — inject faults, detect symptoms, recover to a
+checkpoint, verify the output is still bit-exact — applies to our own
+fleet as much as to the simulated pipeline. This module is the
+injection half of that discipline turned on the campaign service: a
+transport shim that drops, delays, duplicates, truncates, and
+connection-resets HTTP exchanges on a **seeded, replayable schedule**,
+plus a driver that hard-kills real worker processes. The recovery half
+(client retries, worker outbox, lease expiry, dead-letter requeue) is
+asserted by the chaos end-to-end tests: under any such schedule the
+finalized journal must stay byte-identical to a serial run.
+
+Determinism model: each chaos decision is drawn from a
+:class:`~repro.util.rng.DeterministicRng` stream keyed by the plan seed
+and a global request counter. The *schedule* (which request number
+suffers which fault) is therefore a pure function of the seed; with
+concurrent workers the assignment of requests to workers varies with
+thread timing, but the fault mix, fault count, and — by the service's
+serial-equivalence invariant — the final journal do not. ``max_faults``
+bounds the total injections so every retry/requeue loop provably
+converges.
+
+Fault semantics (one fault at most per exchange, drawn first):
+
+- ``drop``      the request never reaches the service → ``TransportError``.
+- ``reset``     the request reaches the service and takes effect, but the
+  response is lost → ``TransportError``. The nastiest case: it forces
+  idempotent redelivery (duplicate complete, stranded lease).
+- ``duplicate`` the request is delivered twice (a retransmit the service
+  sees as two calls); the second response is returned.
+- ``truncate``  the response body is cut in half → the client sees a
+  malformed payload and must classify it as retryable corruption.
+- ``delay``     the exchange is held for a bounded time first (can stack
+  with a clean delivery; exercises timeout/heartbeat margins).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.service.client import TransportError, UrllibTransport
+from repro.util.rng import DeterministicRng, derive_seed
+
+#: Fault kinds in the order the schedule draws them.
+FAULT_KINDS = ("drop", "reset", "duplicate", "truncate")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded description of how hostile the network should be.
+
+    Rates are per-exchange probabilities; ``drop + reset + duplicate +
+    truncate`` must stay <= 1 (they are mutually exclusive per exchange).
+    ``delay_rate`` is drawn independently and can accompany a clean
+    delivery. ``max_faults`` (None = unbounded) is the total injection
+    budget across all fault kinds — after it is spent the transport is
+    clean, which makes "the job eventually finishes" a theorem instead
+    of a probability.
+    """
+
+    seed: int = 2005
+    drop: float = 0.05
+    reset: float = 0.05
+    duplicate: float = 0.05
+    truncate: float = 0.05
+    delay_rate: float = 0.05
+    max_delay: float = 0.05
+    max_faults: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "reset", "duplicate", "truncate", "delay_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        total = self.drop + self.reset + self.duplicate + self.truncate
+        if total > 1.0:
+            raise ValueError(
+                f"drop+reset+duplicate+truncate must be <= 1, got {total}"
+            )
+        if self.max_delay < 0:
+            raise ValueError(
+                f"max_delay must be non-negative, got {self.max_delay}"
+            )
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError(
+                f"max_faults must be non-negative, got {self.max_faults}"
+            )
+
+    @classmethod
+    def uniform(
+        cls, seed: int, rate: float, *,
+        max_delay: float = 0.05, max_faults: int | None = None,
+    ) -> "ChaosPlan":
+        """The CLI's one-knob plan: the same rate for every fault kind."""
+        return cls(
+            seed=seed, drop=rate, reset=rate, duplicate=rate, truncate=rate,
+            delay_rate=rate, max_delay=max_delay, max_faults=max_faults,
+        )
+
+
+class ChaosTransport:
+    """A fault-injecting wrapper around a real client transport.
+
+    Thread-safe: the draw sequence is serialized under a lock so the
+    schedule stays a pure function of the plan seed. ``counters`` tallies
+    injected faults by kind for test assertions and post-mortems.
+    """
+
+    def __init__(self, plan: ChaosPlan, inner=None, *, sleep=time.sleep):
+        self.plan = plan
+        self.inner = inner if inner is not None else UrllibTransport()
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._rng = DeterministicRng(derive_seed(plan.seed, "chaos-transport"))
+        self.exchanges = 0
+        self.counters = {kind: 0 for kind in FAULT_KINDS}
+        self.counters["delay"] = 0
+
+    def _draw(self) -> tuple[str | None, float]:
+        """The (fault, delay) decision for the next exchange."""
+        with self._lock:
+            self.exchanges += 1
+            fault_budget_left = (
+                self.plan.max_faults is None
+                or sum(self.counters.values()) < self.plan.max_faults
+            )
+            roll = self._rng.random()
+            delay_roll = self._rng.random()
+            delay_span = self._rng.random()
+            if not fault_budget_left:
+                return None, 0.0
+            fault = None
+            edge = 0.0
+            for kind in FAULT_KINDS:
+                edge += getattr(self.plan, kind)
+                if roll < edge:
+                    fault = kind
+                    break
+            delay = 0.0
+            if delay_roll < self.plan.delay_rate:
+                delay = delay_span * self.plan.max_delay
+            if fault is not None:
+                self.counters[fault] += 1
+            if delay > 0.0:
+                self.counters["delay"] += 1
+            return fault, delay
+
+    def send(
+        self, method: str, url: str, data: bytes | None,
+        headers: dict, timeout: float,
+    ) -> tuple[int, bytes]:
+        fault, delay = self._draw()
+        if delay > 0.0:
+            self._sleep(delay)
+        if fault == "drop":
+            raise TransportError("chaos: request dropped before delivery")
+        status, body = self.inner.send(method, url, data, headers, timeout)
+        if fault == "reset":
+            # The service processed the request; the client never learns.
+            raise TransportError("chaos: connection reset before response")
+        if fault == "duplicate":
+            status, body = self.inner.send(method, url, data, headers, timeout)
+        if fault == "truncate":
+            body = body[: len(body) // 2]
+        return status, body
+
+    def faults_injected(self) -> int:
+        return sum(self.counters.values())
+
+
+class WorkerProcess:
+    """A real ``repro worker`` OS process the chaos tests can kill -9.
+
+    Thread- or monkeypatch-level "kills" cannot model a worker death
+    faithfully — a SIGKILLed process stops heartbeating *and* never
+    reports, which is exactly the case the lease TTL exists for. This
+    driver spawns the stock CLI worker as a subprocess (PYTHONPATH
+    pointed at this checkout) so tests and the CI chaos job can murder
+    it mid-unit and assert the scheduler requeues its lease.
+    """
+
+    def __init__(
+        self, url: str, name: str, *, extra_args: tuple[str, ...] = (),
+        poll_interval: float = 0.05,
+    ):
+        self.url = url
+        self.name = name
+        self.extra_args = tuple(extra_args)
+        self.poll_interval = poll_interval
+        self.process: subprocess.Popen | None = None
+
+    def start(self) -> "WorkerProcess":
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "worker",
+                "--url", self.url, "--name", self.name,
+                "--poll", str(self.poll_interval), *self.extra_args,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        return self
+
+    def kill(self) -> None:
+        """SIGKILL — no goodbye fail report, no final heartbeat."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.send_signal(signal.SIGKILL)
+            self.process.wait(timeout=10)
+
+    def wait(self, timeout: float | None = None) -> int | None:
+        if self.process is None:
+            return None
+        return self.process.wait(timeout=timeout)
+
+    def __enter__(self) -> "WorkerProcess":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.kill()

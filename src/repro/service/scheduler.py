@@ -56,6 +56,7 @@ from repro.service.store import (
     UNIT_PENDING,
     ResultStore,
 )
+from repro.telemetry.metrics import CounterSet
 from repro.util.journal import JournalWriter
 
 #: How many progress events each job retains for SSE replay.
@@ -115,6 +116,8 @@ class CampaignScheduler:
         self._specs: dict[str, JobSpec] = {}
         self._events: dict[str, deque] = {}
         self._listeners: dict[str, list[Callable[[dict], None]]] = {}
+        #: Protocol-level resilience tallies served by ``GET /api/metrics``.
+        self.counters = CounterSet()
         os.makedirs(os.path.join(data_dir, "jobs"), exist_ok=True)
         # Monotonic timestamps do not survive a process restart (each boot
         # has its own epoch), so leases persisted by a previous scheduler
@@ -229,19 +232,34 @@ class CampaignScheduler:
         """
         now = self.clock()
         self.requeue_expired(now)
-        unit = self.store.lease_next(worker, now, self.lease_ttl)
-        if unit is None:
-            return None
+        # A lease whose response was lost in transit must be re-issued
+        # to the retrying worker (same unit, same attempt) — answering
+        # "idle" would strand the grant until TTL expiry, or strand the
+        # job outright if the worker exits believing the queue is empty.
+        unit = self.store.reissue_lease(worker, now, self.lease_ttl)
+        if unit is not None:
+            self.counters.bump("lease_reissues")
+            self._emit(
+                unit["job_id"], "lease_reissued",
+                unit_id=unit["unit_id"], worker=worker,
+                attempt=unit["attempts"],
+            )
+        else:
+            unit = self.store.lease_next(worker, now, self.lease_ttl)
+            if unit is None:
+                return None
+            self.counters.bump("leases_granted")
+            job = self.store.job(unit["job_id"])
+            if job is not None and job["state"] == JOB_QUEUED:
+                self.store.set_job_state(unit["job_id"], JOB_RUNNING)
+                self._emit(unit["job_id"], "running")
+            self._emit(
+                unit["job_id"], "leased",
+                unit_id=unit["unit_id"], worker=worker,
+                attempt=unit["attempts"],
+            )
         job_id = unit["job_id"]
-        job = self.store.job(job_id)
-        if job is not None and job["state"] == JOB_QUEUED:
-            self.store.set_job_state(job_id, JOB_RUNNING)
-            self._emit(job_id, "running")
         spec = self.spec(job_id)
-        self._emit(
-            job_id, "leased",
-            unit_id=unit["unit_id"], worker=worker, attempt=unit["attempts"],
-        )
         return {
             "unit": WorkUnit(
                 job_id=job_id,
@@ -266,7 +284,25 @@ class CampaignScheduler:
     ) -> bool:
         """Ingest a finished unit's results. False when the lease is gone
         (a late report after expiry-requeue); the results are dropped —
-        the retry attempt will regenerate the identical records."""
+        the retry attempt will regenerate the identical records.
+
+        Idempotent per (unit, worker): redelivery of a complete the
+        store already ingested — the signature of a response lost to the
+        network and retried, or an outbox replay racing its own original
+        — is *accepted* again (and counted) so the reporting worker
+        settles instead of spooling forever. A duplicate from a
+        *different* worker still bounces: its lease was forfeited and
+        its copy of the results is dropped."""
+        unit = self.store.unit(job_id, unit_id)
+        if (
+            unit is not None and unit["state"] == UNIT_DONE
+            and unit["worker"] == worker
+        ):
+            self.counters.bump("duplicate_completes")
+            self._emit(
+                job_id, "duplicate_complete", unit_id=unit_id, worker=worker
+            )
+            return True
         accepted = self.store.complete_unit(
             job_id, unit_id, worker,
             skip_reason=result.get("skip_reason"),
@@ -274,6 +310,7 @@ class CampaignScheduler:
             metrics=result.get("metrics"),
         )
         if not accepted:
+            self.counters.bump("bounced_completes")
             return False
         spec = self.spec(job_id)
         positions = {name: i for i, name in enumerate(spec.config.workloads)}
@@ -304,6 +341,7 @@ class CampaignScheduler:
         it has exhausted ``max_attempts``."""
         unit = self.store.unit(job_id, unit_id)
         if unit is None or unit["state"] != UNIT_LEASED or unit["worker"] != worker:
+            self.counters.bump("bounced_fails")
             return False
         self._retire_or_requeue(unit, error)
         self._maybe_finalize(job_id)
@@ -314,6 +352,8 @@ class CampaignScheduler:
         if now is None:
             now = self.clock()
         expired = self.store.expired_units(now)
+        if expired:
+            self.counters.bump("lease_expiries", len(expired))
         for unit in expired:
             self._retire_or_requeue(
                 unit,
@@ -331,12 +371,76 @@ class CampaignScheduler:
                 error=f"{error} (attempt {unit['attempts']} of "
                       f"{self.max_attempts})",
             )
+            self.counters.bump("units_dead_lettered")
             self._emit(job_id, "unit_failed", unit_id=unit_id, error=error)
         else:
+            self.counters.bump("units_requeued")
             self.store.release_unit(
                 job_id, unit_id, state=UNIT_PENDING, error=error
             )
             self._emit(job_id, "unit_requeued", unit_id=unit_id, error=error)
+
+    # ----------------------------------------------- the dead-letter queue
+
+    def dead_letter_view(self, job_id: str | None = None) -> dict:
+        """Attempt-exhausted units, queryable instead of just vanished.
+
+        A dead-lettered unit has spent its ``max_attempts`` budget on
+        failure reports and/or silent lease expiries; its workload's
+        sentinel is marked skipped but the unit itself stays addressable
+        so an operator can inspect the error chain and requeue it."""
+        if job_id is not None and self.store.job(job_id) is None:
+            raise ServiceError(f"no such job: {job_id}")
+        units = self.store.dead_letter_units(job_id)
+        return {
+            "total": len(units),
+            "units": [
+                {
+                    "job_id": unit["job_id"],
+                    "unit_id": unit["unit_id"],
+                    "workload": unit["workload"],
+                    "attempts": unit["attempts"],
+                    "error": unit["error"],
+                }
+                for unit in units
+            ],
+        }
+
+    def requeue_unit(self, job_id: str, unit_id: str) -> dict:
+        """Return a dead-lettered unit to the queue with a fresh attempt
+        budget, reopening a finalized job so it re-finalizes (and its
+        journal is rebuilt without the skip sentinel) once the unit
+        completes."""
+        job = self.store.job(job_id)
+        if job is None:
+            raise ServiceError(f"no such job: {job_id}")
+        if job["state"] == JOB_CANCELLED:
+            raise ServiceError(f"{job_id} is cancelled; cannot requeue units")
+        unit = self.store.unit(job_id, unit_id)
+        if unit is None:
+            raise ServiceError(f"no such unit: {job_id}/{unit_id}")
+        if not self.store.requeue_unit(job_id, unit_id):
+            raise ServiceError(
+                f"unit {job_id}/{unit_id} is not dead-lettered "
+                f"(state: {unit['state']})"
+            )
+        self.counters.bump("dead_letter_requeues")
+        if job["state"] == JOB_DONE:
+            self.store.set_job_state(job_id, JOB_RUNNING)
+            self._emit(job_id, "reopened", unit_id=unit_id)
+        self._emit(
+            job_id, "unit_requeued", unit_id=unit_id,
+            error="requeued from dead-letter queue",
+        )
+        return self.job_view(job_id)
+
+    def service_metrics(self) -> dict:
+        """The service-wide resilience counters for ``GET /api/metrics``."""
+        return {
+            "counters": self.counters.to_entry(),
+            "dead_letter": self.store.dead_letter_count(),
+            "jobs": self.store.job_count(),
+        }
 
     # ----------------------------------------------------- finalization
 
@@ -451,13 +555,14 @@ class CampaignScheduler:
         error = None
         if skipped:
             error = f"skipped workloads: {', '.join(skipped)}"
+        # ``error`` is written unconditionally (even as None): a job
+        # re-finalized after a dead-letter requeue must shed the stale
+        # "skipped workloads" note once every unit has completed.
         self.store.finalize_job(
             job_id, state=JOB_DONE, journal_path=journal_path,
             trace_path=trace_path, metrics=metrics_entry,
-            finished=self.wall_clock(),
+            finished=self.wall_clock(), error=error,
         )
-        if error:
-            self.store.set_job_state(job_id, JOB_DONE, error=error)
         self._emit(
             job_id, "done",
             journal_path=journal_path, trials=self.store.trial_count(job_id),

@@ -156,14 +156,17 @@ class ResultStore:
     def finalize_job(
         self, job_id: str, *, state: str, journal_path: str | None,
         trace_path: str | None, metrics: dict | None, finished: float,
+        error: str | None = None,
     ) -> None:
+        # ``error`` overwrites (including to NULL): re-finalizing after a
+        # dead-letter requeue must clear a stale "skipped workloads" note.
         self._conn.execute(
             "UPDATE jobs SET state = ?, journal_path = ?, trace_path = ?, "
-            "metrics = ?, finished = ? WHERE job_id = ?",
+            "metrics = ?, finished = ?, error = ? WHERE job_id = ?",
             (
                 state, journal_path, trace_path,
                 json.dumps(metrics) if metrics is not None else None,
-                finished, job_id,
+                finished, error, job_id,
             ),
         )
         self._conn.commit()
@@ -228,6 +231,35 @@ class ResultStore:
         )
         return unit
 
+    def reissue_lease(self, worker: str, now: float, ttl: float) -> dict | None:
+        """Return the unit ``worker`` already holds, refreshing its lease.
+
+        A lease response can be lost in transit; the worker's retry must
+        get the same unit back rather than an idle signal, which would
+        strand the grant until TTL expiry (or forever, for an
+        exit-when-idle worker that quits believing the queue is empty).
+        The retry is the same attempt, so ``attempts`` is not re-counted.
+        """
+        row = self._conn.execute(
+            "SELECT units.rowid AS unit_rowid, units.* FROM units "
+            "JOIN jobs ON jobs.job_id = units.job_id "
+            "WHERE units.state = ? AND units.worker = ? AND "
+            "units.lease_expiry > ? AND jobs.state IN (?, ?) "
+            "ORDER BY jobs.seq, units.rowid LIMIT 1",
+            (UNIT_LEASED, worker, now, JOB_QUEUED, JOB_RUNNING),
+        ).fetchone()
+        if row is None:
+            return None
+        self._conn.execute(
+            "UPDATE units SET lease_expiry = ? WHERE rowid = ?",
+            (now + ttl, row["unit_rowid"]),
+        )
+        self._conn.commit()
+        unit = dict(row)
+        unit.pop("unit_rowid", None)
+        unit["lease_expiry"] = now + ttl
+        return unit
+
     def heartbeat(
         self, job_id: str, unit_id: str, worker: str, expiry: float
     ) -> bool:
@@ -290,6 +322,41 @@ class ResultStore:
         )
         self._conn.commit()
         return cursor.rowcount
+
+    def dead_letter_units(self, job_id: str | None = None) -> list[dict]:
+        """Attempt-exhausted (failed) units — the dead-letter queue."""
+        if job_id is None:
+            rows = self._conn.execute(
+                "SELECT units.* FROM units JOIN jobs "
+                "ON jobs.job_id = units.job_id WHERE units.state = ? "
+                "ORDER BY jobs.seq, units.rowid",
+                (UNIT_FAILED,),
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM units WHERE job_id = ? AND state = ? "
+                "ORDER BY rowid",
+                (job_id, UNIT_FAILED),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def dead_letter_count(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM units WHERE state = ?", (UNIT_FAILED,)
+        ).fetchone()
+        return int(row[0])
+
+    def requeue_unit(self, job_id: str, unit_id: str) -> bool:
+        """Return a dead-lettered unit to the queue with a fresh attempt
+        budget; False when the unit is not in the dead-letter state."""
+        cursor = self._conn.execute(
+            "UPDATE units SET state = ?, attempts = 0, worker = NULL, "
+            "lease_expiry = NULL, error = NULL WHERE job_id = ? AND "
+            "unit_id = ? AND state = ?",
+            (UNIT_PENDING, job_id, unit_id, UNIT_FAILED),
+        )
+        self._conn.commit()
+        return cursor.rowcount > 0
 
     def cancel_pending_units(self, job_id: str) -> int:
         cursor = self._conn.execute(

@@ -21,23 +21,42 @@ Two drivers wrap it:
   machines can drain the queue. Heartbeats run on a daemon thread while
   the unit executes.
 
-Both report failures instead of crashing: an exception inside
-``execute_unit`` (beyond what the guard already contains) becomes a
-``fail`` report, and the scheduler's attempt accounting decides whether
-the unit is requeued or retired.
+A finished trial is the most expensive thing a worker holds, so the
+remote driver treats result delivery as a transaction against a hostile
+network: a ``complete()`` whose retries are exhausted spools the result
+to the on-disk :class:`WorkerOutbox` and replays it before the next
+lease, heartbeats retry with backoff and only stop when the scheduler
+says the lease is gone, and a *bounced* report (the scheduler refused it
+because the lease expired — meaning the unit will run twice) is counted
+in ``units_bounced`` and surfaced as a :class:`WorkerDeliveryWarning`
+instead of vanishing. Failures inside ``execute_unit`` (beyond what the
+guard already contains) still become ``fail`` reports, and the
+scheduler's attempt accounting decides whether the unit is requeued or
+dead-lettered.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import json
+import os
+import tempfile
 import threading
+import time
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor
 
 from repro.campaign.guard import TrialGuard
 from repro.campaign.outcomes import OUTCOME_OK
 from repro.campaign.runner import _campaign_module
+from repro.service.client import ServiceClientError
 from repro.service.shard import WorkUnit
 from repro.service.spec import JobSpec
+
+
+class WorkerDeliveryWarning(UserWarning):
+    """A unit report bounced or had to be spooled — work may repeat."""
 
 
 def execute_unit(
@@ -78,6 +97,110 @@ def execute_unit(
     }
 
 
+class WorkerOutbox:
+    """A durable spool of completed-unit results awaiting delivery.
+
+    One JSON file per undelivered result, written atomically (private
+    temp file + ``os.replace``) so a worker killed mid-spool leaves
+    either a complete record or nothing — the journal's torn-tail rule
+    applied to the worker's side of the protocol. Replay walks the spool
+    oldest-first; a retryable delivery error stops the walk (the service
+    is unreachable — later files would fail too), a bounce or fatal
+    rejection discards the file (the scheduler has authoritatively moved
+    on). Files survive worker restarts: a new worker pointed at the same
+    directory delivers its predecessor's results instead of letting the
+    lease expire and the unit recompute.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, job_id: str, unit_id: str) -> str:
+        tag = hashlib.sha256(f"{job_id}:{unit_id}".encode()).hexdigest()[:16]
+        return os.path.join(self.directory, f"{job_id}-{tag}.json")
+
+    def spool(
+        self, job_id: str, unit_id: str, worker: str, result: dict
+    ) -> str:
+        record = {
+            "job_id": job_id, "unit_id": unit_id, "worker": worker,
+            "result": result,
+        }
+        path = self._path(job_id, unit_id)
+        handle, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".spool-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as out:
+                json.dump(record, out)
+                out.flush()
+                os.fsync(out.fileno())
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        return path
+
+    def pending(self) -> list[str]:
+        """Spooled record paths, oldest first."""
+        names = [
+            name for name in os.listdir(self.directory)
+            if name.endswith(".json")
+        ]
+        paths = [os.path.join(self.directory, name) for name in names]
+        return sorted(paths, key=lambda p: (os.path.getmtime(p), p))
+
+    def replay(self, client) -> tuple[int, int]:
+        """Attempt to deliver every spooled result through ``client``.
+
+        Returns ``(delivered, bounced)``. Stops early on a retryable
+        error (the service is unreachable; the spool stays intact for
+        the next attempt).
+        """
+        delivered = bounced = 0
+        for path in self.pending():
+            try:
+                with open(path) as handle:
+                    record = json.load(handle)
+            except (OSError, ValueError):
+                # A torn or unreadable record cannot be delivered, ever.
+                warnings.warn(
+                    f"outbox: discarding unreadable spool file {path}",
+                    WorkerDeliveryWarning, stacklevel=2,
+                )
+                os.unlink(path)
+                continue
+            try:
+                accepted = client.complete(
+                    record["job_id"], record["unit_id"], record["worker"],
+                    record["result"],
+                )
+            except ServiceClientError as exc:
+                if exc.retryable:
+                    break
+                warnings.warn(
+                    f"outbox: service rejected spooled result for "
+                    f"{record['job_id']}/{record['unit_id']}: {exc}",
+                    WorkerDeliveryWarning, stacklevel=2,
+                )
+                os.unlink(path)
+                continue
+            if accepted:
+                delivered += 1
+            else:
+                bounced += 1
+                warnings.warn(
+                    f"outbox: spooled result for {record['job_id']}/"
+                    f"{record['unit_id']} bounced (lease lost — the unit "
+                    f"ran elsewhere)",
+                    WorkerDeliveryWarning, stacklevel=2,
+                )
+            os.unlink(path)
+        return delivered, bounced
+
+
 class LocalWorkerPool:
     """In-process workers for ``repro serve``: asyncio loops over a pool.
 
@@ -86,7 +209,9 @@ class LocalWorkerPool:
     :func:`execute_unit` on ``executor`` — a process pool by default, so
     trial execution parallelizes across cores while the event loop stays
     responsive. While a unit executes, the loop heartbeats its lease at a
-    third of the TTL.
+    third of the TTL. Reports the scheduler refuses (the lease expired
+    under us) are counted in ``units_bounced`` — a bounced complete
+    means the unit will execute twice, which operators should see.
     """
 
     def __init__(
@@ -109,6 +234,7 @@ class LocalWorkerPool:
         self._tasks: list[asyncio.Task] = []
         self.units_done = 0
         self.units_failed = 0
+        self.units_bounced = 0
 
     def start(self) -> None:
         if self._executor is None:
@@ -131,6 +257,14 @@ class LocalWorkerPool:
         if self._owns_executor and self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+
+    def _bounce(self, job_id: str, unit_id: str, kind: str) -> None:
+        self.units_bounced += 1
+        warnings.warn(
+            f"{kind} report for {job_id}/{unit_id} bounced (lease "
+            f"expired) — the unit may execute twice",
+            WorkerDeliveryWarning, stacklevel=2,
+        )
 
     async def _worker_loop(self, name: str) -> None:
         while True:
@@ -160,14 +294,33 @@ class LocalWorkerPool:
             raise
         except Exception as exc:
             self.units_failed += 1
-            self.scheduler.fail(job_id, unit_id, name, repr(exc))
+            if not self.scheduler.fail(job_id, unit_id, name, repr(exc)):
+                self._bounce(job_id, unit_id, "fail")
             return
         self.units_done += 1
-        self.scheduler.complete(job_id, unit_id, name, result)
+        if not self.scheduler.complete(job_id, unit_id, name, result):
+            self._bounce(job_id, unit_id, "complete")
 
 
 class RemoteWorker:
-    """A pull-based worker process speaking the HTTP lease protocol."""
+    """A pull-based worker process speaking the HTTP lease protocol.
+
+    Resilience posture (all counters are public attributes):
+
+    - ``lease()`` failures (service unreachable, breaker open) back off
+      for ``poll_interval`` and try again — a worker never dies because
+      the scheduler restarted.
+    - Heartbeats retry on any delivery error (``heartbeat_retries``) and
+      stop only when the scheduler answers ``ok: false`` — a single
+      transient error must not silently expire a live lease
+      (``leases_lost`` counts genuine evictions).
+    - A ``complete()`` that exhausts its retries spools the result to
+      the :class:`WorkerOutbox` (``outbox_spooled``) and replays it
+      before the next lease (``outbox_replayed``) — a finished trial is
+      never recomputed because the network hiccuped.
+    - Bounced reports (``units_bounced``) are warned about, since they
+      mean duplicate execution somewhere in the fleet.
+    """
 
     def __init__(
         self,
@@ -178,6 +331,7 @@ class RemoteWorker:
         max_units: int | None = None,
         exit_when_idle: bool = False,
         cache_dir: str | None = None,
+        outbox_dir: str | None = None,
     ):
         self.client = client
         self.name = name
@@ -185,28 +339,90 @@ class RemoteWorker:
         self.max_units = max_units
         self.exit_when_idle = exit_when_idle
         self.cache_dir = cache_dir
+        if outbox_dir is None:
+            outbox_dir = tempfile.mkdtemp(prefix=f"repro-outbox-{name}-")
+        self.outbox = WorkerOutbox(outbox_dir)
         self.units_done = 0
         self.units_failed = 0
+        self.units_bounced = 0
+        self.outbox_spooled = 0
+        self.outbox_replayed = 0
+        self.heartbeat_retries = 0
+        self.leases_lost = 0
         self._stop = threading.Event()
+        # Units whose results the service fatally rejected: we still hold
+        # their lease, so the scheduler will re-issue them to us — but
+        # re-executing yields the same rejected payload. Fail them
+        # instead, so the attempt budget (and dead-letter backstop)
+        # engages rather than a delivery livelock.
+        self._rejected: set[tuple[str, str]] = set()
 
     def stop(self) -> None:
         self._stop.set()
 
+    def counters(self) -> dict[str, int]:
+        """The worker's resilience tallies, for logs and tests."""
+        return {
+            "units_done": self.units_done,
+            "units_failed": self.units_failed,
+            "units_bounced": self.units_bounced,
+            "outbox_spooled": self.outbox_spooled,
+            "outbox_replayed": self.outbox_replayed,
+            "heartbeat_retries": self.heartbeat_retries,
+            "leases_lost": self.leases_lost,
+        }
+
     def run(self) -> int:
         """Drain the queue until stopped; returns units completed."""
         while not self._stop.is_set():
+            outbox_pending = self._flush_outbox()
             if self.max_units is not None and (
                 self.units_done + self.units_failed >= self.max_units
             ):
                 break
-            lease = self.client.lease(self.name)
+            try:
+                lease = self.client.lease(self.name)
+            except ServiceClientError as exc:
+                if not exc.retryable:
+                    raise
+                # Unreachable or breaker-open: the queue will come back.
+                self._stop.wait(self.poll_interval)
+                continue
             if lease is None:
-                if self.exit_when_idle:
+                if self.exit_when_idle and not outbox_pending:
                     break
                 self._stop.wait(self.poll_interval)
                 continue
+            unit = lease["unit"]
+            if (unit["job_id"], unit["unit_id"]) in self._rejected:
+                self._fail_rejected(unit["job_id"], unit["unit_id"])
+                continue
             self._run_unit(lease)
+        self._flush_outbox()
         return self.units_done
+
+    def _fail_rejected(self, job_id: str, unit_id: str) -> None:
+        """Surrender a re-issued lease whose results the service rejects."""
+        self.units_failed += 1
+        try:
+            self.client.fail(
+                job_id, unit_id, self.name,
+                "results undeliverable (rejected by service)",
+            )
+        except ServiceClientError:
+            self._stop.wait(self.poll_interval)
+
+    def _flush_outbox(self) -> bool:
+        """Replay spooled results; returns True if any remain spooled."""
+        if not self.outbox.pending():
+            return False
+        try:
+            delivered, bounced = self.outbox.replay(self.client)
+        except ServiceClientError:
+            return True
+        self.outbox_replayed += delivered
+        self.units_bounced += bounced
+        return bool(self.outbox.pending())
 
     def _run_unit(self, lease: dict) -> None:
         unit = lease["unit"]
@@ -215,11 +431,17 @@ class RemoteWorker:
         beat_stop = threading.Event()
 
         def beat() -> None:
+            # Retry forever on delivery errors (the client already
+            # applies per-call backoff); only a definitive "ok: false"
+            # from the scheduler — the lease is gone — stops the loop.
             while not beat_stop.wait(interval):
                 try:
-                    if not self.client.heartbeat(job_id, unit_id, self.name):
-                        return  # lease lost; the executor's report will bounce
-                except Exception:
+                    alive = self.client.heartbeat(job_id, unit_id, self.name)
+                except ServiceClientError:
+                    self.heartbeat_retries += 1
+                    continue
+                if not alive:
+                    self.leases_lost += 1
                     return
 
         beater = threading.Thread(target=beat, daemon=True)
@@ -230,12 +452,50 @@ class RemoteWorker:
             beat_stop.set()
             self.units_failed += 1
             try:
-                self.client.fail(job_id, unit_id, self.name, repr(exc))
-            except Exception:
-                pass
+                if not self.client.fail(job_id, unit_id, self.name, repr(exc)):
+                    self.units_bounced += 1
+                    warnings.warn(
+                        f"fail report for {job_id}/{unit_id} bounced "
+                        f"(lease expired) — the unit may execute twice",
+                        WorkerDeliveryWarning, stacklevel=2,
+                    )
+            except ServiceClientError:
+                pass  # the lease TTL will requeue the attempt
             return
         finally:
             beat_stop.set()
             beater.join(timeout=1.0)
         self.units_done += 1
-        self.client.complete(job_id, unit_id, self.name, result)
+        self._deliver(job_id, unit_id, result)
+
+    def _deliver(self, job_id: str, unit_id: str, result: dict) -> None:
+        """Report a completed unit, spooling the result if delivery fails."""
+        try:
+            accepted = self.client.complete(
+                job_id, unit_id, self.name, result
+            )
+        except ServiceClientError as exc:
+            if exc.retryable:
+                self.outbox.spool(job_id, unit_id, self.name, result)
+                self.outbox_spooled += 1
+                warnings.warn(
+                    f"complete for {job_id}/{unit_id} undeliverable "
+                    f"({exc}); result spooled to {self.outbox.directory} "
+                    f"for replay",
+                    WorkerDeliveryWarning, stacklevel=2,
+                )
+                return
+            self.units_bounced += 1
+            self._rejected.add((job_id, unit_id))
+            warnings.warn(
+                f"service rejected result for {job_id}/{unit_id}: {exc}",
+                WorkerDeliveryWarning, stacklevel=2,
+            )
+            return
+        if not accepted:
+            self.units_bounced += 1
+            warnings.warn(
+                f"complete report for {job_id}/{unit_id} bounced (lease "
+                f"expired) — the unit may execute twice",
+                WorkerDeliveryWarning, stacklevel=2,
+            )

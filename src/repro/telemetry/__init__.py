@@ -36,6 +36,7 @@ from repro.telemetry.events import (
 )
 from repro.telemetry.metrics import (
     CampaignMetrics,
+    CounterSet,
     DetectorMetrics,
     Histogram,
     LATENCY_EDGES,
@@ -51,6 +52,7 @@ from repro.telemetry.sinks import (
 
 __all__ = [
     "CampaignMetrics",
+    "CounterSet",
     "DetectorMetrics",
     "EVENT_KINDS",
     "Histogram",

@@ -352,3 +352,41 @@ def aggregate_campaign(
             if first_latency <= interval:
                 histogram.add(interval + position % interval)
     return metrics
+
+
+class CounterSet:
+    """A named bundle of monotonic event counters with exact merge.
+
+    The service-resilience analogue of :class:`CampaignMetrics`: the
+    scheduler and workers tally protocol-level events (lease expiries,
+    retries, duplicate completes, dead-letters) into one of these, shards
+    merge by integer addition, and ``/api/metrics`` serves the result.
+    Unknown names spring into existence at zero so adding a new counter
+    never breaks an old reader, and serialization is a flat dict —
+    the same greppable/diffable shape as every other telemetry entry.
+    """
+
+    def __init__(self, initial: dict[str, int] | None = None):
+        self._counts: dict[str, int] = dict(initial or {})
+
+    def bump(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to ``name`` (created at zero); returns the total."""
+        self._counts[name] = self._counts.get(name, 0) + amount
+        return self._counts[name]
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def merge(self, other: "CounterSet") -> None:
+        for name, value in other._counts.items():
+            self.bump(name, value)
+
+    def to_entry(self) -> dict[str, int]:
+        return dict(sorted(self._counts.items()))
+
+    @classmethod
+    def from_entry(cls, entry: dict[str, int]) -> "CounterSet":
+        return cls({str(k): int(v) for k, v in entry.items()})

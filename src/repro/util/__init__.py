@@ -25,6 +25,7 @@ from repro.util.bitops import (
     to_signed64,
     to_unsigned64,
 )
+from repro.util.retry import CircuitBreaker, RetryPolicy
 from repro.util.rng import DeterministicRng, derive_seed
 from repro.util.stats import (
     BinomialEstimate,
@@ -39,7 +40,9 @@ __all__ = [
     "MASK64",
     "BinomialEstimate",
     "CategoryCounter",
+    "CircuitBreaker",
     "DeterministicRng",
+    "RetryPolicy",
     "JournalError",
     "JournalWriter",
     "config_to_dict",

@@ -1,0 +1,176 @@
+"""Retry policies and circuit breakers for unreliable call sites.
+
+The campaign service's whole premise (and the paper's) is that faults are
+survivable if they are *anticipated*: a transient network error on a
+``complete()`` report must never cost a finished trial. This module holds
+the two reusable pieces of that discipline:
+
+- :class:`RetryPolicy` — a frozen description of an exponential-backoff
+  schedule with **deterministic** jitter. Jitter is derived from a
+  ``(key, attempt)`` hash rather than a live RNG so a replayed chaos test
+  produces the identical delay sequence — the same reproducibility rule
+  every fault-injection seed in this repository follows.
+- :class:`CircuitBreaker` — a consecutive-failure trip switch with a
+  cooldown and half-open probe, so a worker fleet hammering a dead
+  endpoint backs off to one probe per cooldown instead of a retry storm.
+
+Both are clock/sleep-agnostic: callers inject ``time.monotonic`` and
+``time.sleep`` equivalents (tests inject fakes), and neither imports
+anything above :mod:`repro.util`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+#: Breaker states (exposed for tests and metrics, not for matching logic).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+def _jitter_fraction(key: str, attempt: int) -> float:
+    """A stable uniform draw in [0, 1) from ``(key, attempt)``.
+
+    Hash-derived (like :func:`repro.util.rng.derive_seed`) so the same
+    call site retrying the same attempt always waits the same time —
+    replayable backoff for deterministic chaos tests.
+    """
+    digest = hashlib.sha256(f"retry:{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:7], "little") / float(1 << 56)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An exponential-backoff schedule with a hard attempt budget.
+
+    ``attempts`` counts *total* tries including the first, so
+    ``attempts=1`` means "never retry". The delay before retry ``n``
+    (n = 1 for the first retry) is::
+
+        min(max_delay, base_delay * multiplier**(n-1)) * (1 - jitter * u)
+
+    where ``u`` is the deterministic jitter fraction for ``(key, n)`` —
+    jitter only ever *shortens* a delay, so ``max_delay`` stays a true
+    upper bound on any single wait.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0:
+            raise ValueError(
+                f"base_delay must be non-negative, got {self.base_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay ({self.max_delay}) must be >= base_delay "
+                f"({self.base_delay})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, retry: int, key: str = "") -> float:
+        """The wait before retry number ``retry`` (1-based)."""
+        if retry < 1:
+            raise ValueError(f"retry must be >= 1, got {retry}")
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier ** (retry - 1)
+        )
+        return raw * (1.0 - self.jitter * _jitter_fraction(key, retry))
+
+    def delays(self, key: str = "") -> Iterator[float]:
+        """The full backoff schedule: one delay per allowed retry."""
+        for retry in range(1, self.attempts):
+            yield self.delay(retry, key)
+
+    def total_budget(self, key: str = "") -> float:
+        """Worst-case seconds spent sleeping if every attempt fails."""
+        return sum(self.delays(key))
+
+
+class CircuitBreaker:
+    """A consecutive-failure trip switch with cooldown and half-open probe.
+
+    Closed: calls flow, consecutive failures are counted. After
+    ``failure_threshold`` consecutive failures the breaker *trips* open:
+    :meth:`allow` answers False (callers fail fast) until ``cooldown``
+    seconds pass, then exactly one probe call is allowed (half-open). A
+    probe success closes the breaker; a probe failure re-opens it for
+    another cooldown.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 5.0,
+        *,
+        clock: Callable[[], float] | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        if clock is None:
+            import time
+
+            clock = time.monotonic
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.failures = 0
+        self.trips = 0
+        self.fast_failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return BREAKER_CLOSED
+        if self._probing or self.clock() - self._opened_at >= self.cooldown:
+            return BREAKER_HALF_OPEN
+        return BREAKER_OPEN
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (Counts fast-fails when not.)"""
+        if self._opened_at is None:
+            return True
+        if self._probing:
+            # One probe is already in flight; shed everything else.
+            self.fast_failures += 1
+            return False
+        if self.clock() - self._opened_at >= self.cooldown:
+            self._probing = True
+            return True
+        self.fast_failures += 1
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self._probing or (
+            self._opened_at is None and self.failures >= self.failure_threshold
+        ):
+            # A failed probe re-opens; a threshold crossing trips.
+            self.trips += 1
+            self._opened_at = self.clock()
+            self._probing = False

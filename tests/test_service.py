@@ -323,6 +323,218 @@ class TestSchedulerEndToEnd:
         assert os.path.dirname(journal) == str(tmp_path / "jobs")
 
 
+class TestDuplicateCompletes:
+    def test_redelivery_from_same_worker_is_idempotent(self, scheduler):
+        """A complete whose response was lost and retried (or replayed
+        from the outbox) must settle, not bounce forever."""
+        scheduler.submit(make_spec())
+        lease = scheduler.lease("w0")
+        unit = lease["unit"]
+        result = execute_unit(lease["spec"], unit)
+        assert scheduler.complete(unit["job_id"], unit["unit_id"], "w0", result)
+        trials = scheduler.job_view(unit["job_id"])["trials"]
+        assert scheduler.complete(unit["job_id"], unit["unit_id"], "w0", result)
+        assert scheduler.job_view(unit["job_id"])["trials"] == trials
+        assert scheduler.counters["duplicate_completes"] == 1
+
+    def test_duplicate_from_another_worker_still_bounces(self, scheduler):
+        scheduler.submit(make_spec())
+        lease = scheduler.lease("w0")
+        unit = lease["unit"]
+        result = execute_unit(lease["spec"], unit)
+        assert scheduler.complete(unit["job_id"], unit["unit_id"], "w0", result)
+        assert not scheduler.complete(
+            unit["job_id"], unit["unit_id"], "thief", result
+        )
+        assert scheduler.counters["bounced_completes"] == 1
+
+
+class TestLeaseReissue:
+    def test_lease_retry_gets_the_same_unit_back(self, scheduler):
+        """A lease whose response was lost and retried is re-issued to
+        the same worker — same unit, same attempt — instead of an idle
+        answer that strands the grant until TTL expiry."""
+        scheduler.submit(make_spec(
+            config={**CONFIG_OPTIONS, "workloads": ["gcc", "gzip"]}
+        ))
+        first = scheduler.lease("w0")
+        again = scheduler.lease("w0")
+        assert again["unit"] == first["unit"]
+        assert again["attempt"] == first["attempt"] == 1
+        assert scheduler.counters["lease_reissues"] == 1
+        assert scheduler.counters["leases_granted"] == 1
+        events = [
+            e["event"] for e in scheduler.events(first["unit"]["job_id"])
+        ]
+        assert "lease_reissued" in events
+
+    def test_reissue_refreshes_the_lease_expiry(self, scheduler):
+        scheduler.submit(make_spec())
+        lease = scheduler.lease("w0")
+        unit = lease["unit"]
+        scheduler.test_clock.advance(45.0)  # 15 s left on a 60 s TTL
+        assert scheduler.lease("w0")["unit"] == unit
+        scheduler.test_clock.advance(45.0)  # past the original expiry
+        row = scheduler.store.unit(unit["job_id"], unit["unit_id"])
+        assert row["state"] == "leased" and row["worker"] == "w0"
+
+    def test_other_workers_do_not_steal_a_live_lease(self, scheduler):
+        scheduler.submit(make_spec())
+        mine = scheduler.lease("w0")
+        assert scheduler.lease("w1") is None
+        assert scheduler.lease("w0")["unit"] == mine["unit"]
+
+    def test_expired_lease_is_not_reissued(self, scheduler):
+        scheduler.submit(make_spec())
+        first = scheduler.lease("w0")
+        scheduler.test_clock.advance(61.0)
+        second = scheduler.lease("w0")
+        assert second["unit"] == first["unit"]  # requeued, then re-leased
+        assert second["attempt"] == 2
+        assert scheduler.counters["lease_reissues"] == 0
+        assert scheduler.counters["leases_granted"] == 2
+
+    def test_completed_unit_is_not_reissued(self, scheduler):
+        scheduler.submit(make_spec(
+            config={**CONFIG_OPTIONS, "workloads": ["gcc", "gzip"]}
+        ))
+        lease = scheduler.lease("w0")
+        unit = lease["unit"]
+        result = execute_unit(lease["spec"], unit)
+        scheduler.complete(unit["job_id"], unit["unit_id"], "w0", result)
+        follow_on = scheduler.lease("w0")
+        assert follow_on["unit"] != unit
+        assert scheduler.counters["lease_reissues"] == 0
+
+
+class TestDeadLetterQueue:
+    def _dead_letter_one(self, scheduler):
+        view = scheduler.submit(make_spec(
+            config={**CONFIG_OPTIONS, "workloads": ["gcc", "gzip"]}
+        ))
+        drain(scheduler, fail_units=("gcc:0of1",))
+        return view["job_id"]
+
+    def test_exhausted_units_land_in_the_dead_letter_queue(self, scheduler):
+        job_id = self._dead_letter_one(scheduler)
+        listing = scheduler.dead_letter_view()
+        assert listing["total"] == 1
+        (unit,) = listing["units"]
+        assert unit["job_id"] == job_id
+        assert unit["unit_id"] == "gcc:0of1"
+        assert unit["attempts"] == 2
+        assert "induced failure" in unit["error"]
+        assert scheduler.dead_letter_view(job_id) == listing
+        assert scheduler.service_metrics()["dead_letter"] == 1
+
+    def test_requeue_reopens_and_refinalizes_byte_identical(
+        self, scheduler, tmp_path
+    ):
+        """The full recovery arc: a dead-lettered unit is requeued, the
+        finalized job reopens, and the rebuilt journal is byte-identical
+        to a serial run — the stale skip sentinel and error are gone."""
+        job_id = self._dead_letter_one(scheduler)
+        assert "skipped workloads: gcc" in scheduler.job_view(job_id)["error"]
+
+        view = scheduler.requeue_unit(job_id, "gcc:0of1")
+        assert view["state"] == "running"
+        drain(scheduler)
+        view = scheduler.job_view(job_id)
+        assert view["state"] == "done"
+        assert view["error"] is None  # the stale skip note is cleared
+        assert scheduler.dead_letter_view()["total"] == 0
+
+        serial_path = str(tmp_path / "serial.jsonl")
+        run_campaign(
+            "arch",
+            build_config(
+                "arch", {**CONFIG_OPTIONS, "workloads": ["gcc", "gzip"]}
+            ),
+            journal_path=serial_path,
+        )
+        with open(view["journal_path"]) as f, open(serial_path) as g:
+            assert f.read() == g.read()
+        assert scheduler.counters["dead_letter_requeues"] == 1
+
+    def test_requeue_rejects_non_dead_lettered_units(self, scheduler):
+        scheduler.submit(make_spec())
+        with pytest.raises(ServiceError, match="not dead-lettered"):
+            scheduler.requeue_unit("job-000001", "gcc:0of1")
+        with pytest.raises(ServiceError, match="no such unit"):
+            scheduler.requeue_unit("job-000001", "gcc:9of9")
+        with pytest.raises(ServiceError, match="no such job"):
+            scheduler.requeue_unit("job-999999", "gcc:0of1")
+
+    def test_requeue_rejects_cancelled_jobs(self, scheduler):
+        job_id = scheduler.submit(make_spec(
+            config={**CONFIG_OPTIONS, "workloads": ["gcc", "gzip"]}
+        ))["job_id"]
+        for _ in range(2):  # exhaust the gcc unit's attempt budget
+            lease = scheduler.lease("w0")
+            scheduler.fail(job_id, lease["unit"]["unit_id"], "w0", "induced")
+        scheduler.cancel(job_id)  # gzip still pending: genuinely cancelled
+        with pytest.raises(ServiceError, match="cancelled"):
+            scheduler.requeue_unit(job_id, "gcc:0of1")
+
+    def test_service_metrics_tell_the_resilience_story(self, scheduler):
+        job_id = self._dead_letter_one(scheduler)
+        scheduler.requeue_unit(job_id, "gcc:0of1")
+        drain(scheduler)
+        counters = scheduler.service_metrics()["counters"]
+        assert counters["units_dead_lettered"] == 1
+        assert counters["dead_letter_requeues"] == 1
+        assert counters["units_requeued"] == 1  # the first induced failure
+        assert counters["leases_granted"] >= 4
+
+
+class TestRestartRecovery:
+    def test_scheduler_restart_mid_drain_finishes_byte_identical(
+        self, tmp_path
+    ):
+        """Kill the service mid-drain (store survives on disk, leases
+        in flight), restart against the same SQLite file, finish the
+        drain: the journal must be byte-identical to a serial run."""
+        db = str(tmp_path / "service.sqlite")
+        spec = make_spec(
+            config={**CONFIG_OPTIONS, "workloads": ["gcc", "gzip"]}, shards=2
+        )
+
+        store = ResultStore(db)
+        clock = FakeClock()
+        sched = CampaignScheduler(
+            store, str(tmp_path), lease_ttl=60.0, clock=clock
+        )
+        job_id = sched.submit(spec)["job_id"]
+        # Drain one unit fully, then die holding a lease on a second.
+        lease = sched.lease("w0")
+        unit = lease["unit"]
+        sched.complete(
+            unit["job_id"], unit["unit_id"], "w0",
+            execute_unit(lease["spec"], unit),
+        )
+        assert sched.lease("w0") is not None  # in flight at the "crash"
+        store.close()
+
+        store = ResultStore(db)
+        reboot_clock = FakeClock(start=3.0)  # a fresh monotonic epoch
+        sched = CampaignScheduler(
+            store, str(tmp_path), lease_ttl=60.0, clock=reboot_clock
+        )
+        assert sched.job_view(job_id)["state"] == "running"
+        # The orphaned lease was re-armed: it expires one ttl after boot.
+        reboot_clock.advance(61.0)
+        drain(sched, worker="w1")
+        view = sched.job_view(job_id)
+        assert view["state"] == "done"
+        assert view["error"] is None
+
+        serial_path = str(tmp_path / "serial.jsonl")
+        run_campaign("arch", spec.config, journal_path=serial_path)
+        with open(view["journal_path"]) as f, open(serial_path) as g:
+            assert f.read() == g.read()
+        store.close()
+
+
 class TestMonotonicLeases:
     """Lease bookkeeping must run on a monotonic clock (regression: it
     ran on wall time, so an NTP step or an operator fixing the date

@@ -221,6 +221,61 @@ class TestApiContract:
             page = client.jobs(offset=1, limit=1)
             assert page["total"] == 3 and len(page["jobs"]) == 1
 
+    def test_service_metrics_route(self, tmp_path):
+        with running_service(tmp_path, workers=0) as (service, _):
+            client = ServiceClient(service.address)
+            view = client.submit(submit_payload())
+            assert client.lease("w") is not None
+            metrics = client.service_metrics()
+            assert metrics["jobs"] == 1
+            assert metrics["dead_letter"] == 0
+            assert metrics["counters"]["leases_granted"] == 1
+            assert view["job_id"]  # the submission above is the one job
+
+    def test_dead_letter_listing_and_requeue_over_http(self, tmp_path):
+        """Drive a unit to the dead-letter queue through the API, list
+        it, requeue it, and drain to a clean finish."""
+        with running_service(tmp_path / "svc", workers=0) as (service, _):
+            client = ServiceClient(service.address)
+            view = client.submit(submit_payload(
+                config={**CONFIG_OPTIONS, "workloads": ["gcc"]}
+            ))
+            job_id = view["job_id"]
+            for _ in range(2):  # exhaust the unit's attempt budget
+                lease = client.lease("clumsy")
+                unit = lease["unit"]
+                client.fail(job_id, unit["unit_id"], "clumsy", "induced")
+
+            listing = client.dead_letter()
+            assert listing["total"] == 1
+            assert listing["units"][0]["unit_id"] == unit["unit_id"]
+            assert client.dead_letter(job_id) == listing
+            assert client.service_metrics()["dead_letter"] == 1
+            # The job finalized around the dead unit, with the skip noted.
+            assert client.wait(job_id, timeout=30)["error"]
+
+            reopened = client.requeue(job_id, unit["unit_id"])
+            assert reopened["state"] == "running"
+            assert client.dead_letter()["total"] == 0
+            worker = RemoteWorker(
+                ServiceClient(service.address), "healthy",
+                exit_when_idle=True, poll_interval=0.05,
+            )
+            assert worker.run() == 1
+            final = client.wait(job_id, timeout=30)
+            assert final["state"] == "done"
+            assert final["error"] is None
+
+    def test_requeue_of_live_unit_is_400(self, tmp_path):
+        with running_service(tmp_path, workers=0) as (service, _):
+            client = ServiceClient(service.address)
+            view = client.submit(submit_payload())
+            with pytest.raises(
+                ServiceClientError, match="not dead-lettered"
+            ) as info:
+                client.requeue(view["job_id"], "gcc:0of1")
+            assert info.value.status == 400
+
     def test_sse_stream_replays_history_to_terminal_event(self, tmp_path):
         with running_service(tmp_path / "svc", workers=1) as (service, _):
             client = ServiceClient(service.address)

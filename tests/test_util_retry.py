@@ -1,0 +1,143 @@
+"""Retry policies and circuit breakers: determinism, budgets, states."""
+
+import pytest
+
+from repro.util.retry import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic_per_key(self):
+        """The chaos-replay contract: the same (key, attempt) always
+        waits the same time; different keys de-synchronize."""
+        policy = RetryPolicy(attempts=5)
+        first = list(policy.delays("lease"))
+        assert first == list(policy.delays("lease"))
+        assert first != list(policy.delays("complete"))
+
+    def test_backoff_grows_and_caps_at_max_delay(self):
+        policy = RetryPolicy(
+            attempts=8, base_delay=0.1, multiplier=2.0, max_delay=0.4,
+            jitter=0.0,
+        )
+        assert list(policy.delays()) == [
+            0.1, 0.2, 0.4, 0.4, 0.4, 0.4, 0.4,
+        ]
+
+    def test_jitter_only_shortens_delays(self):
+        jittered = RetryPolicy(attempts=6, jitter=1.0)
+        plain = RetryPolicy(attempts=6, jitter=0.0)
+        for with_j, without_j in zip(jittered.delays("k"), plain.delays("k")):
+            assert 0.0 <= with_j <= without_j
+
+    def test_attempts_one_means_never_retry(self):
+        policy = RetryPolicy(attempts=1)
+        assert list(policy.delays()) == []
+        assert policy.total_budget() == 0.0
+
+    def test_total_budget_sums_the_schedule(self):
+        policy = RetryPolicy(attempts=4, jitter=0.0)
+        assert policy.total_budget() == pytest.approx(sum(policy.delays()))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="max_delay"):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="retry must be >= 1"):
+            RetryPolicy().delay(0)
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self):
+        breaker = CircuitBreaker(3, 5.0, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+        assert breaker.trips == 0
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(3, 5.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED  # streak broken: no trip
+
+    def test_trips_open_and_fast_fails_until_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(3, 5.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+        assert breaker.fast_failures == 1
+        clock.advance(4.9)
+        assert not breaker.allow()  # still cooling down
+
+    def test_half_open_allows_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(2, 5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everything else sheds
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(2, 5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(2, 5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()  # a fresh probe after the new cooldown
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(0, 5.0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(1, 0.0)
