@@ -13,6 +13,9 @@ more than ``--threshold`` (fractional, default 0.15) on any metric fails
 the gate; ``--require name=floor`` additionally fails when the current
 value of ``name`` is below ``floor`` (used for the machine-independent
 speedup ratios, which do not drift with runner hardware).
+
+Accepts both ``repro-perf/1`` and ``repro-service-bench/1`` reports;
+baseline and current must carry the same schema.
 """
 
 from __future__ import annotations
@@ -21,14 +24,14 @@ import argparse
 import json
 import sys
 
-EXPECTED_SCHEMA = "repro-perf/1"
+KNOWN_SCHEMAS = ("repro-perf/1", "repro-service-bench/1")
 
 
 def load_report(path: str) -> dict:
     with open(path) as handle:
         report = json.load(handle)
     schema = report.get("schema")
-    if schema != EXPECTED_SCHEMA:
+    if schema not in KNOWN_SCHEMAS:
         raise ValueError(f"{path}: unexpected schema {schema!r}")
     metrics = report.get("metrics")
     if not isinstance(metrics, dict) or not metrics:
@@ -100,6 +103,11 @@ def main(argv: list[str] | None = None) -> int:
     try:
         baseline = load_report(args.baseline)
         current = load_report(args.current)
+        if baseline["schema"] != current["schema"]:
+            raise ValueError(
+                f"schema mismatch: baseline is {baseline['schema']!r}, "
+                f"current is {current['schema']!r}"
+            )
         requirements = [parse_requirement(text) for text in args.require]
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)

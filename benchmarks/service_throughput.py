@@ -13,9 +13,14 @@ Results are written as schema'd JSON (see ``SCHEMA``). Usage::
     PYTHONPATH=src python benchmarks/service_throughput.py --scale smoke \
         --out benchmarks/out/service_throughput.json
 
-By default units execute on a thread pool so the numbers are stable on
-small CI runners; pass ``--executor process`` to measure the production
-configuration (one OS process per worker) on a multi-core machine.
+By default units execute on a process pool — the production
+configuration, one OS process per worker — with workers leasing in
+batches of ``--lease-batch`` units per scheduler call. Scaling numbers
+from a process fleet are only honest on a multi-core host, so when
+``os.cpu_count() < 2`` the benchmark refuses to publish: at smoke scale
+it warns and exits 0 without writing ``--out`` (CI smoke stays green on
+tiny runners), at full scale it exits 1. Pass ``--executor thread`` to
+measure the GIL-bound configuration anyway.
 """
 
 from __future__ import annotations
@@ -27,7 +32,6 @@ import os
 import platform
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if os.path.isdir(os.path.join(_REPO_ROOT, "src")):
@@ -77,17 +81,13 @@ POLL_INTERVAL = 0.01
 
 
 async def _run_job(spec: JobSpec, workers: int, executor_kind: str,
-                   data_dir: str) -> dict:
+                   lease_batch: int, data_dir: str) -> dict:
     """One timed run: submit, drain with ``workers`` workers, finalize."""
     store = ResultStore(":memory:")
     scheduler = CampaignScheduler(store, data_dir)
-    if executor_kind == "process":
-        executor = ProcessPoolExecutor(max_workers=workers)
-    else:
-        executor = ThreadPoolExecutor(max_workers=workers)
     pool = LocalWorkerPool(
-        scheduler, workers=workers, executor=executor,
-        poll_interval=POLL_INTERVAL,
+        scheduler, workers=workers, executor_kind=executor_kind,
+        lease_batch=lease_batch, poll_interval=POLL_INTERVAL,
     )
     try:
         pool.start()
@@ -100,7 +100,6 @@ async def _run_job(spec: JobSpec, workers: int, executor_kind: str,
         final = scheduler.job_view(job_id)
     finally:
         await pool.stop()
-        executor.shutdown(wait=False, cancel_futures=True)
         store.close()
     if final["state"] != "done":
         raise RuntimeError(
@@ -114,7 +113,8 @@ async def _run_job(spec: JobSpec, workers: int, executor_kind: str,
     }
 
 
-def run_benchmarks(scale: str, executor_kind: str, data_dir: str) -> dict:
+def run_benchmarks(scale: str, executor_kind: str, lease_batch: int,
+                   data_dir: str) -> dict:
     knobs = SCALES[scale]
     spec = JobSpec(
         level=knobs["level"],
@@ -124,10 +124,11 @@ def run_benchmarks(scale: str, executor_kind: str, data_dir: str) -> dict:
 
     # Warm-up: one throwaway single-worker run so decode caches and
     # executor start-up cost don't land in the first measurement.
-    asyncio.run(_run_job(spec, 1, executor_kind, data_dir))
+    asyncio.run(_run_job(spec, 1, executor_kind, lease_batch, data_dir))
 
     runs = [
-        asyncio.run(_run_job(spec, workers, executor_kind, data_dir))
+        asyncio.run(_run_job(spec, workers, executor_kind, lease_batch,
+                             data_dir))
         for workers in WORKER_COUNTS
     ]
 
@@ -162,6 +163,7 @@ def run_benchmarks(scale: str, executor_kind: str, data_dir: str) -> dict:
         "version": __version__,
         "scale": scale,
         "executor": executor_kind,
+        "lease_batch": lease_batch,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
@@ -179,16 +181,36 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
     parser.add_argument("--executor", choices=("thread", "process"),
-                        default="thread",
-                        help="how workers run units (default: thread)")
+                        default="process",
+                        help="how workers run units (default: process)")
+    parser.add_argument("--lease-batch", type=int, default=4,
+                        help="units leased per scheduler call (default: 4)")
     parser.add_argument("--out", default=None,
                         help="write JSON here (default: stdout)")
     args = parser.parse_args(argv)
 
+    if args.lease_batch < 1:
+        parser.error(f"--lease-batch must be >= 1, got {args.lease_batch}")
+
+    cpus = os.cpu_count() or 1
+    if args.executor == "process" and cpus < 2:
+        message = (
+            f"service_throughput: host has cpu_count={cpus}; a process-"
+            f"fleet scaling baseline from a single-core machine would be "
+            f"dishonest, refusing to publish one"
+        )
+        if args.scale == "smoke":
+            print(f"WARNING: {message} (smoke scale: exiting 0, "
+                  f"no output written)", file=sys.stderr)
+            return 0
+        print(f"ERROR: {message}", file=sys.stderr)
+        return 1
+
     import tempfile
 
     with tempfile.TemporaryDirectory(prefix="service-bench-") as data_dir:
-        report = run_benchmarks(args.scale, args.executor, data_dir)
+        report = run_benchmarks(args.scale, args.executor, args.lease_batch,
+                                data_dir)
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     if args.out:
         os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)

@@ -367,6 +367,8 @@ async def _serve_async(args: argparse.Namespace) -> int:
         pool = LocalWorkerPool(
             scheduler,
             workers=args.workers,
+            executor_kind=args.executor,
+            lease_batch=args.lease_batch,
             cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
         )
         pool.start()
@@ -395,6 +397,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.max_attempts < 1:
         raise SystemExit(
             f"--max-attempts must be >= 1, got {args.max_attempts}"
+        )
+    if args.lease_batch < 1:
+        raise SystemExit(
+            f"--lease-batch must be >= 1, got {args.lease_batch}"
         )
     os.makedirs(args.data_dir, exist_ok=True)
     try:
@@ -543,6 +549,14 @@ def cmd_worker(args: argparse.Namespace) -> int:
 
     if args.max_units is not None and args.max_units < 1:
         raise SystemExit(f"--max-units must be >= 1, got {args.max_units}")
+    if args.lease_batch < 1:
+        raise SystemExit(
+            f"--lease-batch must be >= 1, got {args.lease_batch}"
+        )
+    if args.complete_chunk < 0:
+        raise SystemExit(
+            f"--complete-chunk must be >= 0, got {args.complete_chunk}"
+        )
     name = args.name or f"worker-{os.getpid()}"
     retry = DEFAULT_RETRY_POLICY
     if args.retry_attempts is not None:
@@ -580,6 +594,8 @@ def cmd_worker(args: argparse.Namespace) -> int:
         exit_when_idle=args.exit_when_idle,
         cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
         outbox_dir=args.outbox_dir,
+        lease_batch=args.lease_batch,
+        complete_chunk=args.complete_chunk or None,
     )
     try:
         done = worker.run()
@@ -737,6 +753,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="in-process worker loops (0 = rely on external "
                         "'repro worker' processes)")
+    p.add_argument("--executor", choices=("process", "thread"),
+                   default="process",
+                   help="how local workers execute units (default: process "
+                        "— one OS process per worker, so trials scale "
+                        "across cores)")
+    p.add_argument("--lease-batch", type=int, default=1, metavar="N",
+                   help="units each local worker leases per scheduler call "
+                        "(one lease clock per batch; pipelined through the "
+                        "executor)")
     p.add_argument("--lease-ttl", type=float, default=60.0, metavar="SECONDS",
                    help="work-unit lease duration; an un-heartbeated unit "
                         "is requeued after this long")
@@ -797,6 +822,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="idle polling interval")
     p.add_argument("--max-units", type=int, default=None, metavar="N",
                    help="exit after completing N units")
+    p.add_argument("--lease-batch", type=int, default=1, metavar="N",
+                   help="units to lease per service round trip (the batch "
+                        "shares one lease clock and is heartbeated as a "
+                        "whole while draining)")
+    p.add_argument("--complete-chunk", type=int, default=200, metavar="N",
+                   help="stream unit results back in chunks of N trial "
+                        "outcomes per POST (0 = deliver each unit's "
+                        "results in one request)")
     p.add_argument("--exit-when-idle", action="store_true",
                    help="exit when the queue has no leasable unit")
     p.add_argument("--outbox-dir", default=None, metavar="DIR",

@@ -26,9 +26,13 @@ clients (``repro submit`` / ``repro jobs`` / any curl):
 workers (``repro worker`` or anything speaking the lease protocol):
 
 - ``POST /api/lease`` — lease the next work unit (``{"unit": null}``
-  when idle).
+  when idle). With ``{"count": N}`` in the body, lease up to N units in
+  one call (one scheduler transaction, one lease clock per batch) and
+  answer ``{"leases": [...], "count": n}`` instead.
 - ``POST /api/jobs/<id>/units/<unit>/heartbeat`` — extend a lease.
-- ``POST /api/jobs/<id>/units/<unit>/complete`` — deliver results.
+- ``POST /api/jobs/<id>/units/<unit>/complete`` — deliver results,
+  either whole or as one of ``{"chunk": {"index": i, "count": n}}``
+  bounded chunks (the final chunk carries the unit-level result).
 - ``POST /api/jobs/<id>/units/<unit>/fail`` — report an attempt failure.
 
 Every handler delegates to the synchronous
@@ -48,6 +52,9 @@ from repro.service.spec import JobSpec, ServiceError
 from repro.service.store import JOB_TERMINAL_STATES
 
 MAX_BODY = 4 * 1024 * 1024
+#: Upper bound on units per batched lease — bounds the response body the
+#: way chunked completes bound request bodies.
+MAX_LEASE_BATCH = 64
 _REASONS = {
     200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
@@ -266,10 +273,25 @@ class CampaignService:
             elif route == ["lease"] and method == "POST":
                 payload = self._json_payload(body)
                 worker = str(payload.get("worker") or "anonymous")
-                lease = self.scheduler.lease(worker)
-                await self._send_json(
-                    writer, 200, lease if lease is not None else {"unit": None}
-                )
+                if "count" in payload:
+                    count = payload["count"]
+                    if not isinstance(count, int) or isinstance(count, bool) \
+                            or not 1 <= count <= MAX_LEASE_BATCH:
+                        raise ServiceError(
+                            f"lease count must be an integer in "
+                            f"1..{MAX_LEASE_BATCH}, got {count!r}"
+                        )
+                    leases = self.scheduler.lease_batch(worker, count)
+                    await self._send_json(
+                        writer, 200,
+                        {"leases": leases, "count": len(leases)},
+                    )
+                else:
+                    lease = self.scheduler.lease(worker)
+                    await self._send_json(
+                        writer, 200,
+                        lease if lease is not None else {"unit": None},
+                    )
             elif (
                 len(route) == 5 and route[0] == "jobs" and route[2] == "units"
                 and method == "POST"
@@ -326,7 +348,24 @@ class CampaignService:
             result = payload.get("result")
             if not isinstance(result, dict):
                 raise ServiceError("'result' must be a JSON object")
-            accepted = self.scheduler.complete(job_id, unit_id, worker, result)
+            chunk = payload.get("chunk")
+            if chunk is not None:
+                if not isinstance(chunk, dict):
+                    raise ServiceError("'chunk' must be a JSON object")
+                try:
+                    index = int(chunk["index"])
+                    count = int(chunk["count"])
+                except (KeyError, TypeError, ValueError):
+                    raise ServiceError(
+                        "'chunk' needs integer 'index' and 'count' fields"
+                    ) from None
+                accepted = self.scheduler.complete_chunk(
+                    job_id, unit_id, worker, result, index, count
+                )
+            else:
+                accepted = self.scheduler.complete(
+                    job_id, unit_id, worker, result
+                )
             await self._send_json(writer, 200, {"accepted": accepted})
         elif action == "fail":
             accepted = self.scheduler.fail(

@@ -315,6 +315,21 @@ class ServiceClient:
         )
         return lease if lease.get("unit") else None
 
+    def lease_batch(self, worker: str, count: int) -> list[dict]:
+        """Lease up to ``count`` units in one round trip.
+
+        Returns a (possibly empty) list of lease dicts, each shaped like
+        a single :meth:`lease` response. Safe to retry: the scheduler
+        re-issues the units this worker already holds before granting
+        fresh ones, so a retry after a lost response gets the same batch
+        back.
+        """
+        response = self._request(
+            "POST", "/api/lease", {"worker": worker, "count": count},
+            endpoint="lease",
+        )
+        return list(response.get("leases") or ())
+
     def heartbeat(self, job_id: str, unit_id: str, worker: str) -> bool:
         return bool(self._request(
             "POST", f"/api/jobs/{job_id}/units/{unit_id}/heartbeat",
@@ -327,6 +342,56 @@ class ServiceClient:
         return bool(self._request(
             "POST", f"/api/jobs/{job_id}/units/{unit_id}/complete",
             {"worker": worker, "result": result}, endpoint="complete",
+        ).get("accepted"))
+
+    def complete_chunked(
+        self, job_id: str, unit_id: str, worker: str, result: dict,
+        chunk_size: int | None,
+    ) -> bool:
+        """Deliver a unit result in bounded chunks of ``chunk_size``
+        trial outcomes per POST (the final chunk carries the unit-level
+        result), so a 500-trial unit never sits on one giant request.
+
+        Falls back to a single :meth:`complete` when the result fits in
+        one chunk. Every chunk retries independently under the normal
+        policy; redelivered chunks are idempotent on the scheduler side
+        (trial keys dedupe them), so a retry after a lost response can
+        never double-count. A bounced chunk (``False``) means the lease
+        is gone — the stream stops, since the retry attempt will
+        regenerate identical records.
+        """
+        outcomes = result.get("outcomes") or []
+        if chunk_size is None or chunk_size < 1 \
+                or len(outcomes) <= chunk_size:
+            return self.complete(job_id, unit_id, worker, result)
+        slices = [
+            outcomes[start:start + chunk_size]
+            for start in range(0, len(outcomes), chunk_size)
+        ]
+        count = len(slices)
+        path = f"/api/jobs/{job_id}/units/{unit_id}/complete"
+        for index, part in enumerate(slices[:-1]):
+            accepted = self._request(
+                "POST", path,
+                {
+                    "worker": worker,
+                    "chunk": {"index": index, "count": count},
+                    "result": {"outcomes": part},
+                },
+                endpoint="complete",
+            ).get("accepted")
+            if not accepted:
+                return False
+        final = dict(result)
+        final["outcomes"] = slices[-1]
+        return bool(self._request(
+            "POST", path,
+            {
+                "worker": worker,
+                "chunk": {"index": count - 1, "count": count},
+                "result": final,
+            },
+            endpoint="complete",
         ).get("accepted"))
 
     def fail(self, job_id: str, unit_id: str, worker: str, error: str) -> bool:

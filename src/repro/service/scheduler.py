@@ -17,6 +17,11 @@ Lease protocol invariants:
   attempted ``max_attempts`` times (default 2 — the serial runner's
   retry-once semantics), whether the attempts ended in explicit failure
   reports or silent lease expiries.
+- Leases may be granted in batches (up to N units per call, one store
+  transaction, one lease clock per batch) and results may arrive in
+  bounded chunks; neither changes any completion invariant — every unit
+  in a batch completes, fails, or expires individually, and chunk
+  ingestion is idempotent on the trial key.
 - Results are only accepted from the worker that holds the lease; a
   late report from an expired lease is dropped (its trial rows would be
   ignored anyway — trial ingestion is idempotent on the trial key).
@@ -227,39 +232,66 @@ class CampaignScheduler:
         """Lease the next available work unit to ``worker``.
 
         Returns ``{"unit": ..., "spec": ...}`` or ``None`` when the queue
-        is idle. Expired leases are swept first so a stalled unit is
-        re-offered before untouched ones of later jobs.
+        is idle — the unbatched protocol, a batch of one.
         """
+        leases = self.lease_batch(worker, 1)
+        return leases[0] if leases else None
+
+    def lease_batch(self, worker: str, count: int) -> list[dict]:
+        """Lease up to ``count`` work units to ``worker`` in one call.
+
+        Returns a (possibly empty) list of lease dicts, each the same
+        shape as a single :meth:`lease` response. Expired leases are
+        swept first so a stalled unit is re-offered before untouched
+        ones of later jobs; the whole grant happens in one store
+        transaction, and every fresh unit in the batch shares one lease
+        clock reading — a batch expires as a whole, not raggedly.
+
+        Units the worker already holds live leases on come first: a
+        batched lease response lost in transit must be re-issued to the
+        retrying worker (same units, same attempts) — answering "idle"
+        would strand the grants until TTL expiry, or strand the job
+        outright if the worker exits believing the queue is empty.
+        """
+        if count < 1:
+            raise ServiceError(f"lease count must be >= 1, got {count}")
         now = self.clock()
         self.requeue_expired(now)
-        # A lease whose response was lost in transit must be re-issued
-        # to the retrying worker (same unit, same attempt) — answering
-        # "idle" would strand the grant until TTL expiry, or strand the
-        # job outright if the worker exits believing the queue is empty.
-        unit = self.store.reissue_lease(worker, now, self.lease_ttl)
-        if unit is not None:
+        units: list[dict] = []
+        reissued = self.store.reissue_leases(worker, now, self.lease_ttl, count)
+        for unit in reissued:
             self.counters.bump("lease_reissues")
             self._emit(
                 unit["job_id"], "lease_reissued",
                 unit_id=unit["unit_id"], worker=worker,
                 attempt=unit["attempts"],
             )
-        else:
-            unit = self.store.lease_next(worker, now, self.lease_ttl)
-            if unit is None:
-                return None
-            self.counters.bump("leases_granted")
-            job = self.store.job(unit["job_id"])
-            if job is not None and job["state"] == JOB_QUEUED:
-                self.store.set_job_state(unit["job_id"], JOB_RUNNING)
-                self._emit(unit["job_id"], "running")
-            self._emit(
-                unit["job_id"], "leased",
-                unit_id=unit["unit_id"], worker=worker,
-                attempt=unit["attempts"],
+        units.extend(reissued)
+        remaining = count - len(reissued)
+        if remaining > 0:
+            fresh = self.store.lease_batch(
+                worker, now, self.lease_ttl, remaining
             )
+            if fresh:
+                self.counters.bump("leases_granted", len(fresh))
+                if count > 1:
+                    self.counters.bump("batch_leases_granted")
+                for unit in fresh:
+                    job = self.store.job(unit["job_id"])
+                    if job is not None and job["state"] == JOB_QUEUED:
+                        self.store.set_job_state(unit["job_id"], JOB_RUNNING)
+                        self._emit(unit["job_id"], "running")
+                    self._emit(
+                        unit["job_id"], "leased",
+                        unit_id=unit["unit_id"], worker=worker,
+                        attempt=unit["attempts"],
+                    )
+                units.extend(fresh)
+        return [self._lease_view(unit) for unit in units]
+
+    def _lease_view(self, unit: dict) -> dict:
+        """The worker-facing lease payload for one leased unit row."""
         job_id = unit["job_id"]
-        spec = self.spec(job_id)
         return {
             "unit": WorkUnit(
                 job_id=job_id,
@@ -268,7 +300,7 @@ class CampaignScheduler:
                 shard_index=unit["shard_index"],
                 shard_count=unit["shard_count"],
             ).to_dict(),
-            "spec": spec.to_dict(),
+            "spec": self.spec(job_id).to_dict(),
             "lease_ttl": self.lease_ttl,
             "attempt": unit["attempts"],
         }
@@ -312,20 +344,9 @@ class CampaignScheduler:
         if not accepted:
             self.counters.bump("bounced_completes")
             return False
-        spec = self.spec(job_id)
-        positions = {name: i for i, name in enumerate(spec.config.workloads)}
-        rows = []
-        for entry in result.get("outcomes", []):
-            rows.append((
-                entry["key"],
-                positions.get(entry["workload"], len(positions)),
-                entry["workload"],
-                entry["point"],
-                entry["index"],
-                entry["status"],
-                json.dumps(entry),
-            ))
-        new = self.store.add_trials(job_id, rows)
+        new = self.store.add_trials(
+            job_id, self._trial_rows(job_id, result.get("outcomes", []))
+        )
         self._emit(
             job_id, "unit_done",
             unit_id=unit_id, worker=worker, trials=new,
@@ -333,6 +354,76 @@ class CampaignScheduler:
         )
         self._maybe_finalize(job_id)
         return True
+
+    def complete_chunk(
+        self, job_id: str, unit_id: str, worker: str, result: dict,
+        index: int, count: int,
+    ) -> bool:
+        """Ingest one bounded chunk of a finishing unit's results.
+
+        A unit with many trials streams its ``outcomes`` back in
+        ``count`` chunks instead of one giant POST. Chunks ``0..count-2``
+        carry only an outcomes slice: they are ingested into the trial
+        store (idempotently — the trial key *is* the chunk's idempotency
+        key, so a duplicated or redelivered chunk can never
+        double-count) and refresh the lease, since a slow stream must
+        not expire mid-delivery. The final chunk carries the unit-level
+        result (skip reason, bit population, telemetry aggregate) plus
+        the last slice, and lands through the ordinary idempotent
+        :meth:`complete` path.
+
+        Partial chunks from a worker that no longer holds the lease
+        bounce (``False``) — the retry attempt regenerates identical
+        records — while redelivery after this worker's own complete was
+        ingested is accepted, mirroring :meth:`complete`.
+        """
+        if count < 1 or not 0 <= index < count:
+            raise ServiceError(
+                f"invalid chunk {index}/{count} for {job_id}/{unit_id}"
+            )
+        self.counters.bump("chunked_completes")
+        if index == count - 1:
+            return self.complete(job_id, unit_id, worker, result)
+        unit = self.store.unit(job_id, unit_id)
+        if unit is None:
+            raise ServiceError(f"no such unit: {job_id}/{unit_id}")
+        if unit["state"] == UNIT_DONE and unit["worker"] == worker:
+            # Redelivery of a chunk the store already has: settle the
+            # sender, exactly like a duplicate complete.
+            self.counters.bump("duplicate_completes")
+            return True
+        if unit["state"] != UNIT_LEASED or unit["worker"] != worker:
+            self.counters.bump("bounced_completes")
+            return False
+        new = self.store.add_trials(
+            job_id, self._trial_rows(job_id, result.get("outcomes", []))
+        )
+        self.store.heartbeat(
+            job_id, unit_id, worker, self.clock() + self.lease_ttl
+        )
+        self._emit(
+            job_id, "chunk_ingested",
+            unit_id=unit_id, worker=worker, chunk=index, chunks=count,
+            trials=new,
+        )
+        return True
+
+    def _trial_rows(self, job_id: str, outcomes: list[dict]) -> list[tuple]:
+        """Store rows for reported trial entries, keyed for serial order."""
+        spec = self.spec(job_id)
+        positions = {name: i for i, name in enumerate(spec.config.workloads)}
+        return [
+            (
+                entry["key"],
+                positions.get(entry["workload"], len(positions)),
+                entry["workload"],
+                entry["point"],
+                entry["index"],
+                entry["status"],
+                json.dumps(entry),
+            )
+            for entry in outcomes
+        ]
 
     def fail(
         self, job_id: str, unit_id: str, worker: str, error: str

@@ -206,59 +206,91 @@ class ResultStore:
         ).fetchall()
         return {row["state"]: row["n"] for row in rows}
 
-    def lease_next(self, worker: str, now: float, ttl: float) -> dict | None:
-        """Lease the oldest pending unit of the oldest active job, if any."""
-        row = self._conn.execute(
+    def lease_batch(
+        self, worker: str, now: float, ttl: float, limit: int
+    ) -> list[dict]:
+        """Lease up to ``limit`` pending units to ``worker`` atomically.
+
+        One SQLite transaction covers the whole grant, and every unit in
+        the batch carries the *same* lease clock reading (``now + ttl``)
+        — one lease clock per batch, so a batch expires as a whole
+        rather than unit-by-unit as the select walked the queue. Units
+        come oldest-job-first, oldest-unit-first, exactly the order a
+        sequence of single leases would have drained them.
+        """
+        rows = self._conn.execute(
             "SELECT units.rowid AS unit_rowid, units.* FROM units "
             "JOIN jobs ON jobs.job_id = units.job_id "
             "WHERE units.state = ? AND jobs.state IN (?, ?) "
-            "ORDER BY jobs.seq, units.rowid LIMIT 1",
-            (UNIT_PENDING, JOB_QUEUED, JOB_RUNNING),
-        ).fetchone()
-        if row is None:
-            return None
-        self._conn.execute(
+            "ORDER BY jobs.seq, units.rowid LIMIT ?",
+            (UNIT_PENDING, JOB_QUEUED, JOB_RUNNING, limit),
+        ).fetchall()
+        if not rows:
+            return []
+        expiry = now + ttl
+        self._conn.executemany(
             "UPDATE units SET state = ?, worker = ?, lease_expiry = ?, "
             "attempts = attempts + 1 WHERE rowid = ?",
-            (UNIT_LEASED, worker, now + ttl, row["unit_rowid"]),
+            [(UNIT_LEASED, worker, expiry, row["unit_rowid"]) for row in rows],
         )
         self._conn.commit()
-        unit = dict(row)
-        unit.pop("unit_rowid", None)
-        unit.update(
-            state=UNIT_LEASED, worker=worker, lease_expiry=now + ttl,
-            attempts=row["attempts"] + 1,
-        )
-        return unit
+        units = []
+        for row in rows:
+            unit = dict(row)
+            unit.pop("unit_rowid", None)
+            unit.update(
+                state=UNIT_LEASED, worker=worker, lease_expiry=expiry,
+                attempts=row["attempts"] + 1,
+            )
+            units.append(unit)
+        return units
 
-    def reissue_lease(self, worker: str, now: float, ttl: float) -> dict | None:
-        """Return the unit ``worker`` already holds, refreshing its lease.
+    def lease_next(self, worker: str, now: float, ttl: float) -> dict | None:
+        """Lease the oldest pending unit of the oldest active job, if any."""
+        units = self.lease_batch(worker, now, ttl, limit=1)
+        return units[0] if units else None
+
+    def reissue_leases(
+        self, worker: str, now: float, ttl: float, limit: int
+    ) -> list[dict]:
+        """Return up to ``limit`` units ``worker`` already holds live
+        leases on, refreshing them all to one new lease clock.
 
         A lease response can be lost in transit; the worker's retry must
-        get the same unit back rather than an idle signal, which would
-        strand the grant until TTL expiry (or forever, for an
-        exit-when-idle worker that quits believing the queue is empty).
-        The retry is the same attempt, so ``attempts`` is not re-counted.
+        get the same units back rather than an idle signal, which would
+        strand the grants until TTL expiry (or strand the job outright,
+        for an exit-when-idle worker that quits believing the queue is
+        empty). The retry is the same attempt per unit, so ``attempts``
+        is not re-counted.
         """
-        row = self._conn.execute(
+        rows = self._conn.execute(
             "SELECT units.rowid AS unit_rowid, units.* FROM units "
             "JOIN jobs ON jobs.job_id = units.job_id "
             "WHERE units.state = ? AND units.worker = ? AND "
             "units.lease_expiry > ? AND jobs.state IN (?, ?) "
-            "ORDER BY jobs.seq, units.rowid LIMIT 1",
-            (UNIT_LEASED, worker, now, JOB_QUEUED, JOB_RUNNING),
-        ).fetchone()
-        if row is None:
-            return None
-        self._conn.execute(
+            "ORDER BY jobs.seq, units.rowid LIMIT ?",
+            (UNIT_LEASED, worker, now, JOB_QUEUED, JOB_RUNNING, limit),
+        ).fetchall()
+        if not rows:
+            return []
+        expiry = now + ttl
+        self._conn.executemany(
             "UPDATE units SET lease_expiry = ? WHERE rowid = ?",
-            (now + ttl, row["unit_rowid"]),
+            [(expiry, row["unit_rowid"]) for row in rows],
         )
         self._conn.commit()
-        unit = dict(row)
-        unit.pop("unit_rowid", None)
-        unit["lease_expiry"] = now + ttl
-        return unit
+        units = []
+        for row in rows:
+            unit = dict(row)
+            unit.pop("unit_rowid", None)
+            unit["lease_expiry"] = expiry
+            units.append(unit)
+        return units
+
+    def reissue_lease(self, worker: str, now: float, ttl: float) -> dict | None:
+        """Single-unit :meth:`reissue_leases` (the unbatched protocol)."""
+        units = self.reissue_leases(worker, now, ttl, limit=1)
+        return units[0] if units else None
 
     def heartbeat(
         self, job_id: str, unit_id: str, worker: str, expiry: float

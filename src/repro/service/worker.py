@@ -152,12 +152,16 @@ class WorkerOutbox:
         paths = [os.path.join(self.directory, name) for name in names]
         return sorted(paths, key=lambda p: (os.path.getmtime(p), p))
 
-    def replay(self, client) -> tuple[int, int]:
+    def replay(self, client, chunk_size: int | None = None) -> tuple[int, int]:
         """Attempt to deliver every spooled result through ``client``.
 
         Returns ``(delivered, bounced)``. Stops early on a retryable
         error (the service is unreachable; the spool stays intact for
-        the next attempt).
+        the next attempt). With ``chunk_size`` set, replay streams each
+        record in bounded chunks just like first-time delivery; records
+        always hold the whole result, so a replay that follows a
+        partially delivered stream simply re-sends chunks the trial
+        store dedupes.
         """
         delivered = bounced = 0
         for path in self.pending():
@@ -173,10 +177,16 @@ class WorkerOutbox:
                 os.unlink(path)
                 continue
             try:
-                accepted = client.complete(
-                    record["job_id"], record["unit_id"], record["worker"],
-                    record["result"],
-                )
+                if chunk_size is not None:
+                    accepted = client.complete_chunked(
+                        record["job_id"], record["unit_id"],
+                        record["worker"], record["result"], chunk_size,
+                    )
+                else:
+                    accepted = client.complete(
+                        record["job_id"], record["unit_id"],
+                        record["worker"], record["result"],
+                    )
             except ServiceClientError as exc:
                 if exc.retryable:
                     break
@@ -204,14 +214,19 @@ class WorkerOutbox:
 class LocalWorkerPool:
     """In-process workers for ``repro serve``: asyncio loops over a pool.
 
-    Each of the ``workers`` loops leases directly from the scheduler (no
-    HTTP round trip for the built-in fleet) and runs
-    :func:`execute_unit` on ``executor`` — a process pool by default, so
-    trial execution parallelizes across cores while the event loop stays
-    responsive. While a unit executes, the loop heartbeats its lease at a
-    third of the TTL. Reports the scheduler refuses (the lease expired
-    under us) are counted in ``units_bounced`` — a bounced complete
-    means the unit will execute twice, which operators should see.
+    Each of the ``workers`` loops leases up to ``lease_batch`` units
+    directly from the scheduler (no HTTP round trip for the built-in
+    fleet) and pipelines the whole batch through ``executor`` — a
+    process pool by default (``executor_kind="process"``), so trial
+    execution parallelizes across cores while the event loop keeps
+    serving HTTP; the golden-artifact cache at ``cache_dir`` is the
+    fleet's shared warm store, so only the first process to reach a
+    (workload, config) pays for its golden run. Completed units are
+    reported as each finishes (no batch barrier), and the loop
+    heartbeats every still-running lease at a third of the TTL. Reports
+    the scheduler refuses (the lease expired under us) are counted in
+    ``units_bounced`` — a bounced complete means the unit will execute
+    twice, which operators should see.
     """
 
     def __init__(
@@ -220,13 +235,24 @@ class LocalWorkerPool:
         workers: int = 1,
         *,
         executor: Executor | None = None,
+        executor_kind: str = "process",
+        lease_batch: int = 1,
         poll_interval: float = 0.2,
         cache_dir: str | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor_kind not in ("process", "thread"):
+            raise ValueError(
+                f"executor_kind must be 'process' or 'thread', "
+                f"got {executor_kind!r}"
+            )
+        if lease_batch < 1:
+            raise ValueError(f"lease_batch must be >= 1, got {lease_batch}")
         self.scheduler = scheduler
         self.workers = workers
+        self.executor_kind = executor_kind
+        self.lease_batch = lease_batch
         self.poll_interval = poll_interval
         self.cache_dir = cache_dir
         self._executor = executor
@@ -238,7 +264,12 @@ class LocalWorkerPool:
 
     def start(self) -> None:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            if self.executor_kind == "process":
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
         loop = asyncio.get_running_loop()
         self._tasks = [
             loop.create_task(self._worker_loop(f"local-{index}"))
@@ -268,30 +299,62 @@ class LocalWorkerPool:
 
     async def _worker_loop(self, name: str) -> None:
         while True:
-            lease = self.scheduler.lease(name)
-            if lease is None:
+            leases = self.scheduler.lease_batch(name, self.lease_batch)
+            if not leases:
                 await asyncio.sleep(self.poll_interval)
                 continue
-            await self._run_unit(name, lease)
+            await self._run_batch(name, leases)
 
     async def _run_unit(self, name: str, lease: dict) -> None:
-        unit = lease["unit"]
-        job_id, unit_id = unit["job_id"], unit["unit_id"]
+        """Run a single leased unit (batch of one)."""
+        await self._run_batch(name, [lease])
+
+    async def _run_batch(self, name: str, leases: list[dict]) -> None:
+        """Pipeline a leased batch through the executor.
+
+        All units are submitted at once so the pool stays saturated;
+        each is completed or failed the moment its future resolves (no
+        barrier — unit A's complete never waits on unit B's execution),
+        and every still-pending lease is heartbeated between wakeups.
+        """
         loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(
-            self._executor, execute_unit, lease["spec"], unit, self.cache_dir
+        pending: dict = {}
+        interval = max(
+            0.05,
+            min(lease.get("lease_ttl", 60.0) for lease in leases) / 3,
         )
-        interval = max(0.05, lease.get("lease_ttl", 60.0) / 3)
+        for lease in leases:
+            unit = lease["unit"]
+            future = loop.run_in_executor(
+                self._executor, execute_unit,
+                lease["spec"], unit, self.cache_dir,
+            )
+            pending[future] = unit
         try:
-            while True:
-                done, _ = await asyncio.wait({future}, timeout=interval)
-                if done:
-                    break
-                self.scheduler.heartbeat(job_id, unit_id, name)
-            result = future.result()
+            while pending:
+                done, _ = await asyncio.wait(
+                    set(pending), timeout=interval,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for future in done:
+                    unit = pending.pop(future)
+                    self._report(name, unit, future)
+                for unit in pending.values():
+                    self.scheduler.heartbeat(
+                        unit["job_id"], unit["unit_id"], name
+                    )
         except asyncio.CancelledError:
-            self.scheduler.fail(job_id, unit_id, name, "worker shut down")
+            for unit in pending.values():
+                self.scheduler.fail(
+                    unit["job_id"], unit["unit_id"], name, "worker shut down"
+                )
             raise
+
+    def _report(self, name: str, unit: dict, future) -> None:
+        """Deliver one finished future's outcome to the scheduler."""
+        job_id, unit_id = unit["job_id"], unit["unit_id"]
+        try:
+            result = future.result()
         except Exception as exc:
             self.units_failed += 1
             if not self.scheduler.fail(job_id, unit_id, name, repr(exc)):
@@ -304,6 +367,13 @@ class LocalWorkerPool:
 
 class RemoteWorker:
     """A pull-based worker process speaking the HTTP lease protocol.
+
+    With ``lease_batch`` > 1 the worker leases up to that many units per
+    round trip (the scheduler grants them under one lease clock) and
+    heartbeats the whole batch while draining it unit by unit; with
+    ``complete_chunk`` set, each finished unit's results stream back in
+    bounded chunks instead of one giant POST. Both knobs amortize the
+    per-unit protocol cost that otherwise caps fleet scaling.
 
     Resilience posture (all counters are public attributes):
 
@@ -332,13 +402,23 @@ class RemoteWorker:
         exit_when_idle: bool = False,
         cache_dir: str | None = None,
         outbox_dir: str | None = None,
+        lease_batch: int = 1,
+        complete_chunk: int | None = None,
     ):
+        if lease_batch < 1:
+            raise ValueError(f"lease_batch must be >= 1, got {lease_batch}")
+        if complete_chunk is not None and complete_chunk < 1:
+            raise ValueError(
+                f"complete_chunk must be >= 1, got {complete_chunk}"
+            )
         self.client = client
         self.name = name
         self.poll_interval = poll_interval
         self.max_units = max_units
         self.exit_when_idle = exit_when_idle
         self.cache_dir = cache_dir
+        self.lease_batch = lease_batch
+        self.complete_chunk = complete_chunk
         if outbox_dir is None:
             outbox_dir = tempfile.mkdtemp(prefix=f"repro-outbox-{name}-")
         self.outbox = WorkerOutbox(outbox_dir)
@@ -381,25 +461,34 @@ class RemoteWorker:
             ):
                 break
             try:
-                lease = self.client.lease(self.name)
+                leases = self._lease()
             except ServiceClientError as exc:
                 if not exc.retryable:
                     raise
                 # Unreachable or breaker-open: the queue will come back.
                 self._stop.wait(self.poll_interval)
                 continue
-            if lease is None:
+            if not leases:
                 if self.exit_when_idle and not outbox_pending:
                     break
                 self._stop.wait(self.poll_interval)
                 continue
-            unit = lease["unit"]
-            if (unit["job_id"], unit["unit_id"]) in self._rejected:
-                self._fail_rejected(unit["job_id"], unit["unit_id"])
-                continue
-            self._run_unit(lease)
+            self._run_batch(leases)
         self._flush_outbox()
         return self.units_done
+
+    def _lease(self) -> list[dict]:
+        """Lease the next batch of work (one unit when unbatched)."""
+        count = self.lease_batch
+        if self.max_units is not None:
+            count = min(
+                count,
+                max(1, self.max_units - self.units_done - self.units_failed),
+            )
+        if count > 1:
+            return self.client.lease_batch(self.name, count)
+        lease = self.client.lease(self.name)
+        return [lease] if lease is not None else []
 
     def _fail_rejected(self, job_id: str, unit_id: str) -> None:
         """Surrender a re-issued lease whose results the service rejects."""
@@ -417,7 +506,9 @@ class RemoteWorker:
         if not self.outbox.pending():
             return False
         try:
-            delivered, bounced = self.outbox.replay(self.client)
+            delivered, bounced = self.outbox.replay(
+                self.client, self.complete_chunk
+            )
         except ServiceClientError:
             return True
         self.outbox_replayed += delivered
@@ -425,55 +516,127 @@ class RemoteWorker:
         return bool(self.outbox.pending())
 
     def _run_unit(self, lease: dict) -> None:
-        unit = lease["unit"]
-        job_id, unit_id = unit["job_id"], unit["unit_id"]
-        interval = max(0.05, float(lease.get("lease_ttl", 60.0)) / 3)
+        """Run one leased unit (the unbatched protocol: a batch of one)."""
+        self._run_batch([lease])
+
+    def _run_batch(self, leases: list[dict]) -> None:
+        """Execute a leased batch, unit by unit, under one beat thread.
+
+        Units execute sequentially (a remote worker is one process), but
+        every lease in the batch is heartbeated concurrently so the
+        units still queued behind the running one never expire. A unit
+        whose lease the scheduler reports gone is skipped — it will run
+        elsewhere — and each finished unit's results are delivered as it
+        completes, not at a batch barrier.
+        """
+        lock = threading.Lock()
+        held: dict[tuple[str, str], dict] = {}
+        lost: set[tuple[str, str]] = set()
+        for lease in leases:
+            unit = lease["unit"]
+            held[(unit["job_id"], unit["unit_id"])] = unit
+        interval = max(
+            0.05,
+            min(float(lease.get("lease_ttl", 60.0)) for lease in leases) / 3,
+        )
         beat_stop = threading.Event()
 
         def beat() -> None:
             # Retry forever on delivery errors (the client already
             # applies per-call backoff); only a definitive "ok: false"
-            # from the scheduler — the lease is gone — stops the loop.
+            # from the scheduler — that lease is gone — drops a unit
+            # from the heartbeat set (and from the work list).
             while not beat_stop.wait(interval):
-                try:
-                    alive = self.client.heartbeat(job_id, unit_id, self.name)
-                except ServiceClientError:
-                    self.heartbeat_retries += 1
-                    continue
-                if not alive:
-                    self.leases_lost += 1
-                    return
+                with lock:
+                    targets = list(held)
+                for job_id, unit_id in targets:
+                    try:
+                        alive = self.client.heartbeat(
+                            job_id, unit_id, self.name
+                        )
+                    except ServiceClientError:
+                        self.heartbeat_retries += 1
+                        continue
+                    if not alive:
+                        self.leases_lost += 1
+                        with lock:
+                            held.pop((job_id, unit_id), None)
+                            lost.add((job_id, unit_id))
 
         beater = threading.Thread(target=beat, daemon=True)
         beater.start()
         try:
-            result = execute_unit(lease["spec"], unit, self.cache_dir)
-        except Exception as exc:
-            beat_stop.set()
-            self.units_failed += 1
-            try:
-                if not self.client.fail(job_id, unit_id, self.name, repr(exc)):
-                    self.units_bounced += 1
-                    warnings.warn(
-                        f"fail report for {job_id}/{unit_id} bounced "
-                        f"(lease expired) — the unit may execute twice",
-                        WorkerDeliveryWarning, stacklevel=2,
-                    )
-            except ServiceClientError:
-                pass  # the lease TTL will requeue the attempt
-            return
+            for lease in leases:
+                unit = lease["unit"]
+                job_id, unit_id = unit["job_id"], unit["unit_id"]
+                key = (job_id, unit_id)
+                if self._stop.is_set():
+                    # Surrender the rest of the batch so it requeues now
+                    # instead of after a TTL of silence.
+                    with lock:
+                        if key in lost:
+                            continue
+                        held.pop(key, None)
+                    try:
+                        self.client.fail(
+                            job_id, unit_id, self.name, "worker shut down"
+                        )
+                    except ServiceClientError:
+                        pass  # the lease TTL will requeue the attempt
+                    continue
+                with lock:
+                    if key in lost:
+                        continue  # expired while queued; runs elsewhere
+                if key in self._rejected:
+                    with lock:
+                        held.pop(key, None)
+                    self._fail_rejected(job_id, unit_id)
+                    continue
+                try:
+                    result = execute_unit(lease["spec"], unit, self.cache_dir)
+                except Exception as exc:
+                    with lock:
+                        held.pop(key, None)
+                    self.units_failed += 1
+                    try:
+                        if not self.client.fail(
+                            job_id, unit_id, self.name, repr(exc)
+                        ):
+                            self.units_bounced += 1
+                            warnings.warn(
+                                f"fail report for {job_id}/{unit_id} bounced "
+                                f"(lease expired) — the unit may execute "
+                                f"twice",
+                                WorkerDeliveryWarning, stacklevel=2,
+                            )
+                    except ServiceClientError:
+                        pass  # the lease TTL will requeue the attempt
+                    continue
+                with lock:
+                    held.pop(key, None)
+                self.units_done += 1
+                self._deliver(job_id, unit_id, result)
         finally:
             beat_stop.set()
             beater.join(timeout=1.0)
-        self.units_done += 1
-        self._deliver(job_id, unit_id, result)
 
     def _deliver(self, job_id: str, unit_id: str, result: dict) -> None:
-        """Report a completed unit, spooling the result if delivery fails."""
+        """Report a completed unit, spooling the result if delivery fails.
+
+        Delivery is chunked when ``complete_chunk`` is set; a stream
+        that dies mid-chunk spools the *whole* result (never a torn
+        suffix) — replay re-sends every chunk, and the ones that already
+        landed dedupe on their trial keys.
+        """
         try:
-            accepted = self.client.complete(
-                job_id, unit_id, self.name, result
-            )
+            if self.complete_chunk is not None:
+                accepted = self.client.complete_chunked(
+                    job_id, unit_id, self.name, result, self.complete_chunk
+                )
+            else:
+                accepted = self.client.complete(
+                    job_id, unit_id, self.name, result
+                )
         except ServiceClientError as exc:
             if exc.retryable:
                 self.outbox.spool(job_id, unit_id, self.name, result)
