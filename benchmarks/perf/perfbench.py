@@ -12,6 +12,9 @@ machine-independent ratios
 
 - ``arch_speedup``  — fast path vs. per-step decode reference path
 - ``uarch_speedup`` — fast path vs. allocation-heavy reference path
+- ``arch_lockstep_speedup`` — lockstep batch-trial scheduler vs. the
+  serial per-trial path, golden-run time excluded via a shared
+  golden-artifact cache (both legs run warm)
 
 Results are written as schema'd JSON (see ``SCHEMA``). Usage::
 
@@ -31,6 +34,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
@@ -56,6 +60,9 @@ SCALES = {
         "uarch_max_cycles": 4_000,
         "campaign": {"trials_per_workload": 12, "injection_points": 6,
                      "workloads": ("gzip", "mcf")},
+        "lockstep_campaign": {"trials_per_workload": 60,
+                              "injection_points": 10,
+                              "workloads": ("gzip", "mcf", "parser")},
     },
     "full": {
         "min_seconds": 2.0,
@@ -64,6 +71,9 @@ SCALES = {
         "uarch_max_cycles": 8_000,
         "campaign": {"trials_per_workload": 40, "injection_points": 10,
                      "workloads": ("gzip", "mcf", "parser")},
+        "lockstep_campaign": {"trials_per_workload": 120,
+                              "injection_points": 20,
+                              "workloads": ("gzip", "mcf", "parser")},
     },
 }
 
@@ -118,14 +128,36 @@ def _uarch_pipeline(bundle, reference: bool) -> Pipeline:
     return load_pipeline(bundle.program)
 
 
-def _bench_campaign(campaign_cfg: dict):
+def _bench_campaign(campaign_cfg: dict, lockstep: bool = True,
+                    cache_dir: str | None = None):
     """End-to-end arch fault-injection campaign trials per second."""
     config = ArchCampaignConfig(seed=SEED, **campaign_cfg)
     start = time.perf_counter()
-    report = run_campaign("arch", config)
+    report = run_campaign(
+        "arch", config, cache_dir=cache_dir, lockstep=lockstep
+    )
     elapsed = time.perf_counter() - start
     trials = len(report.result.trials)
     return trials / elapsed, trials
+
+
+def _bench_lockstep_speedup(campaign_cfg: dict):
+    """Lockstep vs. serial trial throughput, golden-run time excluded.
+
+    Both legs run against a pre-warmed golden-artifact cache, so the
+    ratio measures trial execution alone — the quantity the scheduler
+    actually changes — and stays machine-independent enough to gate.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-perf-cache-") as cache_dir:
+        config = ArchCampaignConfig(seed=SEED, **campaign_cfg)
+        run_campaign("arch", config, cache_dir=cache_dir)  # warm the cache
+        lock_rate, trials = _bench_campaign(
+            campaign_cfg, lockstep=True, cache_dir=cache_dir
+        )
+        serial_rate, _ = _bench_campaign(
+            campaign_cfg, lockstep=False, cache_dir=cache_dir
+        )
+    return lock_rate, serial_rate, trials
 
 
 def _supports_reference_paths() -> bool:
@@ -166,6 +198,19 @@ def run_benchmarks(scale: str, with_reference: bool = True) -> dict:
     metrics["campaign_trials_per_sec"] = {
         "value": round(trial_rate, 2), "unit": "trials/s",
         "details": {"trials": trials, **knobs["campaign"]},
+    }
+
+    lock_rate, serial_rate, lock_trials = _bench_lockstep_speedup(
+        knobs["lockstep_campaign"]
+    )
+    metrics["arch_lockstep_speedup"] = {
+        "value": round(lock_rate / serial_rate, 2), "unit": "x",
+        "details": {
+            "lockstep_trials_per_sec": round(lock_rate, 2),
+            "serial_trials_per_sec": round(serial_rate, 2),
+            "trials": lock_trials,
+            **knobs["lockstep_campaign"],
+        },
     }
 
     if with_reference and _supports_reference_paths():

@@ -35,6 +35,11 @@ class SparseMemory:
     def __init__(self):
         self._pages: dict[int, bytearray] = {}
         self._protection: dict[int, PageProtection] = {}
+        # Page numbers whose bytearray may be shared with another image
+        # after clone_cow(); a writer copies the page out before its first
+        # mutation. Empty for images that never took part in a COW clone,
+        # so the write-path barrier is one failed set lookup.
+        self._shared: set[int] = set()
         # Bumped by every route that can change read-only (text) bytes:
         # mapping and the protection-bypassing loader. Consumers that cache
         # derived views of text pages (the simulator's pre-decoded
@@ -88,6 +93,9 @@ class SparseMemory:
             page = (address + offset) >> PAGE_SHIFT
             if page not in self._pages:
                 raise AccessViolation(address + offset, "load-image")
+            if page in self._shared:
+                self._pages[page] = bytearray(self._pages[page])
+                self._shared.discard(page)
             page_offset = (address + offset) & PAGE_MASK
             chunk = min(len(data) - offset, PAGE_SIZE - page_offset)
             self._pages[page][page_offset:page_offset + chunk] = (
@@ -129,6 +137,9 @@ class SparseMemory:
             raise AccessViolation(address, "write")
         if self._protection[page] is PageProtection.READ_ONLY:
             raise AccessViolation(address, "write-protected")
+        if page in self._shared:
+            data = self._pages[page] = bytearray(data)
+            self._shared.discard(page)
         if offset + size <= PAGE_SIZE:
             data[offset:offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
                 size, "little"
@@ -146,6 +157,9 @@ class SparseMemory:
                 raise AccessViolation(byte_address, "write")
             if self._protection[page_number] is PageProtection.READ_ONLY:
                 raise AccessViolation(byte_address, "write-protected")
+            if page_number in self._shared:
+                page = self._pages[page_number] = bytearray(page)
+                self._shared.discard(page_number)
             page[byte_address & PAGE_MASK] = byte
 
     # ----------------------------------------------------------- snapshots
@@ -156,6 +170,26 @@ class SparseMemory:
         copy._pages = {page: bytearray(data) for page, data in self._pages.items()}
         copy._protection = dict(self._protection)
         copy.image_version = self.image_version
+        return copy
+
+    def clone_cow(self) -> "SparseMemory":
+        """Copy-on-write copy: pages are shared until either side writes.
+
+        Both images mark every current page as shared; the first mutation
+        of a shared page (an ordinary ``write`` or a loader ``load_bytes``)
+        copies that page out for the writer, leaving other sharers reading
+        the original bytes. Reads never copy. Cloning is O(pages) dict
+        copies instead of O(bytes), which is what lets a fault campaign
+        materialize a diverged trial's private memory mid-run without
+        duplicating the whole image up front.
+        """
+        copy = SparseMemory()
+        copy._pages = dict(self._pages)
+        copy._protection = dict(self._protection)
+        copy.image_version = self.image_version
+        shared = set(self._pages)
+        self._shared |= shared
+        copy._shared = set(shared)
         return copy
 
     def equals(self, other: "SparseMemory") -> bool:

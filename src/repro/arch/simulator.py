@@ -112,12 +112,19 @@ class ArchSimulator:
         self._predecode_shared = False
         self._predecode_version = state.memory.image_version
 
-    def fork(self) -> "ArchSimulator":
-        """An independent copy of the current machine (for fault trials)."""
+    def fork(self, cow: bool = False) -> "ArchSimulator":
+        """An independent copy of the current machine (for fault trials).
+
+        With ``cow=True`` the memory image is a copy-on-write clone
+        (:meth:`~repro.arch.memory.SparseMemory.clone_cow`): pages stay
+        shared until either machine writes them, so forking is O(pages)
+        instead of O(bytes). Architecturally both forms are identical.
+        """
+        memory = self.state.memory
         state = ArchState(
             regs=list(self.state.regs),
             pc=self.state.pc,
-            memory=self.state.memory.clone(),
+            memory=memory.clone_cow() if cow else memory.clone(),
         )
         copy = ArchSimulator(
             state, shared_closures=self._closures, predecode=self.predecode
@@ -272,6 +279,7 @@ class ArchSimulator:
         pcs = trace.pcs
         memops = trace.memops
         writers = trace.writer_steps
+        memop_counts = trace.memop_counts
         budget = max_instructions
         step = self.step
         while budget > 0 and self.stop_reason is StopReason.RUNNING:
@@ -283,6 +291,7 @@ class ArchSimulator:
             pcs.append(pc)
             if self.last_memop is not None:
                 memops.append(self.last_memop)
+            memop_counts.append(len(memops))
             if self.last_dest >= 0:
                 trace_step = len(pcs) - 1
                 writers.append(trace_step)

@@ -42,6 +42,13 @@ class ExecutionTrace:
     pcs: list[int] = field(default_factory=list)
     memops: list[MemoryOp] = field(default_factory=list)
     writer_steps: list[int] = field(default_factory=list)
+    # memop_counts[i] == number of memory operations retired up to and
+    # including step i (so step i's own memop, when it has one, is
+    # memops[memop_counts[i] - 1]). Recorded while the golden run executes
+    # rather than re-derived later by decoding instruction words out of the
+    # final memory image, which silently misattributes memops when an
+    # executed word on a writable page is overwritten by a later store.
+    memop_counts: list[int] = field(default_factory=list)
     final_regs: tuple[int, ...] | None = None
     final_memory: "SparseMemory | None" = None
     exception: "IsaException | None" = None

@@ -62,7 +62,7 @@ if TYPE_CHECKING:
 #: Bumped whenever the pickled artifact layout changes; part of the key,
 #: so old entries become unreachable (and reclaimable via ``cache clear``)
 #: rather than misread.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 class CacheCorruptionWarning(UserWarning):
@@ -85,11 +85,12 @@ def program_digest(program: "Program") -> str:
 @dataclass(frozen=True)
 class ArchGoldenArtifact:
     """Everything an arch-campaign workload derives before its first trial:
-    the golden trace (with its periodic architectural snapshots) and the
-    per-step memory-operation prefix counts."""
+    the golden trace, with its periodic architectural snapshots and the
+    per-step memory-operation prefix counts recorded while it ran (schema
+    v2 — v1 entries carried separately re-decoded counts and miss
+    cleanly)."""
 
     trace: "ExecutionTrace"
-    memop_counts: list[int]
 
 
 @dataclass(frozen=True)

@@ -75,12 +75,17 @@ class ExecutionPolicy:
     to recomputing them.
 
     ``jobs=None`` means "use every core" (``os.cpu_count()``);
-    ``cache_dir=None`` disables the golden-artifact cache.
+    ``cache_dir=None`` disables the golden-artifact cache. ``lockstep``
+    selects the arch campaign's batched execution strategy (see
+    :mod:`repro.faults.lockstep`) — journals are byte-identical either
+    way, which is why it lives here and not in the scientific config; it
+    is ignored by uarch campaigns.
     """
 
     jobs: int | None = None
     trial_timeout: float | None = None
     cache_dir: str | None = None
+    lockstep: bool = True
 
     def __post_init__(self) -> None:
         jobs = self.jobs
@@ -102,6 +107,10 @@ class ExecutionPolicy:
             raise ValueError(
                 f"cache_dir must be a non-empty path (or None to disable "
                 f"the cache), got {self.cache_dir!r}"
+            )
+        if not isinstance(self.lockstep, bool):
+            raise ValueError(
+                f"lockstep must be a bool, got {self.lockstep!r}"
             )
 
 
@@ -284,6 +293,7 @@ def _workload_task(
     completed: frozenset[str],
     trial_timeout: float | None,
     cache_dir: str | None = None,
+    lockstep: bool = True,
 ) -> WorkloadRunOutcome:
     """One process-pool work unit: run a whole workload under containment."""
     module = _campaign_module(level)
@@ -293,8 +303,10 @@ def _workload_task(
         from repro.cache import GoldenArtifactCache
 
         cache = GoldenArtifactCache(cache_dir)
+    extra = {"lockstep": lockstep} if level == "arch" else {}
     return module.run_workload_trials(
-        config, workload, completed=completed, guard=guard, cache=cache
+        config, workload, completed=completed, guard=guard, cache=cache,
+        **extra,
     )
 
 
@@ -346,6 +358,7 @@ def run_campaign(
     trial_timeout: float | None = None,
     trace=None,
     cache_dir: str | None = None,
+    lockstep: bool = True,
 ) -> CampaignRunReport:
     """Run a fault-injection campaign resiliently.
 
@@ -360,11 +373,14 @@ def run_campaign(
     interleaved live); ``cache_dir`` points at a shared golden-artifact
     cache directory (see :mod:`repro.cache`) — golden runs are loaded
     from it when present and stored into it when not, with no effect on
-    any trial record or journal byte.
+    any trial record or journal byte; ``lockstep`` selects the arch
+    campaign's batched execution strategy (journal-identical to the
+    serial path, and ignored by uarch campaigns).
     """
     module = _campaign_module(level)
     policy = ExecutionPolicy(
-        jobs=jobs, trial_timeout=trial_timeout, cache_dir=cache_dir
+        jobs=jobs, trial_timeout=trial_timeout, cache_dir=cache_dir,
+        lockstep=lockstep,
     )
     jobs = policy.jobs
     assert jobs is not None  # __post_init__ resolved None to cpu_count
@@ -444,6 +460,8 @@ def run_campaign(
                     guard=guard,
                     on_outcome=on_outcome,
                     cache=cache,
+                    **({"lockstep": policy.lockstep}
+                       if level == "arch" else {}),
                 )
                 executed += len(workload_outcome.outcomes)
                 workload_outcome.outcomes = prior + workload_outcome.outcomes
@@ -464,6 +482,7 @@ def run_campaign(
                         completed_keys[name],
                         trial_timeout,
                         cache_dir,
+                        policy.lockstep,
                     ): name
                     for name in pending
                 }
@@ -479,7 +498,7 @@ def run_campaign(
                             workload_outcome = _workload_task(
                                 level, config, name,
                                 completed_keys[name], trial_timeout,
-                                cache_dir,
+                                cache_dir, policy.lockstep,
                             )
                         except Exception as second_error:
                             workload_outcome = WorkloadRunOutcome(

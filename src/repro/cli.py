@@ -177,6 +177,7 @@ def _execution_policy(
     jobs: int | None,
     trial_timeout: float | None,
     cache_dir: str | None = None,
+    lockstep: bool = True,
 ) -> ExecutionPolicy:
     """Validate execution knobs, converting field names to flag names.
 
@@ -184,7 +185,8 @@ def _execution_policy(
     """
     try:
         return ExecutionPolicy(
-            jobs=jobs, trial_timeout=trial_timeout, cache_dir=cache_dir
+            jobs=jobs, trial_timeout=trial_timeout, cache_dir=cache_dir,
+            lockstep=lockstep,
         )
     except ValueError as exc:
         raise SystemExit("--" + str(exc).replace("_", "-")) from None
@@ -262,7 +264,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         )
     workloads = _parse_workloads(args.workloads)
     cache_dir = _resolve_cache_dir(args.cache_dir, args.no_cache)
-    policy = _execution_policy(args.jobs, args.trial_timeout, cache_dir)
+    policy = _execution_policy(
+        args.jobs, args.trial_timeout, cache_dir, args.lockstep
+    )
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal")
     try:
@@ -293,6 +297,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             trial_timeout=policy.trial_timeout,
             trace=trace,
             cache_dir=policy.cache_dir,
+            lockstep=policy.lockstep,
         )
     except JournalError as exc:
         raise SystemExit(str(exc)) from None
@@ -737,6 +742,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "as harness-timeout outcomes")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="stream per-trial telemetry events to a JSONL trace")
+    p.add_argument("--lockstep", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="run arch trials through the lockstep batch "
+                        "scheduler (default; --no-lockstep forces the "
+                        "serial per-trial path — journals are byte-"
+                        "identical either way)")
     _add_cache_flags(p)
     p.set_defaults(func=cmd_campaign)
 

@@ -15,6 +15,13 @@ Methodology, following Section 3.1 and Section 4.4 of the paper:
    away past the golden run's length, or ended with architectural state
    (registers or memory) different from golden; otherwise the fault was
    masked.
+
+Two execution strategies produce byte-identical journals: the serial path
+(one full fork per trial, :func:`_run_trial`) and the lockstep scheduler
+(:mod:`repro.faults.lockstep`), which runs every trial of a workload as a
+dirty-state overlay against one golden walk. Lockstep is the default; the
+serial path remains both the fallback when the scheduler fails and the
+differential twin the test suite compares against.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from repro.faults.classify import (
     ArchTrialResult,
     classify_arch_trial,
 )
+from repro.faults.lockstep import run_lockstep_trials
 from repro.faults.models import ArchResultBitFlip
 from repro.util.bitops import flip_bit
 from repro.util.rng import DeterministicRng
@@ -191,6 +199,7 @@ def run_workload_trials(
     on_outcome: Callable[[TrialOutcome], None] | None = None,
     shard: tuple[int, int] | None = None,
     cache: GoldenArtifactCache | None = None,
+    lockstep: bool = True,
 ) -> WorkloadRunOutcome:
     """Execute one workload's trials under containment.
 
@@ -217,6 +226,15 @@ def run_workload_trials(
     first pending injection point instead of stepping from reset. Cached
     and uncached executions are bit-identical.
 
+    With ``lockstep=True`` (the default) all pending trials run through
+    the :mod:`repro.faults.lockstep` scheduler against a single golden
+    walk and the recorded results are emitted in serial journal order; a
+    scheduler failure falls back to the serial per-trial path with a
+    warning. Note that per-trial timeout containment is coarser under
+    lockstep: the guard wraps only the result emission, so a wedged
+    trial surfaces as a scheduler-level failure rather than one
+    contained trial record.
+
     A failing golden run skips the workload with a structured warning
     instead of aborting the campaign.
     """
@@ -233,7 +251,6 @@ def run_workload_trials(
         )
         if artifact is not None:
             trace = artifact.trace
-            memop_counts = artifact.memop_counts
             golden_cache = "hit"
         else:
             golden_sim = load_program(bundle.program)
@@ -241,23 +258,24 @@ def run_workload_trials(
                 config.max_instructions,
                 snapshot_every=ARCH_SNAPSHOT_INTERVAL if cache is not None else 0,
             )
-            if trace.exception is not None:
-                raise GoldenRunError(
-                    f"golden run of {workload} raised {trace.exception}"
-                )
-            if not trace.writer_steps:
-                raise GoldenRunError(f"workload {workload} wrote no registers")
-            # Number of memory operations retired up to and including each
-            # step.
-            memop_counts = _memop_prefix_counts(trace)
-            if cache is not None:
-                cache.store(
-                    "arch",
-                    bundle.program,
-                    config,
-                    ArchGoldenArtifact(trace=trace, memop_counts=memop_counts),
-                )
-                golden_cache = "miss"
+        # Validate on *both* paths: a cached golden artifact of a
+        # pathological workload (failing golden run, no register writers)
+        # must skip exactly like a fresh run would, not crash downstream
+        # where the code divides by the injection-point count.
+        if trace.exception is not None:
+            raise GoldenRunError(
+                f"golden run of {workload} raised {trace.exception}"
+            )
+        if not trace.writer_steps:
+            raise GoldenRunError(f"workload {workload} wrote no registers")
+        if golden_cache is None and cache is not None:
+            cache.store(
+                "arch", bundle.program, config, ArchGoldenArtifact(trace=trace)
+            )
+            golden_cache = "miss"
+        # Number of memory operations retired up to and including each
+        # step, recorded while the golden run executed.
+        memop_counts = trace.memop_counts
     except Exception as exc:
         reason = f"{type(exc).__name__}: {exc}"
         warnings.warn(
@@ -278,27 +296,81 @@ def run_workload_trials(
     prefix = _prefix_simulator(
         bundle, trace, workload, points, base_trials, extra, completed, shard
     )
-    outcomes: list[TrialOutcome] = []
+    # The full pending-trial schedule in serial journal order. Rng children
+    # are pure (seed, label) derivations, so drawing every trial's bit up
+    # front is byte-identical to drawing it just before the trial runs.
+    plan: list[tuple[int, list[tuple[int, int, DeterministicRng]]]] = []
     for position, point in enumerate(points):
         per_point = base_trials + (1 if position < extra else 0)
-        if prefix.retired < point and prefix.running:
-            prefix.run(point - prefix.retired)
-            prefix.resume()
-        if not prefix.running:  # pragma: no cover - golden ran fine
-            break
+        pending: list[tuple[int, int, DeterministicRng]] = []
         for index in range(per_point):
             if shard is not None and index % shard[1] != shard[0]:
                 continue
-            key = trial_key(workload, point, index)
-            if key in completed:
+            if trial_key(workload, point, index) in completed:
                 continue
             trial_rng = wrng.child(f"trial:{point}:{index}")
-            bit = config.fault_model.choose_bit(trial_rng)
+            pending.append((index, config.fault_model.choose_bit(trial_rng),
+                            trial_rng))
+        if pending:
+            plan.append((point, pending))
+
+    results: dict[tuple[int, int], ArchTrialResult] | None = None
+    if lockstep and plan:
+        try:
+            results = run_lockstep_trials(
+                config, workload, trace, memop_counts, prefix,
+                [(point, [(index, bit) for index, bit, _ in pending])
+                 for point, pending in plan],
+            )
+            missing = [
+                (point, index)
+                for point, pending in plan
+                for index, _, _ in pending
+                if (point, index) not in results
+            ]
+            if missing:
+                raise AssertionError(
+                    f"lockstep scheduler dropped {len(missing)} trials "
+                    f"(first: {missing[0]})"
+                )
+        except Exception as exc:
+            warnings.warn(
+                f"lockstep scheduler failed for {workload} "
+                f"({type(exc).__name__}: {exc}); falling back to serial "
+                f"trials",
+                CampaignWorkloadWarning,
+                stacklevel=2,
+            )
+            results = None
+            # The scheduler consumed the prefix walker; rebuild it.
+            prefix = _prefix_simulator(
+                bundle, trace, workload, points, base_trials, extra,
+                completed, shard,
+            )
+
+    outcomes: list[TrialOutcome] = []
+    for point, pending in plan:
+        if results is None:
+            if prefix.retired < point and prefix.running:
+                prefix.run(point - prefix.retired)
+                prefix.resume()
+            if not prefix.running:  # pragma: no cover - golden ran fine
+                break
+        for index, bit, trial_rng in pending:
+            key = trial_key(workload, point, index)
+            if results is None:
+                runner = (
+                    lambda point=point, bit=bit: _run_trial(
+                        workload, prefix, trace, memop_counts, point, bit,
+                        config,
+                    )
+                )
+            else:
+                runner = (
+                    lambda point=point, index=index: results[(point, index)]
+                )
             outcome = guard.run(
-                key, workload, point, index,
-                lambda: _run_trial(
-                    workload, prefix, trace, memop_counts, point, bit, config
-                ),
+                key, workload, point, index, runner,
                 descriptor={
                     "level": "arch",
                     "seed": config.seed,
@@ -356,33 +428,6 @@ def _prefix_simulator(
     )
     sim.retired = best.retired
     return sim
-
-
-def _memop_prefix_counts(trace) -> list[int]:
-    """For each step index, memory operations retired through that step.
-
-    The trace stores memops in program order but not a step->memop mapping,
-    so rebuild one by decoding the instruction at each retired PC (loads and
-    stores produce exactly one memop per retirement). Text is read-only, so
-    reading the words from the final memory image is safe.
-    """
-    from repro.isa.encoding import try_decode_word
-
-    counts = []
-    count = 0
-    word_cache: dict[int, bool] = {}
-    memory = trace.final_memory
-    for pc in trace.pcs:
-        is_mem = word_cache.get(pc)
-        if is_mem is None:
-            word = memory.read(pc, 4)
-            inst = try_decode_word(word)
-            is_mem = bool(inst is not None and inst.is_memory)
-            word_cache[pc] = is_mem
-        if is_mem:
-            count += 1
-        counts.append(count)
-    return counts
 
 
 def _run_trial(

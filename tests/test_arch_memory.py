@@ -117,3 +117,54 @@ class TestSnapshots:
         for index in range(40):
             clone.write(0x10000 + index, 1, 1)
         assert len(memory.diff_addresses(clone, limit=16)) == 16
+
+
+class TestCowSnapshots:
+    def test_cow_clone_sees_current_state(self, memory):
+        memory.write(0x10000, 8, 5)
+        assert memory.clone_cow().read(0x10000, 8) == 5
+
+    def test_parent_write_does_not_leak_into_clone(self, memory):
+        memory.write(0x10000, 8, 5)
+        clone = memory.clone_cow()
+        memory.write(0x10000, 8, 9)
+        assert clone.read(0x10000, 8) == 5
+        assert memory.read(0x10000, 8) == 9
+
+    def test_clone_write_does_not_leak_into_parent(self, memory):
+        memory.write(0x10000, 8, 5)
+        clone = memory.clone_cow()
+        clone.write(0x10000, 8, 9)
+        assert memory.read(0x10000, 8) == 5
+        assert clone.read(0x10000, 8) == 9
+
+    def test_cross_page_write_copies_out(self):
+        mem = SparseMemory()
+        mem.map_region(0, 2 * PAGE_SIZE)
+        clone = mem.clone_cow()
+        clone.write(PAGE_SIZE - 4, 8, 0x1122334455667788)
+        assert mem.read(PAGE_SIZE - 4, 8) == 0
+        assert clone.read(PAGE_SIZE - 4, 8) == 0x1122334455667788
+
+    def test_load_bytes_copies_out(self, memory):
+        clone = memory.clone_cow()
+        clone.load_bytes(0x10000, b"\xaa\xbb")
+        assert memory.read(0x10000, 2) == 0
+        assert clone.read(0x10000, 2) == 0xBBAA
+
+    def test_cow_of_cow_chains(self, memory):
+        memory.write(0x10000, 8, 1)
+        first = memory.clone_cow()
+        second = first.clone_cow()
+        first.write(0x10000, 8, 2)
+        assert memory.read(0x10000, 8) == 1
+        assert second.read(0x10000, 8) == 1
+        assert first.read(0x10000, 8) == 2
+
+    def test_cow_equals_and_plain_clone(self, memory):
+        memory.write(0x10008, 4, 7)
+        clone = memory.clone_cow()
+        assert memory.equals(clone)
+        deep = clone.clone()
+        clone.write(0x10008, 4, 8)
+        assert deep.read(0x10008, 4) == 7

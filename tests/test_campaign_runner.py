@@ -148,7 +148,9 @@ class TestContainment:
             return real(workload, prefix, trace, memop_counts, point, bit, config)
 
         monkeypatch.setattr(arch_campaign, "_run_trial", flaky)
-        report = run_campaign("arch", ARCH_CONFIG)
+        # Per-trial containment is a serial-path property; the lockstep
+        # scheduler never calls _run_trial (its failures fall back whole).
+        report = run_campaign("arch", ARCH_CONFIG, lockstep=False)
         counts = report.outcome_counts()
         assert counts[OUTCOME_CRASH] == 1
         assert counts[OUTCOME_OK] == len(report.outcomes) - 1
@@ -173,7 +175,8 @@ class TestContainment:
             return real(workload, prefix, trace, memop_counts, point, bit, config)
 
         monkeypatch.setattr(arch_campaign, "_run_trial", spinner)
-        report = run_campaign("arch", ARCH_CONFIG, trial_timeout=0.3)
+        report = run_campaign("arch", ARCH_CONFIG, trial_timeout=0.3,
+                              lockstep=False)
         counts = report.outcome_counts()
         assert counts[OUTCOME_TIMEOUT] == 1
         assert counts[OUTCOME_OK] == len(report.outcomes) - 1
@@ -184,7 +187,7 @@ class TestContainment:
             arch_campaign, "_run_trial",
             lambda *a, **k: (_ for _ in ()).throw(RuntimeError("all broken")),
         )
-        report = run_campaign("arch", ARCH_CONFIG)
+        report = run_campaign("arch", ARCH_CONFIG, lockstep=False)
         table = report.outcome_table()
         assert "harness-crash" in table and "harness-timeout" in table
         assert len(report.result.trials) == 0
@@ -624,11 +627,11 @@ class TestWorkerRetryTelemetry:
         real_task = runner_module._workload_task
 
         def dying_task(level, cfg, workload, completed, timeout,
-                       cache_dir=None):
+                       cache_dir=None, lockstep=True):
             if workload == "gcc":
                 raise RuntimeError("retry also died")
             return real_task(level, cfg, workload, completed, timeout,
-                             cache_dir)
+                             cache_dir, lockstep)
 
         monkeypatch.setattr(runner_module, "_workload_task", dying_task)
         journal = str(tmp_path / "skip.jsonl")
