@@ -24,7 +24,11 @@ import argparse
 import json
 import sys
 
-KNOWN_SCHEMAS = ("repro-perf/1", "repro-service-bench/1")
+KNOWN_SCHEMAS = (
+    "repro-perf/1",
+    "repro-service-bench/1",
+    "repro-planner-savings/1",
+)
 
 
 def load_report(path: str) -> dict:

@@ -1,0 +1,205 @@
+"""Trial-savings benchmark for the adaptive campaign planner.
+
+Runs the same arch-level fault-injection campaign twice — once with the
+uniform allocator (every injection point gets ``trials / points``
+trials) and once with the adaptive planner — and reports how many
+trials the planner avoided *at the same statistical precision*.
+
+"Same precision" is made concrete, not hand-waved: the uniform run goes
+first, its journal's per-point tallies are folded into Wilson margins,
+and the **widest** of those margins becomes the adaptive run's
+``--margin`` target. The planner therefore has to deliver at least the
+confidence the uniform campaign actually achieved at its weakest point;
+any trials it skips after that are genuine savings, not precision
+quietly traded away. The benchmark refuses to publish (exit 1) if any
+live adaptive point fails to converge to that target, and CI gates on
+``trials_saved_pct >= 30``.
+
+Results are written as schema'd JSON (see ``SCHEMA``) compatible with
+``benchmarks/perf/compare.py``. Usage::
+
+    PYTHONPATH=src python benchmarks/planner_savings.py --scale smoke \
+        --out benchmarks/out/planner_savings.json
+
+Both runs are deterministic functions of the config seed, so the
+numbers are stable across hosts — this benchmark measures trial
+*counts*, never wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro import __version__  # noqa: E402
+from repro.campaign.runner import run_campaign  # noqa: E402
+from repro.faults.arch_campaign import ArchCampaignConfig  # noqa: E402
+from repro.planner import PlannerConfig  # noqa: E402
+from repro.planner.margins import journal_point_tallies  # noqa: E402
+from repro.util.journal import read_journal  # noqa: E402
+from repro.util.stats import wilson_margin  # noqa: E402
+
+SCHEMA = "repro-planner-savings/1"
+
+# The planner only saves trials when the budget comfortably covers the
+# sampled points (70 points x 8 min trials > a 210-trial budget saves
+# nothing), so the benchmark uses a deliberately trial-rich config: few
+# points, many trials per point, exactly the regime where the paper's
+# symptom-rate estimates need tight intervals.
+SCALES: dict[str, dict] = {
+    "smoke": {
+        "workloads": ("gcc",),
+        "trials_per_workload": 240,
+        "injection_points": 12,
+        "seed": 77,
+    },
+    "full": {
+        "workloads": ("gcc", "mcf", "vortex"),
+        "trials_per_workload": 240,
+        "injection_points": 12,
+        "seed": 77,
+    },
+}
+
+_MIN_TRIALS = 8
+_ROUND_TRIALS = 4
+
+
+def _uniform_worst_margin(journal_path: str) -> float:
+    """The widest per-point Wilson margin the uniform run achieved."""
+    tallies = journal_point_tallies(read_journal(journal_path))
+    worst = 0.0
+    for points in tallies.values():
+        for completed, failing in points.values():
+            if completed:
+                worst = max(worst, wilson_margin(failing, completed))
+    if not 0.0 < worst < 1.0:
+        raise SystemExit(
+            f"uniform run produced no usable per-point tallies "
+            f"(worst margin {worst}); config too small to benchmark"
+        )
+    return worst
+
+
+def run_benchmark(scale: str) -> dict:
+    knobs = SCALES[scale]
+    config = ArchCampaignConfig(
+        trials_per_workload=knobs["trials_per_workload"],
+        injection_points=knobs["injection_points"],
+        seed=knobs["seed"],
+        workloads=knobs["workloads"],
+    )
+
+    with tempfile.TemporaryDirectory(prefix="planner-bench-") as tmp:
+        uniform_journal = os.path.join(tmp, "uniform.jsonl")
+        uniform = run_campaign("arch", config, journal_path=uniform_journal)
+        uniform_trials = uniform.executed
+        # Hold the adaptive run to the precision the uniform campaign
+        # actually reached at its weakest point (plus a float-safety
+        # epsilon so an identical tally is not "just over" the target).
+        target = round(_uniform_worst_margin(uniform_journal) + 1e-6, 6)
+
+        planner = PlannerConfig(
+            margin=target,
+            min_trials=_MIN_TRIALS,
+            round_trials=_ROUND_TRIALS,
+            max_trials=knobs["trials_per_workload"],
+        )
+        adaptive_journal = os.path.join(tmp, "adaptive.jsonl")
+        adaptive = run_campaign(
+            "arch", config, journal_path=adaptive_journal, planner=planner
+        )
+
+    totals = adaptive.planner_totals
+    if not totals:
+        raise SystemExit("adaptive run produced no planner totals")
+    # Gate on the planner's own converged flags (margin is journaled
+    # rounded, so re-deriving convergence from float compares can lie).
+    if totals["converged_points"] != totals["total_points"]:
+        raise SystemExit(
+            f"adaptive run left {totals['total_points'] - totals['converged_points']} "
+            f"of {totals['total_points']} points unconverged at "
+            f"margin<={target}; savings would not be at equal precision"
+        )
+
+    adaptive_trials = totals["executed"]
+    saved_pct = 100.0 * (uniform_trials - adaptive_trials) / uniform_trials
+
+    metrics = {
+        "trials_saved_pct": {
+            "value": round(saved_pct, 2),
+            "unit": "%",
+            "details": {
+                "margin_target": target,
+                "converged_points": totals["converged_points"],
+                "total_points": totals["total_points"],
+                "prescreen_points": totals["prescreen_points"],
+                "rounds_max": totals["rounds_max"],
+            },
+        },
+        "uniform_trials": {"value": uniform_trials, "unit": "trials"},
+        "adaptive_trials": {"value": adaptive_trials, "unit": "trials"},
+        "prescreen_trials_avoided": {
+            "value": totals["prescreen_trials"],
+            "unit": "trials",
+        },
+    }
+
+    return {
+        "schema": SCHEMA,
+        "version": __version__,
+        "scale": scale,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "config": {
+            "workloads": list(knobs["workloads"]),
+            "trials_per_workload": knobs["trials_per_workload"],
+            "injection_points": knobs["injection_points"],
+            "seed": knobs["seed"],
+            "min_trials": _MIN_TRIALS,
+            "round_trials": _ROUND_TRIALS,
+            "margin_target": target,
+        },
+        "metrics": metrics,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--min-savings-pct", type=float, default=None,
+                        help="exit 1 unless trials_saved_pct meets this")
+    parser.add_argument("--out", default=None,
+                        help="write JSON here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.scale)
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+        print(f"wrote {args.out}")
+    sys.stdout.write(payload)
+
+    saved = report["metrics"]["trials_saved_pct"]["value"]
+    if args.min_savings_pct is not None and saved < args.min_savings_pct:
+        print(
+            f"ERROR: planner saved only {saved}% of trials "
+            f"(required >= {args.min_savings_pct}%)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

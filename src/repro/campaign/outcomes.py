@@ -131,6 +131,12 @@ class WorkloadRunOutcome:
     from the cache), ``"miss"`` (computed and stored), or ``None`` (no
     cache in use); it is report-level metadata and never journaled, so
     cached and uncached journals stay byte-identical.
+
+    Adaptive (planner-driven) runs additionally report the sampled
+    injection points, the prescreened-dead subset, and — when the full
+    local planner loop ran — the planner's per-workload summary. Like
+    ``golden_cache`` these are report/scheduler metadata, never part of
+    the trial journal entries themselves.
     """
 
     workload: str
@@ -138,3 +144,6 @@ class WorkloadRunOutcome:
     skip_reason: str | None = None
     total_bits: int = 0
     golden_cache: str | None = None
+    planner_points: tuple[int, ...] | None = None
+    prescreened_points: tuple[int, ...] | None = None
+    planner_summary: dict | None = None

@@ -146,6 +146,10 @@ class CampaignRunReport:
     cache_dir: str | None = None
     cache_hits: int = 0
     cache_misses: int = 0
+    # Adaptive-run accounting (None for uniform campaigns): the planner
+    # settings and the aggregate of the per-workload planner summaries.
+    planner: object | None = None
+    planner_totals: dict | None = None
 
     def outcome_counts(self) -> dict[str, int]:
         counts = {OUTCOME_OK: 0, OUTCOME_CRASH: 0, OUTCOME_TIMEOUT: 0}
@@ -186,9 +190,9 @@ class _JournalState:
         return {o.key for o in self.outcomes.get(workload, ())}
 
 
-def _manifest(level: str, config) -> dict:
+def _manifest(level: str, config, planner=None) -> dict:
     config_dict = config_to_dict(config)
-    return {
+    manifest = {
         "kind": "manifest",
         "format": JOURNAL_FORMAT,
         "level": level,
@@ -197,9 +201,15 @@ def _manifest(level: str, config) -> dict:
         "config": config_dict,
         "version": __version__,
     }
+    if planner is not None:
+        # Adaptive planning changes which trials exist, so it is part of
+        # the journal's scientific identity; non-adaptive manifests stay
+        # byte-identical by omitting the key entirely.
+        manifest["planner"] = planner.to_dict()
+    return manifest
 
 
-def _load_journal(path: str, level: str, config) -> _JournalState | None:
+def _load_journal(path: str, level: str, config, planner=None) -> _JournalState | None:
     """Replay a journal into a :class:`_JournalState`.
 
     Returns ``None`` when the file holds no complete entry at all — the
@@ -232,6 +242,15 @@ def _load_journal(path: str, level: str, config) -> _JournalState | None:
             f"({manifest.get('config_digest')} != {digest}); refusing to "
             f"resume — results would not be comparable"
         )
+    expected_planner = planner.to_dict() if planner is not None else None
+    if manifest.get("planner") != expected_planner:
+        raise JournalError(
+            f"{path}: journal planner settings "
+            f"{manifest.get('planner')!r} do not match the requested "
+            f"{expected_planner!r}; refusing to resume — the planner "
+            f"decides which trials exist, so results would not be "
+            f"comparable"
+        )
     state = _JournalState()
     seen: set[str] = set()
     for entry in entries[1:]:
@@ -256,6 +275,12 @@ def _workload_sentinel(outcome: WorkloadRunOutcome) -> dict:
     }
     if outcome.skip_reason:
         entry["reason"] = outcome.skip_reason
+    if outcome.planner_points is not None:
+        # Adaptive runs persist the sampled points and the prescreened
+        # subset so a resumed run can replay the planner's rounds (and
+        # rebuild the summary) without re-walking the golden trace.
+        entry["planner_points"] = list(outcome.planner_points)
+        entry["prescreened_points"] = list(outcome.prescreened_points or ())
     return entry
 
 
@@ -286,6 +311,45 @@ def _emit_trial_events(trace, level: str, outcome: TrialOutcome) -> None:
     })
 
 
+def _replayed_summary(planner, config, outcome: WorkloadRunOutcome) -> dict:
+    """Rebuild a resumed workload's planner summary from its journaled
+    trials (round structure is a pure function of the tallies, so the
+    replay reproduces it exactly)."""
+    from repro.planner import replay_summary, resolve_budget
+
+    observed = {
+        (o.point, o.index): (
+            o.status == OUTCOME_OK,
+            bool(o.record.failing) if o.record is not None else False,
+        )
+        for o in outcome.outcomes
+    }
+    return replay_summary(
+        planner,
+        outcome.planner_points or (),
+        outcome.prescreened_points or (),
+        budget=resolve_budget(planner, config),
+        outcomes=observed,
+    )
+
+
+def _emit_convergence_events(trace, outcome: WorkloadRunOutcome) -> None:
+    """One ``point_converged`` event per stopped injection point."""
+    summary = outcome.planner_summary
+    if summary is None:
+        return
+    for row in summary["points"]:
+        if not row["converged"]:
+            continue
+        trace.emit({
+            "kind": "point_converged", "cycle": 0, "position": row["point"],
+            "workload": outcome.workload, "point": row["point"],
+            "trials": row["trials"],
+            "margin": 0.0 if row["margin"] is None else row["margin"],
+            "prescreened": row["prescreened"],
+        })
+
+
 def _workload_task(
     level: str,
     config,
@@ -294,6 +358,8 @@ def _workload_task(
     trial_timeout: float | None,
     cache_dir: str | None = None,
     lockstep: bool = True,
+    planner=None,
+    prior: tuple[TrialOutcome, ...] = (),
 ) -> WorkloadRunOutcome:
     """One process-pool work unit: run a whole workload under containment."""
     module = _campaign_module(level)
@@ -304,6 +370,8 @@ def _workload_task(
 
         cache = GoldenArtifactCache(cache_dir)
     extra = {"lockstep": lockstep} if level == "arch" else {}
+    if planner is not None:
+        extra.update(planner=planner, prior=prior)
     return module.run_workload_trials(
         config, workload, completed=completed, guard=guard, cache=cache,
         **extra,
@@ -359,6 +427,7 @@ def run_campaign(
     trace=None,
     cache_dir: str | None = None,
     lockstep: bool = True,
+    planner=None,
 ) -> CampaignRunReport:
     """Run a fault-injection campaign resiliently.
 
@@ -376,8 +445,24 @@ def run_campaign(
     any trial record or journal byte; ``lockstep`` selects the arch
     campaign's batched execution strategy (journal-identical to the
     serial path, and ignored by uarch campaigns).
+
+    ``planner`` (a :class:`repro.planner.PlannerConfig`, arch campaigns
+    only) switches the run to adaptive trial allocation: rounds with
+    early stopping per injection point plus the masking-equivalence
+    prescreen. Unlike the :class:`ExecutionPolicy` knobs it changes
+    which trials exist, so it is recorded in the journal manifest and
+    must match on resume. With ``jobs > 1`` an adaptive run's journal is
+    written in workload order (a reorder buffer holds completed
+    workloads until their turn) so it stays byte-identical to the serial
+    journal; uniform parallel runs keep their stream-on-completion
+    behaviour.
     """
     module = _campaign_module(level)
+    if planner is not None and level != "arch":
+        raise ValueError(
+            "adaptive planning is only supported for arch campaigns "
+            f"(got level={level!r})"
+        )
     policy = ExecutionPolicy(
         jobs=jobs, trial_timeout=trial_timeout, cache_dir=cache_dir,
         lockstep=lockstep,
@@ -399,7 +484,7 @@ def run_campaign(
         loaded: _JournalState | None = None
         if exists:
             if resume:
-                loaded = _load_journal(journal_path, level, config)
+                loaded = _load_journal(journal_path, level, config, planner)
             elif read_journal(journal_path):
                 raise JournalError(
                     f"{journal_path} already exists; pass resume=True "
@@ -420,7 +505,7 @@ def run_campaign(
             writer = JournalWriter(journal_path, append=True)
         else:
             writer = JournalWriter(journal_path)
-            writer.write(_manifest(level, config))
+            writer.write(_manifest(level, config, planner))
 
     guard = TrialGuard(timeout=trial_timeout)
     by_workload: dict[str, WorkloadRunOutcome] = {}
@@ -430,12 +515,21 @@ def run_campaign(
         sentinel = state.done_workloads.get(name)
         if sentinel is not None:
             prior = state.outcomes.get(name, [])
-            by_workload[name] = WorkloadRunOutcome(
+            restored = WorkloadRunOutcome(
                 name,
                 list(prior),
                 skip_reason=sentinel.get("reason"),
                 total_bits=sentinel.get("total_bits", 0),
             )
+            if planner is not None and "planner_points" in sentinel:
+                restored.planner_points = tuple(sentinel["planner_points"])
+                restored.prescreened_points = tuple(
+                    sentinel.get("prescreened_points", ())
+                )
+                restored.planner_summary = _replayed_summary(
+                    planner, config, restored
+                )
+            by_workload[name] = restored
             resumed += len(prior)
         else:
             pending.append(name)
@@ -453,6 +547,11 @@ def run_campaign(
                             writer.write(o.to_entry())
                         if trace is not None:
                             _emit_trial_events(trace, _level, o)
+                extra = (
+                    {"lockstep": policy.lockstep} if level == "arch" else {}
+                )
+                if planner is not None:
+                    extra.update(planner=planner, prior=tuple(prior))
                 workload_outcome = module.run_workload_trials(
                     config,
                     name,
@@ -460,18 +559,58 @@ def run_campaign(
                     guard=guard,
                     on_outcome=on_outcome,
                     cache=cache,
-                    **({"lockstep": policy.lockstep}
-                       if level == "arch" else {}),
+                    **extra,
                 )
                 executed += len(workload_outcome.outcomes)
                 workload_outcome.outcomes = prior + workload_outcome.outcomes
                 by_workload[name] = workload_outcome
+                if trace is not None:
+                    _emit_convergence_events(trace, workload_outcome)
                 if writer is not None:
                     writer.write(_workload_sentinel(workload_outcome))
         else:
             completed_keys = {
                 name: frozenset(state.completed_keys(name)) for name in pending
             }
+            priors = {
+                name: tuple(state.outcomes.get(name, ())) for name in pending
+            }
+
+            def emit(name: str, workload_outcome: WorkloadRunOutcome) -> None:
+                nonlocal resumed, executed
+                prior = list(priors[name])
+                resumed += len(prior)
+                executed += len(workload_outcome.outcomes)
+                if writer is not None:
+                    for outcome in workload_outcome.outcomes:
+                        writer.write(outcome.to_entry())
+                if trace is not None:
+                    for outcome in workload_outcome.outcomes:
+                        _emit_trial_events(trace, level, outcome)
+                workload_outcome.outcomes = prior + workload_outcome.outcomes
+                by_workload[name] = workload_outcome
+                if trace is not None:
+                    _emit_convergence_events(trace, workload_outcome)
+                if writer is not None:
+                    writer.write(_workload_sentinel(workload_outcome))
+
+            # Adaptive journals must be byte-identical across job counts,
+            # so completed workloads are flushed in config order through a
+            # reorder buffer; uniform runs keep streaming on completion
+            # (their journal order was never part of the result identity).
+            flush_order = [name for name in config.workloads if name in pending]
+            buffered: dict[str, WorkloadRunOutcome] = {}
+            flushed = 0
+
+            def flush_ready() -> None:
+                nonlocal flushed
+                while flushed < len(flush_order) and (
+                    flush_order[flushed] in buffered
+                ):
+                    next_name = flush_order[flushed]
+                    emit(next_name, buffered.pop(next_name))
+                    flushed += 1
+
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = {
                     pool.submit(
@@ -483,6 +622,8 @@ def run_campaign(
                         trial_timeout,
                         cache_dir,
                         policy.lockstep,
+                        *((planner, priors[name])
+                          if planner is not None else ()),
                     ): name
                     for name in pending
                 }
@@ -499,6 +640,8 @@ def run_campaign(
                                 level, config, name,
                                 completed_keys[name], trial_timeout,
                                 cache_dir, policy.lockstep,
+                                *((planner, priors[name])
+                                  if planner is not None else ()),
                             )
                         except Exception as second_error:
                             workload_outcome = WorkloadRunOutcome(
@@ -508,19 +651,12 @@ def run_campaign(
                                     f"(first failure: {first_error!r})"
                                 ),
                             )
-                    prior = list(state.outcomes.get(name, []))
-                    resumed += len(prior)
-                    executed += len(workload_outcome.outcomes)
-                    if writer is not None:
-                        for outcome in workload_outcome.outcomes:
-                            writer.write(outcome.to_entry())
-                    if trace is not None:
-                        for outcome in workload_outcome.outcomes:
-                            _emit_trial_events(trace, level, outcome)
-                    workload_outcome.outcomes = prior + workload_outcome.outcomes
-                    by_workload[name] = workload_outcome
-                    if writer is not None:
-                        writer.write(_workload_sentinel(workload_outcome))
+                    if planner is not None:
+                        buffered[name] = workload_outcome
+                        flush_ready()
+                    else:
+                        emit(name, workload_outcome)
+                flush_ready()
     finally:
         if writer is not None:
             writer.close()
@@ -532,6 +668,19 @@ def run_campaign(
     cache_misses = sum(
         1 for wo in by_workload.values() if wo.golden_cache == "miss"
     )
+    planner_totals = None
+    if planner is not None:
+        from repro.planner import aggregate_planner_summaries
+
+        planner_totals = aggregate_planner_summaries(
+            planner,
+            [
+                by_workload[name].planner_summary
+                for name in config.workloads
+                if by_workload.get(name) is not None
+                and by_workload[name].planner_summary is not None
+            ],
+        )
     if journal_path is not None:
         # Journal the derived telemetry aggregate after the trial lines.
         # Resume and report always recompute from the trials themselves, so
@@ -543,6 +692,7 @@ def run_campaign(
             level,
             [o.record for o in ordered_outcomes if o.status == OUTCOME_OK],
         )
+        metrics.planner = planner_totals
         with JournalWriter(journal_path, append=True) as tail:
             tail.write(metrics.to_entry())
     return CampaignRunReport(
@@ -558,4 +708,6 @@ def run_campaign(
         cache_dir=cache_dir,
         cache_hits=cache_hits,
         cache_misses=cache_misses,
+        planner=planner,
+        planner_totals=planner_totals,
     )

@@ -41,6 +41,9 @@ class CampaignStatus:
     workloads: dict[str, WorkloadStatus]
     # The newest journaled telemetry aggregate entry, if the run wrote one.
     telemetry: dict | None = None
+    # ``workload -> point -> [completed, failing]`` from the trial lines;
+    # feeds the per-point Wilson-margin table (adaptive or not).
+    point_tallies: dict = field(default_factory=dict)
 
     @property
     def total_trials(self) -> int:
@@ -90,8 +93,11 @@ def summarize_journal(path: str) -> CampaignStatus:
             status.skip_reason = entry.get("reason")
         elif kind == "telemetry":
             telemetry = entry  # keep the newest (a resumed run re-appends)
+    from repro.planner.margins import journal_point_tallies
+
     return CampaignStatus(
-        path=path, manifest=manifest, workloads=workloads, telemetry=telemetry
+        path=path, manifest=manifest, workloads=workloads, telemetry=telemetry,
+        point_tallies=journal_point_tallies(entries),
     )
 
 
@@ -134,4 +140,17 @@ def format_status(status: CampaignStatus) -> str:
             f"trials ({status.telemetry.get('failing', 0)} failing) — render "
             f"with 'repro campaign report'"
         )
+    planner = manifest.get("planner")
+    if planner is not None:
+        lines.append(
+            f"planner: adaptive (margin<={planner.get('margin')}, "
+            f"min={planner.get('min_trials')}, "
+            f"round={planner.get('round_trials')}, "
+            f"prescreen={'on' if planner.get('prescreen', True) else 'off'})"
+        )
+    if status.point_tallies:
+        from repro.planner.margins import format_point_margins
+
+        target = (planner or {}).get("margin", 0.05)
+        lines.extend(["", format_point_margins(status.point_tallies, target)])
     return "\n".join(lines)

@@ -219,6 +219,98 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_planner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="allocate trials adaptively: round-based top-ups, per-point "
+             "Wilson early stopping, masking-equivalence prescreen "
+             "(arch campaigns only; off by default — uniform journals are "
+             "byte-identical to previous releases)",
+    )
+    parser.add_argument(
+        "--margin", type=float, default=0.05, metavar="M",
+        help="target per-point Wilson margin; a point stops once its "
+             "half-interval is at most M (default: 0.05)",
+    )
+    parser.add_argument(
+        "--min-trials", type=int, default=20, metavar="N",
+        help="round-0 trials per injection point (default: 20)",
+    )
+    parser.add_argument(
+        "--round-trials", type=int, default=10, metavar="N",
+        help="top-up trials per still-open point per round (default: 10)",
+    )
+    parser.add_argument(
+        "--max-trials", type=int, default=None, metavar="N",
+        help="per-workload trial budget cap (default: --trials)",
+    )
+    parser.add_argument(
+        "--no-prescreen", action="store_true",
+        help="disable the masking-equivalence prescreen (every point "
+             "simulates its trials, even provably-dead destinations)",
+    )
+
+
+def _planner_from_args(args: argparse.Namespace):
+    """The PlannerConfig for ``--adaptive`` runs (None when uniform)."""
+    if not getattr(args, "adaptive", False):
+        return None
+    from repro.planner import PlannerConfig
+
+    try:
+        return PlannerConfig(
+            margin=args.margin,
+            min_trials=args.min_trials,
+            round_trials=args.round_trials,
+            max_trials=args.max_trials,
+            prescreen=not args.no_prescreen,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid planner configuration: {exc}") from None
+
+
+def cmd_campaign_plan(args: argparse.Namespace) -> int:
+    """Preview an adaptive campaign: goldens, points, prescreen, budget.
+
+    Runs only the golden side — no fault is injected — so the preview is
+    cheap and exact (the point sample and prescreen verdicts are pure
+    functions of the config and seed).
+    """
+    args.adaptive = True  # 'plan' implies adaptive; the flag is optional
+    planner = _planner_from_args(args)
+    workloads = _parse_workloads(args.workloads)
+    cache_dir = _resolve_cache_dir(args.cache_dir, args.no_cache)
+    try:
+        config = ArchCampaignConfig(
+            trials_per_workload=args.trials,
+            injection_points=min(args.trials, max(4, args.trials // 3)),
+            workloads=workloads,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid campaign configuration: {exc}") from None
+    cache = None
+    if cache_dir:
+        from repro.cache import GoldenArtifactCache
+
+        cache = GoldenArtifactCache(cache_dir)
+    from repro.planner import format_plan, preview_plan
+
+    rows = preview_plan(config, planner, cache)
+    print(format_plan(rows, planner))
+    live = [row for row in rows if "skip_reason" not in row]
+    print(
+        f"\nround 0 executes "
+        f"{sum(row['round0_trials'] for row in live)} trials; "
+        f"prescreen retires "
+        f"{sum(row['prescreened'] for row in live)} points "
+        f"({sum(row['prescreen_trials'] for row in live)} round-0 trials "
+        f"recorded masked without simulation); "
+        f"budget {sum(row['budget'] for row in live)} trials total"
+    )
+    return 0
+
+
 def cmd_campaign_status(args: argparse.Namespace) -> int:
     path = args.journal_file or args.journal
     if not path:
@@ -256,6 +348,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return cmd_campaign_status(args)
     if args.level == "report":
         return cmd_campaign_report(args)
+    if args.level == "plan":
+        return cmd_campaign_plan(args)
     if args.journal_file:
         raise SystemExit(
             "positional journal argument is only used with 'repro campaign "
@@ -269,6 +363,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     )
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal")
+    planner = _planner_from_args(args)
+    if planner is not None and args.level != "arch":
+        raise SystemExit(
+            "--adaptive is only supported for arch campaigns (the uarch "
+            "prescreen equivalence does not hold at latch granularity)"
+        )
     try:
         if args.level == "arch":
             config = ArchCampaignConfig(
@@ -298,6 +398,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             trace=trace,
             cache_dir=policy.cache_dir,
             lockstep=policy.lockstep,
+            planner=planner,
         )
     except JournalError as exc:
         raise SystemExit(str(exc)) from None
@@ -331,6 +432,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if report.cache_dir:
         print(f"golden cache: hits={report.cache_hits} "
               f"misses={report.cache_misses} ({report.cache_dir})")
+    totals = report.planner_totals
+    if totals:
+        print(
+            f"adaptive planner: executed {totals['executed']} of "
+            f"{totals['budget']} budgeted trials "
+            f"({totals['trials_saved']} saved), "
+            f"{totals['converged_points']}/{totals['total_points']} points "
+            f"converged at margin<={totals['margin']}, "
+            f"{totals['prescreen_points']} points prescreened as masked"
+        )
     for name, reason in report.skipped_workloads:
         print(f"warning: workload {name} skipped: {reason}")
     return 0
@@ -448,6 +559,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     workloads = _parse_workloads(args.workloads)
+    planner = _planner_from_args(args)
+    if planner is not None and args.level != "arch":
+        raise SystemExit("--adaptive is only supported for arch campaigns")
     payload = {
         "level": args.level,
         "config": _campaign_config_options(
@@ -457,6 +571,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         "trial_timeout": args.trial_timeout,
         "trace": args.trace,
     }
+    if planner is not None:
+        payload["planner"] = planner.to_dict()
     client = ServiceClient(args.url)
     try:
         view = client.submit(payload)
@@ -720,9 +836,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "campaign",
         help="run a fault-injection campaign (or inspect one: "
-             "campaign status <journal>, campaign report <journal>)",
+             "campaign status <journal>, campaign report <journal>, "
+             "campaign plan --adaptive preview)",
     )
-    p.add_argument("level", choices=["arch", "uarch", "status", "report"])
+    p.add_argument("level", choices=["arch", "uarch", "plan", "status",
+                                     "report"])
     p.add_argument("journal_file", nargs="?", default=None,
                    help="journal path (status/report subcommands only)")
     p.add_argument("--trials", type=int, default=30,
@@ -748,6 +866,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "scheduler (default; --no-lockstep forces the "
                         "serial per-trial path — journals are byte-"
                         "identical either way)")
+    _add_planner_flags(p)
     _add_cache_flags(p)
     p.set_defaults(func=cmd_campaign)
 
@@ -802,6 +921,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="how long --wait polls before giving up")
     p.add_argument("--json", action="store_true",
                    help="print the raw job view as JSON")
+    _add_planner_flags(p)
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("jobs",

@@ -35,6 +35,7 @@ from repro.arch.state import ArchState
 from repro.cache import ArchGoldenArtifact, GoldenArtifactCache
 from repro.campaign.guard import TrialGuard
 from repro.campaign.outcomes import (
+    OUTCOME_OK,
     CampaignWorkloadWarning,
     GoldenRunError,
     TrialOutcome,
@@ -191,6 +192,50 @@ def run_arch_campaign(config: ArchCampaignConfig) -> ArchCampaignResult:
     return run_campaign("arch", config).result
 
 
+def _load_golden(
+    config: ArchCampaignConfig,
+    workload: str,
+    cache: GoldenArtifactCache | None,
+):
+    """Build the workload and obtain its validated golden trace.
+
+    Returns ``(bundle, trace, golden_cache)``; raises (``GoldenRunError``
+    for pathological workloads) when the workload must be skipped.
+    """
+    golden_cache: str | None = None
+    bundle = build_workload(workload, config.workload_scale, config.seed)
+    artifact = (
+        cache.load("arch", bundle.program, config)
+        if cache is not None
+        else None
+    )
+    if artifact is not None:
+        trace = artifact.trace
+        golden_cache = "hit"
+    else:
+        golden_sim = load_program(bundle.program)
+        trace = golden_sim.run_with_trace(
+            config.max_instructions,
+            snapshot_every=ARCH_SNAPSHOT_INTERVAL if cache is not None else 0,
+        )
+    # Validate on *both* paths: a cached golden artifact of a
+    # pathological workload (failing golden run, no register writers)
+    # must skip exactly like a fresh run would, not crash downstream
+    # where the code divides by the injection-point count.
+    if trace.exception is not None:
+        raise GoldenRunError(
+            f"golden run of {workload} raised {trace.exception}"
+        )
+    if not trace.writer_steps:
+        raise GoldenRunError(f"workload {workload} wrote no registers")
+    if golden_cache is None and cache is not None:
+        cache.store(
+            "arch", bundle.program, config, ArchGoldenArtifact(trace=trace)
+        )
+        golden_cache = "miss"
+    return bundle, trace, golden_cache
+
+
 def run_workload_trials(
     config: ArchCampaignConfig,
     workload: str,
@@ -200,6 +245,10 @@ def run_workload_trials(
     shard: tuple[int, int] | None = None,
     cache: GoldenArtifactCache | None = None,
     lockstep: bool = True,
+    planner=None,
+    prior: Collection[TrialOutcome] = (),
+    planner_round: int | None = None,
+    allocation: tuple[tuple[int, int, int], ...] | None = None,
 ) -> WorkloadRunOutcome:
     """Execute one workload's trials under containment.
 
@@ -237,42 +286,25 @@ def run_workload_trials(
 
     A failing golden run skips the workload with a structured warning
     instead of aborting the campaign.
+
+    Adaptive mode (``planner`` set to a
+    :class:`~repro.planner.PlannerConfig`) replaces the uniform split
+    with the round-based planner: round 0 gives every point
+    ``min_trials``, later rounds top up points whose Wilson margin is
+    still wider than the target, and provably-dead points (see
+    :mod:`repro.planner.prescreen`) emit their masked records without
+    simulation. ``prior`` supplies journaled outcomes so a resumed run
+    replays the planner's rounds instead of re-executing them;
+    ``planner_round``/``allocation`` let the campaign service execute
+    one round at a time (round 0 derives its own allocation and reports
+    the point/prescreen metadata; later rounds execute the explicit
+    allocation the scheduler computed).
     """
     guard = guard or TrialGuard()
     validate_shard(shard)
     wrng = DeterministicRng(config.seed).child("arch-campaign").child(workload)
-    golden_cache: str | None = None
     try:
-        bundle = build_workload(workload, config.workload_scale, config.seed)
-        artifact = (
-            cache.load("arch", bundle.program, config)
-            if cache is not None
-            else None
-        )
-        if artifact is not None:
-            trace = artifact.trace
-            golden_cache = "hit"
-        else:
-            golden_sim = load_program(bundle.program)
-            trace = golden_sim.run_with_trace(
-                config.max_instructions,
-                snapshot_every=ARCH_SNAPSHOT_INTERVAL if cache is not None else 0,
-            )
-        # Validate on *both* paths: a cached golden artifact of a
-        # pathological workload (failing golden run, no register writers)
-        # must skip exactly like a fresh run would, not crash downstream
-        # where the code divides by the injection-point count.
-        if trace.exception is not None:
-            raise GoldenRunError(
-                f"golden run of {workload} raised {trace.exception}"
-            )
-        if not trace.writer_steps:
-            raise GoldenRunError(f"workload {workload} wrote no registers")
-        if golden_cache is None and cache is not None:
-            cache.store(
-                "arch", bundle.program, config, ArchGoldenArtifact(trace=trace)
-            )
-            golden_cache = "miss"
+        bundle, trace, golden_cache = _load_golden(config, workload, cache)
         # Number of memory operations retired up to and including each
         # step, recorded while the golden run executed.
         memop_counts = trace.memop_counts
@@ -287,6 +319,12 @@ def run_workload_trials(
 
     point_count = min(config.injection_points, len(trace.writer_steps))
     points = sorted(wrng.child("points").sample(trace.writer_steps, point_count))
+    if planner is not None:
+        return _run_adaptive(
+            config, workload, planner, points, bundle, trace, memop_counts,
+            wrng, completed, guard, on_outcome, shard, lockstep, prior,
+            planner_round, allocation, golden_cache,
+        )
     # Distribute trials so exactly trials_per_workload run: the first
     # ``extra`` points (in sorted order) take one more than the rest.
     base_trials, extra = divmod(config.trials_per_workload, point_count)
@@ -294,7 +332,9 @@ def run_workload_trials(
     # One prefix simulator walks forward through all injection points,
     # starting from the nearest cached snapshot when one is available.
     prefix = _prefix_simulator(
-        bundle, trace, workload, points, base_trials, extra, completed, shard
+        bundle, trace,
+        _first_pending_uniform(workload, points, base_trials, extra,
+                               completed, shard),
     )
     # The full pending-trial schedule in serial journal order. Rng children
     # are pure (seed, label) derivations, so drawing every trial's bit up
@@ -344,8 +384,9 @@ def run_workload_trials(
             results = None
             # The scheduler consumed the prefix walker; rebuild it.
             prefix = _prefix_simulator(
-                bundle, trace, workload, points, base_trials, extra,
-                completed, shard,
+                bundle, trace,
+                _first_pending_uniform(workload, points, base_trials, extra,
+                                       completed, shard),
             )
 
     outcomes: list[TrialOutcome] = []
@@ -384,15 +425,246 @@ def run_workload_trials(
     return WorkloadRunOutcome(workload, outcomes, golden_cache=golden_cache)
 
 
-def _prefix_simulator(
+def _run_adaptive(
+    config: ArchCampaignConfig,
+    workload: str,
+    planner_config,
+    points: list[int],
     bundle,
     trace,
+    memop_counts,
+    wrng: DeterministicRng,
+    completed: Collection[str],
+    guard: TrialGuard,
+    on_outcome: Callable[[TrialOutcome], None] | None,
+    shard: tuple[int, int] | None,
+    lockstep: bool,
+    prior: Collection[TrialOutcome],
+    planner_round: int | None,
+    allocation: tuple[tuple[int, int, int], ...] | None,
+    golden_cache,
+) -> WorkloadRunOutcome:
+    """Adaptive (planner-driven) execution of one workload.
+
+    Three entry modes share one round executor:
+
+    - ``planner_round is None``: the full local loop — plan a round,
+      execute it, feed every outcome back, repeat until the planner
+      stops. Journaled ``prior`` outcomes are replayed into the planner
+      instead of re-executed, which is how a resumed run reconstructs
+      the identical round structure (planner decisions are pure
+      functions of the cumulative tallies at round boundaries).
+    - ``planner_round == 0``: the service's round-0 unit — derive the
+      prescreen set, plan and execute round 0 only, and report the
+      point/prescreen metadata so the scheduler can replay the planner
+      from stored trial rows.
+    - ``planner_round > 0``: execute the explicit ``allocation`` the
+      scheduler computed (later rounds never touch prescreened points,
+      so no planner state is needed here).
+
+    Prescreened points emit fabricated masked records (bit drawn from
+    the same per-trial stream, so a differential full-simulation run is
+    byte-identical) through the same guard; they cost no simulation and
+    no budget.
+    """
+    from repro.planner import (
+        CampaignPlanner,
+        prescreen_dead_points,
+        resolve_budget,
+    )
+
+    if planner_round is None and shard is not None:
+        raise ValueError(
+            "sharded adaptive execution requires per-round scheduling "
+            "(pass planner_round/allocation)"
+        )
+    prior_by_key = {(o.point, o.index): o for o in prior}
+    budget = resolve_budget(planner_config, config)
+    fresh: list[TrialOutcome] = []
+
+    def run_round(
+        alloc: list[tuple[int, int, int]],
+        prescreened: set[int],
+    ) -> list[tuple[int, bool, bool]]:
+        # Expand the allocation into concrete (index, bit, rng) trials,
+        # respecting the shard stride; replayed prior trials stay in the
+        # emission walk (they feed the planner) but are not re-executed.
+        entries: list[tuple[int, list[tuple[int, int, DeterministicRng]]]] = []
+        for point, start, count in alloc:
+            pend: list[tuple[int, int, DeterministicRng]] = []
+            for index in range(start, start + count):
+                if shard is not None and index % shard[1] != shard[0]:
+                    continue
+                trial_rng = wrng.child(f"trial:{point}:{index}")
+                pend.append(
+                    (index, config.fault_model.choose_bit(trial_rng),
+                     trial_rng)
+                )
+            entries.append((point, pend))
+        live_plan: list[tuple[int, list[tuple[int, int]]]] = []
+        for point, pend in entries:
+            if point in prescreened:
+                continue
+            todo = [(index, bit) for index, bit, _ in pend
+                    if (point, index) not in prior_by_key]
+            if todo:
+                live_plan.append((point, todo))
+
+        results: dict[tuple[int, int], ArchTrialResult] | None = None
+        prefix: ArchSimulator | None = None
+        if live_plan:
+            prefix = _prefix_simulator(bundle, trace, live_plan[0][0])
+            if lockstep:
+                try:
+                    results = run_lockstep_trials(
+                        config, workload, trace, memop_counts, prefix,
+                        live_plan,
+                    )
+                    missing = [
+                        (point, index)
+                        for point, todo in live_plan
+                        for index, _ in todo
+                        if (point, index) not in results
+                    ]
+                    if missing:
+                        raise AssertionError(
+                            f"lockstep scheduler dropped {len(missing)} "
+                            f"trials (first: {missing[0]})"
+                        )
+                except Exception as exc:
+                    warnings.warn(
+                        f"lockstep scheduler failed for {workload} "
+                        f"({type(exc).__name__}: {exc}); falling back to "
+                        f"serial trials",
+                        CampaignWorkloadWarning,
+                        stacklevel=3,
+                    )
+                    results = None
+                    prefix = _prefix_simulator(bundle, trace,
+                                               live_plan[0][0])
+
+        observations: list[tuple[int, bool, bool]] = []
+        for point, pend in entries:
+            needs_serial = (
+                results is None
+                and prefix is not None
+                and point not in prescreened
+                and any((point, index) not in prior_by_key
+                        for index, _, _ in pend)
+            )
+            if needs_serial:
+                if prefix.retired < point and prefix.running:
+                    prefix.run(point - prefix.retired)
+                    prefix.resume()
+                if not prefix.running:  # pragma: no cover - golden ran fine
+                    break
+            for index, bit, trial_rng in pend:
+                outcome = prior_by_key.get((point, index))
+                if outcome is None:
+                    key = trial_key(workload, point, index)
+                    if point in prescreened:
+                        record = ArchTrialResult(
+                            workload=workload, inject_step=point, bit=bit
+                        )
+                        runner = lambda record=record: record
+                    elif results is not None:
+                        runner = (
+                            lambda point=point, index=index:
+                            results[(point, index)]
+                        )
+                    else:
+                        runner = (
+                            lambda point=point, bit=bit: _run_trial(
+                                workload, prefix, trace, memop_counts,
+                                point, bit, config,
+                            )
+                        )
+                    outcome = guard.run(
+                        key, workload, point, index, runner,
+                        descriptor={
+                            "level": "arch",
+                            "seed": config.seed,
+                            "trial_seed": trial_rng.seed,
+                            "bit": bit,
+                        },
+                    )
+                    fresh.append(outcome)
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+                record_failing = (
+                    bool(outcome.record.failing)
+                    if outcome.record is not None else False
+                )
+                observations.append(
+                    (point, outcome.status == OUTCOME_OK, record_failing)
+                )
+        return observations
+
+    if planner_round is not None and planner_round > 0:
+        if allocation is None:
+            raise ValueError(
+                f"round {planner_round} execution needs an explicit "
+                f"allocation"
+            )
+        run_round(sorted(allocation), set())
+        return WorkloadRunOutcome(
+            workload, fresh, golden_cache=golden_cache,
+            planner_points=tuple(points),
+        )
+
+    prescreened = (
+        prescreen_dead_points(trace, points)
+        if planner_config.prescreen else set()
+    )
+    planner = CampaignPlanner(
+        planner_config, points, prescreened, budget=budget
+    )
+    if planner_round == 0:
+        run_round(planner.plan_round(), prescreened)
+        return WorkloadRunOutcome(
+            workload, fresh, golden_cache=golden_cache,
+            planner_points=tuple(points),
+            prescreened_points=tuple(sorted(prescreened)),
+        )
+
+    while True:
+        alloc = planner.plan_round()
+        if not alloc:
+            break
+        for point, ok, failing in run_round(alloc, prescreened):
+            planner.observe(point, ok=ok, failing=failing)
+    return WorkloadRunOutcome(
+        workload, fresh, golden_cache=golden_cache,
+        planner_points=tuple(points),
+        prescreened_points=tuple(sorted(prescreened)),
+        planner_summary=planner.summary(),
+    )
+
+
+def _first_pending_uniform(
     workload: str,
     points: list[int],
     base_trials: int,
     extra: int,
     completed: Collection[str],
     shard: tuple[int, int] | None,
+) -> int | None:
+    """The earliest uniform-split injection point with a pending trial."""
+    for position, point in enumerate(points):
+        per_point = base_trials + (1 if position < extra else 0)
+        for index in range(per_point):
+            if shard is not None and index % shard[1] != shard[0]:
+                continue
+            if trial_key(workload, point, index) in completed:
+                continue
+            return point
+    return None
+
+
+def _prefix_simulator(
+    bundle,
+    trace,
+    first_pending: int | None,
 ) -> ArchSimulator:
     """A prefix simulator positioned as far forward as snapshots allow.
 
@@ -402,18 +674,6 @@ def _prefix_simulator(
     snapshots (uncached runs) or none early enough, the walk starts from
     reset — exactly the pre-cache behaviour.
     """
-    first_pending: int | None = None
-    for position, point in enumerate(points):
-        per_point = base_trials + (1 if position < extra else 0)
-        for index in range(per_point):
-            if shard is not None and index % shard[1] != shard[0]:
-                continue
-            if trial_key(workload, point, index) in completed:
-                continue
-            first_pending = point
-            break
-        if first_pending is not None:
-            break
     best = None
     if first_pending is not None:
         for snap in trace.snapshots:

@@ -232,6 +232,60 @@ class _MetaCache:
         return meta
 
 
+def register_touch_steps(
+    trace, memory
+) -> tuple[dict[int, list[int]], dict[int, list[int]]]:
+    """Per-register read-step and write-step indices over a golden trace.
+
+    A finer-grained sibling of the engine's combined touch-step lookahead:
+    where the scheduler only needs "when is this register touched next",
+    the masking-equivalence prescreen (:mod:`repro.planner.prescreen`)
+    needs to know whether that first touch *reads* the register (the
+    fault propagates) or *overwrites* it without reading (the fault is
+    provably dead). ``memory`` must hold the traced instruction words —
+    callers are responsible for ruling out self-modifying golden code
+    first, exactly as the lookahead path does via its modifies-code
+    guard.
+
+    Returns ``(reads, writes)``: register -> ascending trace-step lists.
+    An instruction that both reads and writes a register (e.g. ``addq
+    r1, r2, r1``, or any CMOV, whose result merges the old destination)
+    appears in both lists at the same step.
+    """
+    metas = _MetaCache(memory)
+    by_pc: dict[int, tuple[tuple[int, ...], int]] = {}
+    reads: dict[int, list[int]] = {}
+    writes: dict[int, list[int]] = {}
+    for i, pc in enumerate(trace.pcs):
+        cached = by_pc.get(pc)
+        if cached is None:
+            meta = metas.at(pc)
+            cached = (meta.reads, meta.write)
+            by_pc[pc] = cached
+        read_regs, write_reg = cached
+        for r in read_regs:
+            lst = reads.get(r)
+            if lst is None:
+                lst = reads[r] = []
+            lst.append(i)
+        if write_reg >= 0:
+            lst = writes.get(write_reg)
+            if lst is None:
+                lst = writes[write_reg] = []
+            lst.append(i)
+    return reads, writes
+
+
+def written_register(trace, memory, step: int) -> int:
+    """The destination register of the instruction at trace ``step``.
+
+    Returns -1 for non-writing instructions (never the case for a step
+    drawn from ``trace.writer_steps``). Same immutable-code caveat as
+    :func:`register_touch_steps`.
+    """
+    return _MetaCache(memory).at(trace.pcs[step]).write
+
+
 class _Shadow:
     """One live trial as a dirty-state overlay on the golden machine."""
 

@@ -1,0 +1,55 @@
+"""Adaptive campaign planning: sequential trial allocation with early stopping.
+
+The fixed-budget campaigns in :mod:`repro.faults` spend
+``trials_per_workload`` uniformly across injection points regardless of
+how quickly each point's outcome distribution converges. This package
+turns a campaign into a sequential experiment:
+
+- :class:`~repro.planner.core.CampaignPlanner` allocates trials in
+  rounds, watches per-point outcome tallies, stops points whose Wilson
+  margin (:func:`repro.util.stats.wilson_margin` — never degenerate at
+  0/n like Wald) has reached the target, reallocates the freed budget to
+  the still-wide points, and terminates when every point converged or
+  the budget cap is hit.
+- :func:`~repro.planner.prescreen.prescreen_dead_points` classifies
+  injection points whose destination register is provably dead
+  (overwritten before the next read, derived from the golden
+  :class:`~repro.arch.tracing.ExecutionTrace`) as masked without
+  simulating a single window — the masking-equivalence pruning idea.
+
+Adaptive runs are deterministic for a given seed (per-trial randomness
+is derived from ``(seed, workload, point, index)``, so the allocation
+order never changes a record), recorded in the journal manifest,
+resumable, and off by default: non-adaptive journals stay byte-identical.
+"""
+
+from repro.planner.core import (
+    CampaignPlanner,
+    PlannerConfig,
+    PlannerProtocolError,
+    aggregate_planner_summaries,
+    replay_summary,
+    resolve_budget,
+)
+from repro.planner.margins import (
+    format_point_margins,
+    journal_point_tallies,
+    point_margins,
+)
+from repro.planner.prescreen import prescreen_dead_points
+from repro.planner.preview import format_plan, preview_plan
+
+__all__ = [
+    "CampaignPlanner",
+    "PlannerConfig",
+    "PlannerProtocolError",
+    "aggregate_planner_summaries",
+    "format_plan",
+    "format_point_margins",
+    "journal_point_tallies",
+    "point_margins",
+    "prescreen_dead_points",
+    "preview_plan",
+    "replay_summary",
+    "resolve_budget",
+]

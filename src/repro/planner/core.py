@@ -1,0 +1,359 @@
+"""The round-based adaptive planner: allocation, stopping rule, summaries.
+
+One :class:`CampaignPlanner` instance plans one workload. The protocol is
+a strict alternation the campaign code and the service scheduler both
+follow:
+
+1. ``plan_round()`` returns ``[(point, start_index, count), ...]`` — the
+   next round's allocation, sorted by point. An empty list means the
+   workload is finished (every point converged, or the budget is spent).
+2. The caller executes (or replays, on resume) exactly those trials and
+   reports each one via ``observe()``.
+3. Repeat.
+
+Every decision is a pure function of the cumulative per-point tallies at
+the round boundary, which are themselves deterministic functions of
+``(seed, workload, point, index)`` — so a resumed run, a parallel run,
+or the service scheduler replaying journaled records all reconstruct the
+identical round structure.
+
+Prescreened points (see :mod:`repro.planner.prescreen`) are converged by
+proof: round 0 assigns them ``min_trials`` trial indices so their records
+exist in the journal (fabricated at zero simulation cost — the records
+are exactly what simulation would produce), but those trials never count
+against the executed-trial budget and are tallied separately as
+prescreen hits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.util.stats import wilson_margin
+
+
+class PlannerProtocolError(RuntimeError):
+    """The plan/observe alternation was violated (a caller bug)."""
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """The scientific knobs of an adaptive campaign.
+
+    These change which trials run, so — unlike
+    :class:`~repro.campaign.runner.ExecutionPolicy` — they are recorded
+    in the journal manifest and checked on resume. ``margin`` is the
+    target Wilson half-width on each point's failing proportion;
+    ``min_trials`` is every point's round-0 allocation; ``round_trials``
+    is the per-point top-up for still-wide points in later rounds;
+    ``max_trials`` caps executed trials per workload (``None`` means "the
+    campaign's uniform budget", ``trials_per_workload``); ``prescreen``
+    enables the dead-register masking-equivalence classifier.
+    """
+
+    margin: float = 0.05
+    min_trials: int = 20
+    round_trials: int = 10
+    max_trials: int | None = None
+    prescreen: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.margin < 1.0:
+            raise ValueError(f"margin must be in (0, 1), got {self.margin}")
+        if self.min_trials < 1:
+            raise ValueError(f"min_trials must be >= 1, got {self.min_trials}")
+        if self.round_trials < 1:
+            raise ValueError(
+                f"round_trials must be >= 1, got {self.round_trials}"
+            )
+        if self.max_trials is not None and self.max_trials < 1:
+            raise ValueError(
+                f"max_trials must be >= 1 (or None for the uniform "
+                f"budget), got {self.max_trials}"
+            )
+        if not isinstance(self.prescreen, bool):
+            raise ValueError(f"prescreen must be a bool, got {self.prescreen!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "margin": self.margin,
+            "min_trials": self.min_trials,
+            "round_trials": self.round_trials,
+            "max_trials": self.max_trials,
+            "prescreen": self.prescreen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlannerConfig":
+        known = {"margin", "min_trials", "round_trials", "max_trials",
+                 "prescreen"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown planner options {unknown}")
+        return cls(**data)
+
+
+def resolve_budget(planner: PlannerConfig, config) -> int:
+    """The per-workload executed-trial cap an adaptive run honors.
+
+    Defaults to the campaign's uniform budget so "adaptive on" can only
+    save trials, never silently spend more; ``max_trials`` overrides it
+    in either direction.
+    """
+    if planner.max_trials is not None:
+        return planner.max_trials
+    return int(config.trials_per_workload)
+
+
+class _PointState:
+    __slots__ = ("point", "prescreened", "allocated", "observed", "ok",
+                 "failing")
+
+    def __init__(self, point: int, prescreened: bool):
+        self.point = point
+        self.prescreened = prescreened
+        self.allocated = 0  # trial indices assigned so far
+        self.observed = 0  # outcomes reported back so far
+        self.ok = 0  # completed trials (tally denominator)
+        self.failing = 0  # failing completed trials (tally numerator)
+
+
+class CampaignPlanner:
+    """Sequential trial allocation for one workload's injection points."""
+
+    def __init__(
+        self,
+        config: PlannerConfig,
+        points: Sequence[int],
+        prescreened: Iterable[int] = (),
+        *,
+        budget: int,
+    ):
+        ordered = sorted(points)
+        if len(set(ordered)) != len(ordered):
+            raise ValueError("injection points must be unique")
+        if not ordered:
+            raise ValueError("need at least one injection point")
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        dead = set(prescreened)
+        stray = dead - set(ordered)
+        if stray:
+            raise ValueError(f"prescreened points not in plan: {sorted(stray)}")
+        self.config = config
+        self.budget = int(budget)
+        self.rounds = 0
+        self._points = {
+            point: _PointState(point, point in dead) for point in ordered
+        }
+        self._order = ordered
+        self._pending = 0
+        self._done = False
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def points(self) -> list[int]:
+        return list(self._order)
+
+    @property
+    def prescreened_points(self) -> list[int]:
+        return [p for p in self._order if self._points[p].prescreened]
+
+    @property
+    def executed(self) -> int:
+        """Trial indices allocated to live (non-prescreened) points."""
+        return sum(
+            s.allocated for s in self._points.values() if not s.prescreened
+        )
+
+    @property
+    def prescreen_trials(self) -> int:
+        return sum(
+            s.allocated for s in self._points.values() if s.prescreened
+        )
+
+    def margin(self, point: int) -> float:
+        """Current Wilson margin of one point (inf before any tally)."""
+        state = self._points[point]
+        if state.prescreened:
+            return 0.0  # masked by proof: the interval is exact
+        if state.ok == 0:
+            return math.inf
+        return wilson_margin(state.failing, state.ok)
+
+    def converged(self, point: int) -> bool:
+        return self.margin(point) <= self.config.margin
+
+    # ------------------------------------------------------------ protocol
+
+    def plan_round(self) -> list[tuple[int, int, int]]:
+        """The next round's allocation as ``(point, start_index, count)``.
+
+        Round 0 gives every point ``min_trials``; later rounds top up the
+        unconverged points, widest margin first (ties broken by point),
+        ``round_trials`` each while budget lasts. Entries are returned
+        sorted by point — the execution and journal order; the
+        widest-first priority only decides who gets budget.
+        """
+        if self._pending:
+            raise PlannerProtocolError(
+                f"{self._pending} trials of the previous round have not "
+                f"been observed yet"
+            )
+        if self._done:
+            return []
+        remaining = self.budget - self.executed
+        allocation: list[tuple[int, int, int]] = []
+        if self.rounds == 0:
+            for point in self._order:
+                state = self._points[point]
+                if state.prescreened:
+                    count = self.config.min_trials
+                else:
+                    count = min(self.config.min_trials, remaining)
+                    remaining -= count
+                if count:
+                    allocation.append((point, state.allocated, count))
+                    state.allocated += count
+                    self._pending += count
+        else:
+            wide = [
+                point for point in self._order if not self.converged(point)
+            ]
+            wide.sort(key=lambda p: (-self.margin(p), p))
+            for point in wide:
+                if remaining <= 0:
+                    break
+                count = min(self.config.round_trials, remaining)
+                remaining -= count
+                state = self._points[point]
+                allocation.append((point, state.allocated, count))
+                state.allocated += count
+                self._pending += count
+            allocation.sort()
+        if not allocation:
+            self._done = True
+            return []
+        self.rounds += 1
+        return allocation
+
+    def observe(self, point: int, *, ok: bool, failing: bool) -> None:
+        """Report one allocated trial's outcome back to the planner.
+
+        ``ok=False`` marks a harness crash/timeout: it consumed budget
+        but contributes nothing to the tally (the point stays wide).
+        """
+        state = self._points.get(point)
+        if state is None:
+            raise PlannerProtocolError(f"point {point} is not in the plan")
+        if state.observed >= state.allocated:
+            raise PlannerProtocolError(
+                f"point {point} has no unobserved allocated trial"
+            )
+        state.observed += 1
+        self._pending -= 1
+        if ok:
+            state.ok += 1
+            if failing:
+                state.failing += 1
+
+    @property
+    def finished(self) -> bool:
+        return self._done
+
+    # ------------------------------------------------------------- summary
+
+    def summary(self) -> dict:
+        """A JSON-ready per-workload account for telemetry and reports."""
+        executed = self.executed
+        points = []
+        converged = 0
+        for point in self._order:
+            state = self._points[point]
+            margin = self.margin(point)
+            is_converged = margin <= self.config.margin
+            converged += is_converged
+            points.append({
+                "point": point,
+                "trials": state.ok,
+                "failing": state.failing,
+                "margin": None if math.isinf(margin) else round(margin, 6),
+                "converged": bool(is_converged),
+                "prescreened": state.prescreened,
+            })
+        return {
+            "budget": self.budget,
+            "executed": executed,
+            "trials_saved": max(0, self.budget - executed),
+            "prescreen_points": len(self.prescreened_points),
+            "prescreen_trials": self.prescreen_trials,
+            "rounds": self.rounds,
+            "total_points": len(self._order),
+            "converged_points": converged,
+            "points": points,
+        }
+
+
+def replay_summary(
+    config: PlannerConfig,
+    points: Sequence[int],
+    prescreened: Iterable[int],
+    *,
+    budget: int,
+    outcomes: dict[tuple[int, int], tuple[bool, bool]],
+) -> dict:
+    """Reconstruct a finished workload's planner summary from its trials.
+
+    ``outcomes`` maps ``(point, index)`` to ``(ok, failing)`` — exactly
+    what the journal (or the service's trial rows) holds. Because every
+    planner decision is a pure function of the cumulative tallies, the
+    replayed round structure is identical to the original run's, so the
+    summary matches without any planner state having been persisted. A
+    missing key (which a well-formed journal never produces) is counted
+    as a harness outcome: budget spent, no tally.
+    """
+    planner = CampaignPlanner(config, points, prescreened, budget=budget)
+    while True:
+        allocation = planner.plan_round()
+        if not allocation:
+            break
+        for point, start, count in allocation:
+            for index in range(start, start + count):
+                ok, failing = outcomes.get((point, index), (False, False))
+                planner.observe(point, ok=ok, failing=failing)
+    return planner.summary()
+
+
+def aggregate_planner_summaries(
+    config: PlannerConfig, summaries: Iterable[dict]
+) -> dict:
+    """Fold per-workload planner summaries into the campaign aggregate.
+
+    This is the ``planner`` section of the journal's telemetry entry:
+    integer tallies only, so the local runner and the service scheduler
+    (which computes summaries independently via replay) produce identical
+    sections for identical trials.
+    """
+    totals = {
+        "margin": config.margin,
+        "workloads": 0,
+        "budget": 0,
+        "executed": 0,
+        "trials_saved": 0,
+        "prescreen_points": 0,
+        "prescreen_trials": 0,
+        "total_points": 0,
+        "converged_points": 0,
+        "rounds_max": 0,
+    }
+    for summary in summaries:
+        totals["workloads"] += 1
+        for key in ("budget", "executed", "trials_saved", "prescreen_points",
+                    "prescreen_trials", "total_points", "converged_points"):
+            totals[key] += int(summary[key])
+        totals["rounds_max"] = max(totals["rounds_max"],
+                                   int(summary["rounds"]))
+    return totals

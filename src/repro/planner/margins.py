@@ -1,0 +1,112 @@
+"""Per-point outcome margins from a campaign journal.
+
+``campaign status`` and ``campaign report`` historically showed only the
+aggregate interval; converged-vs-wide is a per-point question — the very
+signal the adaptive planner acts on — so these helpers recompute each
+injection point's Wilson margin from the journaled trial entries. They
+work on *any* journal, adaptive or fixed-budget: a uniform campaign's
+per-point margins are exactly what ``--adaptive`` would have equalized.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.util.stats import wilson_margin
+from repro.util.tables import format_table
+
+
+def journal_point_tallies(
+    entries: Iterable[dict],
+) -> dict[str, dict[int, list[int]]]:
+    """``workload -> point -> [completed, failing]`` from journal entries.
+
+    Deduplicates by trial key (a retried workload may re-journal a key)
+    and counts only completed (``ok``) trials; harness crashes/timeouts
+    carry no verdict and therefore no tally.
+    """
+    tallies: dict[str, dict[int, list[int]]] = {}
+    seen: set[str] = set()
+    for entry in entries:
+        if entry.get("kind") != "trial" or entry.get("status") != "ok":
+            continue
+        key = entry.get("key")
+        if key in seen:
+            continue
+        seen.add(key)
+        record = entry.get("record") or {}
+        per_point = tallies.setdefault(entry["workload"], {})
+        tally = per_point.setdefault(int(entry["point"]), [0, 0])
+        tally[0] += 1
+        tally[1] += bool(record.get("failing"))
+    return tallies
+
+
+def point_margins(
+    tallies: dict[str, dict[int, list[int]]],
+) -> dict[str, list[dict]]:
+    """Per-workload point rows, each with its Wilson margin (None = no
+    completed trials yet)."""
+    result: dict[str, list[dict]] = {}
+    for workload, per_point in tallies.items():
+        rows = []
+        for point in sorted(per_point):
+            trials, failing = per_point[point]
+            margin = wilson_margin(failing, trials) if trials else None
+            rows.append({
+                "point": point,
+                "trials": trials,
+                "failing": failing,
+                "margin": margin,
+            })
+        result[workload] = rows
+    return result
+
+
+def format_point_margins(
+    tallies: dict[str, dict[int, list[int]]],
+    target: float,
+    widest: int = 3,
+) -> str:
+    """A per-workload margin table: convergence counts against ``target``
+    plus the widest points still open.
+
+    ``target`` is the manifest's planner margin when the journal is
+    adaptive, or the caller's reference margin for a fixed-budget one.
+    """
+    per_workload = point_margins(tallies)
+    rows = []
+    for workload in sorted(per_workload):
+        points = per_workload[workload]
+        margins = [
+            row["margin"] if row["margin"] is not None else math.inf
+            for row in points
+        ]
+        converged = sum(1 for m in margins if m <= target)
+        finite = sorted(m for m in margins if not math.isinf(m))
+        median = finite[len(finite) // 2] if finite else None
+        open_points = sorted(
+            (row for row in points
+             if (row["margin"] is None or row["margin"] > target)),
+            key=lambda row: (-(row["margin"]
+                               if row["margin"] is not None else math.inf),
+                             row["point"]),
+        )[:widest]
+        widest_text = " ".join(
+            f"{row['point']}@" + (f"{row['margin']:.3f}"
+                                  if row["margin"] is not None else "n/a")
+            for row in open_points
+        ) or "-"
+        rows.append([
+            workload,
+            str(len(points)),
+            f"{converged}/{len(points)}",
+            f"{median:.3f}" if median is not None else "n/a",
+            widest_text,
+        ])
+    return format_table(
+        ["workload", "points", f"<= {target:g}", "median", "widest open"],
+        rows,
+        title=f"Per-point Wilson margins (target {target:g})",
+    )

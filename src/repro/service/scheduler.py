@@ -47,7 +47,7 @@ from repro.campaign.runner import (
     _manifest,
     _workload_sentinel,
 )
-from repro.service.shard import WorkUnit, shard_job
+from repro.service.shard import WorkUnit, round_units, shard_job
 from repro.service.spec import JobSpec, ServiceError
 from repro.service.store import (
     JOB_CANCELLED,
@@ -130,6 +130,21 @@ class CampaignScheduler:
         # clock: the worst case is one extra ttl of patience before a
         # genuinely dead worker's unit is requeued.
         self.store.rearm_leases(self.clock() + self.lease_ttl)
+        # A crash between a round's final complete and the next round's
+        # dispatch would strand an adaptive job forever: with no pending
+        # units left, no future complete() re-triggers planning. Replay
+        # the planner for every live job on boot — the replay is pure
+        # (persisted trials in, persisted state out), so doing it
+        # redundantly is harmless.
+        for row in self.store.jobs(limit=-1):
+            if row["state"] in JOB_TERMINAL_STATES:
+                continue
+            try:
+                if self.spec(row["job_id"]).planner is None:
+                    continue
+            except ServiceError:
+                continue
+            self._maybe_finalize(row["job_id"])
 
     # ----------------------------------------------------------- events
 
@@ -292,6 +307,7 @@ class CampaignScheduler:
     def _lease_view(self, unit: dict) -> dict:
         """The worker-facing lease payload for one leased unit row."""
         job_id = unit["job_id"]
+        allocation = unit.get("allocation")
         return {
             "unit": WorkUnit(
                 job_id=job_id,
@@ -299,6 +315,11 @@ class CampaignScheduler:
                 workload=unit["workload"],
                 shard_index=unit["shard_index"],
                 shard_count=unit["shard_count"],
+                round=unit.get("round", 0) or 0,
+                allocation=(
+                    tuple(tuple(entry) for entry in json.loads(allocation))
+                    if allocation else None
+                ),
             ).to_dict(),
             "spec": self.spec(job_id).to_dict(),
             "lease_ttl": self.lease_ttl,
@@ -340,12 +361,17 @@ class CampaignScheduler:
             skip_reason=result.get("skip_reason"),
             total_bits=int(result.get("total_bits", 0)),
             metrics=result.get("metrics"),
+            planner_meta=result.get("planner_meta"),
         )
         if not accepted:
             self.counters.bump("bounced_completes")
             return False
+        round_number = (unit.get("round", 0) or 0) if unit is not None else 0
         new = self.store.add_trials(
-            job_id, self._trial_rows(job_id, result.get("outcomes", []))
+            job_id,
+            self._trial_rows(
+                job_id, result.get("outcomes", []), round_number
+            ),
         )
         self._emit(
             job_id, "unit_done",
@@ -396,7 +422,11 @@ class CampaignScheduler:
             self.counters.bump("bounced_completes")
             return False
         new = self.store.add_trials(
-            job_id, self._trial_rows(job_id, result.get("outcomes", []))
+            job_id,
+            self._trial_rows(
+                job_id, result.get("outcomes", []),
+                unit.get("round", 0) or 0,
+            ),
         )
         self.store.heartbeat(
             job_id, unit_id, worker, self.clock() + self.lease_ttl
@@ -408,7 +438,9 @@ class CampaignScheduler:
         )
         return True
 
-    def _trial_rows(self, job_id: str, outcomes: list[dict]) -> list[tuple]:
+    def _trial_rows(
+        self, job_id: str, outcomes: list[dict], round_number: int = 0
+    ) -> list[tuple]:
         """Store rows for reported trial entries, keyed for serial order."""
         spec = self.spec(job_id)
         positions = {name: i for i, name in enumerate(spec.config.workloads)}
@@ -416,6 +448,7 @@ class CampaignScheduler:
             (
                 entry["key"],
                 positions.get(entry["workload"], len(positions)),
+                round_number,
                 entry["workload"],
                 entry["point"],
                 entry["index"],
@@ -533,12 +566,124 @@ class CampaignScheduler:
             "jobs": self.store.job_count(),
         }
 
+    # ------------------------------------------------- adaptive planning
+
+    def _advance_planner(self, job_id: str) -> None:
+        """Drive an adaptive job's round progression, workload by workload.
+
+        Called after every unit completion (and at startup for running
+        jobs, so a scheduler restart between a round's last complete and
+        the next round's dispatch cannot strand the job). All planner
+        state is reconstructed from the store — done units' persisted
+        metadata plus ingested trial rows — by replaying the planner's
+        deterministic round structure, so the scheduler never relies on
+        in-memory state surviving.
+        """
+        spec = self.spec(job_id)
+        if spec.planner is None:
+            return
+        by_workload: dict[str, list[dict]] = {}
+        for unit in self.store.units(job_id):
+            by_workload.setdefault(unit["workload"], []).append(unit)
+        for workload in spec.config.workloads:
+            self._advance_workload_planner(
+                job_id, spec, workload, by_workload.get(workload, [])
+            )
+
+    def _advance_workload_planner(
+        self, job_id: str, spec: JobSpec, workload: str, units: list[dict]
+    ) -> None:
+        from repro.planner import CampaignPlanner, resolve_budget
+
+        state = self.store.planner_state(job_id, workload)
+        if state is None:
+            round0 = [u for u in units if (u["round"] or 0) == 0]
+            done = [u for u in round0 if u["state"] == UNIT_DONE]
+            if not round0 or len(done) < len(round0):
+                return  # round 0 still in flight (or failed: halt here)
+            if any(u["skip_reason"] for u in done):
+                # The workload's golden run failed; there are no rounds.
+                self.store.set_planner_state(
+                    job_id, workload, {"skipped": True}
+                )
+                return
+            meta = next(
+                (json.loads(u["planner_meta"])
+                 for u in done if u["planner_meta"]),
+                None,
+            )
+            if meta is None:
+                return  # no metadata reported; cannot plan further rounds
+            state = {
+                "points": meta["points"],
+                "prescreened": meta["prescreened"],
+            }
+            self.store.set_planner_state(job_id, workload, state)
+        if state.get("skipped") or "summary" in state or not state.get("points"):
+            return
+        if any(u["state"] == UNIT_FAILED for u in units):
+            return  # a dead-lettered round halts progression until requeued
+        planner = CampaignPlanner(
+            spec.planner, state["points"], state.get("prescreened", ()),
+            budget=resolve_budget(spec.planner, spec.config),
+        )
+        entries = self.store.trial_entries(job_id, workload=workload, limit=-1)
+        observed = {
+            (entry["point"], entry["index"]): (
+                entry["status"] == "ok",
+                bool((entry.get("record") or {}).get("failing")),
+            )
+            for entry in entries
+        }
+        emitted = {u["unit_id"] for u in units}
+        round_number = 0
+        while True:
+            allocation = planner.plan_round()
+            if not allocation:
+                state["summary"] = planner.summary()
+                self.store.set_planner_state(job_id, workload, state)
+                return
+            have_all = all(
+                (point, index) in observed
+                for point, start, count in allocation
+                for index in range(start, start + count)
+            )
+            if have_all:
+                for point, start, count in allocation:
+                    for index in range(start, start + count):
+                        ok, failing = observed[(point, index)]
+                        planner.observe(point, ok=ok, failing=failing)
+                round_number += 1
+                continue
+            # This round's trials are incomplete: dispatch its units if
+            # they have not been emitted yet, then wait for completes.
+            shards = spec.shards_per_workload
+            if f"{workload}:r{round_number}:0of{shards}" not in emitted:
+                new_units = round_units(
+                    job_id, spec, workload, round_number, list(allocation)
+                )
+                self.store.add_units(new_units)
+                self.counters.bump("planner_rounds_dispatched")
+                self._emit(
+                    job_id, "planner_round",
+                    workload=workload, round=round_number,
+                    units=len(new_units),
+                    trials=sum(count for _, _, count in allocation),
+                )
+            return
+
     # ----------------------------------------------------- finalization
 
     def _maybe_finalize(self, job_id: str) -> None:
         job = self.store.job(job_id)
         if job is None or job["state"] in JOB_TERMINAL_STATES:
             return
+        # Adaptive jobs plan before they settle: dispatching the next
+        # round here (rather than only in complete()) means every path
+        # that could finalize — completes, failures, lease expiries,
+        # startup recovery — first checks whether more rounds are owed,
+        # so a job can never finalize with rounds undispatched.
+        self._advance_planner(job_id)
         counts = self.store.unit_state_counts(job_id)
         if counts.get(UNIT_PENDING, 0) or counts.get(UNIT_LEASED, 0):
             return
@@ -584,7 +729,7 @@ class CampaignScheduler:
         skipped: list[str] = []
         try:
             with JournalWriter(journal_path) as writer:
-                writer.write(_manifest(level, spec.config))
+                writer.write(_manifest(level, spec.config, spec.planner))
                 for workload in spec.config.workloads:
                     workload_units = by_workload.get(workload, [])
                     entries = self.store.trial_entries(
@@ -618,6 +763,15 @@ class CampaignScheduler:
                     elif not done:
                         # Every unit was cancelled before running.
                         continue
+                    planner_points = None
+                    prescreened_points = None
+                    if spec.planner is not None and skip_reason is None:
+                        state = self.store.planner_state(job_id, workload)
+                        if state and state.get("points"):
+                            planner_points = tuple(state["points"])
+                            prescreened_points = tuple(
+                                state.get("prescreened", ())
+                            )
                     writer.write(_workload_sentinel(WorkloadRunOutcome(
                         workload,
                         skip_reason=skip_reason,
@@ -625,6 +779,8 @@ class CampaignScheduler:
                             (u["total_bits"] or 0 for u in workload_units),
                             default=0,
                         ),
+                        planner_points=planner_points,
+                        prescreened_points=prescreened_points,
                     )))
                     for unit in workload_units:
                         if unit["state"] == UNIT_DONE and unit["metrics"]:
@@ -637,6 +793,24 @@ class CampaignScheduler:
                     metrics = merge_campaign_metrics(part_metrics)
                 else:
                     metrics = aggregate_campaign(level, [])
+                if spec.planner is not None:
+                    from repro.planner import aggregate_planner_summaries
+
+                    summaries = []
+                    for workload in spec.config.workloads:
+                        state = self.store.planner_state(job_id, workload)
+                        if state and state.get("summary"):
+                            summaries.append(state["summary"])
+                    totals = aggregate_planner_summaries(
+                        spec.planner, summaries
+                    )
+                    metrics.planner = totals
+                    self.counters.bump(
+                        "planner_trials_saved", totals["trials_saved"]
+                    )
+                    self.counters.bump(
+                        "planner_prescreen_trials", totals["prescreen_trials"]
+                    )
                 metrics_entry = metrics.to_entry()
                 writer.write(metrics_entry)
         finally:

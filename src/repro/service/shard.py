@@ -33,13 +33,24 @@ from repro.service.spec import JobSpec
 
 @dataclass(frozen=True)
 class WorkUnit:
-    """One leasable slice of a job: a workload restricted to a seed-slice."""
+    """One leasable slice of a job: a workload restricted to a seed-slice.
+
+    Adaptive jobs execute round by round: ``round`` numbers the planner
+    round this unit belongs to, and ``allocation`` carries the explicit
+    ``(point, start_index, count)`` plan for rounds after the first.
+    Round-0 units ship with ``allocation=None`` — the worker derives the
+    round-0 plan (and the prescreen set) from the golden trace itself
+    and reports that metadata back for the scheduler to replay. Uniform
+    jobs keep ``round=0, allocation=None`` throughout.
+    """
 
     job_id: str
     unit_id: str
     workload: str
     shard_index: int
     shard_count: int
+    round: int = 0
+    allocation: tuple[tuple[int, int, int], ...] | None = None
 
     @property
     def shard(self) -> tuple[int, int] | None:
@@ -55,16 +66,27 @@ class WorkUnit:
             "workload": self.workload,
             "shard_index": self.shard_index,
             "shard_count": self.shard_count,
+            "round": self.round,
+            "allocation": (
+                [list(entry) for entry in self.allocation]
+                if self.allocation is not None else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkUnit":
+        allocation = data.get("allocation")
         return cls(
             job_id=data["job_id"],
             unit_id=data["unit_id"],
             workload=data["workload"],
             shard_index=int(data["shard_index"]),
             shard_count=int(data["shard_count"]),
+            round=int(data.get("round", 0)),
+            allocation=(
+                tuple(tuple(int(v) for v in entry) for entry in allocation)
+                if allocation is not None else None
+            ),
         )
 
 
@@ -79,13 +101,53 @@ def shard_job(job_id: str, spec: JobSpec) -> list[WorkUnit]:
     count = spec.shards_per_workload
     for workload in spec.config.workloads:
         for index in range(count):
-            units.append(
-                WorkUnit(
+            if spec.planner is not None:
+                # Adaptive jobs start with round 0 only; the scheduler
+                # emits each later round's units once the previous
+                # round's trials have all landed.
+                unit = WorkUnit(
+                    job_id=job_id,
+                    unit_id=f"{workload}:r0:{index}of{count}",
+                    workload=workload,
+                    shard_index=index,
+                    shard_count=count,
+                    round=0,
+                )
+            else:
+                unit = WorkUnit(
                     job_id=job_id,
                     unit_id=f"{workload}:{index}of{count}",
                     workload=workload,
                     shard_index=index,
                     shard_count=count,
                 )
-            )
+            units.append(unit)
     return units
+
+
+def round_units(
+    job_id: str,
+    spec: JobSpec,
+    workload: str,
+    round_number: int,
+    allocation: list[tuple[int, int, int]],
+) -> list[WorkUnit]:
+    """The work units for one later planner round of one workload.
+
+    Every unit carries the full allocation; its shard stride selects the
+    trial-index slice it executes, so the union of a round's units is
+    exactly the round — the same invariant as uniform sharding.
+    """
+    count = spec.shards_per_workload
+    return [
+        WorkUnit(
+            job_id=job_id,
+            unit_id=f"{workload}:r{round_number}:{index}of{count}",
+            workload=workload,
+            shard_index=index,
+            shard_count=count,
+            round=round_number,
+            allocation=tuple(tuple(entry) for entry in allocation),
+        )
+        for index in range(count)
+    ]

@@ -67,6 +67,18 @@ def build_config(level: str, options: dict) -> Any:
         raise ServiceError(f"invalid {level} campaign configuration: {exc}") from None
 
 
+def _build_planner(data: dict | None):
+    """Construct planner settings from JSON-able options (None passes)."""
+    if data is None:
+        return None
+    from repro.planner import PlannerConfig
+
+    try:
+        return PlannerConfig.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"invalid planner configuration: {exc}") from None
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One campaign job as submitted to the service."""
@@ -76,11 +88,19 @@ class JobSpec:
     shards_per_workload: int = 1
     trial_timeout: float | None = None
     trace: bool = False
+    #: Adaptive planning settings (a repro.planner.PlannerConfig), or
+    #: None for the uniform fixed-budget campaign. Arch level only.
+    planner: Any = None
 
     def __post_init__(self) -> None:
         if self.level not in CAMPAIGN_LEVELS:
             raise ServiceError(
                 f"unknown campaign level {self.level!r}; know {CAMPAIGN_LEVELS}"
+            )
+        if self.planner is not None and self.level != "arch":
+            raise ServiceError(
+                "adaptive planning is only supported for arch campaigns "
+                f"(got level={self.level!r})"
             )
         if not isinstance(self.shards_per_workload, int) or isinstance(
             self.shards_per_workload, bool
@@ -99,13 +119,18 @@ class JobSpec:
         return stable_digest(config_to_dict(self.config))
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "level": self.level,
             "config": config_to_dict(self.config),
             "shards_per_workload": self.shards_per_workload,
             "trial_timeout": self.trial_timeout,
             "trace": self.trace,
         }
+        # Only adaptive specs carry the key, so uniform specs (and the
+        # stored rows and digests derived from them) are unchanged.
+        if self.planner is not None:
+            data["planner"] = self.planner.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobSpec":
@@ -115,6 +140,7 @@ class JobSpec:
             shards_per_workload=int(data.get("shards_per_workload", 1)),
             trial_timeout=data.get("trial_timeout"),
             trace=bool(data.get("trace", False)),
+            planner=_build_planner(data.get("planner")),
         )
 
     @classmethod
@@ -140,10 +166,16 @@ class JobSpec:
             raise ServiceError(
                 f"shards_per_workload must be an integer, got {shards!r}"
             )
+        planner = payload.get("planner")
+        if planner is not None and not isinstance(planner, dict):
+            raise ServiceError(
+                "'planner' must be a JSON object of planner options"
+            )
         return cls(
             level=payload["level"],
             config=build_config(payload["level"], config),
             shards_per_workload=shards,
             trial_timeout=timeout,
             trace=bool(payload.get("trace", False)),
+            planner=_build_planner(planner),
         )

@@ -68,6 +68,9 @@ CREATE TABLE IF NOT EXISTS units (
     total_bits  INTEGER NOT NULL DEFAULT 0,
     metrics     TEXT,
     error       TEXT,
+    round       INTEGER NOT NULL DEFAULT 0,
+    allocation  TEXT,
+    planner_meta TEXT,
     PRIMARY KEY (job_id, unit_id)
 );
 CREATE TABLE IF NOT EXISTS trials (
@@ -79,12 +82,31 @@ CREATE TABLE IF NOT EXISTS trials (
     idx      INTEGER NOT NULL,
     status   TEXT NOT NULL,
     entry    TEXT NOT NULL,
+    round    INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (job_id, key)
 );
-CREATE INDEX IF NOT EXISTS trials_order
-    ON trials (job_id, wpos, point, idx);
+CREATE TABLE IF NOT EXISTS planner_state (
+    job_id   TEXT NOT NULL,
+    workload TEXT NOT NULL,
+    state    TEXT NOT NULL,
+    PRIMARY KEY (job_id, workload)
+);
+CREATE INDEX IF NOT EXISTS trials_round_order
+    ON trials (job_id, wpos, round, point, idx);
 CREATE INDEX IF NOT EXISTS units_state ON units (state, job_id);
 """
+
+#: Columns added after the first released schema; applied idempotently so
+#: a store file written by an older service upgrades in place. Serial
+#: journal order for adaptive jobs is (workload, round, point, index), so
+#: the old (wpos, point, idx) index is superseded by trials_round_order.
+_MIGRATIONS = (
+    "ALTER TABLE units ADD COLUMN round INTEGER NOT NULL DEFAULT 0",
+    "ALTER TABLE units ADD COLUMN allocation TEXT",
+    "ALTER TABLE units ADD COLUMN planner_meta TEXT",
+    "ALTER TABLE trials ADD COLUMN round INTEGER NOT NULL DEFAULT 0",
+    "DROP INDEX IF EXISTS trials_order",
+)
 
 
 def _row_to_dict(row: sqlite3.Row | None) -> dict | None:
@@ -105,6 +127,11 @@ class ResultStore:
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
         self._conn.executescript(_SCHEMA)
+        for statement in _MIGRATIONS:
+            try:
+                self._conn.execute(statement)
+            except sqlite3.OperationalError:
+                pass  # column already present (fresh schema or re-run)
         self._conn.commit()
 
     def close(self) -> None:
@@ -176,10 +203,13 @@ class ResultStore:
     def add_units(self, units: list[WorkUnit]) -> None:
         self._conn.executemany(
             "INSERT INTO units (job_id, unit_id, workload, shard_index, "
-            "shard_count, state) VALUES (?, ?, ?, ?, ?, ?)",
+            "shard_count, state, round, allocation) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
             [
                 (u.job_id, u.unit_id, u.workload, u.shard_index,
-                 u.shard_count, UNIT_PENDING)
+                 u.shard_count, UNIT_PENDING, u.round,
+                 json.dumps([list(entry) for entry in u.allocation])
+                 if u.allocation is not None else None)
                 for u in units
             ],
         )
@@ -307,15 +337,24 @@ class ResultStore:
     def complete_unit(
         self, job_id: str, unit_id: str, worker: str, *,
         skip_reason: str | None, total_bits: int, metrics: dict | None,
+        planner_meta: dict | None = None,
     ) -> bool:
-        """Mark a leased unit done; False when the lease is no longer held."""
+        """Mark a leased unit done; False when the lease is no longer held.
+
+        ``planner_meta`` (round-0 adaptive units only) persists the
+        worker-derived point/prescreen metadata on the unit row itself,
+        in the same transaction as the completion — a scheduler restart
+        between a complete and the next round's planning can always
+        rederive its state from done units plus trial rows.
+        """
         cursor = self._conn.execute(
             "UPDATE units SET state = ?, skip_reason = ?, total_bits = ?, "
-            "metrics = ?, lease_expiry = NULL WHERE job_id = ? AND "
-            "unit_id = ? AND worker = ? AND state = ?",
+            "metrics = ?, planner_meta = ?, lease_expiry = NULL "
+            "WHERE job_id = ? AND unit_id = ? AND worker = ? AND state = ?",
             (
                 UNIT_DONE, skip_reason, total_bits,
                 json.dumps(metrics) if metrics is not None else None,
+                json.dumps(planner_meta) if planner_meta is not None else None,
                 job_id, unit_id, worker, UNIT_LEASED,
             ),
         )
@@ -401,12 +440,12 @@ class ResultStore:
     # ----------------------------------------------------------- trials
 
     def add_trials(self, job_id: str, rows: list[tuple]) -> int:
-        """Ingest ``(key, wpos, workload, point, idx, status, entry_json)``
-        rows idempotently; returns how many were new."""
+        """Ingest ``(key, wpos, round, workload, point, idx, status,
+        entry_json)`` rows idempotently; returns how many were new."""
         cursor = self._conn.executemany(
             "INSERT OR IGNORE INTO trials "
-            "(job_id, key, wpos, workload, point, idx, status, entry) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            "(job_id, key, wpos, round, workload, point, idx, status, entry) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
             [(job_id, *row) for row in rows],
         )
         self._conn.commit()
@@ -454,7 +493,9 @@ class ResultStore:
         self, job_id: str, *, offset: int = 0, limit: int = 100,
         status: str | None = None, workload: str | None = None,
     ) -> list[dict]:
-        """Trial journal entries in serial order (workload, point, index)."""
+        """Trial journal entries in serial order — (workload, round,
+        point, index); uniform jobs have every trial at round 0, so
+        their order is the historical (workload, point, index)."""
         clauses = ["job_id = ?"]
         params: list[Any] = [job_id]
         if status is not None:
@@ -466,7 +507,28 @@ class ResultStore:
         params.extend([limit, offset])
         rows = self._conn.execute(
             f"SELECT entry FROM trials WHERE {' AND '.join(clauses)} "
-            f"ORDER BY wpos, point, idx LIMIT ? OFFSET ?",
+            f"ORDER BY wpos, round, point, idx LIMIT ? OFFSET ?",
             params,
         ).fetchall()
         return [json.loads(row["entry"]) for row in rows]
+
+    # ---------------------------------------------------- planner state
+
+    def planner_state(self, job_id: str, workload: str) -> dict | None:
+        """The scheduler's per-workload adaptive-planning state."""
+        row = self._conn.execute(
+            "SELECT state FROM planner_state WHERE job_id = ? AND "
+            "workload = ?",
+            (job_id, workload),
+        ).fetchone()
+        return json.loads(row["state"]) if row is not None else None
+
+    def set_planner_state(
+        self, job_id: str, workload: str, state: dict
+    ) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO planner_state (job_id, workload, state) "
+            "VALUES (?, ?, ?)",
+            (job_id, workload, json.dumps(state)),
+        )
+        self._conn.commit()

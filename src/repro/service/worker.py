@@ -79,8 +79,20 @@ def execute_unit(
         from repro.cache import GoldenArtifactCache
 
         cache = GoldenArtifactCache(cache_dir)
+    extra: dict = {}
+    if spec.planner is not None:
+        # Adaptive units execute exactly one planner round: round 0 is
+        # derived from the golden trace (the worker reports the point
+        # set and prescreen verdicts back as planner metadata), later
+        # rounds run the explicit allocation the scheduler attached.
+        extra.update(
+            planner=spec.planner,
+            planner_round=unit.round,
+            allocation=unit.allocation,
+        )
     outcome = module.run_workload_trials(
-        spec.config, unit.workload, guard=guard, shard=unit.shard, cache=cache
+        spec.config, unit.workload, guard=guard, shard=unit.shard,
+        cache=cache, **extra,
     )
     from repro.telemetry.metrics import aggregate_campaign
 
@@ -88,13 +100,19 @@ def execute_unit(
         spec.level,
         [o.record for o in outcome.outcomes if o.status == OUTCOME_OK],
     )
-    return {
+    result = {
         "outcomes": [o.to_entry() for o in outcome.outcomes],
         "skip_reason": outcome.skip_reason,
         "total_bits": outcome.total_bits,
         "metrics": metrics.to_entry(),
         "golden_cache": outcome.golden_cache,
     }
+    if unit.round == 0 and outcome.planner_points is not None:
+        result["planner_meta"] = {
+            "points": list(outcome.planner_points),
+            "prescreened": list(outcome.prescreened_points or ()),
+        }
+    return result
 
 
 class WorkerOutbox:

@@ -29,6 +29,10 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "trial_begin": ("workload", "point", "index"),
     "injection": ("target", "bit"),
     "trial_end": ("status",),
+    # Adaptive-planner convergence: one per stopped injection point.
+    # ``margin`` is a float (the point's Wilson half-width at stop time),
+    # deliberately absent from the integer-field list.
+    "point_converged": ("workload", "point", "trials", "margin"),
     # Pipeline-visible symptom candidates (raw, pre-detector).
     "symptom": ("symptom", "pc"),
     # Controller decisions.
@@ -52,6 +56,7 @@ _INT_FIELDS = frozenset(
         "position",
         "point",
         "index",
+        "trials",
         "bit",
         "pc",
         "from_position",

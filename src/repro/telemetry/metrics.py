@@ -184,10 +184,15 @@ class CampaignMetrics:
     failing: int = 0
     detectors: dict[str, DetectorMetrics] = field(default_factory=dict)
     rollback_distance: dict[int, Histogram] = field(default_factory=dict)
+    # Adaptive-planner account (budget, executed, trials saved, prescreen
+    # hits — see repro.planner.aggregate_planner_summaries). ``None`` for
+    # uniform campaigns, and omitted from the journal entry so their
+    # telemetry lines stay byte-identical to pre-planner journals.
+    planner: dict | None = None
 
     def to_entry(self) -> dict:
         """The journal (JSONL) representation."""
-        return {
+        entry = {
             "kind": "telemetry",
             "schema": SCHEMA_VERSION,
             "level": self.level,
@@ -201,6 +206,9 @@ class CampaignMetrics:
                 for interval, histogram in self.rollback_distance.items()
             },
         }
+        if self.planner is not None:
+            entry["planner"] = self.planner
+        return entry
 
     @classmethod
     def from_entry(cls, entry: dict) -> "CampaignMetrics":
@@ -216,6 +224,7 @@ class CampaignMetrics:
                 int(interval): Histogram.from_dict(data)
                 for interval, data in entry.get("rollback_distance", {}).items()
             },
+            planner=entry.get("planner"),
         )
 
     def merge(self, other: "CampaignMetrics") -> None:
@@ -226,7 +235,10 @@ class CampaignMetrics:
         exact: summing the aggregates of any partition of a campaign's
         trials yields the same object as aggregating all trials serially.
         The campaign service relies on this to combine per-unit metrics
-        into per-job metrics without re-reading trial records.
+        into per-job metrics without re-reading trial records. The
+        ``planner`` section is deliberately not merged: it is a whole-
+        campaign account computed by replaying the planner, never a
+        per-shard tally.
         """
         if other.level != self.level:
             raise ValueError(

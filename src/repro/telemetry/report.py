@@ -104,6 +104,29 @@ def render_campaign_report(
     """The full ``repro campaign report`` text for one journal."""
     metrics = metrics_from_journal(path, intervals=intervals)
     blocks = [_symptom_table(metrics)]
+    entries = read_journal(path)
+    planner = entries[0].get("planner") if entries else None
+    from repro.planner.margins import format_point_margins, journal_point_tallies
+
+    tallies = journal_point_tallies(entries)
+    if tallies:
+        target = (planner or {}).get("margin", 0.05)
+        blocks.append(format_point_margins(tallies, target))
+    telemetry = None
+    for entry in entries[1:]:
+        if entry.get("kind") == "telemetry":
+            telemetry = entry  # keep the newest (a resumed run re-appends)
+    totals = (telemetry or {}).get("planner")
+    if planner is not None and totals:
+        blocks.append(
+            f"adaptive planner: executed {totals.get('executed')} of "
+            f"{totals.get('budget')} budgeted trials "
+            f"({totals.get('trials_saved')} saved), "
+            f"{totals.get('converged_points')}/{totals.get('total_points')} "
+            f"points converged at margin<={totals.get('margin')}, "
+            f"{totals.get('prescreen_points')} points prescreened as masked "
+            f"({totals.get('prescreen_trials')} trials avoided)"
+        )
     for name, detector in metrics.detectors.items():
         if detector.latency.total:
             blocks.append(

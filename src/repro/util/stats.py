@@ -51,8 +51,27 @@ def wald_interval(
 
 
 def wald_margin(successes: int, trials: int, z: float = Z_95) -> float:
-    """Half-width of the Wald interval (the paper's "error margin")."""
+    """Half-width of the Wald interval (the paper's "error margin").
+
+    Degenerate at the extremes: 0 or ``trials`` successes give a margin of
+    exactly 0.0, so a sequential stopping rule fed Wald margins would stop
+    a point after its very first masked trial. Adaptive planners must use
+    :func:`wilson_margin` instead, which stays honestly wide there.
+    """
     low, high = wald_interval(successes, trials, z)
+    return (high - low) / 2
+
+
+def wilson_margin(successes: int, trials: int, z: float = Z_95) -> float:
+    """Half-width of the Wilson interval — the sequential-safe margin.
+
+    Unlike :func:`wald_margin`, this never collapses to zero at 0 or
+    ``trials`` successes: the half-width there is z^2 / (2*(n + z^2)), so
+    certifying an all-masked injection point to a 0.05 margin takes ~35
+    trials rather than one. This is the stopping-rule margin used by the
+    adaptive campaign planner (:mod:`repro.planner`).
+    """
+    low, high = proportion_confidence_interval(successes, trials, z)
     return (high - low) / 2
 
 

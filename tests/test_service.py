@@ -149,7 +149,7 @@ class TestResultStore:
     def test_trial_ingestion_is_idempotent(self):
         store = ResultStore(":memory:")
         store.create_job("j", 1, "arch", {}, created=0.0)
-        rows = [("gcc:1:0", 0, "gcc", 1, 0, "ok", "{}")]
+        rows = [("gcc:1:0", 0, 0, "gcc", 1, 0, "ok", "{}")]
         assert store.add_trials("j", rows) == 1
         assert store.add_trials("j", rows) == 0  # retry re-report: no dup
         assert store.trial_count("j") == 1

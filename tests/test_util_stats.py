@@ -10,6 +10,7 @@ from repro.util.stats import (
     proportion_confidence_interval,
     wald_interval,
     wald_margin,
+    wilson_margin,
 )
 
 
@@ -163,3 +164,40 @@ class TestWaldInterval:
         wald = wald_interval(5000, 10000)
         assert wilson[0] == pytest.approx(wald[0], abs=1e-4)
         assert wilson[1] == pytest.approx(wald[1], abs=1e-4)
+
+
+class TestWilsonMargin:
+    """The stopping-rule margin for the adaptive planner must never be
+    degenerate at the extremes — the exact failure mode that makes Wald
+    margins unusable for sequential early stopping."""
+
+    def test_wald_collapses_at_extremes_wilson_does_not(self):
+        for trials in (1, 5, 20, 100):
+            assert wald_margin(0, trials) == 0.0
+            assert wald_margin(trials, trials) == 0.0
+            assert wilson_margin(0, trials) > 0.0
+            assert wilson_margin(trials, trials) > 0.0
+
+    def test_is_half_the_wilson_interval_width(self):
+        for successes, trials in [(0, 10), (3, 10), (10, 10), (77, 240)]:
+            low, high = proportion_confidence_interval(successes, trials)
+            assert wilson_margin(successes, trials) == pytest.approx(
+                (high - low) / 2
+            )
+
+    def test_all_masked_point_needs_real_evidence(self):
+        # Certifying 0/n to a 0.05 margin takes ~35 trials — a Wald rule
+        # would have stopped after one.
+        assert wilson_margin(0, 1) > 0.05
+        assert wilson_margin(0, 34) > 0.05
+        assert wilson_margin(0, 40) < 0.05
+
+    @given(st.integers(1, 500))
+    def test_shrinks_monotonically_for_all_masked_points(self, trials):
+        assert wilson_margin(0, trials + 1) < wilson_margin(0, trials)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_margin(1, 0)
+        with pytest.raises(ValueError):
+            wilson_margin(5, 4)
