@@ -44,6 +44,17 @@ OUTCOME_TIMEOUT = "harness-timeout"
 
 HARNESS_STATUSES = (OUTCOME_CRASH, OUTCOME_TIMEOUT)
 
+# Trial-record fields added after journals already existed in the wild:
+# omitted from journal entries while None (their default), so campaigns
+# that never enable the corresponding detectors keep writing entries
+# byte-identical to older versions. ``from_entry`` tolerates their absence
+# because the dataclass defaults them to None.
+_OMIT_RECORD_FIELDS_WHEN_NONE = (
+    "miss_spike_latency",
+    "stall_outlier_latency",
+    "spurious_memop_latency",
+)
+
 
 def _record_type(level: str) -> type:
     # repro.faults imports this package for the guard/outcome types, so
@@ -98,7 +109,11 @@ class TrialOutcome:
             "status": self.status,
         }
         if self.record is not None:
-            entry["record"] = asdict(self.record)
+            record = asdict(self.record)
+            for name in _OMIT_RECORD_FIELDS_WHEN_NONE:
+                if record.get(name) is None:
+                    record.pop(name, None)
+            entry["record"] = record
         if self.error is not None:
             entry["error"] = self.error
         return entry

@@ -691,6 +691,7 @@ def run_campaign(
         metrics = aggregate_campaign(
             level,
             [o.record for o in ordered_outcomes if o.status == OUTCOME_OK],
+            extra_symptoms=tuple(getattr(config, "detectors", ()) or ()),
         )
         metrics.planner = planner_totals
         with JournalWriter(journal_path, append=True) as tail:

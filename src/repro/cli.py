@@ -219,6 +219,20 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_memhier_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memhier-targets", action="store_true",
+        help="register cache tag/valid/LRU and MSHR state as injection "
+             "targets (uarch campaigns only; off by default — default "
+             "journals are byte-identical to previous releases)",
+    )
+    parser.add_argument(
+        "--detectors", default=None, metavar="NAMES",
+        help="comma-separated memory-hierarchy detectors to measure: "
+             "miss_spike, stall_outlier, spurious_memop (uarch only)",
+    )
+
+
 def _add_planner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--adaptive", action="store_true",
@@ -369,6 +383,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             "--adaptive is only supported for arch campaigns (the uarch "
             "prescreen equivalence does not hold at latch granularity)"
         )
+    detectors = _parse_detectors(args.detectors)
+    if args.level == "arch" and (args.memhier_targets or detectors):
+        raise SystemExit(
+            "--memhier-targets and --detectors are uarch-only (the arch "
+            "study has no memory-hierarchy state to target)"
+        )
     try:
         if args.level == "arch":
             config = ArchCampaignConfig(
@@ -383,6 +403,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 injection_points=min(args.trials, max(4, args.trials // 3)),
                 workloads=workloads,
                 seed=args.seed,
+                memhier_targets=args.memhier_targets,
+                detectors=detectors,
             )
     except ValueError as exc:
         raise SystemExit(f"invalid campaign configuration: {exc}") from None
@@ -447,18 +469,40 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_detectors(value: str | None) -> tuple[str, ...]:
+    """Parse a ``--detectors`` comma list (name validation happens in the
+    campaign config, so CLI and service submissions reject identically)."""
+    if not value:
+        return ()
+    return tuple(name.strip() for name in value.split(",") if name.strip())
+
+
 def _campaign_config_options(
-    level: str, trials: int, workloads: tuple[str, ...], seed: int
+    level: str,
+    trials: int,
+    workloads: tuple[str, ...],
+    seed: int,
+    memhier_targets: bool = False,
+    detectors: tuple[str, ...] = (),
 ) -> dict:
     """The JSON config options for a job, derived exactly as
     ``repro campaign`` derives its local config — so a service job's
-    config digest matches a serial CLI run of the same parameters."""
-    return {
+    config digest matches a serial CLI run of the same parameters.
+
+    The memory-hierarchy options are included only when set, mirroring
+    their ``omit_default`` journaling: a default submission's config dict
+    (and hence digest) is unchanged from before the options existed."""
+    options = {
         "trials_per_workload": trials,
         "injection_points": min(trials, max(4, trials // 3)),
         "workloads": list(workloads),
         "seed": seed,
     }
+    if memhier_targets:
+        options["memhier_targets"] = True
+    if detectors:
+        options["detectors"] = list(detectors)
+    return options
 
 
 async def _serve_async(args: argparse.Namespace) -> int:
@@ -562,10 +606,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
     planner = _planner_from_args(args)
     if planner is not None and args.level != "arch":
         raise SystemExit("--adaptive is only supported for arch campaigns")
+    detectors = _parse_detectors(args.detectors)
+    if args.level == "arch" and (args.memhier_targets or detectors):
+        raise SystemExit(
+            "--memhier-targets and --detectors are uarch-only (the arch "
+            "study has no memory-hierarchy state to target)"
+        )
     payload = {
         "level": args.level,
         "config": _campaign_config_options(
-            args.level, args.trials, workloads, args.seed
+            args.level, args.trials, workloads, args.seed,
+            memhier_targets=args.memhier_targets, detectors=detectors,
         ),
         "shards_per_workload": args.shards,
         "trial_timeout": args.trial_timeout,
@@ -866,6 +917,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "scheduler (default; --no-lockstep forces the "
                         "serial per-trial path — journals are byte-"
                         "identical either way)")
+    _add_memhier_flags(p)
     _add_planner_flags(p)
     _add_cache_flags(p)
     p.set_defaults(func=cmd_campaign)
@@ -921,6 +973,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="how long --wait polls before giving up")
     p.add_argument("--json", action="store_true",
                    help="print the raw job view as JSON")
+    _add_memhier_flags(p)
     _add_planner_flags(p)
     p.set_defaults(func=cmd_submit)
 

@@ -129,6 +129,14 @@ class UarchTrialResult:
     uarch_latent: bool = False
     latent_arch_relevant: bool = False
     protected: bool = False
+    # Memory-hierarchy detector firings (retired instructions from
+    # injection to the detector's first trigger, or None). Present only in
+    # campaigns configured with the corresponding detectors; journal
+    # entries omit them when None so existing journals stay byte-identical.
+    # They are detections, not failure modes, so `failing` ignores them.
+    miss_spike_latency: int | None = None
+    stall_outlier_latency: int | None = None
+    spurious_memop_latency: int | None = None
 
     @property
     def failing(self) -> bool:

@@ -52,6 +52,7 @@ from repro.faults.classify import (
 )
 from repro.faults.models import StateBitFlip
 from repro.restore.hardened import ProtectionMap
+from repro.restore.symptoms import MEMHIER_DETECTOR_NAMES, build_memhier_detectors
 from repro.uarch.latches import LATCH_CLASSES
 from repro.uarch.pipeline import Pipeline, load_pipeline
 from repro.util.rng import DeterministicRng
@@ -77,8 +78,18 @@ class UarchCampaignConfig:
     workloads: tuple[str, ...] = WORKLOAD_NAMES
     max_golden_cycles: int = 200_000
     record_cache_symptoms: bool = False
+    # Memory-hierarchy ablation knobs. Both are journal-omitted at their
+    # defaults (``omit_default``) so campaigns that never enable them keep
+    # manifests, digests, and golden-cache keys byte-identical to journals
+    # written before the fields existed.
+    memhier_targets: bool = field(default=False, metadata={"omit_default": True})
+    detectors: tuple[str, ...] = field(default=(), metadata={"omit_default": True})
 
     def __post_init__(self) -> None:
+        if not isinstance(self.detectors, tuple):
+            # Service specs arrive as JSON lists; normalise before the
+            # config is hashed so serial and service digests agree.
+            object.__setattr__(self, "detectors", tuple(self.detectors))
         if self.trials_per_workload < 1:
             raise ValueError(
                 f"trials_per_workload must be >= 1, got {self.trials_per_workload}"
@@ -116,6 +127,23 @@ class UarchCampaignConfig:
         unknown = [name for name in self.workloads if name not in WORKLOAD_NAMES]
         if unknown:
             raise ValueError(f"unknown workloads {unknown}; know {WORKLOAD_NAMES}")
+        unknown_detectors = [
+            name for name in self.detectors if name not in MEMHIER_DETECTOR_NAMES
+        ]
+        if unknown_detectors:
+            raise ValueError(
+                f"unknown detectors {unknown_detectors}; "
+                f"know {MEMHIER_DETECTOR_NAMES}"
+            )
+
+    @property
+    def record_memhier_symptoms(self) -> bool:
+        """Whether pipelines must emit stall-streak/spurious-memop events.
+
+        Miss-rate spikes ride on the ordinary cache/TLB-miss handler calls;
+        the other two detectors need the opt-in event streams.
+        """
+        return bool({"stall_outlier", "spurious_memop"} & set(self.detectors))
 
 
 @dataclass
@@ -376,7 +404,10 @@ def run_workload_trials(
     # ``extra`` points (in sorted order) take one more than the rest.
     base_trials, extra = divmod(config.trials_per_workload, point_count)
     prefix = load_pipeline(
-        bundle.program, record_cache_symptoms=config.record_cache_symptoms
+        bundle.program,
+        record_cache_symptoms=config.record_cache_symptoms,
+        memhier_targets=config.memhier_targets,
+        record_memhier_symptoms=config.record_memhier_symptoms,
     )
     outcomes: list[TrialOutcome] = []
     for position, point in enumerate(points):
@@ -431,6 +462,8 @@ def _run_golden(bundle, config: UarchCampaignConfig, inject_cycles) -> _GoldenRu
         bundle.program,
         collect_retired=True,
         record_cache_symptoms=config.record_cache_symptoms,
+        memhier_targets=config.memhier_targets,
+        record_memhier_symptoms=config.record_memhier_symptoms,
     )
     snapshots: dict[int, list[int]] = {}
     retired_at: dict[int, int] = {}
@@ -504,6 +537,20 @@ def _run_trial(
     flip_field.flip(bit)
 
     base = faulty.retired_count
+    fired: dict[str, int] = {}
+    if config.detectors:
+        detectors = build_memhier_detectors(config.detectors)
+
+        def _observe(kind: str, payload) -> bool:
+            # Measure first-fire positions without ever rolling back: the
+            # campaign wants detection latency, not recovery, so the trial
+            # keeps running and the failure comparators stay untouched.
+            for det in detectors:
+                if det.observe(kind, payload) and det.name not in fired:
+                    fired[det.name] = faulty.retired_count
+            return False
+
+        faulty.symptom_handler = _observe
     faulty.run(config.window_cycles)
 
     golden_log = golden.retired
@@ -590,6 +637,11 @@ def _run_trial(
                     latent_arch_relevant = _latent_is_arch_relevant(faulty, diff)
             # Matching stream with timing skew only: architecturally benign.
 
+    def _detector_latency(name: str) -> int | None:
+        if name not in fired:
+            return None
+        return max(1, fired[name] - base + 1)
+
     return UarchTrialResult(
         workload=workload,
         inject_cycle=point,
@@ -604,4 +656,7 @@ def _run_trial(
         arch_corrupt=arch_corrupt,
         uarch_latent=uarch_latent,
         latent_arch_relevant=latent_arch_relevant,
+        miss_spike_latency=_detector_latency("miss_spike"),
+        stall_outlier_latency=_detector_latency("stall_outlier"),
+        spurious_memop_latency=_detector_latency("spurious_memop"),
     )

@@ -29,11 +29,16 @@ from repro.restore.controller import ReStoreController, RollbackPolicy
 from repro.restore.eventlog import BranchOutcomeLog, LoadValueQueue
 from repro.restore.hardened import ProtectionMap, protection_overhead_bits
 from repro.restore.symptoms import (
+    MEMHIER_DETECTOR_NAMES,
     CacheMissSymptomDetector,
     ExceptionSymptomDetector,
     HighConfidenceMispredictDetector,
+    MissRateSpikeDetector,
+    SpuriousMemopDetector,
+    StallOutlierDetector,
     SymptomDetector,
     WatchdogSymptomDetector,
+    build_memhier_detectors,
 )
 
 __all__ = [
@@ -44,11 +49,16 @@ __all__ = [
     "ExceptionSymptomDetector",
     "HighConfidenceMispredictDetector",
     "LoadValueQueue",
+    "MEMHIER_DETECTOR_NAMES",
     "MappingCheckpointManager",
+    "MissRateSpikeDetector",
     "ProtectionMap",
     "ReStoreController",
     "RollbackPolicy",
+    "SpuriousMemopDetector",
+    "StallOutlierDetector",
     "SymptomDetector",
     "WatchdogSymptomDetector",
+    "build_memhier_detectors",
     "protection_overhead_bits",
 ]

@@ -332,8 +332,11 @@ class ReStoreController:
 
     @staticmethod
     def _symptom_pc(kind: str, payload) -> int:
+        # hc_mispredict carries (pc, rob_idx); exception carries (exc, pc);
+        # cache/TLB misses carry (position, pc) and stall_streak carries
+        # (position, streak, pc) — the PC-last kinds.
         if isinstance(payload, tuple) and payload:
-            return int(payload[-1] if kind == "exception" else payload[0])
+            return int(payload[0] if kind == "hc_mispredict" else payload[-1])
         return 0
 
     def _do_rollback(self, key: tuple[str, int, int], checkpoint=None) -> None:

@@ -15,6 +15,38 @@ we implement them for the ablation study.
 
 from __future__ import annotations
 
+#: Opt-in memory-hierarchy detector names accepted by
+#: ``UarchCampaignConfig.detectors`` (and ``build_memhier_detectors``).
+MEMHIER_DETECTOR_NAMES = ("miss_spike", "stall_outlier", "spurious_memop")
+
+
+def _position_of(kind: str, payload) -> int:
+    """The retired-instruction position of a cache/TLB symptom payload.
+
+    Accepts a bare position (legacy form) or a ``(position, pc)`` tuple —
+    the shape the pipeline emits for every cache/TLB symptom kind. Anything
+    else is a contract violation and raises instead of being silently
+    coerced (coercing to position 0 defeats window pruning entirely).
+    """
+    if isinstance(payload, bool):
+        raise TypeError(
+            f"malformed {kind} payload {payload!r}: expected a retired "
+            f"position or a (position, pc) tuple"
+        )
+    if isinstance(payload, int):
+        return payload
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 2
+        and all(isinstance(part, int) and not isinstance(part, bool)
+                for part in payload)
+    ):
+        return payload[0]
+    raise TypeError(
+        f"malformed {kind} payload {payload!r}: expected a retired "
+        f"position or a (position, pc) tuple"
+    )
+
 
 class SymptomDetector:
     """Base detector: decides whether a pipeline event triggers rollback."""
@@ -98,6 +130,11 @@ class CacheMissSymptomDetector(SymptomDetector):
     in the absence of transient faults and may cause undue false positives".
     A burst threshold limits the damage: only ``threshold`` misses within
     ``window`` retired instructions trigger a rollback.
+
+    :class:`MissRateSpikeDetector` supersedes this naive burst counter for
+    the memory-hierarchy ablation — it compares the windowed miss rate to a
+    learned error-free baseline instead of a fixed count — but this class
+    stays as the paper's literal Section 3.3 candidate.
     """
 
     name = "cache_miss"
@@ -115,7 +152,7 @@ class CacheMissSymptomDetector(SymptomDetector):
         self._recent: list[int] = []  # retired positions of recent misses
 
     def should_rollback(self, kind: str, payload) -> bool:
-        position = payload if isinstance(payload, int) else 0
+        position = _position_of(kind, payload)
         self._recent.append(position)
         cutoff = position - self.window
         self._recent = [p for p in self._recent if p >= cutoff]
@@ -127,6 +164,156 @@ class CacheMissSymptomDetector(SymptomDetector):
         # re-execution will produce, so the >= cutoff prune would keep them
         # forever and every burst count would be inflated.
         self._recent = [p for p in self._recent if p <= position]
+
+
+class MissRateSpikeDetector(SymptomDetector):
+    """Miss-rate spike vs a learned error-free baseline (EWMA).
+
+    The naive burst counter fires on any ``threshold`` misses in a window —
+    which in miss-heavy phases is constantly. This detector instead learns
+    the workload's own steady-state miss rate as an exponentially-weighted
+    moving average of per-miss instantaneous rates (1 / gap between
+    consecutive misses, in retired instructions) and fires only when the
+    windowed rate exceeds ``multiple`` times that baseline. A corrupted
+    cache tag/valid/LRU array produces exactly this signature: a burst of
+    conflict misses far above the program's own norm.
+    """
+
+    name = "miss_spike"
+
+    def __init__(
+        self,
+        kinds: tuple[str, ...] = (
+            "dcache_miss", "dtlb_miss", "icache_miss", "itlb_miss"
+        ),
+        window: int = 200,
+        multiple: float = 4.0,
+        alpha: float = 0.1,
+        warmup: int = 8,
+        floor_rate: float = 0.01,
+    ):
+        super().__init__()
+        self.kinds = kinds
+        self.window = window
+        self.multiple = multiple
+        self.alpha = alpha
+        self.warmup = warmup
+        self.floor_rate = floor_rate
+        self.baseline: float | None = None  # EWMA misses per retired inst
+        self._recent: list[int] = []  # retired positions of recent misses
+        self._last_position: int | None = None
+        self._seen = 0
+
+    def should_rollback(self, kind: str, payload) -> bool:
+        position = _position_of(kind, payload)
+        self._seen += 1
+        self._recent.append(position)
+        cutoff = position - self.window
+        self._recent = [p for p in self._recent if p >= cutoff]
+        windowed_rate = len(self._recent) / self.window
+        fire = False
+        if self._seen > self.warmup and self.baseline is not None:
+            reference = max(self.baseline, self.floor_rate)
+            fire = windowed_rate > self.multiple * reference
+        # Gated EWMA: anomalous samples (an instantaneous rate already past
+        # the spike threshold) are excluded from the baseline update, so a
+        # burst is judged against the pre-burst norm instead of absorbing
+        # itself into it within a few alpha steps.
+        if self._last_position is not None:
+            gap = max(1, position - self._last_position)
+            instant = 1.0 / gap
+            if self.baseline is None:
+                self.baseline = instant
+            elif instant <= self.multiple * max(self.baseline, self.floor_rate):
+                self.baseline += self.alpha * (instant - self.baseline)
+        self._last_position = position
+        return fire
+
+    def on_rollback(self, position: int) -> None:
+        # Prune window entries from the abandoned future; the learned
+        # baseline survives — it describes the workload, not the window.
+        self._recent = [p for p in self._recent if p <= position]
+        if self._last_position is not None:
+            self._last_position = min(self._last_position, position)
+
+
+class StallOutlierDetector(SymptomDetector):
+    """Fetch/issue stall streaks far beyond the error-free baseline.
+
+    The pipeline reports every ended no-retirement streak of at least
+    ``stall_streak_floor`` cycles as a ``stall_streak`` symptom whose
+    payload carries the streak length. Ordinary streaks (cache misses,
+    dependence chains) sit near the configured ``baseline_cycles``; a
+    corrupted MSHR occupancy, poisoned LRU state, or wedged store buffer
+    shows up as a streak ``multiple`` times longer — caught here well
+    before the watchdog's deadlock threshold.
+    """
+
+    kinds = ("stall_streak",)
+    name = "stall_outlier"
+
+    def __init__(self, baseline_cycles: int = 32, multiple: float = 4.0):
+        super().__init__()
+        self.baseline_cycles = baseline_cycles
+        self.multiple = multiple
+
+    def should_rollback(self, kind: str, payload) -> bool:
+        if not (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and all(isinstance(part, int) and not isinstance(part, bool)
+                    for part in payload)
+        ):
+            raise TypeError(
+                f"malformed {kind} payload {payload!r}: expected "
+                f"(position, streak_cycles, pc)"
+            )
+        _, streak, _ = payload
+        return streak > self.multiple * self.baseline_cycles
+
+
+class SpuriousMemopDetector(SymptomDetector):
+    """Memory operations with no matching retired memop.
+
+    The pipeline emits ``spurious_memop`` when its own accounting breaks:
+    a store-buffer drain whose live entries no longer reconcile with the
+    push/pop sequence (a phantom committed store, or one silently
+    destroyed), or a cache fill completing with no matching outstanding
+    miss in the MSHR file. Both are impossible in an error-free machine,
+    so every event fires — the paper's ideal symptom shape: zero benign
+    rate, unambiguous corruption.
+    """
+
+    kinds = ("spurious_memop",)
+    name = "spurious_memop"
+
+    def should_rollback(self, kind: str, payload) -> bool:
+        if not (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and all(isinstance(part, int) and not isinstance(part, bool)
+                    for part in payload)
+        ):
+            raise TypeError(
+                f"malformed {kind} payload {payload!r}: expected "
+                f"(position, address)"
+            )
+        return True
+
+
+def build_memhier_detectors(names) -> list[SymptomDetector]:
+    """Detector instances for the memory-hierarchy campaign, by name."""
+    factories = {
+        "miss_spike": MissRateSpikeDetector,
+        "stall_outlier": StallOutlierDetector,
+        "spurious_memop": SpuriousMemopDetector,
+    }
+    unknown = [name for name in names if name not in factories]
+    if unknown:
+        raise ValueError(
+            f"unknown detectors {unknown}; know {MEMHIER_DETECTOR_NAMES}"
+        )
+    return [factories[name]() for name in names]
 
 
 def default_detectors() -> list[SymptomDetector]:

@@ -792,7 +792,13 @@ class CampaignScheduler:
                 if part_metrics:
                     metrics = merge_campaign_metrics(part_metrics)
                 else:
-                    metrics = aggregate_campaign(level, [])
+                    metrics = aggregate_campaign(
+                        level,
+                        [],
+                        extra_symptoms=tuple(
+                            getattr(spec.config, "detectors", ()) or ()
+                        ),
+                    )
                 if spec.planner is not None:
                     from repro.planner import aggregate_planner_summaries
 

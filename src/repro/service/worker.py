@@ -99,6 +99,7 @@ def execute_unit(
     metrics = aggregate_campaign(
         spec.level,
         [o.record for o in outcome.outcomes if o.status == OUTCOME_OK],
+        extra_symptoms=tuple(getattr(spec.config, "detectors", ()) or ()),
     )
     result = {
         "outcomes": [o.to_entry() for o in outcome.outcomes],

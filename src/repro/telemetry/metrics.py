@@ -271,8 +271,17 @@ def _distance_histogram(interval: int) -> Histogram:
                       interval + 3 * quarter, 2 * interval))
 
 
-def trial_symptom_latencies(level: str, record) -> dict[str, int | None]:
-    """Per-symptom latency (retired instructions) of one trial record."""
+def trial_symptom_latencies(
+    level: str,
+    record,
+    extra_symptoms: tuple[str, ...] = (),
+) -> dict[str, int | None]:
+    """Per-symptom latency (retired instructions) of one trial record.
+
+    ``extra_symptoms`` names opt-in uarch detectors (the memory-hierarchy
+    ablation set) whose latencies live in ``<name>_latency`` record fields;
+    records journaled before a detector existed simply report ``None``.
+    """
     if level == "arch":
         return {
             "exception": record.exception_latency,
@@ -281,12 +290,16 @@ def trial_symptom_latencies(level: str, record) -> dict[str, int | None]:
             "mem-data": record.memdata_latency,
         }
     if level == "uarch":
-        return {
+        latencies: dict[str, int | None] = {
             "deadlock": record.deadlock_latency,
             "exception": record.exception_latency,
             "cfv": record.cfv_latency,
             "hc_mispredict": record.cfv_detected_latency,
         }
+        for name in extra_symptoms:
+            if name not in latencies:
+                latencies[name] = getattr(record, f"{name}_latency", None)
+        return latencies
     raise ValueError(f"unknown campaign level {level!r}")
 
 
@@ -318,14 +331,20 @@ def aggregate_campaign(
     level: str,
     records,
     intervals: tuple[int, ...] = DEFAULT_INTERVALS,
+    extra_symptoms: tuple[str, ...] = (),
 ) -> CampaignMetrics:
     """Aggregate trial records into detector and rollback metrics.
 
     ``records`` are :class:`~repro.faults.classify.ArchTrialResult` /
     :class:`~repro.faults.classify.UarchTrialResult` objects (the ``ok``
     trials of a campaign, as replayed from a journal or produced live).
+    ``extra_symptoms`` adds opt-in uarch detector columns (for campaigns
+    configured with memory-hierarchy detectors); at its ``()`` default the
+    telemetry entry is byte-identical to what older versions wrote.
     """
-    symptoms = ARCH_SYMPTOMS if level == "arch" else UARCH_SYMPTOMS
+    symptoms: tuple[str, ...] = ARCH_SYMPTOMS if level == "arch" else UARCH_SYMPTOMS
+    if level != "arch":
+        symptoms += tuple(n for n in extra_symptoms if n not in symptoms)
     metrics = CampaignMetrics(
         level=level,
         detectors={name: DetectorMetrics(name) for name in symptoms},
@@ -338,7 +357,7 @@ def aggregate_campaign(
         failing = bool(record.failing)
         if failing:
             metrics.failing += 1
-        latencies = trial_symptom_latencies(level, record)
+        latencies = trial_symptom_latencies(level, record, extra_symptoms)
         first_latency: int | None = None
         for name, latency in latencies.items():
             detector = metrics.detectors[name]

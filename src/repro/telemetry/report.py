@@ -49,7 +49,13 @@ def metrics_from_journal(
             continue
         seen.add(entry["key"])
         records.append(TrialOutcome.from_entry(entry, level).record)
-    return aggregate_campaign(level, records, intervals=intervals)
+    # Campaigns configured with memory-hierarchy detectors record them in
+    # the manifest config; their columns join the report. Older journals
+    # (and default configs) have no such key and render unchanged.
+    extra = tuple(entries[0].get("config", {}).get("detectors") or ())
+    return aggregate_campaign(
+        level, records, intervals=intervals, extra_symptoms=extra
+    )
 
 
 def _wald_margin_text(successes: int, trials: int) -> str:

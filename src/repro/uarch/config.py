@@ -63,7 +63,8 @@ class PipelineConfig:
     jrs_counter_bits: int = 4
     jrs_threshold: int = 15  # counter value at or above which = high confidence
 
-    # Caches (modelled for timing and miss symptoms; not injection targets).
+    # Caches (modelled for timing and miss symptoms; injection targets only
+    # when the pipeline is built with memhier_targets).
     l1i_sets: int = 128
     l1i_ways: int = 2
     l1i_line_bytes: int = 32
@@ -72,6 +73,14 @@ class PipelineConfig:
     l1d_line_bytes: int = 32
     itlb_entries: int = 64
     dtlb_entries: int = 64
+    # D-cache miss status holding registers. Tracked (and registerable)
+    # only under memhier_targets; a full file charges one extra miss
+    # penalty, the structural stall a corrupted occupancy makes visible.
+    mshr_entries: int = 8
+
+    # Minimum no-retirement streak (cycles) worth reporting as a
+    # stall_streak symptom when memory-hierarchy symptom recording is on.
+    stall_streak_floor: int = 32
 
     # Watchdog: cycles without a retirement before declaring deadlock.
     watchdog_cycles: int = 400

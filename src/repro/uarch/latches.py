@@ -17,10 +17,17 @@ State classes mirror the paper's taxonomy:
 - ``data`` — datapath latches: in-flight addresses, values, and PCs that
   remain unprotected even in the hardened pipeline; ReStore's symptom
   coverage is what protects them.
+- ``mem``  — memory-hierarchy metadata: cache tag/valid/LRU arrays and the
+  MSHR file. The paper excludes these from its campaigns ("caches are
+  easily protected by ECC or parity"), so they register only when a
+  pipeline is built with ``memhier_targets`` — the opt-in fault surface
+  behind the miss-rate-spike / stall-outlier / spurious-memory-op
+  detector study. Tag-only caches make this class timing-only corruption:
+  it can never change an architectural value directly.
 
-Caches, TLBs, and predictor tables intentionally never register: the paper
-excludes them ("caches are easily protected by ECC or parity and corrupt
-predictor table entries cannot lead to failure").
+Predictor tables intentionally never register ("corrupt predictor table
+entries cannot lead to failure"), and TLBs stay excluded even under
+``memhier_targets`` — their FIFO page list has no fixed latch encoding.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from typing import Callable
 
 from repro.util.rng import DeterministicRng
 
-STATE_CLASSES = ("ram", "ctrl", "data")
+STATE_CLASSES = ("ram", "ctrl", "data", "mem")
 
 # State classes counted as pipeline latches for the Section 5.1.2 study.
 LATCH_CLASSES = ("ctrl", "data")

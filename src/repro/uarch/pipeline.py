@@ -33,7 +33,7 @@ from repro.uarch.branch_predictor import (
     CombiningPredictor,
     ReturnAddressStack,
 )
-from repro.uarch.caches import SetAssociativeCache, Tlb
+from repro.uarch.caches import MshrFile, SetAssociativeCache, Tlb
 from repro.uarch.confidence import JrsConfidenceEstimator
 from repro.uarch.config import PipelineConfig
 from repro.uarch.latches import StateRegistry
@@ -100,6 +100,8 @@ class Pipeline:
         collect_retired: bool = False,
         record_cache_symptoms: bool = False,
         fast: bool = True,
+        memhier_targets: bool = False,
+        record_memhier_symptoms: bool = False,
     ):
         self.config = config or PipelineConfig()
         self.memory = memory
@@ -125,7 +127,9 @@ class Pipeline:
         self._fetch_pc = [entry_pc]
         self.registry.register_list("fetch", "data", "fetch.pc", self._fetch_pc, 64)
 
-        # Predictors and caches (excluded from injection).
+        # Predictors and caches (excluded from injection by default; the
+        # caches and MSHR file register as "mem"-class state when the
+        # memory-hierarchy fault surface is enabled).
         self.predictor = CombiningPredictor(cfg)
         self.btb = BranchTargetBuffer(cfg.btb_entries)
         self.ras = ReturnAddressStack(cfg.ras_entries)
@@ -135,6 +139,12 @@ class Pipeline:
         self.dcache = SetAssociativeCache(cfg.l1d_sets, cfg.l1d_ways, cfg.l1d_line_bytes)
         self.itlb = Tlb(cfg.itlb_entries)
         self.dtlb = Tlb(cfg.dtlb_entries)
+        self.mshr = MshrFile(cfg.mshr_entries)
+        self.memhier_targets = memhier_targets
+        if memhier_targets:
+            self.icache.register_state(self.registry, "icache")
+            self.dcache.register_state(self.registry, "dcache")
+            self.mshr.register_state(self.registry, "mshr")
 
         # Machine status.
         self.cycle_count = 0
@@ -167,6 +177,11 @@ class Pipeline:
         self.on_retire = None  # optional callable(RetiredInst)
         self.symptoms: list[SymptomEvent] = []
         self.record_cache_symptoms = record_cache_symptoms
+        # Gates stall_streak / spurious_memop emission (and the store-buffer
+        # accounting check behind the latter), so pipelines that never asked
+        # for memory-hierarchy symptoms pay nothing for them.
+        self.record_memhier_symptoms = record_memhier_symptoms
+        self._spurious_flagged = False
         # Hook invoked when an exception reaches the ROB head or the
         # watchdog saturates; a ReStore controller installs itself here.
         # Signature: handler(kind: str, payload) -> bool (True = handled).
@@ -271,7 +286,21 @@ class Pipeline:
             self._fetch_stage()
         # Watchdog.
         if self.retired_count > retired_before:
+            streak = self.watchdog_counter
             self.watchdog_counter = 0
+            if (
+                self.record_memhier_symptoms
+                and streak >= self.config.stall_streak_floor
+            ):
+                # A no-retirement streak just ended: report its length so
+                # the stall-duration-outlier detector can compare it to the
+                # error-free baseline. Payload: (position, streak, pc).
+                pc = self._fetch_pc[0]
+                self._emit_symptom("stall_streak", pc)
+                if self.symptom_handler is not None:
+                    self.symptom_handler(
+                        "stall_streak", (self.retired_count, streak, pc)
+                    )
         else:
             self.watchdog_counter += 1
             if self.watchdog_counter >= self.config.watchdog_cycles and self.running:
@@ -301,6 +330,19 @@ class Pipeline:
                 self._load_try(event[1], event[2], event[3], event[4])
             elif kind == "load_fin":
                 self._load_finish(event[1], event[2], event[3], event[4])
+            elif kind == "mshr_fin":
+                self._mshr_fill_complete(event[1])
+
+    def _mshr_fill_complete(self, address: int) -> None:
+        """A D-cache fill returned: release its MSHR entry. A fill with no
+        matching outstanding miss is a spurious memory op — the signature
+        of a flipped MSHR valid or address bit."""
+        if not self.mshr.release(address) and self.record_memhier_symptoms:
+            self._emit_symptom("spurious_memop", address)
+            if self.symptom_handler is not None:
+                self.symptom_handler(
+                    "spurious_memop", (self.retired_count, address)
+                )
 
     # -------------------------------------------------------------- retire
 
@@ -430,8 +472,28 @@ class Pipeline:
         self.storebuf.push(addr, data, size_log2)
         return addr, data, size
 
+    def _check_storebuf_accounting(self) -> None:
+        """Emit spurious_memop when the store buffer's live entries no
+        longer reconcile with its push/pop sequence — a valid bit was
+        conjured (a phantom committed store about to drain) or destroyed
+        (a committed store silently dropped). Edge-triggered so one
+        corruption produces one symptom, not one per retirement."""
+        storebuf = self.storebuf
+        if storebuf.live_count() == storebuf.total_pushed - storebuf.total_popped:
+            self._spurious_flagged = False
+            return
+        if self._spurious_flagged:
+            return
+        self._spurious_flagged = True
+        addr = storebuf.addr[storebuf.head]
+        self._emit_symptom("spurious_memop", addr)
+        if self.symptom_handler is not None:
+            self.symptom_handler("spurious_memop", (self.retired_count, addr))
+
     def _drain_store_buffer(self) -> None:
         """Release every committed store to memory (ungated mode)."""
+        if self.record_memhier_symptoms:
+            self._check_storebuf_accounting()
         while True:
             entry = self.storebuf.pop_oldest()
             if entry is None:
@@ -448,6 +510,8 @@ class Pipeline:
     def drain_store_buffer_until(self, push_mark: int) -> None:
         """Release committed stores with sequence below ``push_mark`` (used
         by the ReStore checkpoint manager when a checkpoint is released)."""
+        if self.record_memhier_symptoms:
+            self._check_storebuf_accounting()
         while self.storebuf.total_popped < push_mark:
             entry = self.storebuf.pop_oldest()
             if entry is None:
@@ -826,16 +890,35 @@ class Pipeline:
                 self._schedule(1, ("load_try", slot, rob_idx, seq, ldq_idx))
                 return
             ldq.speculative[ldq_idx] = 1
-        # Access the memory hierarchy.
+        # Access the memory hierarchy. Symptom-handler payloads carry the
+        # architectural position first — detectors window and prune by
+        # retired-instruction position, not by PC — then the faulting PC.
         latency = self.config.cache_hit_latency
         if not self.dtlb.access(address):
             latency += self.config.tlb_miss_penalty
+            pc = self.sched.pc[slot]
             if self.record_cache_symptoms:
-                self._emit_symptom("dtlb_miss", self.sched.pc[slot])
+                self._emit_symptom("dtlb_miss", pc)
+            if self.symptom_handler is not None and self.symptom_handler(
+                "dtlb_miss", (self.retired_count, pc)
+            ):
+                return  # rollback flushed the pipeline; the load is gone
         if not self.dcache.access(address):
             latency = self.config.cache_miss_latency
+            pc = self.sched.pc[slot]
             if self.record_cache_symptoms:
-                self._emit_symptom("dcache_miss", self.sched.pc[slot])
+                self._emit_symptom("dcache_miss", pc)
+            if self.symptom_handler is not None and self.symptom_handler(
+                "dcache_miss", (self.retired_count, pc)
+            ):
+                return
+            if self.memhier_targets:
+                # Outstanding-miss tracking: a full MSHR file is a
+                # structural hazard charged as one extra miss penalty.
+                if self.mshr.allocate(address) is None:
+                    latency += self.config.cache_miss_latency
+                else:
+                    self._schedule(latency, ("mshr_fin", address))
         self._schedule(latency, ("load_fin", slot, rob_idx, seq, ldq_idx))
 
     def _load_finish(self, slot, rob_idx, seq, ldq_idx) -> None:
@@ -1190,11 +1273,19 @@ class Pipeline:
                 self._fetch_stalled_until = self.cycle_count + cfg.tlb_miss_penalty
                 if self.record_cache_symptoms:
                     self._emit_symptom("itlb_miss", pc)
+                if self.symptom_handler is not None and self.symptom_handler(
+                    "itlb_miss", (self.retired_count, pc)
+                ):
+                    return  # rollback flushed the pipeline mid-fetch
                 break
             if not icache_access(pc):
                 self._fetch_stalled_until = self.cycle_count + cfg.icache_miss_latency
                 if self.record_cache_symptoms:
                     self._emit_symptom("icache_miss", pc)
+                if self.symptom_handler is not None and self.symptom_handler(
+                    "icache_miss", (self.retired_count, pc)
+                ):
+                    return
                 break
             cached = None if fetch_cache is None else fetch_cache.get(pc)
             if cached is not None:
@@ -1287,6 +1378,8 @@ class Pipeline:
             collect_retired=False,
             record_cache_symptoms=self.record_cache_symptoms,
             fast=self.fast,
+            memhier_targets=self.memhier_targets,
+            record_memhier_symptoms=self.record_memhier_symptoms,
         )
         copy.registry.restore(self.registry.snapshot())
         # Predictors.
@@ -1300,13 +1393,30 @@ class Pipeline:
         copy.ras.top = self.ras.top
         copy.confidence.table[:] = self.confidence.table
         copy.memdep.table[:] = self.memdep.table
-        # Caches and TLBs.
-        copy.icache._tags = [list(ways) for ways in self.icache._tags]
-        copy.icache._order = [list(order) for order in self.icache._order]
-        copy.dcache._tags = [list(ways) for ways in self.dcache._tags]
-        copy.dcache._order = [list(order) for order in self.dcache._order]
-        copy.itlb._pages = list(self.itlb._pages)
-        copy.dtlb._pages = list(self.dtlb._pages)
+        # Caches, TLBs, and the MSHR file. Storage is copied in place —
+        # rebinding the lists would orphan any registry closures over them
+        # — and the hit/miss tallies come along so a fork's miss-rate
+        # telemetry continues from the parent instead of restarting at
+        # zero. (Under memhier_targets the registry restore above already
+        # wrote the registered arrays; these assignments are then no-ops.)
+        for mine, theirs in (
+            (self.icache, copy.icache),
+            (self.dcache, copy.dcache),
+        ):
+            theirs._tags[:] = mine._tags
+            theirs._valid[:] = mine._valid
+            theirs._order[:] = mine._order
+            theirs.hits = mine.hits
+            theirs.misses = mine.misses
+        for mine, theirs in ((self.itlb, copy.itlb), (self.dtlb, copy.dtlb)):
+            theirs._pages[:] = mine._pages
+            theirs.hits = mine.hits
+            theirs.misses = mine.misses
+        copy.mshr._valid[:] = self.mshr._valid
+        copy.mshr._addr[:] = self.mshr._addr
+        copy.mshr.allocations = self.mshr.allocations
+        copy.mshr.overflows = self.mshr.overflows
+        copy._spurious_flagged = self._spurious_flagged
         # Machine status.
         copy.cycle_count = self.cycle_count
         copy.retired_count = self.retired_count
@@ -1363,6 +1473,10 @@ class Pipeline:
             self.stq.valid[slot] = 0
         self.fetchq.clear()
         self._events.clear()
+        # The event wheel just dropped every in-flight fill completion, so
+        # outstanding MSHR entries would leak (and eventually wedge loads
+        # behind a permanently-full file); discard them with the flush.
+        self.mshr.clear()
         self.spec_rat.restore(self.arch_rat.snapshot())
         self.freelist.rebuild(set(self.arch_rat.map))
         for preg in range(self.prf.size):
@@ -1380,6 +1494,8 @@ def load_pipeline(
     record_cache_symptoms: bool = False,
     stack_bytes: int = STACK_BYTES,
     fast: bool = True,
+    memhier_targets: bool = False,
+    record_memhier_symptoms: bool = False,
 ) -> Pipeline:
     """Build a pipeline with the program loaded per the ABI conventions
     (mirrors :func:`repro.arch.simulator.load_program`)."""
@@ -1401,6 +1517,8 @@ def load_pipeline(
         collect_retired=collect_retired,
         record_cache_symptoms=record_cache_symptoms,
         fast=fast,
+        memhier_targets=memhier_targets,
+        record_memhier_symptoms=record_memhier_symptoms,
     )
     pipeline.prf.values[REG_SP] = STACK_TOP - 64
     pipeline.prf.values[REG_GP] = program.data_base

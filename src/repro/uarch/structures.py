@@ -597,6 +597,14 @@ class StoreBuffer:
         # see entries_youngest_first, which walks backwards from there.
         return self.valid[(self._tail[0] - 1) % self.size] == 0
 
+    def live_count(self) -> int:
+        """Valid entries right now. In an uncorrupted machine this always
+        equals ``total_pushed - total_popped`` (minus rollback truncations,
+        which adjust total_pushed); a divergence means a valid bit was
+        conjured or destroyed behind the buffer's back — the signature the
+        spurious-memory-op symptom detector watches for."""
+        return sum(self.valid)
+
     def push(self, addr: int, data: int, size_log2: int) -> bool:
         if self.is_full():
             return False

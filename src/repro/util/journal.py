@@ -36,14 +36,39 @@ class JournalTearWarning(UserWarning):
 
 
 def config_to_dict(config: Any) -> dict:
-    """A JSON-serializable dict for a (possibly nested) config dataclass."""
+    """A JSON-serializable dict for a (possibly nested) config dataclass.
+
+    Fields declared with ``metadata={"omit_default": True}`` are dropped
+    while they hold their default value. Config knobs added after journals
+    already exist in the wild use this so that manifests, stable digests,
+    and golden-cache keys of pre-existing configurations stay byte-identical
+    until the new knob is actually turned on.
+    """
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
-        raw = dataclasses.asdict(config)
+        raw = _dataclass_items(config)
     elif isinstance(config, dict):
         raw = dict(config)
     else:
         raise TypeError(f"cannot serialize config of type {type(config)!r}")
     return json.loads(json.dumps(raw, sort_keys=True, default=_jsonable))
+
+
+def _dataclass_items(config: Any) -> dict:
+    out: dict[str, Any] = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if field.metadata.get("omit_default") and value == _field_default(field):
+            continue
+        out[field.name] = value
+    return out
+
+
+def _field_default(field: dataclasses.Field) -> Any:
+    if field.default is not dataclasses.MISSING:
+        return field.default
+    if field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        return field.default_factory()  # type: ignore[misc]
+    return dataclasses.MISSING
 
 
 def _jsonable(value: Any):

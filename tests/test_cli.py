@@ -307,3 +307,59 @@ class TestServiceCli:
             main(["serve", "--lease-ttl", "0"])
         with pytest.raises(SystemExit, match="--max-attempts"):
             main(["serve", "--max-attempts", "0"])
+
+
+class TestMemhierFlags:
+    def test_uarch_campaign_with_memhier_flags(self, tmp_path, capsys):
+        journal = str(tmp_path / "mh.jsonl")
+        assert main([
+            "campaign", "uarch", "--trials", "6", "--workloads", "gcc",
+            "--memhier-targets", "--detectors", "miss_spike,spurious_memop",
+            "--journal", journal,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", journal]) == 0
+        out = capsys.readouterr().out
+        assert "miss_spike" in out and "spurious_memop" in out
+
+    def test_arch_campaign_rejects_memhier_flags(self):
+        with pytest.raises(SystemExit, match="uarch-only"):
+            main(["campaign", "arch", "--trials", "6", "--memhier-targets"])
+        with pytest.raises(SystemExit, match="uarch-only"):
+            main(["campaign", "arch", "--trials", "6",
+                  "--detectors", "miss_spike"])
+
+    def test_unknown_detector_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown detectors"):
+            main(["campaign", "uarch", "--trials", "6",
+                  "--detectors", "bogus"])
+
+    def test_submit_options_mirror_campaign_config(self):
+        """The service payload built by ``repro submit`` must reconstruct
+        into the exact config (and digest) a serial CLI run uses."""
+        from repro.cli import _campaign_config_options
+        from repro.faults import UarchCampaignConfig
+        from repro.service import build_config
+        from repro.util.journal import config_to_dict, stable_digest
+
+        options = _campaign_config_options(
+            "uarch", 6, ("gcc",), 7,
+            memhier_targets=True, detectors=("miss_spike",),
+        )
+        built = build_config("uarch", options)
+        local = UarchCampaignConfig(
+            trials_per_workload=6,
+            injection_points=min(6, max(4, 6 // 3)),
+            workloads=("gcc",), seed=7,
+            memhier_targets=True, detectors=("miss_spike",),
+        )
+        assert stable_digest(config_to_dict(built)) == stable_digest(
+            config_to_dict(local)
+        )
+
+    def test_submit_options_omit_defaults(self):
+        from repro.cli import _campaign_config_options
+
+        options = _campaign_config_options("uarch", 6, ("gcc",), 7)
+        assert "memhier_targets" not in options
+        assert "detectors" not in options

@@ -1,10 +1,17 @@
 """Symptom detector framework."""
 
+import pytest
+
 from repro.restore.symptoms import (
+    MEMHIER_DETECTOR_NAMES,
     CacheMissSymptomDetector,
     ExceptionSymptomDetector,
     HighConfidenceMispredictDetector,
+    MissRateSpikeDetector,
+    SpuriousMemopDetector,
+    StallOutlierDetector,
     WatchdogSymptomDetector,
+    build_memhier_detectors,
     default_detectors,
 )
 
@@ -82,3 +89,131 @@ class TestRollbackReset:
         # The surviving pre-checkpoint miss still counts toward a burst.
         assert not detector.observe("dcache_miss", 405)
         assert detector.observe("dcache_miss", 410)
+
+
+class TestPositionKeyedPayloads:
+    """Cache/TLB symptom payloads are (retired_position, pc) tuples.
+
+    Regression: the pipeline used to hand the detector a bare *PC* (or a
+    tuple), and ``should_rollback`` coerced any non-int payload to
+    position 0 — so every miss landed in the same window and bursts fired
+    spuriously regardless of how far apart the misses really were.
+    """
+
+    def test_tuple_payloads_window_by_position_not_pc(self):
+        detector = CacheMissSymptomDetector(threshold=2, window=10)
+        # Two misses at the *same PC* but 400 retired instructions apart:
+        # position-keyed windowing must not call this a burst. The old
+        # coerce-to-zero behavior stacked both at position 0 and fired.
+        assert not detector.observe("dcache_miss", (100, 0x4040))
+        assert not detector.observe("dcache_miss", (500, 0x4040))
+
+    def test_tuple_payloads_close_together_still_fire(self):
+        detector = CacheMissSymptomDetector(threshold=2, window=10)
+        assert not detector.observe("dcache_miss", (100, 0x4040))
+        assert detector.observe("dcache_miss", (105, 0x8090))
+
+    def test_bare_int_positions_stay_accepted(self):
+        detector = CacheMissSymptomDetector(threshold=1)
+        assert detector.observe("dcache_miss", 100)
+
+    @pytest.mark.parametrize("payload", [
+        None,
+        "0x4040",
+        4.5,
+        True,
+        (100,),
+        (100, 0x40, 3),
+        (100, "pc"),
+        (True, 0x40),
+        [100, 0x40],
+    ])
+    def test_malformed_payloads_raise_instead_of_coercing(self, payload):
+        detector = CacheMissSymptomDetector(threshold=1)
+        with pytest.raises(TypeError, match="malformed"):
+            detector.observe("dcache_miss", payload)
+
+
+class TestMissRateSpikeDetector:
+    def _warm(self, detector, start=0, count=20, gap=50):
+        """Feed a steady miss stream: one miss every ``gap`` instructions."""
+        position = start
+        for _ in range(count):
+            assert not detector.observe("dcache_miss", (position, 0x100))
+            position += gap
+        return position
+
+    def test_steady_rate_never_fires(self):
+        detector = MissRateSpikeDetector(window=200, multiple=4.0)
+        self._warm(detector, count=50)
+
+    def test_burst_above_baseline_fires(self):
+        detector = MissRateSpikeDetector(window=200, multiple=4.0)
+        position = self._warm(detector)
+        # A corrupted tag array: misses every instruction.
+        fired = False
+        for offset in range(40):
+            if detector.observe("dcache_miss", (position + offset, 0x200)):
+                fired = True
+                break
+        assert fired
+
+    def test_no_firing_during_warmup(self):
+        detector = MissRateSpikeDetector(warmup=8)
+        for position in range(0, 8):
+            assert not detector.observe("dcache_miss", (position, 0x100))
+
+    def test_rollback_prunes_future_but_keeps_baseline(self):
+        detector = MissRateSpikeDetector()
+        self._warm(detector)
+        baseline = detector.baseline
+        detector.on_rollback(100)
+        assert detector.baseline == baseline
+        assert all(p <= 100 for p in detector._recent)
+        assert detector._last_position <= 100
+
+    def test_watches_all_four_miss_kinds(self):
+        assert set(MissRateSpikeDetector().kinds) == {
+            "dcache_miss", "dtlb_miss", "icache_miss", "itlb_miss"
+        }
+
+
+class TestStallOutlierDetector:
+    def test_ordinary_streak_does_not_fire(self):
+        detector = StallOutlierDetector(baseline_cycles=32, multiple=4.0)
+        assert not detector.observe("stall_streak", (100, 64, 0x4000))
+
+    def test_outlier_streak_fires(self):
+        detector = StallOutlierDetector(baseline_cycles=32, multiple=4.0)
+        assert detector.observe("stall_streak", (100, 129, 0x4000))
+
+    def test_boundary_is_exclusive(self):
+        detector = StallOutlierDetector(baseline_cycles=32, multiple=4.0)
+        assert not detector.observe("stall_streak", (100, 128, 0x4000))
+
+    def test_malformed_payload_raises(self):
+        detector = StallOutlierDetector()
+        with pytest.raises(TypeError, match="malformed"):
+            detector.observe("stall_streak", (100, 64))
+
+
+class TestSpuriousMemopDetector:
+    def test_every_event_fires(self):
+        detector = SpuriousMemopDetector()
+        assert detector.observe("spurious_memop", (100, 0x2000))
+        assert detector.triggered == 1
+
+    def test_malformed_payload_raises(self):
+        detector = SpuriousMemopDetector()
+        with pytest.raises(TypeError, match="malformed"):
+            detector.observe("spurious_memop", 100)
+
+
+class TestBuildMemhierDetectors:
+    def test_builds_by_name_in_order(self):
+        detectors = build_memhier_detectors(MEMHIER_DETECTOR_NAMES)
+        assert [d.name for d in detectors] == list(MEMHIER_DETECTOR_NAMES)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown detectors"):
+            build_memhier_detectors(("miss_spike", "nope"))

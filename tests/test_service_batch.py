@@ -356,3 +356,41 @@ class TestBatchedWorkerEndToEnd:
         )
         with open(final["journal_path"]) as f, open(serial_path) as g:
             assert f.read() == g.read()
+
+
+class TestMemhierShardedEquivalence:
+    def test_two_shard_uarch_memhier_job_matches_serial_journal(
+        self, tmp_path
+    ):
+        """A uarch campaign with memory-hierarchy targets and detectors,
+        split over two shards per workload, must finalize the exact bytes
+        of a serial run — the new config fields travel the wire and the
+        detector latency fields merge per-unit without drift."""
+        options = {
+            "trials_per_workload": 6,
+            "injection_points": 3,
+            "window_cycles": 800,
+            "workloads": ["gcc"],
+            "seed": 7,
+            "memhier_targets": True,
+            "detectors": ["miss_spike", "stall_outlier", "spurious_memop"],
+        }
+        spec = JobSpec.from_request(
+            {"level": "uarch", "config": options, "shards": 2}
+        )
+        serial_path = str(tmp_path / "serial.jsonl")
+        run_campaign("uarch", spec.config, journal_path=serial_path)
+
+        store = ResultStore(":memory:")
+        scheduler = CampaignScheduler(
+            store, str(tmp_path / "svc"), lease_ttl=60.0
+        )
+        try:
+            view = scheduler.submit(spec)
+            drain_batched(scheduler, batch=2)
+            final = scheduler.job_view(view["job_id"])
+            assert final["state"] == "done", final
+            with open(final["journal_path"]) as handle:
+                assert handle.read() == open(serial_path).read()
+        finally:
+            store.close()

@@ -357,3 +357,114 @@ class TestMetricsMerge:
 
         with pytest.raises(ValueError, match="different edges"):
             Histogram((1, 2)).merge(Histogram((1, 3)))
+
+
+class TestExtraSymptomAggregation:
+    """Opt-in memory-hierarchy detector columns in the aggregate."""
+
+    def test_default_aggregate_has_no_extra_columns(self):
+        metrics = aggregate_campaign("uarch", [uarch_record()])
+        assert set(metrics.detectors) == {
+            "deadlock", "exception", "cfv", "hc_mispredict"
+        }
+
+    def test_extra_symptoms_tally_coverage_and_benign_rate(self):
+        records = [
+            uarch_record(inject_retired=100, exception_latency=40,
+                         arch_corrupt=True, miss_spike_latency=12),
+            uarch_record(spurious_memop_latency=3),  # benign firing
+            uarch_record(),
+        ]
+        metrics = aggregate_campaign(
+            "uarch", records,
+            extra_symptoms=("miss_spike", "stall_outlier", "spurious_memop"),
+        )
+        spike = metrics.detectors["miss_spike"]
+        assert spike.fired_on_failing == 1 and spike.failing_trials == 1
+        assert spike.latency.total == 1 and spike.latency.mean == 12.0
+        spurious = metrics.detectors["spurious_memop"]
+        assert spurious.fired_on_benign == 1
+        assert spurious.benign_rate == 0.5
+        assert metrics.detectors["stall_outlier"].latency.total == 0
+
+    def test_extra_symptom_can_shorten_rollback_distance(self):
+        """A detector firing before any stock symptom becomes the trial's
+        earliest rollback trigger."""
+        record = uarch_record(inject_retired=430, exception_latency=40,
+                              arch_corrupt=True, miss_spike_latency=10)
+        plain = aggregate_campaign("uarch", [record], intervals=(100,))
+        extra = aggregate_campaign("uarch", [record], intervals=(100,),
+                                   extra_symptoms=("miss_spike",))
+        # Stock: symptom at 470 -> distance 170. With the spike detector
+        # the earliest symptom is at 440 -> distance 100 + 440 % 100 = 140.
+        assert plain.rollback_distance[100].mean == 170.0
+        assert extra.rollback_distance[100].mean == 140.0
+
+    def test_records_without_the_fields_report_none(self):
+        from repro.telemetry.metrics import trial_symptom_latencies
+
+        latencies = trial_symptom_latencies(
+            "uarch", uarch_record(), extra_symptoms=("miss_spike",)
+        )
+        assert latencies["miss_spike"] is None
+
+    def test_extra_metrics_merge_and_round_trip(self):
+        records = [uarch_record(arch_corrupt=True, stall_outlier_latency=7)]
+        metrics = aggregate_campaign("uarch", records,
+                                     extra_symptoms=("stall_outlier",))
+        entry = json.loads(json.dumps(metrics.to_entry()))
+        restored = CampaignMetrics.from_entry(entry)
+        assert restored.detectors["stall_outlier"].fired_on_failing == 1
+        restored.merge(metrics)
+        assert restored.detectors["stall_outlier"].fired_on_failing == 2
+
+
+class TestDetectorRecordJournaling:
+    """Trial entries omit the detector latency fields while None."""
+
+    def _outcome(self, record):
+        from repro.campaign.outcomes import TrialOutcome
+
+        return TrialOutcome(
+            key="gcc:500:0", workload="gcc", point=500, index=0,
+            status="ok", record=record,
+        )
+
+    def test_none_latencies_are_omitted_from_the_entry(self):
+        entry = self._outcome(uarch_record()).to_entry()
+        for name in ("miss_spike_latency", "stall_outlier_latency",
+                     "spurious_memop_latency"):
+            assert name not in entry["record"]
+
+    def test_set_latencies_are_journaled(self):
+        entry = self._outcome(
+            uarch_record(miss_spike_latency=9)
+        ).to_entry()
+        assert entry["record"]["miss_spike_latency"] == 9
+        assert "stall_outlier_latency" not in entry["record"]
+
+    def test_omitted_fields_round_trip_as_none(self):
+        from repro.campaign.outcomes import TrialOutcome
+
+        entry = json.loads(json.dumps(self._outcome(uarch_record()).to_entry()))
+        restored = TrialOutcome.from_entry(entry, "uarch")
+        assert restored.record.miss_spike_latency is None
+        assert restored.record.spurious_memop_latency is None
+
+
+class TestMemhierCampaignReport:
+    def test_report_includes_configured_detector_columns(self, tmp_path):
+        from repro.faults import UarchCampaignConfig
+        from repro.campaign import run_campaign
+
+        path = str(tmp_path / "memhier.jsonl")
+        config = UarchCampaignConfig(
+            trials_per_workload=6, injection_points=3, window_cycles=800,
+            workloads=("gcc",), seed=7, memhier_targets=True,
+            detectors=("miss_spike", "stall_outlier", "spurious_memop"),
+        )
+        run_campaign("uarch", config, journal_path=path)
+        text = render_campaign_report(path)
+        assert "miss_spike" in text
+        assert "stall_outlier" in text
+        assert "spurious_memop" in text

@@ -1,8 +1,9 @@
-"""Cache and TLB timing models."""
+"""Cache, TLB, and MSHR timing models."""
 
 import pytest
 
-from repro.uarch.caches import SetAssociativeCache, Tlb
+from repro.uarch.caches import MshrFile, SetAssociativeCache, Tlb
+from repro.uarch.latches import StateRegistry
 
 
 class TestCache:
@@ -50,3 +51,126 @@ class TestTlb:
             tlb.access(page << 13)
         assert not tlb.access(0)       # evicted
         assert tlb.access(2 << 13)     # recent survives
+
+    def test_eviction_order_is_fifo_not_lru(self):
+        """A hit must not refresh an entry's position: the victim is the
+        oldest *insertion*, even if it was just re-touched."""
+        tlb = Tlb(entries=3, page_shift=13)
+        for page in (0, 1, 2):
+            tlb.access(page << 13)
+        assert tlb.access(0)        # hit; FIFO order unchanged
+        tlb.access(3 << 13)         # miss: evicts page 0 (oldest insert)
+        assert tlb.access(1 << 13)  # LRU would have evicted this instead
+        assert not tlb.access(0)    # the just-touched page is the one gone
+
+
+class TestCacheLruEdgeCases:
+    def test_probe_does_not_touch_recency(self):
+        """probe() must be a pure lookup: after probing the LRU line, it
+        must still be the next eviction victim."""
+        cache = SetAssociativeCache(sets=1, ways=2, line_bytes=32)
+        cache.access(0)       # A
+        cache.access(32)      # B; A is now LRU
+        assert cache.probe(0)
+        cache.access(64)      # C must evict A, not B
+        assert cache.access(32)      # B survives
+        assert not cache.access(0)   # A was evicted despite the probe
+
+    def test_single_way_set_always_replaces(self):
+        cache = SetAssociativeCache(sets=1, ways=1, line_bytes=32)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert not cache.access(32)   # direct-mapped conflict
+        assert not cache.access(0)
+        assert cache.hits == 1 and cache.misses == 3
+
+    def test_single_way_multiple_sets(self):
+        cache = SetAssociativeCache(sets=2, ways=1, line_bytes=32)
+        cache.access(0)    # set 0
+        cache.access(32)   # set 1 — different set, no conflict
+        assert cache.access(0)
+        assert cache.access(32)
+
+
+class TestCacheStateRegistration:
+    def test_registers_tag_valid_lru_as_mem_class(self):
+        cache = SetAssociativeCache(sets=4, ways=2, line_bytes=32)
+        registry = StateRegistry()
+        cache.register_state(registry, "dcache")
+        names = {f.name.split("[")[0] for f in registry.fields}
+        assert names == {"dcache.tag", "dcache.valid", "dcache.lru"}
+        assert {f.state_class for f in registry.fields} == {"mem"}
+        assert {f.structure for f in registry.fields} == {"dcache"}
+        # 4 sets x 2 ways of (tag + valid + lru) slots.
+        assert len(registry.fields) == 3 * 8
+
+    def test_flipping_a_registered_valid_bit_evicts_the_line(self):
+        cache = SetAssociativeCache(sets=1, ways=2, line_bytes=32)
+        registry = StateRegistry()
+        cache.register_state(registry, "dcache")
+        cache.access(0)
+        assert cache.access(0)
+        way = cache._order[0]  # the MRU way holds line 0
+        flip_field = next(
+            f for f in registry.fields if f.name == f"dcache.valid[{way}]"
+        )
+        flip_field.flip(0)
+        assert not cache.access(0)  # the line silently vanished
+
+    def test_tag_bits_for_non_power_of_two_line(self):
+        cache = SetAssociativeCache(sets=4, ways=1, line_bytes=48)
+        assert cache.tag_bits == 64  # no compact split: full address tag
+
+
+class TestMshrFile:
+    def test_allocate_and_release(self):
+        mshr = MshrFile(entries=2)
+        assert mshr.allocate(0x100) == 0
+        assert mshr.allocate(0x200) == 1
+        assert mshr.occupancy() == 2 and mshr.is_full()
+        assert mshr.release(0x100)
+        assert mshr.occupancy() == 1
+        assert mshr.allocate(0x300) == 0  # freed slot is reused
+
+    def test_full_file_returns_none_and_counts_overflow(self):
+        mshr = MshrFile(entries=1)
+        assert mshr.allocate(0x100) == 0
+        assert mshr.allocate(0x200) is None
+        assert mshr.overflows == 1 and mshr.allocations == 1
+
+    def test_release_without_match_reports_spurious(self):
+        mshr = MshrFile(entries=2)
+        mshr.allocate(0x100)
+        assert not mshr.release(0x999)
+        assert mshr.occupancy() == 1
+
+    def test_clear_discards_all_outstanding_misses(self):
+        mshr = MshrFile(entries=2)
+        mshr.allocate(0x100)
+        mshr.allocate(0x200)
+        mshr.clear()
+        assert mshr.occupancy() == 0
+        assert not mshr.release(0x100)
+
+    def test_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MshrFile(entries=0)
+
+    def test_registers_valid_and_addr_as_mem_class(self):
+        mshr = MshrFile(entries=4)
+        registry = StateRegistry()
+        mshr.register_state(registry)
+        names = {f.name.split("[")[0] for f in registry.fields}
+        assert names == {"mshr.valid", "mshr.addr"}
+        assert {f.state_class for f in registry.fields} == {"mem"}
+        assert registry.total_bits() == 4 * (1 + 64)
+
+    def test_flipped_valid_bit_makes_the_next_fill_spurious(self):
+        """The corruption signature the spurious-memop detector keys on:
+        a dropped MSHR entry means its fill finds nothing to release."""
+        mshr = MshrFile(entries=2)
+        registry = StateRegistry()
+        mshr.register_state(registry)
+        mshr.allocate(0x100)
+        next(f for f in registry.fields if f.name == "mshr.valid[0]").flip(0)
+        assert not mshr.release(0x100)

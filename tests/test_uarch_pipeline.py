@@ -198,3 +198,161 @@ class TestCacheSymptoms:
         for pipeline in pipeline_runs.values():
             kinds = {s.kind for s in pipeline.symptoms}
             assert "dcache_miss" not in kinds
+
+
+class TestForkCloneConsistency:
+    """fork() must deep-copy the whole memory hierarchy, counters included.
+
+    Regression: fork used to rebuild caches and TLBs without their
+    hit/miss counters (and, once cache state became registerable, a
+    wholesale list replacement would have silently detached the fork's
+    arrays from its registry closures).
+    """
+
+    def _forked(self, bundles, **kwargs):
+        pipeline = load_pipeline(bundles["gcc"].program, **kwargs)
+        pipeline.run(2_000)
+        return pipeline, pipeline.fork()
+
+    def test_cache_and_tlb_counters_survive_fork(self, bundles):
+        pipeline, fork = self._forked(bundles)
+        assert pipeline.icache.hits > 0 and pipeline.dcache.hits > 0
+        for mine, theirs in (
+            (pipeline.icache, fork.icache), (pipeline.dcache, fork.dcache),
+            (pipeline.itlb, fork.itlb), (pipeline.dtlb, fork.dtlb),
+        ):
+            assert theirs.hits == mine.hits
+            assert theirs.misses == mine.misses
+
+    def test_cache_arrays_equal_but_not_aliased(self, bundles):
+        pipeline, fork = self._forked(bundles)
+        for mine, theirs in (
+            (pipeline.icache, fork.icache), (pipeline.dcache, fork.dcache),
+        ):
+            assert theirs._tags == mine._tags
+            assert theirs._valid == mine._valid
+            assert theirs._order == mine._order
+            assert theirs._tags is not mine._tags
+        assert fork.itlb._pages == pipeline.itlb._pages
+        assert fork.itlb._pages is not pipeline.itlb._pages
+
+    def test_fork_registry_stays_bound_to_fork_arrays(self, bundles):
+        """A flip through the fork's registry must land in the fork's cache
+        arrays (not the parent's) — the in-place copy invariant."""
+        pipeline, fork = self._forked(bundles, memhier_targets=True)
+        flip_field = next(
+            f for f in fork.registry.fields if f.name == "dcache.valid[0]"
+        )
+        before_parent = list(pipeline.dcache._valid)
+        flip_field.flip(0)
+        assert fork.dcache._valid[0] != pipeline.dcache._valid[0]
+        assert pipeline.dcache._valid == before_parent
+
+    def test_mshr_state_survives_fork(self, bundles):
+        pipeline, fork = self._forked(bundles, memhier_targets=True)
+        assert fork.mshr._valid == pipeline.mshr._valid
+        assert fork.mshr._addr == pipeline.mshr._addr
+        assert fork.mshr.allocations == pipeline.mshr.allocations
+        assert fork.mshr._valid is not pipeline.mshr._valid
+
+
+class TestMemhierTargets:
+    def test_default_registry_has_no_memhier_state(self, pipeline_runs):
+        for pipeline in pipeline_runs.values():
+            structures = {f.structure for f in pipeline.registry.fields}
+            assert not structures & {"icache", "dcache", "mshr"}
+            assert "mem" not in {f.state_class for f in pipeline.registry.fields}
+
+    def test_opt_in_registers_cache_and_mshr_state(self, bundles):
+        base = load_pipeline(bundles["gcc"].program)
+        on = load_pipeline(bundles["gcc"].program, memhier_targets=True)
+        structures = {f.structure for f in on.registry.fields}
+        assert {"icache", "dcache", "mshr"} <= structures
+        mem_fields = [f for f in on.registry.fields if f.state_class == "mem"]
+        assert mem_fields
+        assert {f.structure for f in mem_fields} == {"icache", "dcache", "mshr"}
+        # Opt-in only adds state: the default population is untouched, so
+        # default campaigns' total_bits sentinel and RNG streams hold.
+        assert on.registry.total_bits() > base.registry.total_bits()
+        default_names = [f.name for f in base.registry.fields]
+        assert [f.name for f in on.registry.fields][:len(default_names)] == \
+            default_names
+
+    def test_default_timing_unchanged_by_flag_plumbing(self, bundles):
+        """With both flags off the pipeline must behave bit-identically to
+        one built before the flags existed (same cycles, same stream)."""
+        a = load_pipeline(bundles["mcf"].program, collect_retired=True)
+        b = load_pipeline(
+            bundles["mcf"].program, collect_retired=True,
+            record_memhier_symptoms=False, memhier_targets=False,
+        )
+        a.run(30_000)
+        b.run(30_000)
+        assert a.cycle_count == b.cycle_count
+        assert [r.pc for r in a.retired_log] == [r.pc for r in b.retired_log]
+
+
+class TestMemhierSymptoms:
+    def test_cache_symptom_payloads_are_position_pc_tuples(self, bundles):
+        """Every cache/TLB handler payload is (retired_position, pc) — the
+        detector windows by position, the controller reports the pc."""
+        pipeline = load_pipeline(
+            bundles["mcf"].program, record_cache_symptoms=True
+        )
+        seen = []
+        pipeline.symptom_handler = (
+            lambda kind, payload: seen.append((kind, payload)) and False
+        )
+        pipeline.run(20_000)
+        miss_kinds = {"icache_miss", "dcache_miss", "itlb_miss", "dtlb_miss"}
+        misses = [(k, p) for k, p in seen if k in miss_kinds]
+        assert misses
+        for kind, payload in misses:
+            assert isinstance(payload, tuple) and len(payload) == 2
+            position, pc = payload
+            assert 0 <= position <= pipeline.retired_count
+            assert pc >= 0
+
+    def test_spurious_fill_emits_symptom_when_enabled(self, bundles):
+        pipeline = load_pipeline(
+            bundles["gcc"].program, memhier_targets=True,
+            record_memhier_symptoms=True,
+        )
+        pipeline.run(500)
+        seen = []
+        pipeline.symptom_handler = (
+            lambda kind, payload: seen.append((kind, payload)) and False
+        )
+        pipeline._mshr_fill_complete(0xDEAD00)  # no matching MSHR entry
+        assert ("spurious_memop", (pipeline.retired_count, 0xDEAD00)) in seen
+        assert any(s.kind == "spurious_memop" for s in pipeline.symptoms)
+
+    def test_spurious_fill_silent_by_default(self, bundles):
+        pipeline = load_pipeline(bundles["gcc"].program, memhier_targets=True)
+        pipeline.run(500)
+        pipeline._mshr_fill_complete(0xDEAD00)
+        assert not any(s.kind == "spurious_memop" for s in pipeline.symptoms)
+
+    def test_stall_streak_reported_when_enabled(self, bundles):
+        pipeline = load_pipeline(
+            bundles["gcc"].program, record_memhier_symptoms=True
+        )
+        pipeline.run(200)
+        seen = []
+        pipeline.symptom_handler = (
+            lambda kind, payload: seen.append((kind, payload)) and False
+        )
+        # Starve retirement past the streak floor, then release.
+        pipeline.retire_stall = True
+        pipeline.run(pipeline.config.stall_streak_floor + 20)
+        pipeline.retire_stall = False
+        pipeline.run(200)
+        streaks = [p for k, p in seen if k == "stall_streak"]
+        assert streaks
+        position, streak, pc = streaks[0]
+        assert streak >= pipeline.config.stall_streak_floor
+        assert position == pipeline.retired_count or position >= 0
+
+    def test_stall_streaks_silent_by_default(self, pipeline_runs):
+        for pipeline in pipeline_runs.values():
+            assert not any(s.kind == "stall_streak" for s in pipeline.symptoms)

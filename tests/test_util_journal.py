@@ -145,3 +145,47 @@ class TestTearWarnings:
         from repro.util.journal import JournalTearWarning
 
         assert issubclass(JournalTearWarning, UserWarning)
+
+
+class TestOmitDefaultFields:
+    """Fields marked ``omit_default`` vanish from the dict at their default,
+    so configs grown after journals existed keep old digests stable."""
+
+    def test_local_dataclass_omits_defaults(self):
+        from dataclasses import dataclass, field
+
+        @dataclass(frozen=True)
+        class Cfg:
+            a: int = 1
+            b: int = field(default=2, metadata={"omit_default": True})
+            c: tuple = field(default=(), metadata={"omit_default": True})
+
+        assert config_to_dict(Cfg()) == {"a": 1}
+        assert config_to_dict(Cfg(b=3, c=("x",))) == {"a": 1, "b": 3,
+                                                      "c": ["x"]}
+        # Only an exact default is omitted.
+        assert config_to_dict(Cfg(b=2, c=("x",))) == {"a": 1, "c": ["x"]}
+
+    def test_uarch_memhier_options_omitted_at_default(self):
+        from repro.faults import UarchCampaignConfig
+
+        base = config_to_dict(UarchCampaignConfig())
+        assert "memhier_targets" not in base
+        assert "detectors" not in base
+        on = config_to_dict(UarchCampaignConfig(
+            memhier_targets=True, detectors=("miss_spike",)
+        ))
+        assert on["memhier_targets"] is True
+        assert on["detectors"] == ["miss_spike"]
+        assert stable_digest(base) != stable_digest(on)
+
+    def test_default_factory_defaults_are_respected(self):
+        from dataclasses import dataclass, field
+
+        @dataclass(frozen=True)
+        class Cfg:
+            xs: list = field(default_factory=list,
+                             metadata={"omit_default": True})
+
+        assert config_to_dict(Cfg()) == {}
+        assert config_to_dict(Cfg(xs=[1])) == {"xs": [1]}
